@@ -1,0 +1,33 @@
+//! B5 (ablation D3): hold-and-resend (the paper's line-6 discipline) vs
+//! batched token packing. Batched drains the per-node K-token backlog
+//! faster, trading message size for rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwbc::distributed::{approximate, CongestionDiscipline, DistributedConfig};
+use rwbc_bench::suite::e4::test_graph;
+
+fn bench_congestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_congestion");
+    group.sample_size(10);
+    let n = 32;
+    let g = test_graph(n, 4);
+    for (label, discipline) in [
+        ("hold_and_resend", CongestionDiscipline::HoldAndResend),
+        ("batched", CongestionDiscipline::Batched),
+    ] {
+        let cfg = DistributedConfig::builder()
+            .walks(16)
+            .length(n)
+            .seed(2)
+            .discipline(discipline)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new(label, n), &g, |b, g| {
+            b.iter(|| approximate(g, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_congestion);
+criterion_main!(benches);

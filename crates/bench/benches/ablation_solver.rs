@@ -1,0 +1,28 @@
+//! B4 (ablation D4/D5): the four exact-solver configurations — {dense LU,
+//! CG} × {direct Θ(n²)-per-edge reduction, sorted O(n log n) reduction}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwbc::exact::{newman_with, ExactOptions, PairSum, Solver};
+use rwbc_bench::suite::e4::test_graph;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_solver");
+    group.sample_size(10);
+    let g = test_graph(48, 9);
+    let combos = [
+        ("lu_direct", Solver::DenseLu, PairSum::Direct),
+        ("lu_sorted", Solver::DenseLu, PairSum::Sorted),
+        ("cg_direct", Solver::ConjugateGradient, PairSum::Direct),
+        ("cg_sorted", Solver::ConjugateGradient, PairSum::Sorted),
+        ("cholesky_sorted", Solver::Cholesky, PairSum::Sorted),
+    ];
+    for (label, solver, pair_sum) in combos {
+        group.bench_with_input(BenchmarkId::new(label, 48), &g, |b, g| {
+            b.iter(|| newman_with(g, &ExactOptions { solver, pair_sum }).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

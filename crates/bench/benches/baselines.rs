@@ -1,0 +1,35 @@
+//! B6: the centrality zoo on one graph — exact RWBC vs Brandes SPBC vs
+//! PageRank vs Monte-Carlo RWBC vs flow betweenness (the cost hierarchy
+//! the paper's related-work section describes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rwbc::brandes::betweenness;
+use rwbc::exact::newman;
+use rwbc::flow_betweenness::flow_betweenness_sampled;
+use rwbc::monte_carlo::{estimate, McConfig};
+use rwbc::pagerank;
+use rwbc_bench::suite::e8::test_graph;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let g = test_graph(40, 6);
+    group.bench_function("rwbc_exact", |b| b.iter(|| newman(&g).unwrap()));
+    group.bench_function("spbc_brandes", |b| {
+        b.iter(|| betweenness(&g, true).unwrap())
+    });
+    group.bench_function("pagerank_power", |b| {
+        b.iter(|| pagerank::power(&g, 0.15, 1e-10, 100_000).unwrap())
+    });
+    let mc = McConfig::new(32, 160).with_seed(1);
+    group.bench_function("rwbc_monte_carlo", |b| {
+        b.iter(|| estimate(&g, &mc).unwrap())
+    });
+    group.bench_function("flow_betweenness_sampled", |b| {
+        b.iter(|| flow_betweenness_sampled(&g, 100, 2).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

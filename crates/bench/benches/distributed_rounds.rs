@@ -1,0 +1,28 @@
+//! B2: wall-time of the full distributed pipeline (Algorithms 1 + 2) vs n
+//! — the simulation-side cost of the `O(n log n)`-round algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwbc::distributed::{approximate, DistributedConfig};
+use rwbc_bench::suite::e4::test_graph;
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_rounds");
+    group.sample_size(10);
+    for &n in &[16usize, 32, 64] {
+        let g = test_graph(n, n as u64);
+        let k = (n as f64).log2().ceil() as usize;
+        let cfg = DistributedConfig::builder()
+            .walks(k)
+            .length(n)
+            .seed(1)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("approximate", n), &g, |b, g| {
+            b.iter(|| approximate(g, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed);
+criterion_main!(benches);

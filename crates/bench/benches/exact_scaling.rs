@@ -1,0 +1,36 @@
+//! B1: wall-time scaling of the exact solvers (Newman's `O((n + m) n²)`
+//! claim). Dense-LU vs per-source CG across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rwbc::exact::{newman_with, ExactOptions, PairSum, Solver};
+use rwbc_graph::generators::connected_gnp;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_scaling");
+    group.sample_size(10);
+    for &n in &[16usize, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let p = 4.0 * (n as f64).ln() / n as f64;
+        let g = connected_gnp(n, p.min(0.9), 200, &mut rng).unwrap();
+        for (label, solver) in [("lu", Solver::DenseLu), ("cg", Solver::ConjugateGradient)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &g, |b, g| {
+                b.iter(|| {
+                    newman_with(
+                        g,
+                        &ExactOptions {
+                            solver,
+                            pair_sum: PairSum::Sorted,
+                        },
+                    )
+                    .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

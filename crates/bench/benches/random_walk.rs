@@ -1,0 +1,29 @@
+//! B7: the random walk problem — naive `Θ(l)` token forwarding vs
+//! Das Sarma et al. short-walk stitching (`Õ(√(lD))`), wall-time view of
+//! experiment E10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use congest_sim::SimConfig;
+use rwbc::random_walk::{naive_walk, stitched_walk, StitchParams};
+use rwbc_graph::generators::torus_2d;
+use rwbc_graph::traversal::diameter;
+
+fn bench_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_walk");
+    group.sample_size(10);
+    let g = torus_2d(6, 6).unwrap();
+    let d = diameter(&g).unwrap();
+    for &l in &[128usize, 512] {
+        group.bench_with_input(BenchmarkId::new("naive", l), &g, |b, g| {
+            b.iter(|| naive_walk(g, 0, l, SimConfig::default().with_seed(1)).unwrap())
+        });
+        let params = StitchParams::optimized(l, d);
+        group.bench_with_input(BenchmarkId::new("stitched", l), &g, |b, g| {
+            b.iter(|| stitched_walk(g, 0, l, params, SimConfig::default().with_seed(1)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

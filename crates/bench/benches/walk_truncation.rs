@@ -1,0 +1,26 @@
+//! B3: Monte-Carlo estimation cost vs walk length `l` (the Theorem 1
+//! knob): cost grows linearly in `l` while accuracy saturates once the
+//! survival residual is small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rwbc::monte_carlo::{estimate, McConfig, TargetStrategy};
+use rwbc_bench::suite::e4::test_graph;
+
+fn bench_truncation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_truncation");
+    group.sample_size(10);
+    let n = 32;
+    let g = test_graph(n, 3);
+    for &mult in &[1usize, 2, 4, 8] {
+        let cfg = McConfig::new(32, mult * n)
+            .with_seed(5)
+            .with_target(TargetStrategy::Fixed(n - 1));
+        group.bench_with_input(BenchmarkId::new("l_over_n", mult), &g, |b, g| {
+            b.iter(|| estimate(g, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_truncation);
+criterion_main!(benches);

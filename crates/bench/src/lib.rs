@@ -1,0 +1,28 @@
+//! Experiment harness for the RWBC reproduction.
+//!
+//! Every figure/table/theorem of the paper maps to one experiment module
+//! (the index lives in `DESIGN.md` §6 and results in `EXPERIMENTS.md`):
+//!
+//! | id | paper source | module |
+//! |----|--------------|--------|
+//! | E1 | Fig. 1 (motivating example) | [`suite::e1`] |
+//! | E2 | Theorem 1 (`l = O(n)` truncation) | [`suite::e2`] |
+//! | E3 | Theorem 3 (`K = O(log n)` concentration) | [`suite::e3`] |
+//! | E4 | Lemma 2 + Theorem 5 (round complexity) | [`suite::e4`] |
+//! | E5 | Theorem 4 (CONGEST compliance) | [`suite::e5`] |
+//! | E6 | Figs. 2–5, Lemma 4, Theorems 6–8 (lower bound) | [`suite::e6`] |
+//! | E7 | Theorem 2 (approximation quality) | [`suite::e7`] |
+//! | E8 | Section II (related measures) | [`suite::e8`] |
+//!
+//! Run them with `cargo run --release -p rwbc-bench --bin experiments --
+//! all` (add `--quick` for a fast smoke pass). Each module exposes a
+//! `run(quick) -> Vec<Table>` entry point plus typed result structs that
+//! the integration tests assert on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod suite;
+pub mod table;
+
+pub use table::Table;

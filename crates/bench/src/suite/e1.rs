@@ -1,0 +1,108 @@
+//! **E1 — the paper's Fig. 1.** Shortest-path vs random-walk betweenness on
+//! the two-community bridge graph: the bridges `A`, `B` top both measures,
+//! but the bypass node `C` scores *zero* shortest-path betweenness while
+//! its random-walk betweenness clearly exceeds the `2/n` endpoint floor.
+
+use rwbc::brandes::betweenness;
+use rwbc::exact::newman;
+use rwbc_graph::generators::fig1_graph;
+
+use crate::table::{fmt4, Table};
+
+/// Typed result for one group size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Row {
+    /// Nodes per community.
+    pub group_size: usize,
+    /// Total nodes.
+    pub n: usize,
+    /// SPBC of the bridge `A` (normalized).
+    pub spbc_a: f64,
+    /// SPBC of the bypass `C` (normalized) — the paper's claim: exactly 0.
+    pub spbc_c: f64,
+    /// RWBC of `A`.
+    pub rwbc_a: f64,
+    /// RWBC of `C`.
+    pub rwbc_c: f64,
+    /// RWBC of a group member (for scale).
+    pub rwbc_member: f64,
+    /// The endpoint floor `2/n`.
+    pub floor: f64,
+}
+
+/// Runs E1 for one group size.
+///
+/// # Panics
+///
+/// Panics on solver failure (the Fig. 1 graph is always valid input).
+pub fn row(group_size: usize) -> Fig1Row {
+    let (g, labels) = fig1_graph(group_size).expect("valid group size");
+    let sp = betweenness(&g, true).expect("connected graph");
+    let rw = newman(&g).expect("connected graph");
+    let n = g.node_count();
+    Fig1Row {
+        group_size,
+        n,
+        spbc_a: sp[labels.a],
+        spbc_c: sp[labels.c],
+        rwbc_a: rw[labels.a],
+        rwbc_c: rw[labels.c],
+        rwbc_member: rw[labels.left[0]],
+        floor: 2.0 / n as f64,
+    }
+}
+
+/// Runs the full experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick { &[3, 5] } else { &[3, 5, 8, 12] };
+    let mut t = Table::new(
+        "E1 (paper Fig. 1): SPBC vs RWBC on the two-community bridge graph",
+        [
+            "group",
+            "n",
+            "SPBC(A)",
+            "SPBC(C)",
+            "RWBC(A)",
+            "RWBC(C)",
+            "RWBC(member)",
+            "floor 2/n",
+        ],
+    );
+    for &gs in sizes {
+        let r = row(gs);
+        t.add_row([
+            gs.to_string(),
+            r.n.to_string(),
+            fmt4(r.spbc_a),
+            fmt4(r.spbc_c),
+            fmt4(r.rwbc_a),
+            fmt4(r.rwbc_c),
+            fmt4(r.rwbc_member),
+            fmt4(r.floor),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_story_holds_across_sizes() {
+        for gs in [3, 6] {
+            let r = row(gs);
+            assert_eq!(r.spbc_c, 0.0, "C must lie on no shortest path");
+            assert!(r.spbc_a > 0.3, "A dominates SPBC");
+            assert!(r.rwbc_c > r.floor, "C's RWBC exceeds the endpoint floor");
+            assert!(r.rwbc_a > r.rwbc_c, "bridges still dominate RWBC");
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].row_count(), 2);
+    }
+}

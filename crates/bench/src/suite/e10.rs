@@ -1,0 +1,125 @@
+//! **E10 (extension) — the random walk problem (paper Section II-D).**
+//! The paper cites Das Sarma et al.'s `Õ(√(lD))` short-walk-stitching
+//! algorithm and explains why it cannot be used for RWBC. This experiment
+//! runs our implementation of that algorithm against the `Θ(l)` naive
+//! token forwarding, across walk lengths and graph diameters, making the
+//! `√(lD)` vs `l` separation — and its *absence* in the RWBC setting —
+//! concrete.
+
+use congest_sim::SimConfig;
+use rwbc::random_walk::{naive_walk, stitched_walk, StitchParams};
+use rwbc_graph::generators::{cycle, star, torus_2d};
+use rwbc_graph::traversal::diameter;
+use rwbc_graph::Graph;
+
+use crate::table::{fmt2, Table};
+
+/// Typed result for one (graph, l) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkRow {
+    /// Family label.
+    pub family: &'static str,
+    /// Nodes.
+    pub n: usize,
+    /// Diameter.
+    pub d: usize,
+    /// Walk length.
+    pub l: usize,
+    /// Naive rounds (always exactly `l`).
+    pub naive_rounds: usize,
+    /// Stitched rounds (phase 1 + phase 2).
+    pub stitched_rounds: usize,
+    /// `stitched / sqrt(l * D)` — bounded if the theory holds.
+    pub normalized: f64,
+}
+
+/// Measures one cell.
+///
+/// # Panics
+///
+/// Panics on simulation failure.
+pub fn cell(family: &'static str, graph: &Graph, l: usize, seed: u64) -> WalkRow {
+    let d = diameter(graph).expect("connected graph");
+    let naive = naive_walk(graph, 0, l, SimConfig::default().with_seed(seed)).expect("naive");
+    let params = StitchParams::optimized(l, d);
+    let stitched =
+        stitched_walk(graph, 0, l, params, SimConfig::default().with_seed(seed)).expect("stitch");
+    WalkRow {
+        family,
+        n: graph.node_count(),
+        d,
+        l,
+        naive_rounds: naive.rounds,
+        stitched_rounds: stitched.rounds,
+        normalized: stitched.rounds as f64 / (l as f64 * d as f64).sqrt(),
+    }
+}
+
+/// Runs the full experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let lengths: &[usize] = if quick {
+        &[128, 512]
+    } else {
+        &[128, 512, 2048]
+    };
+    let graphs: Vec<(&'static str, Graph)> = vec![
+        ("star (D = 2)", star(16).unwrap()),
+        ("torus (D = 8)", torus_2d(8, 8).unwrap()),
+        ("cycle (D = 16)", cycle(32).unwrap()),
+    ];
+    let mut t = Table::new(
+        "E10 (extension): random walk problem — naive Theta(l) vs stitched O(sqrt(lD))",
+        [
+            "family",
+            "n",
+            "D",
+            "l",
+            "naive rounds",
+            "stitched rounds",
+            "stitched/sqrt(lD)",
+        ],
+    );
+    for (family, g) in &graphs {
+        for &l in lengths {
+            let r = cell(family, g, l, 100 + l as u64);
+            t.add_row([
+                r.family.to_string(),
+                r.n.to_string(),
+                r.d.to_string(),
+                r.l.to_string(),
+                r.naive_rounds.to_string(),
+                r.stitched_rounds.to_string(),
+                fmt2(r.normalized),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stitched_wins_at_long_lengths_on_low_diameter() {
+        // Torus: diameter small relative to l, and degree-uniform so
+        // phase-1 congestion stays mild (on a star the hub bottleneck
+        // eats part of the win — see EXPERIMENTS.md).
+        let g = torus_2d(6, 6).unwrap();
+        let r = cell("torus", &g, 512, 7);
+        assert_eq!(r.naive_rounds, 512);
+        assert!(
+            r.stitched_rounds < r.naive_rounds / 2,
+            "stitched {} vs naive {}",
+            r.stitched_rounds,
+            r.naive_rounds
+        );
+    }
+
+    #[test]
+    fn normalized_rounds_are_bounded() {
+        let g = torus_2d(6, 6).unwrap();
+        let r = cell("torus", &g, 256, 8);
+        assert!(r.normalized < 12.0, "normalized {}", r.normalized);
+    }
+}

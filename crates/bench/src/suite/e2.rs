@@ -1,0 +1,193 @@
+//! **E2 — Theorem 1.** How much walk mass is still unabsorbed after `l`
+//! steps, across graph families and sizes, against the spectral prediction
+//! `ρ(M_t)^l`.
+//!
+//! The paper proves `l = O(n)` suffices for a constant residual `ε`,
+//! treating `λ = ρ(M_t)` as a constant. This experiment makes the hidden
+//! dependence visible: on expanders (G(n, p), complete) `λ` is bounded
+//! away from 1 and `l ≈ n` is already generous, while on paths/grids
+//! `λ → 1` as `n` grows and the residual at `l = n` decays much more
+//! slowly — see `EXPERIMENTS.md` for the discussion.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rwbc::monte_carlo::{survival_fraction, McConfig, TargetStrategy};
+use rwbc_graph::generators::{connected_gnp, cycle, grid_2d, path};
+use rwbc_graph::Graph;
+use rwbc_linalg::{power_iteration, CsrMatrix, PowerOptions};
+
+use crate::table::{fmt4, Table};
+
+/// Typed result for one (family, n, l) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalRow {
+    /// Family label.
+    pub family: &'static str,
+    /// Node count.
+    pub n: usize,
+    /// Walk length as a multiple of `n`.
+    pub l_over_n: f64,
+    /// Measured unabsorbed fraction.
+    pub survival: f64,
+    /// Spectral prediction `ρ(M_t)^l`.
+    pub predicted: f64,
+    /// Spectral radius of the absorbing transition matrix.
+    pub rho: f64,
+}
+
+/// Spectral radius of `M_t = A_t D_t^{-1}` with the target removed.
+///
+/// # Panics
+///
+/// Panics when power iteration fails to converge (not expected for these
+/// substochastic matrices).
+pub fn absorbing_spectral_radius(graph: &Graph, target: usize) -> f64 {
+    let n = graph.node_count();
+    let mut triplets = Vec::new();
+    let mut map = vec![usize::MAX; n];
+    let mut next = 0;
+    for (v, slot) in map.iter_mut().enumerate() {
+        if v != target {
+            *slot = next;
+            next += 1;
+        }
+    }
+    for v in graph.nodes() {
+        if v == target {
+            continue;
+        }
+        for u in graph.neighbors(v) {
+            if u == target {
+                continue;
+            }
+            // Column-stochastic convention: entry (u, v) = 1 / d(v).
+            triplets.push((map[u], map[v], 1.0 / graph.degree(v) as f64));
+        }
+    }
+    let m = CsrMatrix::from_triplets(n - 1, n - 1, &triplets).expect("valid triplets");
+    let opts = PowerOptions {
+        tolerance: 1e-10,
+        max_iterations: 500_000,
+    };
+    power_iteration(&m, &opts)
+        .expect("power iteration on substochastic matrix")
+        .eigenvalue
+}
+
+/// Measures one cell.
+pub fn cell(family: &'static str, graph: &Graph, l_over_n: f64, seed: u64) -> SurvivalRow {
+    let n = graph.node_count();
+    let target = n - 1;
+    let l = ((n as f64) * l_over_n).ceil().max(1.0) as usize;
+    let cfg = McConfig::new(64, l)
+        .with_seed(seed)
+        .with_target(TargetStrategy::Fixed(target));
+    let survival = survival_fraction(graph, &cfg).expect("valid graph");
+    let rho = absorbing_spectral_radius(graph, target);
+    SurvivalRow {
+        family,
+        n,
+        l_over_n,
+        survival,
+        predicted: rho.powi(l as i32),
+        rho,
+    }
+}
+
+/// Runs the full experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let (sizes, ratios): (&[usize], &[f64]) = if quick {
+        (&[16, 32], &[0.5, 1.0, 2.0])
+    } else {
+        (&[16, 32, 64], &[0.25, 0.5, 1.0, 2.0, 4.0])
+    };
+    let mut t = Table::new(
+        "E2 (Theorem 1): unabsorbed walk fraction after l steps vs spectral prediction rho(M_t)^l",
+        ["family", "n", "l/n", "survival", "rho^l", "rho(M_t)"],
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+    for &n in sizes {
+        let families: Vec<(&'static str, Graph)> = vec![
+            ("path", path(n).unwrap()),
+            ("cycle", cycle(n).unwrap()),
+            (
+                "grid",
+                grid_2d(
+                    (n as f64).sqrt().round() as usize,
+                    (n as f64).sqrt().round() as usize,
+                )
+                .unwrap(),
+            ),
+            (
+                "gnp",
+                connected_gnp(
+                    n,
+                    (4.0 * (n as f64).ln() / n as f64).min(0.9),
+                    200,
+                    &mut rng,
+                )
+                .unwrap(),
+            ),
+        ];
+        for (family, g) in families {
+            for &r in ratios {
+                let row = cell(family, &g, r, 42 + n as u64);
+                t.add_row([
+                    row.family.to_string(),
+                    row.n.to_string(),
+                    format!("{:.2}", row.l_over_n),
+                    fmt4(row.survival),
+                    fmt4(row.predicted),
+                    fmt4(row.rho),
+                ]);
+            }
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_decays_with_length() {
+        let g = cycle(16).unwrap();
+        let short = cell("cycle", &g, 0.5, 7);
+        let long = cell("cycle", &g, 4.0, 7);
+        assert!(long.survival <= short.survival);
+        assert!(
+            long.survival < 0.35,
+            "survival at l = 4n: {}",
+            long.survival
+        );
+    }
+
+    #[test]
+    fn spectral_radius_below_one_and_orders_families() {
+        let p = path(24).unwrap();
+        let rho_path = absorbing_spectral_radius(&p, 23);
+        assert!(rho_path < 1.0 && rho_path > 0.9);
+        let k = rwbc_graph::generators::complete(24).unwrap();
+        let rho_complete = absorbing_spectral_radius(&k, 23);
+        // Expanders absorb much faster: smaller spectral radius.
+        assert!(rho_complete < rho_path);
+    }
+
+    #[test]
+    fn prediction_tracks_measurement_on_expander() {
+        // On K_16 the absorbing walk survives each step w.p. 14/15, so
+        // rho(M_t) = 14/15 exactly; the measured survival should track
+        // rho^l closely.
+        let g = rwbc_graph::generators::complete(16).unwrap();
+        let row = cell("complete", &g, 4.0, 9);
+        assert!((row.rho - 14.0 / 15.0).abs() < 1e-6, "rho {}", row.rho);
+        assert!(
+            (row.survival - row.predicted).abs() < 0.05,
+            "survival {} vs predicted {}",
+            row.survival,
+            row.predicted
+        );
+    }
+}

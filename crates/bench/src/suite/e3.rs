@@ -1,0 +1,125 @@
+//! **E3 — Theorem 3.** Estimate concentration as a function of `K`, the
+//! number of walks per node: the Chernoff argument predicts the relative
+//! error shrinks like `1/√K`, and `K = ⌈3 ln n / δ²⌉` suffices for
+//! `(1 ± δ)` concentration w.h.p.
+
+use rwbc::accuracy::{max_relative_error, mean_relative_error, spearman_rho};
+use rwbc::exact::newman;
+use rwbc::monte_carlo::{estimate, McConfig, TargetStrategy};
+use rwbc::params::walks_per_node;
+use rwbc_graph::generators::connected_gnp;
+use rwbc_graph::Graph;
+
+use crate::table::{fmt4, Table};
+
+/// Typed result for one `K`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KRow {
+    /// Walks per node.
+    pub k: usize,
+    /// Mean relative error vs exact.
+    pub mean_err: f64,
+    /// Max relative error vs exact.
+    pub max_err: f64,
+    /// Spearman rank correlation vs exact.
+    pub rho: f64,
+    /// `√K`-normalized mean error (flat curve ⇒ `1/√K` scaling).
+    pub sqrt_k_scaled: f64,
+}
+
+/// Measures one `K` on a given graph against the exact reference.
+pub fn row(graph: &Graph, exact: &rwbc::Centrality, k: usize, l: usize, seed: u64) -> KRow {
+    let cfg = McConfig::new(k, l)
+        .with_seed(seed)
+        .with_target(TargetStrategy::Fixed(graph.node_count() - 1));
+    let run = estimate(graph, &cfg).expect("valid graph");
+    let mean_err = mean_relative_error(&run.centrality, exact);
+    KRow {
+        k,
+        mean_err,
+        max_err: max_relative_error(&run.centrality, exact),
+        rho: spearman_rho(&run.centrality, exact),
+        sqrt_k_scaled: mean_err * (k as f64).sqrt(),
+    }
+}
+
+/// Runs the full experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 20 } else { 32 };
+    let ks: &[usize] = if quick {
+        &[1, 8, 64]
+    } else {
+        &[1, 4, 16, 64, 256, 1024]
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    use rand::SeedableRng;
+    let g = connected_gnp(n, 4.0 * (n as f64).ln() / n as f64, 200, &mut rng).expect("connected");
+    let exact = newman(&g).expect("exact");
+    let l = 8 * n;
+    let mut t = Table::new(
+        "E3 (Theorem 3): estimate concentration vs walks-per-node K",
+        [
+            "K",
+            "mean rel err",
+            "max rel err",
+            "spearman",
+            "err*sqrt(K)",
+        ],
+    );
+    for &k in ks {
+        let r = row(&g, &exact, k, l, 17);
+        t.add_row([
+            k.to_string(),
+            fmt4(r.mean_err),
+            fmt4(r.max_err),
+            fmt4(r.rho),
+            fmt4(r.sqrt_k_scaled),
+        ]);
+    }
+    let k_theory = walks_per_node(n, 0.1);
+    let mut t2 = Table::new(
+        "E3 reference: theory K = ceil(3 ln n / delta^2)",
+        ["n", "delta", "K_theory"],
+    );
+    t2.add_row([n.to_string(), "0.1".to_string(), k_theory.to_string()]);
+    t2.add_row([
+        n.to_string(),
+        "0.5".to_string(),
+        walks_per_node(n, 0.5).to_string(),
+    ]);
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn error_decreases_with_k() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let g = connected_gnp(16, 0.4, 100, &mut rng).unwrap();
+        let exact = newman(&g).unwrap();
+        let small = row(&g, &exact, 2, 128, 5);
+        let large = row(&g, &exact, 256, 128, 5);
+        assert!(large.mean_err < small.mean_err);
+        assert!(large.rho > 0.9);
+        assert!(
+            large.mean_err < 0.1,
+            "mean err at K=256: {}",
+            large.mean_err
+        );
+    }
+
+    #[test]
+    fn scaling_is_roughly_inverse_sqrt_k() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let g = connected_gnp(16, 0.4, 100, &mut rng).unwrap();
+        let exact = newman(&g).unwrap();
+        let a = row(&g, &exact, 16, 128, 7);
+        let b = row(&g, &exact, 256, 128, 7);
+        // err * sqrt(K) should be within a small factor across a 16x K gap.
+        let ratio = a.sqrt_k_scaled / b.sqrt_k_scaled;
+        assert!((0.2..5.0).contains(&ratio), "ratio {ratio}");
+    }
+}

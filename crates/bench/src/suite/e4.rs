@@ -1,0 +1,150 @@
+//! **E4 — Lemma 2 + Theorem 5.** Measured round complexity of the
+//! distributed algorithm as `n` grows, with `K = Θ(log n)` and `l = Θ(n)`:
+//! the paper predicts `O(Kn + l) + O(n) = O(n log n)` rounds total, so the
+//! ratio `rounds / (n log₂ n)` should stay bounded. The trivial
+//! collect-everything baseline's rounds grow like `Θ(m + D)` instead.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use congest_sim::SimConfig;
+use rwbc::distributed::{approximate, collect_and_solve, DistributedConfig};
+use rwbc::monte_carlo::TargetStrategy;
+use rwbc_graph::generators::connected_gnp;
+use rwbc_graph::Graph;
+
+use crate::table::{fmt2, Table};
+
+/// Typed result for one size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundsRow {
+    /// Nodes.
+    pub n: usize,
+    /// Edges.
+    pub m: usize,
+    /// `K` used.
+    pub k: usize,
+    /// `l` used.
+    pub l: usize,
+    /// Phase-1 rounds.
+    pub walk_rounds: usize,
+    /// Phase-2 rounds.
+    pub count_rounds: usize,
+    /// Total rounds.
+    pub total_rounds: usize,
+    /// `total / (n log2 n)` — the Theorem 5 constant.
+    pub normalized: f64,
+    /// Rounds of the trivial collect-everything baseline.
+    pub collect_rounds: usize,
+}
+
+/// Builds the standard E4 test graph for a given size.
+pub fn test_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = (4.0 * (n as f64).ln() / n as f64).min(0.9);
+    connected_gnp(n, p, 300, &mut rng).expect("above the connectivity threshold")
+}
+
+/// Measures one size.
+///
+/// # Panics
+///
+/// Panics on simulation failure (would indicate a CONGEST violation).
+pub fn row(n: usize, seed: u64) -> RoundsRow {
+    let g = test_graph(n, seed);
+    let k = (n as f64).log2().ceil() as usize;
+    let l = n;
+    let cfg = DistributedConfig::builder()
+        .walks(k)
+        .length(l)
+        .seed(seed)
+        .target(TargetStrategy::Random)
+        .build()
+        .expect("positive parameters");
+    let run = approximate(&g, &cfg).expect("CONGEST-compliant run");
+    let collect = collect_and_solve(&g, 0, SimConfig::default().with_seed(seed))
+        .expect("collection baseline");
+    let nf = n as f64;
+    RoundsRow {
+        n,
+        m: g.edge_count(),
+        k,
+        l,
+        walk_rounds: run.walk_stats.rounds,
+        count_rounds: run.count_stats.rounds,
+        total_rounds: run.total_rounds(),
+        normalized: run.total_rounds() as f64 / (nf * nf.log2()),
+        collect_rounds: collect.stats.rounds,
+    }
+}
+
+/// Runs the full experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64, 128] };
+    let mut t = Table::new(
+        "E4 (Lemma 2 + Theorem 5): rounds vs n with K = ceil(log2 n), l = n",
+        [
+            "n",
+            "m",
+            "K",
+            "l",
+            "walk rounds",
+            "count rounds",
+            "total",
+            "total/(n log2 n)",
+            "collect baseline",
+        ],
+    );
+    for &n in sizes {
+        let r = row(n, 1000 + n as u64);
+        t.add_row([
+            r.n.to_string(),
+            r.m.to_string(),
+            r.k.to_string(),
+            r.l.to_string(),
+            r.walk_rounds.to_string(),
+            r.count_rounds.to_string(),
+            r.total_rounds.to_string(),
+            fmt2(r.normalized),
+            r.collect_rounds.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase2_is_exactly_n_rounds() {
+        let r = row(24, 5);
+        assert_eq!(r.count_rounds, 24);
+    }
+
+    #[test]
+    fn normalized_rounds_stay_bounded() {
+        let small = row(16, 6);
+        let large = row(48, 7);
+        // The Theorem 5 constant should not blow up with n.
+        assert!(
+            large.normalized < 4.0 * small.normalized.max(0.5),
+            "normalized rounds grew: {} -> {}",
+            small.normalized,
+            large.normalized
+        );
+    }
+
+    #[test]
+    fn walk_phase_dominated_by_l_plus_queueing() {
+        let r = row(20, 8);
+        // Walks cannot finish before l hops are possible nor before the
+        // K-token backlog drains.
+        assert!(r.walk_rounds >= r.l.min(r.k));
+        assert!(
+            r.walk_rounds <= r.k * r.n + r.l + r.n,
+            "rounds {}",
+            r.walk_rounds
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! **E5 — Theorem 4.** Mechanical CONGEST compliance: across sizes and
+//! families, the maximum bits observed on any edge in any round never
+//! exceeds the budget `B(n) = 8⌈log₂ n⌉`, in either phase, with zero
+//! violations under strict enforcement.
+
+use rwbc::distributed::{approximate, DistributedConfig};
+use rwbc_graph::generators::{barabasi_albert, cycle};
+use rwbc_graph::Graph;
+
+use crate::suite::e4::test_graph;
+use crate::table::Table;
+
+/// Typed result for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplianceRow {
+    /// Family label.
+    pub family: &'static str,
+    /// Nodes.
+    pub n: usize,
+    /// The budget `B(n)`.
+    pub budget: usize,
+    /// Max bits on an edge in a round, phase 1.
+    pub walk_max_bits: usize,
+    /// Max bits on an edge in a round, phase 2.
+    pub count_max_bits: usize,
+    /// Max messages on an edge in a round (both phases).
+    pub max_messages: usize,
+    /// Violations recorded (must be 0).
+    pub violations: u64,
+    /// Mean bits per message, phase 1.
+    pub walk_mean_bits: f64,
+}
+
+/// Measures one run.
+///
+/// # Panics
+///
+/// Panics if the strict simulator rejects the algorithm — that would be a
+/// Theorem 4 counterexample (i.e. a bug).
+pub fn row(family: &'static str, graph: &Graph, seed: u64) -> ComplianceRow {
+    let n = graph.node_count();
+    let k = (n as f64).log2().ceil() as usize;
+    let cfg = DistributedConfig::builder()
+        .walks(k)
+        .length(n)
+        .seed(seed)
+        .build()
+        .expect("positive parameters");
+    let run = approximate(graph, &cfg).expect("strict CONGEST run must succeed");
+    assert!(run.congest_compliant());
+    ComplianceRow {
+        family,
+        n,
+        budget: cfg.sim.budget_bits(n),
+        walk_max_bits: run.walk_stats.max_bits_edge_round,
+        count_max_bits: run.count_stats.max_bits_edge_round,
+        max_messages: run
+            .walk_stats
+            .max_messages_edge_round
+            .max(run.count_stats.max_messages_edge_round),
+        violations: run.walk_stats.violations + run.count_stats.violations,
+        walk_mean_bits: run.walk_stats.mean_bits_per_message(),
+    }
+}
+
+/// Runs the full experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64] };
+    let mut t = Table::new(
+        "E5 (Theorem 4): per-edge-per-round bit maxima vs the budget B(n) = 8*ceil(log2 n)",
+        [
+            "family",
+            "n",
+            "B(n)",
+            "walk max bits",
+            "count max bits",
+            "max msgs",
+            "violations",
+            "walk mean bits",
+        ],
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    use rand::SeedableRng;
+    for &n in sizes {
+        let graphs: Vec<(&'static str, Graph)> = vec![
+            ("gnp", test_graph(n, 2000 + n as u64)),
+            ("cycle", cycle(n).unwrap()),
+            ("ba", barabasi_albert(n, 3, &mut rng).unwrap()),
+        ];
+        for (family, g) in graphs {
+            let r = row(family, &g, 3000 + n as u64);
+            t.add_row([
+                r.family.to_string(),
+                r.n.to_string(),
+                r.budget.to_string(),
+                r.walk_max_bits.to_string(),
+                r.count_max_bits.to_string(),
+                r.max_messages.to_string(),
+                r.violations.to_string(),
+                format!("{:.1}", r.walk_mean_bits),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compliance_on_all_quick_families() {
+        for table_row in [
+            row("cycle", &cycle(16).unwrap(), 1),
+            row("gnp", &test_graph(20, 2), 3),
+        ] {
+            assert_eq!(table_row.violations, 0);
+            assert!(table_row.walk_max_bits <= table_row.budget);
+            assert!(table_row.count_max_bits <= table_row.budget);
+            assert_eq!(table_row.max_messages, 1, "one message per edge per round");
+        }
+    }
+
+    #[test]
+    fn budget_grows_logarithmically() {
+        let small = row("cycle", &cycle(16).unwrap(), 4);
+        let large = row("cycle", &cycle(64).unwrap(), 5);
+        assert_eq!(small.budget, 8 * 4);
+        assert_eq!(large.budget, 8 * 6);
+    }
+}

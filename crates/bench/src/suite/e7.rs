@@ -1,0 +1,160 @@
+//! **E7 — Theorem 2.** End-to-end approximation quality of the distributed
+//! algorithm against the exact solver, across graph families: relative
+//! errors, rank agreement, top-k overlap, plus the measured walk-survival
+//! residual (the realized `ε` of the `(1 − ε)` guarantee).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rwbc::accuracy::{max_relative_error, mean_relative_error, spearman_rho, top_k_jaccard};
+use rwbc::distributed::{approximate, DistributedConfig};
+use rwbc::exact::newman;
+use rwbc::monte_carlo::{estimate, estimate_averaged, McConfig};
+use rwbc_graph::generators::{barabasi_albert, connected_gnp, cycle, fig1_graph, grid_2d};
+use rwbc_graph::Graph;
+
+use crate::table::{fmt4, Table};
+
+/// Typed result for one family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityRow {
+    /// Family label.
+    pub family: &'static str,
+    /// Nodes.
+    pub n: usize,
+    /// Mean relative error.
+    pub mean_err: f64,
+    /// Max relative error.
+    pub max_err: f64,
+    /// Spearman rank correlation.
+    pub rho: f64,
+    /// Top-5 Jaccard overlap.
+    pub top5: f64,
+    /// Total rounds spent.
+    pub rounds: usize,
+}
+
+/// Measures one family.
+///
+/// # Panics
+///
+/// Panics on solver/simulation failure.
+pub fn row(family: &'static str, graph: &Graph, k: usize, l: usize, seed: u64) -> QualityRow {
+    let exact = newman(graph).expect("exact solver");
+    let cfg = DistributedConfig::builder()
+        .walks(k)
+        .length(l)
+        .seed(seed)
+        .build()
+        .expect("positive parameters");
+    let run = approximate(graph, &cfg).expect("CONGEST run");
+    QualityRow {
+        family,
+        n: graph.node_count(),
+        mean_err: mean_relative_error(&run.centrality, &exact),
+        max_err: max_relative_error(&run.centrality, &exact),
+        rho: spearman_rho(&run.centrality, &exact),
+        top5: top_k_jaccard(&run.centrality, &exact, 5),
+        rounds: run.total_rounds(),
+    }
+}
+
+/// Runs the full experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 16 } else { 30 };
+    let (k, l) = if quick { (200, 8 * n) } else { (600, 10 * n) };
+    let mut rng = StdRng::seed_from_u64(7);
+    let side = (n as f64).sqrt().round() as usize;
+    let families: Vec<(&'static str, Graph)> = vec![
+        (
+            "gnp",
+            connected_gnp(n, 4.0 * (n as f64).ln() / n as f64, 300, &mut rng).unwrap(),
+        ),
+        ("ba", barabasi_albert(n, 2, &mut rng).unwrap()),
+        ("grid", grid_2d(side, side).unwrap()),
+        ("cycle", cycle(n).unwrap()),
+        ("fig1", fig1_graph(n / 4).unwrap().0),
+    ];
+    let mut t = Table::new(
+        "E7 (Theorem 2): distributed estimate vs exact across families",
+        [
+            "family",
+            "n",
+            "mean rel err",
+            "max rel err",
+            "spearman",
+            "top5 jaccard",
+            "rounds",
+        ],
+    );
+    for (family, g) in families {
+        let r = row(family, &g, k, l, 700 + g.node_count() as u64);
+        t.add_row([
+            r.family.to_string(),
+            r.n.to_string(),
+            fmt4(r.mean_err),
+            fmt4(r.max_err),
+            fmt4(r.rho),
+            fmt4(r.top5),
+            r.rounds.to_string(),
+        ]);
+    }
+
+    // Multi-target averaging (DESIGN.md S5 extension): same total walk
+    // budget, split over 1 / 2 / 4 absorbing targets.
+    let mut rng2 = StdRng::seed_from_u64(71);
+    let g = connected_gnp(n, 4.0 * (n as f64).ln() / n as f64, 300, &mut rng2).unwrap();
+    let exact = newman(&g).unwrap();
+    let mut t2 = Table::new(
+        "E7b: multi-target averaging at equal total walk budget",
+        ["targets", "K per target", "mean rel err", "max rel err"],
+    );
+    let total_k = k;
+    for targets in [1usize, 2, 4] {
+        let per = (total_k / targets).max(1);
+        let cfg = McConfig::new(per, l).with_seed(72);
+        let (mean_e, max_e) = if targets == 1 {
+            let run = estimate(&g, &cfg).unwrap();
+            (
+                mean_relative_error(&run.centrality, &exact),
+                max_relative_error(&run.centrality, &exact),
+            )
+        } else {
+            let run = estimate_averaged(&g, &cfg, targets).unwrap();
+            (
+                mean_relative_error(&run.centrality, &exact),
+                max_relative_error(&run.centrality, &exact),
+            )
+        };
+        t2.add_row([
+            targets.to_string(),
+            per.to_string(),
+            fmt4(mean_e),
+            fmt4(max_e),
+        ]);
+    }
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_is_high_on_expander() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = connected_gnp(16, 0.5, 100, &mut rng).unwrap();
+        let r = row("gnp", &g, 800, 160, 3);
+        assert!(r.mean_err < 0.08, "mean err {}", r.mean_err);
+        assert!(r.rho > 0.85, "rho {}", r.rho);
+    }
+
+    #[test]
+    fn quality_reasonable_on_cycle() {
+        let g = cycle(12).unwrap();
+        let r = row("cycle", &g, 800, 240, 4);
+        // Cycles are vertex-transitive: exact scores are all equal, so rank
+        // metrics are meaningless; errors must still be small.
+        assert!(r.mean_err < 0.1, "mean err {}", r.mean_err);
+    }
+}

@@ -1,0 +1,190 @@
+//! **E8 — Section II (related measures).** How the related centralities
+//! rank nodes relative to exact RWBC on a scale-free graph:
+//!
+//! * shortest-path betweenness (Brandes) — high agreement on hubs, blind
+//!   to bypass structure;
+//! * PageRank — degree-flavored, decent rank agreement;
+//! * flow betweenness — flow-based like RWBC but max-flow routed;
+//! * α-current-flow betweenness — converges to RWBC as `α → 1` (the sweep
+//!   is the interesting series);
+//!
+//! plus the round-complexity contrast the paper draws: distributed
+//! PageRank finishes in `O(log n / ε)` rounds while distributed RWBC needs
+//! `Θ(n log n)` — short walks are fundamentally cheaper.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use congest_sim::SimConfig;
+use rwbc::accuracy::{spearman_rho, top_k_jaccard};
+use rwbc::alpha_cfb::{estimate as alpha_estimate, AlphaConfig};
+use rwbc::brandes::betweenness;
+use rwbc::distributed::{approximate, DistributedConfig};
+use rwbc::exact::newman;
+use rwbc::flow_betweenness::flow_betweenness;
+use rwbc::monte_carlo::TargetStrategy;
+use rwbc::pagerank;
+use rwbc_graph::generators::barabasi_albert;
+use rwbc_graph::Graph;
+
+use crate::table::{fmt4, Table};
+
+/// Rank agreement of one measure against exact RWBC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureRow {
+    /// Measure label.
+    pub measure: String,
+    /// Spearman vs RWBC.
+    pub rho: f64,
+    /// Top-5 Jaccard vs RWBC.
+    pub top5: f64,
+}
+
+/// The standard E8 graph.
+pub fn test_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    barabasi_albert(n, 2, &mut rng).expect("valid BA parameters")
+}
+
+/// Runs the full experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 20 } else { 40 };
+    let g = test_graph(n, 8);
+    let rwbc_exact = newman(&g).expect("exact");
+
+    let mut rows: Vec<MeasureRow> = Vec::new();
+    let sp = betweenness(&g, true).expect("brandes");
+    rows.push(MeasureRow {
+        measure: "shortest-path (Brandes)".to_string(),
+        rho: spearman_rho(&sp, &rwbc_exact),
+        top5: top_k_jaccard(&sp, &rwbc_exact, 5),
+    });
+    let pr = pagerank::power(&g, 0.15, 1e-12, 100_000).expect("pagerank");
+    rows.push(MeasureRow {
+        measure: "pagerank (power)".to_string(),
+        rho: spearman_rho(&pr, &rwbc_exact),
+        top5: top_k_jaccard(&pr, &rwbc_exact, 5),
+    });
+    if !quick {
+        let fb = flow_betweenness(&g).expect("flow betweenness");
+        rows.push(MeasureRow {
+            measure: "flow betweenness (Freeman)".to_string(),
+            rho: spearman_rho(&fb, &rwbc_exact),
+            top5: top_k_jaccard(&fb, &rwbc_exact, 5),
+        });
+    }
+    let alphas: &[f64] = if quick {
+        &[0.5, 0.95]
+    } else {
+        &[0.3, 0.5, 0.8, 0.95, 0.99]
+    };
+    for &alpha in alphas {
+        let cfg = AlphaConfig::new(alpha, if quick { 300 } else { 800 })
+            .expect("valid alpha")
+            .with_seed(81)
+            .with_target(TargetStrategy::Fixed(0));
+        let a = alpha_estimate(&g, &cfg).expect("alpha cfb");
+        rows.push(MeasureRow {
+            measure: format!("alpha-CFB (alpha = {alpha})"),
+            rho: spearman_rho(&a, &rwbc_exact),
+            top5: top_k_jaccard(&a, &rwbc_exact, 5),
+        });
+    }
+
+    let mut t = Table::new(
+        "E8 (Section II): rank agreement of related measures with exact RWBC (BA graph)",
+        ["measure", "spearman vs RWBC", "top5 jaccard"],
+    );
+    for r in &rows {
+        t.add_row([r.measure.clone(), fmt4(r.rho), fmt4(r.top5)]);
+    }
+
+    // Round-complexity contrast: distributed PageRank vs distributed RWBC.
+    let pr_run = pagerank::distributed(&g, 0.2, 100, SimConfig::default().with_seed(82))
+        .expect("distributed pagerank");
+    let k = (n as f64).log2().ceil() as usize;
+    let rw_cfg = DistributedConfig::builder()
+        .walks(k)
+        .length(n)
+        .seed(83)
+        .build()
+        .expect("params");
+    let rw_run = approximate(&g, &rw_cfg).expect("distributed rwbc");
+    let mut t2 = Table::new(
+        "E8b: distributed round-complexity contrast (short vs unbounded walks)",
+        ["algorithm", "rounds", "total messages"],
+    );
+    t2.add_row([
+        "pagerank (reset 0.2, 100 walks/node)".to_string(),
+        pr_run.stats.rounds.to_string(),
+        pr_run.stats.total_messages.to_string(),
+    ]);
+    t2.add_row([
+        format!("rwbc (K = {k}, l = {n})"),
+        rw_run.total_rounds().to_string(),
+        (rw_run.walk_stats.total_messages + rw_run.count_stats.total_messages).to_string(),
+    ]);
+    // The paper's prior work [5]: distributed shortest-path betweenness
+    // (pipelined Brandes) — exact-up-to-minifloat, O(n + D)-flavored.
+    let sp_run = rwbc::spbc_distributed::distributed_spbc(
+        &g,
+        &rwbc::spbc_distributed::SpbcConfig::default(),
+    )
+    .expect("distributed spbc");
+    t2.add_row([
+        "spbc distributed (pipelined Brandes, [5])".to_string(),
+        sp_run.total_rounds().to_string(),
+        (sp_run.forward_stats.total_messages + sp_run.backward_stats.total_messages).to_string(),
+    ]);
+    vec![t, t2]
+}
+
+/// The α-sweep series alone (used by tests): Spearman of α-CFB vs RWBC for
+/// each α.
+pub fn alpha_sweep(graph: &Graph, alphas: &[f64], walks: usize, seed: u64) -> Vec<(f64, f64)> {
+    let exact = newman(graph).expect("exact");
+    alphas
+        .iter()
+        .map(|&alpha| {
+            let cfg = AlphaConfig::new(alpha, walks)
+                .expect("valid alpha")
+                .with_seed(seed)
+                .with_target(TargetStrategy::Fixed(0));
+            let a = alpha_estimate(graph, &cfg).expect("alpha cfb");
+            (alpha, spearman_rho(&a, &exact))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_sweep_converges_toward_rwbc() {
+        let g = test_graph(16, 9);
+        let sweep = alpha_sweep(&g, &[0.3, 0.95], 600, 10);
+        assert!(sweep[1].1 >= sweep[0].1 - 0.1, "sweep {sweep:?}");
+        assert!(sweep[1].1 > 0.7, "rho at alpha=0.95: {}", sweep[1].1);
+    }
+
+    #[test]
+    fn pagerank_uses_far_fewer_rounds_than_rwbc() {
+        let g = test_graph(24, 10);
+        let pr_run =
+            pagerank::distributed(&g, 0.25, 50, SimConfig::default().with_seed(11)).unwrap();
+        let cfg = DistributedConfig::builder()
+            .walks(5)
+            .length(24)
+            .seed(12)
+            .build()
+            .unwrap();
+        let rw_run = approximate(&g, &cfg).unwrap();
+        assert!(
+            pr_run.stats.rounds < rw_run.total_rounds(),
+            "pagerank {} vs rwbc {}",
+            pr_run.stats.rounds,
+            rw_run.total_rounds()
+        );
+    }
+}

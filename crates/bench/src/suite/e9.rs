@@ -1,0 +1,137 @@
+//! **E9 (extension) — the distributed algorithm landscape.** The paper
+//! positions its RWBC algorithm against two reference points: distributed
+//! PageRank (`O(log n / ε)` rounds — Section II-B) and its own prior
+//! distributed SPBC (`O(n)` rounds — reference \[5\]). This experiment puts
+//! all three on identical networks across sizes and reports rounds and
+//! traffic, making the complexity hierarchy
+//! `PageRank ≪ SPBC ≲ RWBC (Θ(n log n))` measurable.
+
+use congest_sim::SimConfig;
+use rwbc::distributed::{approximate, DistributedConfig};
+use rwbc::pagerank;
+use rwbc::spbc_distributed::{distributed_spbc, SpbcConfig};
+
+use crate::suite::e4::test_graph;
+use crate::table::{fmt2, Table};
+
+/// Typed result for one (algorithm, n) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgoRow {
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Nodes.
+    pub n: usize,
+    /// Total rounds.
+    pub rounds: usize,
+    /// Total messages.
+    pub messages: u64,
+    /// Total bits.
+    pub bits: u64,
+    /// Rounds normalized by the algorithm's predicted growth.
+    pub normalized: f64,
+}
+
+/// Measures all three algorithms on the same graph.
+///
+/// # Panics
+///
+/// Panics on simulation failure.
+pub fn rows_for(n: usize, seed: u64) -> Vec<AlgoRow> {
+    let g = test_graph(n, seed);
+    let nf = n as f64;
+    let mut out = Vec::new();
+
+    let pr =
+        pagerank::distributed(&g, 0.2, 64, SimConfig::default().with_seed(seed)).expect("pagerank");
+    out.push(AlgoRow {
+        algorithm: "pagerank (eps = 0.2)",
+        n,
+        rounds: pr.stats.rounds,
+        messages: pr.stats.total_messages,
+        bits: pr.stats.total_bits,
+        normalized: pr.stats.rounds as f64 / nf.log2(), // O(log n / eps)
+    });
+
+    let sp = distributed_spbc(&g, &SpbcConfig::default()).expect("spbc");
+    out.push(AlgoRow {
+        algorithm: "spbc (pipelined Brandes)",
+        n,
+        rounds: sp.total_rounds(),
+        messages: sp.forward_stats.total_messages + sp.backward_stats.total_messages,
+        bits: sp.forward_stats.total_bits + sp.backward_stats.total_bits,
+        normalized: sp.total_rounds() as f64 / nf, // O(n + D)
+    });
+
+    let k = nf.log2().ceil() as usize;
+    let cfg = DistributedConfig::builder()
+        .walks(k)
+        .length(n)
+        .seed(seed)
+        .build()
+        .expect("params");
+    let rw = approximate(&g, &cfg).expect("rwbc");
+    out.push(AlgoRow {
+        algorithm: "rwbc (K = ceil(log2 n), l = n)",
+        n,
+        rounds: rw.total_rounds(),
+        messages: rw.walk_stats.total_messages + rw.count_stats.total_messages,
+        bits: rw.walk_stats.total_bits + rw.count_stats.total_bits,
+        normalized: rw.total_rounds() as f64 / (nf * nf.log2()), // O(n log n)
+    });
+    out
+}
+
+/// Runs the full experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64] };
+    let mut t = Table::new(
+        "E9 (extension): distributed centrality algorithms on identical G(n, 4 ln n / n) networks",
+        [
+            "algorithm",
+            "n",
+            "rounds",
+            "messages",
+            "bits",
+            "rounds/predicted",
+        ],
+    );
+    for &n in sizes {
+        for r in rows_for(n, 900 + n as u64) {
+            t.add_row([
+                r.algorithm.to_string(),
+                r.n.to_string(),
+                r.rounds.to_string(),
+                r.messages.to_string(),
+                r.bits.to_string(),
+                fmt2(r.normalized),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_holds() {
+        let rows = rows_for(32, 1);
+        let rounds: Vec<usize> = rows.iter().map(|r| r.rounds).collect();
+        // pagerank < spbc and pagerank < rwbc.
+        assert!(rounds[0] < rounds[1], "{rows:?}");
+        assert!(rounds[0] < rounds[2], "{rows:?}");
+    }
+
+    #[test]
+    fn normalized_rounds_stay_of_order_one() {
+        for r in rows_for(24, 2) {
+            assert!(
+                r.normalized < 30.0,
+                "{} normalized rounds {} way off its predicted growth",
+                r.algorithm,
+                r.normalized
+            );
+        }
+    }
+}

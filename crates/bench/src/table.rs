@@ -1,0 +1,140 @@
+//! Minimal aligned-text table rendering for experiment output.
+
+use std::fmt;
+
+/// An aligned text table with a title, headers, and string rows.
+///
+/// # Example
+///
+/// ```
+/// use rwbc_bench::Table;
+/// let mut t = Table::new("demo", ["n", "value"]);
+/// t.add_row(["10", "0.5"]);
+/// let s = t.to_string();
+/// assert!(s.contains("demo"));
+/// assert!(s.contains("value"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table with the given title and column headers.
+    pub fn new<S, I>(title: &str, headers: I) -> Table
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = S>,
+    {
+        Table {
+            title: title.to_string(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the header width.
+    pub fn add_row<S, I>(&mut self, row: I) -> &mut Table
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = S>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The cell at `(row, col)` as a string.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:>w$} |", w = w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 4 significant decimals.
+pub fn fmt4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("t", ["a", "long_header"]);
+        t.add_row(["1", "2"]);
+        t.add_row(["100", "20000"]);
+        let s = t.to_string();
+        assert!(s.contains("## t"));
+        assert!(s.contains("long_header"));
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.cell(1, 1), "20000");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        Table::new("t", ["a", "b"]).add_row(["only one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt4(0.123456), "0.1235");
+        assert_eq!(fmt2(3.14159), "3.14");
+    }
+}

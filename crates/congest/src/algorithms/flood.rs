@@ -1,0 +1,135 @@
+use rwbc_graph::NodeId;
+
+use crate::{Context, Incoming, NodeProgram};
+
+/// Single-token flooding from a designated source.
+///
+/// The source broadcasts a 1-bit pulse; every node forwards it once. After
+/// `ecc(source)` rounds every node is informed. This is the canonical
+/// "hello world" of synchronous message passing and doubles as an engine
+/// sanity check: informing time must equal BFS distance.
+///
+/// # Example
+///
+/// ```
+/// use congest_sim::{algorithms::Flood, SimConfig, Simulator};
+/// use rwbc_graph::generators::star;
+///
+/// # fn main() -> Result<(), congest_sim::SimError> {
+/// let g = star(5).unwrap();
+/// let mut sim = Simulator::new(&g, SimConfig::default(), |v| Flood::new(v, 0));
+/// sim.run()?;
+/// assert!(sim.programs().iter().all(|p| p.informed()));
+/// assert_eq!(sim.program(3).informed_at(), Some(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Flood {
+    me: NodeId,
+    source: NodeId,
+    informed_at: Option<usize>,
+    forwarded: bool,
+}
+
+impl Flood {
+    /// Program for node `me` flooding from `source`.
+    pub fn new(me: NodeId, source: NodeId) -> Flood {
+        Flood {
+            me,
+            source,
+            informed_at: if me == source { Some(0) } else { None },
+            forwarded: false,
+        }
+    }
+
+    /// Whether this node has received the token.
+    pub fn informed(&self) -> bool {
+        self.informed_at.is_some()
+    }
+
+    /// The round in which the token arrived (0 for the source).
+    pub fn informed_at(&self) -> Option<usize> {
+        self.informed_at
+    }
+}
+
+impl NodeProgram for Flood {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+        if self.me == self.source {
+            ctx.broadcast(());
+            self.forwarded = true;
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, ()>, inbox: &[Incoming<()>]) {
+        if !inbox.is_empty() && self.informed_at.is_none() {
+            self.informed_at = Some(ctx.round());
+        }
+        if self.informed() && !self.forwarded {
+            ctx.broadcast(());
+            self.forwarded = true;
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        // A node is done once it has forwarded; uninformed nodes idle (they
+        // terminate vacuously when the network drains — global termination
+        // also requires zero in-flight messages).
+        self.forwarded || self.informed_at.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator};
+    use rwbc_graph::generators::{cycle, path};
+    use rwbc_graph::traversal::bfs_distances;
+    use rwbc_graph::Graph;
+
+    #[test]
+    fn informing_time_equals_bfs_distance() {
+        let g = cycle(9).unwrap();
+        let mut sim = Simulator::new(&g, SimConfig::default(), |v| Flood::new(v, 2));
+        sim.run().unwrap();
+        let dist = bfs_distances(&g, 2);
+        for v in g.nodes() {
+            let want = dist[v].unwrap();
+            let got = sim.program(v).informed_at().unwrap();
+            assert_eq!(got, want, "node {v}");
+        }
+    }
+
+    #[test]
+    fn rounds_equal_eccentricity() {
+        let g = path(10).unwrap();
+        let mut sim = Simulator::new(&g, SimConfig::default(), |v| Flood::new(v, 0));
+        let stats = sim.run().unwrap();
+        // Token reaches node 9 in round 9; its forward drains in round 10.
+        assert_eq!(stats.rounds, 10);
+        assert!(stats.congest_compliant());
+    }
+
+    #[test]
+    fn disconnected_component_stays_uninformed() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let mut sim = Simulator::new(&g, SimConfig::default(), |v| Flood::new(v, 0));
+        sim.run().unwrap();
+        assert!(sim.program(1).informed());
+        assert!(!sim.program(2).informed());
+        assert!(!sim.program(3).informed());
+    }
+
+    #[test]
+    fn message_count_is_sum_of_degrees_of_informed() {
+        let g = path(4).unwrap();
+        let mut sim = Simulator::new(&g, SimConfig::default(), |v| Flood::new(v, 0));
+        let stats = sim.run().unwrap();
+        // Every node forwards once over each incident edge: total = sum of
+        // degrees = 2m.
+        assert_eq!(stats.total_messages, 2 * g.edge_count() as u64);
+    }
+}

@@ -1,0 +1,19 @@
+//! Reference CONGEST algorithms.
+//!
+//! These serve three purposes: they validate the engine against textbook
+//! round complexities (flooding finishes in `ecc(source)` rounds, BFS layers
+//! grow one hop per round, leader election floods the maximum id), they are
+//! reusable building blocks, and they are worked examples of the
+//! [`NodeProgram`] API.
+//!
+//! [`NodeProgram`]: crate::NodeProgram
+
+mod aggregate;
+mod bfs;
+mod flood;
+mod leader;
+
+pub use aggregate::{AggMsg, Aggregate, AggregateOp};
+pub use bfs::BfsTree;
+pub use flood::Flood;
+pub use leader::LeaderElect;

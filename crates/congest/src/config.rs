@@ -1,0 +1,190 @@
+use serde::{Deserialize, Serialize};
+
+use rwbc_graph::NodeId;
+
+/// What to do when traffic exceeds the CONGEST budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ViolationPolicy {
+    /// Abort the run with a [`SimError`] — use this to *prove* an algorithm
+    /// respects the model (paper Theorem 4).
+    ///
+    /// [`SimError`]: crate::SimError
+    #[default]
+    Strict,
+    /// Deliver anyway but count the violation in [`RunStats`] — useful for
+    /// measuring *how much* an algorithm (e.g. the trivial `O(m)` collection
+    /// baseline) would overload edges.
+    ///
+    /// [`RunStats`]: crate::RunStats
+    Record,
+}
+
+/// Configuration of a [`Simulator`] run.
+///
+/// [`Simulator`]: crate::Simulator
+///
+/// # Example
+///
+/// ```
+/// use congest_sim::SimConfig;
+/// let cfg = SimConfig::default().with_seed(7).with_bandwidth_coeff(4);
+/// assert_eq!(cfg.budget_bits(1024), 4 * 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Master seed; each node derives an independent deterministic RNG.
+    pub seed: u64,
+    /// The per-edge budget per round is `bandwidth_coeff * ceil(log2 n)`
+    /// bits. The model requires `O(log n)`; the coefficient pins the
+    /// constant.
+    pub bandwidth_coeff: usize,
+    /// Messages allowed per edge *direction* per round (the paper's model
+    /// transfers a constant number; default 1).
+    pub messages_per_edge: usize,
+    /// Abort if global termination is not reached by this round.
+    pub max_rounds: usize,
+    /// How budget violations are handled.
+    pub violation_policy: ViolationPolicy,
+    /// Edges (unordered pairs) whose traffic the cut meter accumulates.
+    pub cut: Vec<(NodeId, NodeId)>,
+    /// Fault injection: each delivered message is independently dropped
+    /// with this probability (default 0 — the CONGEST model is reliable).
+    /// Dropped messages are still charged against the budget (they were
+    /// sent) and counted in [`RunStats::dropped`].
+    ///
+    /// [`RunStats::dropped`]: crate::RunStats
+    pub drop_probability: f64,
+    /// Number of worker threads for the round loop (1 = sequential).
+    /// Results are identical for any value; this only affects wall-time.
+    pub threads: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            seed: 0xC0DE ^ 0x9E37_79B9_7F4A_7C15,
+            bandwidth_coeff: 8,
+            messages_per_edge: 1,
+            max_rounds: 10_000_000,
+            violation_policy: ViolationPolicy::Strict,
+            cut: Vec::new(),
+            drop_probability: 0.0,
+            threads: 1,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Sets the master seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the bandwidth coefficient (builder style).
+    #[must_use]
+    pub fn with_bandwidth_coeff(mut self, coeff: usize) -> SimConfig {
+        self.bandwidth_coeff = coeff;
+        self
+    }
+
+    /// Sets the per-edge-per-round message limit (builder style).
+    #[must_use]
+    pub fn with_messages_per_edge(mut self, limit: usize) -> SimConfig {
+        self.messages_per_edge = limit;
+        self
+    }
+
+    /// Sets the round cap (builder style).
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> SimConfig {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the violation policy (builder style).
+    #[must_use]
+    pub fn with_violation_policy(mut self, policy: ViolationPolicy) -> SimConfig {
+        self.violation_policy = policy;
+        self
+    }
+
+    /// Declares the monitored cut (builder style). Pairs are unordered.
+    #[must_use]
+    pub fn with_cut(mut self, cut: Vec<(NodeId, NodeId)>) -> SimConfig {
+        self.cut = cut;
+        self
+    }
+
+    /// Sets the message-drop probability for fault injection (builder
+    /// style). Clamped to `[0, 1]`.
+    #[must_use]
+    pub fn with_drop_probability(mut self, p: f64) -> SimConfig {
+        self.drop_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the worker-thread count (builder style).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> SimConfig {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The per-edge bit budget `B(n) = bandwidth_coeff * ceil(log2 n)` for a
+    /// network of `n` nodes (minimum 1 bit for degenerate `n`).
+    pub fn budget_bits(&self, n: usize) -> usize {
+        self.bandwidth_coeff * log2_ceil(n).max(1)
+    }
+}
+
+/// `ceil(log2(x))` with `log2_ceil(0) = 0`, `log2_ceil(1) = 0`.
+pub(crate) fn log2_ceil(x: usize) -> usize {
+    if x <= 1 {
+        0
+    } else {
+        (usize::BITS - (x - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn budget_scales_logarithmically() {
+        let cfg = SimConfig::default().with_bandwidth_coeff(3);
+        assert_eq!(cfg.budget_bits(16), 3 * 4);
+        assert_eq!(cfg.budget_bits(1 << 20), 3 * 20);
+        // Degenerate graphs still allow at least coeff bits.
+        assert_eq!(cfg.budget_bits(1), 3);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = SimConfig::default()
+            .with_seed(9)
+            .with_messages_per_edge(2)
+            .with_max_rounds(100)
+            .with_threads(0)
+            .with_violation_policy(ViolationPolicy::Record);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.messages_per_edge, 2);
+        assert_eq!(cfg.max_rounds, 100);
+        assert_eq!(cfg.threads, 1); // clamped
+        assert_eq!(cfg.violation_policy, ViolationPolicy::Record);
+    }
+}

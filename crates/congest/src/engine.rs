@@ -1,0 +1,299 @@
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+
+use rwbc_graph::{Graph, NodeId};
+
+use crate::config::ViolationPolicy;
+use crate::node::{Context, Incoming};
+use crate::rng::node_rng;
+use crate::stats::ordered;
+use crate::{Message, NodeProgram, RunStats, SimConfig, SimError};
+
+/// The synchronous CONGEST round engine.
+///
+/// Owns one [`NodeProgram`] per node and drives them in lockstep. See the
+/// crate docs for the model and an example.
+///
+/// The engine is deterministic: a fixed `(graph, config.seed, program)`
+/// triple replays the identical execution, bit for bit, regardless of the
+/// configured thread count.
+#[derive(Debug)]
+pub struct Simulator<'g, P: NodeProgram> {
+    graph: &'g Graph,
+    config: SimConfig,
+    programs: Vec<P>,
+    rngs: Vec<StdRng>,
+    /// Messages to be delivered at the start of the next round.
+    pending: Vec<Vec<Incoming<P::Msg>>>,
+    in_flight: usize,
+    stats: RunStats,
+    round: usize,
+    started: bool,
+    cut_set: HashSet<(NodeId, NodeId)>,
+    /// Dedicated RNG for fault injection, independent of node coins.
+    fault_rng: StdRng,
+}
+
+impl<'g, P> Simulator<'g, P>
+where
+    P: NodeProgram + Send,
+    P::Msg: Message,
+{
+    /// Creates a simulator, instantiating one program per node via
+    /// `factory(node_id)`.
+    pub fn new(graph: &'g Graph, config: SimConfig, mut factory: impl FnMut(NodeId) -> P) -> Self {
+        let n = graph.node_count();
+        let programs: Vec<P> = (0..n).map(&mut factory).collect();
+        let rngs: Vec<StdRng> = (0..n).map(|v| node_rng(config.seed, v)).collect();
+        let cut_set: HashSet<(NodeId, NodeId)> =
+            config.cut.iter().map(|&(u, v)| ordered(u, v)).collect();
+        let stats = RunStats {
+            budget_bits: config.budget_bits(n),
+            ..RunStats::default()
+        };
+        let fault_rng = node_rng(config.seed ^ 0xFA_17, usize::MAX / 2);
+        Simulator {
+            graph,
+            config,
+            programs,
+            rngs,
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            in_flight: 0,
+            stats,
+            round: 0,
+            started: false,
+            cut_set,
+            fault_rng,
+        }
+    }
+
+    /// The simulated graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Read access to node `v`'s program (e.g. to harvest results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn program(&self, v: NodeId) -> &P {
+        &self.programs[v]
+    }
+
+    /// All node programs, indexed by node id.
+    pub fn programs(&self) -> &[P] {
+        &self.programs
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Whether every program has terminated and no messages are in flight.
+    pub fn is_finished(&self) -> bool {
+        self.in_flight == 0 && self.programs.iter().all(NodeProgram::is_terminated)
+    }
+
+    /// Executes a single round (running `on_start` first if needed).
+    /// Returns `true` when the system has globally terminated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CONGEST violations under the strict policy, sends to
+    /// non-neighbors, and the round cap.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        if !self.started {
+            self.started = true;
+            let mut outboxes: Vec<Vec<(NodeId, P::Msg)>> =
+                (0..self.graph.node_count()).map(|_| Vec::new()).collect();
+            for (v, (outbox, rng)) in outboxes.iter_mut().zip(&mut self.rngs).enumerate() {
+                let mut ctx = Context::new(v, self.graph, rng, 0, outbox);
+                self.programs[v].on_start(&mut ctx);
+            }
+            self.commit(outboxes)?;
+            if self.is_finished() {
+                return Ok(true);
+            }
+        }
+        if self.round >= self.config.max_rounds {
+            return Err(SimError::RoundLimitExceeded {
+                limit: self.config.max_rounds,
+            });
+        }
+        self.round += 1;
+        self.stats.rounds = self.round;
+
+        let n = self.graph.node_count();
+        let mut inboxes: Vec<Vec<Incoming<P::Msg>>> =
+            std::mem::replace(&mut self.pending, (0..n).map(|_| Vec::new()).collect());
+        self.in_flight = 0;
+        for inbox in &mut inboxes {
+            inbox.sort_by_key(|m| m.from);
+        }
+
+        let outboxes = if self.config.threads <= 1 || n < 64 {
+            self.run_round_sequential(&inboxes)
+        } else {
+            self.run_round_parallel(&inboxes)
+        };
+        self.commit(outboxes)?;
+        Ok(self.is_finished())
+    }
+
+    /// Runs rounds until global termination.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::step`].
+    pub fn run(&mut self) -> Result<RunStats, SimError> {
+        loop {
+            if self.step()? {
+                return Ok(self.stats.clone());
+            }
+        }
+    }
+
+    fn run_round_sequential(
+        &mut self,
+        inboxes: &[Vec<Incoming<P::Msg>>],
+    ) -> Vec<Vec<(NodeId, P::Msg)>> {
+        let n = self.graph.node_count();
+        let mut outboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        for v in 0..n {
+            let mut ctx = Context::new(
+                v,
+                self.graph,
+                &mut self.rngs[v],
+                self.round,
+                &mut outboxes[v],
+            );
+            self.programs[v].on_round(&mut ctx, &inboxes[v]);
+        }
+        outboxes
+    }
+
+    fn run_round_parallel(
+        &mut self,
+        inboxes: &[Vec<Incoming<P::Msg>>],
+    ) -> Vec<Vec<(NodeId, P::Msg)>> {
+        let n = self.graph.node_count();
+        let threads = self.config.threads;
+        let chunk = n.div_ceil(threads);
+        let graph = self.graph;
+        let round = self.round;
+        let mut outboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+
+        let programs = &mut self.programs;
+        let rngs = &mut self.rngs;
+        crossbeam::thread::scope(|scope| {
+            let prog_chunks = programs.chunks_mut(chunk);
+            let rng_chunks = rngs.chunks_mut(chunk);
+            let out_chunks = outboxes.chunks_mut(chunk);
+            let in_chunks = inboxes.chunks(chunk);
+            for (idx, (((progs, rngs), outs), ins)) in prog_chunks
+                .zip(rng_chunks)
+                .zip(out_chunks)
+                .zip(in_chunks)
+                .enumerate()
+            {
+                let base = idx * chunk;
+                scope.spawn(move |_| {
+                    for (offset, prog) in progs.iter_mut().enumerate() {
+                        let v = base + offset;
+                        let mut ctx =
+                            Context::new(v, graph, &mut rngs[offset], round, &mut outs[offset]);
+                        prog.on_round(&mut ctx, &ins[offset]);
+                    }
+                });
+            }
+        })
+        .expect("round worker panicked");
+        outboxes
+    }
+
+    /// Validates and books one round's worth of outgoing traffic, moving it
+    /// into `pending` for delivery next round.
+    fn commit(&mut self, outboxes: Vec<Vec<(NodeId, P::Msg)>>) -> Result<(), SimError> {
+        let n = self.graph.node_count();
+        let budget = self.stats.budget_bits;
+        for (from, outbox) in outboxes.into_iter().enumerate() {
+            if outbox.is_empty() {
+                continue;
+            }
+            // Group by destination to charge per-edge-direction budgets.
+            let mut by_dest: Vec<(NodeId, Vec<P::Msg>)> = Vec::new();
+            for (to, msg) in outbox {
+                if !self.graph.has_edge(from, to) {
+                    return Err(SimError::NotNeighbor { from, to });
+                }
+                match by_dest.iter_mut().find(|(d, _)| *d == to) {
+                    Some((_, msgs)) => msgs.push(msg),
+                    None => by_dest.push((to, vec![msg])),
+                }
+            }
+            for (to, msgs) in by_dest {
+                let count = msgs.len();
+                let bits: usize = msgs.iter().map(|m| m.bit_size(n)).sum();
+                let mut violated = false;
+                if count > self.config.messages_per_edge {
+                    match self.config.violation_policy {
+                        ViolationPolicy::Strict => {
+                            return Err(SimError::TooManyMessages {
+                                from,
+                                to,
+                                round: self.round,
+                                count,
+                                limit: self.config.messages_per_edge,
+                            })
+                        }
+                        ViolationPolicy::Record => violated = true,
+                    }
+                }
+                if bits > budget {
+                    match self.config.violation_policy {
+                        ViolationPolicy::Strict => {
+                            return Err(SimError::BandwidthExceeded {
+                                from,
+                                to,
+                                round: self.round,
+                                bits,
+                                budget,
+                            })
+                        }
+                        ViolationPolicy::Record => violated = true,
+                    }
+                }
+                if violated {
+                    self.stats.violations += 1;
+                }
+                self.stats.total_messages += count as u64;
+                self.stats.total_bits += bits as u64;
+                self.stats.max_bits_edge_round = self.stats.max_bits_edge_round.max(bits);
+                self.stats.max_messages_edge_round = self.stats.max_messages_edge_round.max(count);
+                if self.cut_set.contains(&ordered(from, to)) {
+                    self.stats.cut.messages += count as u64;
+                    self.stats.cut.bits += bits as u64;
+                }
+                for msg in msgs {
+                    if self.config.drop_probability > 0.0
+                        && rand::Rng::gen_bool(&mut self.fault_rng, self.config.drop_probability)
+                    {
+                        self.stats.dropped += 1;
+                        continue;
+                    }
+                    self.in_flight += 1;
+                    self.pending[to].push(Incoming { from, msg });
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+use rwbc_graph::NodeId;
+
+/// Errors surfaced by the CONGEST simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A node tried to send to a non-neighbor — CONGEST only allows
+    /// communication along edges (paper Section III-A).
+    NotNeighbor {
+        /// Sending node.
+        from: NodeId,
+        /// Intended recipient (not adjacent to `from`).
+        to: NodeId,
+    },
+    /// A message exceeded the per-edge bit budget in a round
+    /// (strict [`ViolationPolicy`] only).
+    ///
+    /// [`ViolationPolicy`]: crate::ViolationPolicy
+    BandwidthExceeded {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Round in which the violation happened.
+        round: usize,
+        /// Bits the offending traffic would have used on the edge.
+        bits: usize,
+        /// The per-edge budget `B(n)`.
+        budget: usize,
+    },
+    /// More messages than allowed were sent over one edge direction in one
+    /// round (strict policy only).
+    TooManyMessages {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Round in which the violation happened.
+        round: usize,
+        /// Number of messages attempted.
+        count: usize,
+        /// Allowed messages per edge direction per round.
+        limit: usize,
+    },
+    /// The run exceeded `max_rounds` without global termination.
+    RoundLimitExceeded {
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotNeighbor { from, to } => {
+                write!(f, "node {from} attempted to send to non-neighbor {to}")
+            }
+            SimError::BandwidthExceeded {
+                from,
+                to,
+                round,
+                bits,
+                budget,
+            } => write!(
+                f,
+                "edge ({from}, {to}) carried {bits} bits in round {round}, budget is {budget}"
+            ),
+            SimError::TooManyMessages {
+                from,
+                to,
+                round,
+                count,
+                limit,
+            } => write!(
+                f,
+                "edge ({from}, {to}) carried {count} messages in round {round}, limit is {limit}"
+            ),
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "simulation did not terminate within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parties() {
+        let e = SimError::NotNeighbor { from: 1, to: 5 };
+        assert!(e.to_string().contains('1') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,64 @@
+//! A synchronous **CONGEST-model** network simulator.
+//!
+//! The CONGEST model (Peleg 2000; Section III-A of the reproduced paper) is
+//! a synchronous message-passing model on a graph `G = (V, E)`:
+//!
+//! * computation proceeds in discrete *rounds*;
+//! * in each round every node may send one message to each neighbor;
+//! * each message carries at most `O(log n)` bits;
+//! * time complexity is the number of rounds until all nodes terminate
+//!   (local computation is free).
+//!
+//! This crate realizes the model faithfully enough that the paper's claims
+//! become *measurable*:
+//!
+//! * [`Simulator`] runs a [`NodeProgram`] per node in lockstep rounds;
+//! * every message is charged its [`Message::bit_size`] against the per-edge
+//!   budget `B(n) = bandwidth_coeff · ⌈log₂ n⌉` and the per-edge message
+//!   limit, and violations are either hard errors (strict mode, the default)
+//!   or recorded in [`RunStats`];
+//! * [`RunStats`] reports rounds, messages, bits, and the per-edge-per-round
+//!   maxima that Theorem 4 of the paper is about;
+//! * a *cut meter* counts traffic crossing a designated edge cut — the
+//!   instrument behind the lower-bound experiment (E6), where the paper's
+//!   `Ω(n / log n + D)` bound stems from `Ω(N log N)` bits having to cross a
+//!   `Θ(log N)`-edge cut (paper Theorem 7).
+//!
+//! # Example: flooding a token
+//!
+//! ```
+//! use congest_sim::{algorithms::Flood, SimConfig, Simulator};
+//! use rwbc_graph::generators::path;
+//!
+//! # fn main() -> Result<(), congest_sim::SimError> {
+//! let g = path(8).unwrap();
+//! let mut sim = Simulator::new(&g, SimConfig::default(), |v| Flood::new(v, 0));
+//! let stats = sim.run()?;
+//! // The token needs eccentricity(0) = 7 rounds to reach node 7.
+//! assert!(stats.rounds >= 7);
+//! assert!(sim.programs().iter().all(|p| p.informed()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod error;
+mod message;
+mod node;
+mod rng;
+mod stats;
+
+pub mod algorithms;
+pub mod wire;
+
+pub use config::{SimConfig, ViolationPolicy};
+pub use engine::Simulator;
+pub use error::SimError;
+pub use message::{bits_for_count, bits_for_node_id, Message};
+pub use node::{Context, Incoming, NodeProgram};
+pub use rng::node_rng;
+pub use stats::{CutMeter, RunStats};

@@ -1,0 +1,94 @@
+/// A message that can travel over a CONGEST edge.
+///
+/// Implementors declare how many bits they occupy on the wire; the
+/// [`Simulator`] charges this against the per-edge budget
+/// `B(n) = bandwidth_coeff · ⌈log₂ n⌉` every round. The paper's Theorem 4
+/// ("our algorithms satisfy the CONGEST model") is checked *mechanically*
+/// by running under [`ViolationPolicy::Strict`].
+///
+/// The [`wire`] module provides a concrete bit-exact encoder so that
+/// declared sizes can be validated against real encodings in tests.
+///
+/// [`Simulator`]: crate::Simulator
+/// [`ViolationPolicy::Strict`]: crate::ViolationPolicy::Strict
+/// [`wire`]: crate::wire
+pub trait Message: Clone + Send + Sync + 'static {
+    /// Number of bits this message occupies on an edge of a network with
+    /// `n` nodes.
+    fn bit_size(&self, n: usize) -> usize;
+}
+
+/// Bits needed to address a node in a network of `n` nodes: `⌈log₂ n⌉`
+/// (minimum 1).
+///
+/// # Example
+///
+/// ```
+/// use congest_sim::bits_for_node_id;
+/// assert_eq!(bits_for_node_id(1024), 10);
+/// assert_eq!(bits_for_node_id(1000), 10);
+/// assert_eq!(bits_for_node_id(2), 1);
+/// ```
+pub fn bits_for_node_id(n: usize) -> usize {
+    crate::config::log2_ceil(n).max(1)
+}
+
+/// Bits needed to transmit an integer in `0..=max_value`.
+///
+/// # Example
+///
+/// ```
+/// use congest_sim::bits_for_count;
+/// assert_eq!(bits_for_count(0), 1);
+/// assert_eq!(bits_for_count(1), 1);
+/// assert_eq!(bits_for_count(255), 8);
+/// assert_eq!(bits_for_count(256), 9);
+/// ```
+pub fn bits_for_count(max_value: u64) -> usize {
+    if max_value <= 1 {
+        1
+    } else {
+        (u64::BITS - max_value.leading_zeros()) as usize
+    }
+}
+
+impl Message for u64 {
+    fn bit_size(&self, _n: usize) -> usize {
+        bits_for_count(*self)
+    }
+}
+
+impl Message for () {
+    /// A pure "pulse" still costs one bit on the wire.
+    fn bit_size(&self, _n: usize) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_bits_match_log() {
+        assert_eq!(bits_for_node_id(1), 1);
+        assert_eq!(bits_for_node_id(2), 1);
+        assert_eq!(bits_for_node_id(3), 2);
+        assert_eq!(bits_for_node_id(16), 4);
+        assert_eq!(bits_for_node_id(17), 5);
+    }
+
+    #[test]
+    fn count_bits_match_binary_length() {
+        assert_eq!(bits_for_count(2), 2);
+        assert_eq!(bits_for_count(7), 3);
+        assert_eq!(bits_for_count(8), 4);
+        assert_eq!(bits_for_count(u64::MAX), 64);
+    }
+
+    #[test]
+    fn primitive_impls() {
+        assert_eq!(Message::bit_size(&(), 100), 1);
+        assert_eq!(Message::bit_size(&42u64, 100), 6);
+    }
+}

@@ -1,0 +1,138 @@
+use rand::rngs::StdRng;
+
+use rwbc_graph::{Graph, Neighbors, NodeId};
+
+use crate::Message;
+
+/// A message delivered to a node, tagged with its sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incoming<M> {
+    /// The neighbor that sent the message in the previous round.
+    pub from: NodeId,
+    /// The message itself.
+    pub msg: M,
+}
+
+/// The per-round view a node program has of its environment.
+///
+/// A CONGEST node knows only: its own id, its neighbors' ids, the global
+/// parameter `n`, the round number, and its private coins. `Context`
+/// exposes exactly that — node programs cannot observe the rest of the
+/// graph, which keeps algorithm implementations honest.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    node: NodeId,
+    graph: &'a Graph,
+    rng: &'a mut StdRng,
+    round: usize,
+    outbox: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<'a, M: Message> Context<'a, M> {
+    pub(crate) fn new(
+        node: NodeId,
+        graph: &'a Graph,
+        rng: &'a mut StdRng,
+        round: usize,
+        outbox: &'a mut Vec<(NodeId, M)>,
+    ) -> Context<'a, M> {
+        Context {
+            node,
+            graph,
+            rng,
+            round,
+            outbox,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes in the network (a global constant every node knows,
+    /// as assumed by the paper's Algorithm 1 input).
+    pub fn network_size(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// This node's degree.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+
+    /// Iterator over this node's neighbors (ascending ids).
+    pub fn neighbors(&self) -> Neighbors<'_> {
+        self.graph.neighbors(self.node)
+    }
+
+    /// The `i`-th neighbor (`0 <= i < degree`), used for uniform moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= degree()`.
+    pub fn neighbor(&self, i: usize) -> NodeId {
+        self.graph.neighbor(self.node, i)
+    }
+
+    /// Whether `v` is adjacent to this node.
+    pub fn is_neighbor(&self, v: NodeId) -> bool {
+        self.graph.has_edge(self.node, v)
+    }
+
+    /// The current round number (0 during `on_start`).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// This node's private deterministic RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Queues `msg` for delivery to neighbor `to` at the start of the next
+    /// round. Budget enforcement happens when the round is committed; a
+    /// send to a non-neighbor is detected there as well.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Queues a copy of `msg` to every neighbor (a "local broadcast" —
+    /// one message per incident edge, permitted by the model).
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        let neighbors: Vec<NodeId> = self.neighbors().collect();
+        for v in neighbors {
+            self.send(v, msg.clone());
+        }
+    }
+}
+
+/// A node-local distributed program executed by the [`Simulator`].
+///
+/// The simulator drives the program through the synchronous schedule:
+///
+/// 1. `on_start` once, before round 1 (sends are delivered in round 1);
+/// 2. `on_round` every round, with all messages sent to this node in the
+///    previous round;
+/// 3. the run ends when every program reports [`NodeProgram::is_terminated`]
+///    and no messages are in flight.
+///
+/// [`Simulator`]: crate::Simulator
+pub trait NodeProgram {
+    /// The message type this protocol exchanges.
+    type Msg: Message;
+
+    /// Called once before the first round.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called every round with the messages received this round.
+    /// The inbox is sorted by sender id (deterministic delivery order).
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[Incoming<Self::Msg>]);
+
+    /// Local termination flag. Termination of the *run* additionally
+    /// requires an empty network.
+    fn is_terminated(&self) -> bool;
+}

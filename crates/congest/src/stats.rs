@@ -1,0 +1,107 @@
+use serde::{Deserialize, Serialize};
+
+use rwbc_graph::NodeId;
+
+/// Accumulated traffic across a designated edge cut.
+///
+/// The lower-bound proof (paper Theorems 6–7) hinges on the total number of
+/// bits that must cross a small cut; this meter measures exactly that for a
+/// concrete run, giving the empirical side of experiment E6.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CutMeter {
+    /// Messages that crossed the cut (either direction).
+    pub messages: u64,
+    /// Bits that crossed the cut (either direction).
+    pub bits: u64,
+}
+
+/// Statistics of a completed (or aborted) simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Rounds executed until global termination.
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub total_messages: u64,
+    /// Total bits delivered.
+    pub total_bits: u64,
+    /// Maximum bits observed on a single edge direction in a single round.
+    pub max_bits_edge_round: usize,
+    /// Maximum messages observed on a single edge direction in a single
+    /// round.
+    pub max_messages_edge_round: usize,
+    /// The per-edge bit budget `B(n)` the run was charged against.
+    pub budget_bits: usize,
+    /// Budget violations (only non-zero under
+    /// [`ViolationPolicy::Record`]).
+    ///
+    /// [`ViolationPolicy::Record`]: crate::ViolationPolicy::Record
+    pub violations: u64,
+    /// Messages lost to fault injection (`drop_probability > 0`).
+    pub dropped: u64,
+    /// Traffic across the configured cut.
+    pub cut: CutMeter,
+}
+
+impl RunStats {
+    /// Whether the run stayed within the CONGEST budget everywhere
+    /// (the mechanical check of the paper's Theorem 4).
+    pub fn congest_compliant(&self) -> bool {
+        self.violations == 0 && self.max_bits_edge_round <= self.budget_bits
+    }
+
+    /// Average bits per delivered message, or 0 when nothing was sent.
+    pub fn mean_bits_per_message(&self) -> f64 {
+        if self.total_messages == 0 {
+            0.0
+        } else {
+            self.total_bits as f64 / self.total_messages as f64
+        }
+    }
+}
+
+/// Normalizes an undirected pair for cut membership checks.
+pub(crate) fn ordered(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compliance_logic() {
+        let mut s = RunStats {
+            budget_bits: 32,
+            max_bits_edge_round: 32,
+            ..RunStats::default()
+        };
+        assert!(s.congest_compliant());
+        s.max_bits_edge_round = 33;
+        assert!(!s.congest_compliant());
+        s.max_bits_edge_round = 10;
+        s.violations = 1;
+        assert!(!s.congest_compliant());
+    }
+
+    #[test]
+    fn mean_bits() {
+        let s = RunStats {
+            total_messages: 4,
+            total_bits: 10,
+            ..RunStats::default()
+        };
+        assert!((s.mean_bits_per_message() - 2.5).abs() < 1e-12);
+        assert_eq!(RunStats::default().mean_bits_per_message(), 0.0);
+    }
+
+    #[test]
+    fn ordered_normalizes() {
+        assert_eq!(ordered(3, 1), (1, 3));
+        assert_eq!(ordered(1, 3), (1, 3));
+        assert_eq!(ordered(2, 2), (2, 2));
+    }
+}

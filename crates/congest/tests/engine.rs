@@ -1,0 +1,383 @@
+//! Engine semantics tests: budget enforcement, determinism, parallelism,
+//! cut metering, and failure cases.
+
+use congest_sim::{
+    bits_for_node_id, Context, Incoming, Message, NodeProgram, SimConfig, SimError, Simulator,
+    ViolationPolicy,
+};
+use rwbc_graph::generators::{complete, cycle, path};
+use rwbc_graph::{Graph, NodeId};
+
+/// A message with a declared size of `bits` bits.
+#[derive(Debug, Clone)]
+struct Fat {
+    bits: usize,
+}
+
+impl Message for Fat {
+    fn bit_size(&self, _n: usize) -> usize {
+        self.bits
+    }
+}
+
+/// Sends one oversized message from node 0 to node 1 and idles.
+struct Oversender {
+    me: NodeId,
+    bits: usize,
+    done: bool,
+}
+
+impl NodeProgram for Oversender {
+    type Msg = Fat;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Fat>) {
+        if self.me == 0 {
+            ctx.send(1, Fat { bits: self.bits });
+        }
+        self.done = true;
+    }
+
+    fn on_round(&mut self, _ctx: &mut Context<'_, Fat>, _inbox: &[Incoming<Fat>]) {}
+
+    fn is_terminated(&self) -> bool {
+        self.done
+    }
+}
+
+#[test]
+fn oversized_message_rejected_in_strict_mode() {
+    let g = path(4).unwrap();
+    let budget = SimConfig::default().budget_bits(4);
+    let mut sim = Simulator::new(&g, SimConfig::default(), |me| Oversender {
+        me,
+        bits: budget + 1,
+        done: false,
+    });
+    let err = sim.run().unwrap_err();
+    match err {
+        SimError::BandwidthExceeded {
+            from,
+            to,
+            bits,
+            budget: b,
+            ..
+        } => {
+            assert_eq!((from, to), (0, 1));
+            assert_eq!(bits, budget + 1);
+            assert_eq!(b, budget);
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_message_recorded_in_record_mode() {
+    let g = path(4).unwrap();
+    let cfg = SimConfig::default().with_violation_policy(ViolationPolicy::Record);
+    let budget = cfg.budget_bits(4);
+    let mut sim = Simulator::new(&g, cfg, |me| Oversender {
+        me,
+        bits: budget + 5,
+        done: false,
+    });
+    let stats = sim.run().unwrap();
+    assert_eq!(stats.violations, 1);
+    assert!(!stats.congest_compliant());
+    assert_eq!(stats.max_bits_edge_round, budget + 5);
+}
+
+#[test]
+fn message_exactly_at_budget_is_fine() {
+    let g = path(4).unwrap();
+    let budget = SimConfig::default().budget_bits(4);
+    let mut sim = Simulator::new(&g, SimConfig::default(), |me| Oversender {
+        me,
+        bits: budget,
+        done: false,
+    });
+    let stats = sim.run().unwrap();
+    assert!(stats.congest_compliant());
+}
+
+/// Sends `count` unit messages to the same neighbor in one round.
+struct MultiSender {
+    me: NodeId,
+    count: usize,
+    done: bool,
+}
+
+impl NodeProgram for MultiSender {
+    type Msg = Fat;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Fat>) {
+        if self.me == 0 {
+            for _ in 0..self.count {
+                ctx.send(1, Fat { bits: 1 });
+            }
+        }
+        self.done = true;
+    }
+
+    fn on_round(&mut self, _ctx: &mut Context<'_, Fat>, _inbox: &[Incoming<Fat>]) {}
+
+    fn is_terminated(&self) -> bool {
+        self.done
+    }
+}
+
+#[test]
+fn per_edge_message_limit_enforced() {
+    let g = path(3).unwrap();
+    let mut sim = Simulator::new(&g, SimConfig::default(), |me| MultiSender {
+        me,
+        count: 2,
+        done: false,
+    });
+    assert!(matches!(
+        sim.run(),
+        Err(SimError::TooManyMessages {
+            count: 2,
+            limit: 1,
+            ..
+        })
+    ));
+
+    // Raising the limit makes the same program legal.
+    let cfg = SimConfig::default().with_messages_per_edge(2);
+    let mut sim = Simulator::new(&g, cfg, |me| MultiSender {
+        me,
+        count: 2,
+        done: false,
+    });
+    let stats = sim.run().unwrap();
+    assert_eq!(stats.max_messages_edge_round, 2);
+}
+
+/// Tries to send to a non-neighbor.
+struct BadSender {
+    me: NodeId,
+    done: bool,
+}
+
+impl NodeProgram for BadSender {
+    type Msg = Fat;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Fat>) {
+        if self.me == 0 {
+            ctx.send(2, Fat { bits: 1 }); // path 0-1-2: 2 is not adjacent to 0
+        }
+        self.done = true;
+    }
+
+    fn on_round(&mut self, _ctx: &mut Context<'_, Fat>, _inbox: &[Incoming<Fat>]) {}
+
+    fn is_terminated(&self) -> bool {
+        self.done
+    }
+}
+
+#[test]
+fn send_to_non_neighbor_rejected() {
+    let g = path(3).unwrap();
+    let mut sim = Simulator::new(&g, SimConfig::default(), |me| BadSender { me, done: false });
+    assert!(matches!(
+        sim.run(),
+        Err(SimError::NotNeighbor { from: 0, to: 2 })
+    ));
+}
+
+/// Never terminates: ping-pongs a token forever.
+struct PingPong {
+    me: NodeId,
+}
+
+impl NodeProgram for PingPong {
+    type Msg = Fat;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Fat>) {
+        if self.me == 0 {
+            ctx.send(1, Fat { bits: 1 });
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, Fat>, inbox: &[Incoming<Fat>]) {
+        for m in inbox {
+            ctx.send(m.from, Fat { bits: 1 });
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        false
+    }
+}
+
+#[test]
+fn round_limit_enforced() {
+    let g = path(2).unwrap();
+    let cfg = SimConfig::default().with_max_rounds(50);
+    let mut sim = Simulator::new(&g, cfg, |me| PingPong { me });
+    assert!(matches!(
+        sim.run(),
+        Err(SimError::RoundLimitExceeded { limit: 50 })
+    ));
+}
+
+/// Random-walk-ish program used for determinism tests: forwards a token to
+/// a uniformly random neighbor for a fixed number of hops, recording its
+/// trajectory through visit counts.
+#[derive(Debug)]
+struct RandomForward {
+    me: NodeId,
+    visits: u64,
+    hops_seen: usize,
+    max_hops: usize,
+}
+
+impl RandomForward {
+    fn new(me: NodeId, max_hops: usize) -> RandomForward {
+        RandomForward {
+            me,
+            visits: 0,
+            hops_seen: 0,
+            max_hops,
+        }
+    }
+}
+
+impl NodeProgram for RandomForward {
+    type Msg = u64; // remaining hops
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        if self.me == 0 {
+            let d = ctx.degree();
+            let i = rand::Rng::gen_range(ctx.rng(), 0..d);
+            let to = ctx.neighbor(i);
+            ctx.send(to, self.max_hops as u64);
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, u64>, inbox: &[Incoming<u64>]) {
+        for m in inbox {
+            self.visits += 1;
+            self.hops_seen += 1;
+            if m.msg > 1 {
+                let d = ctx.degree();
+                let i = rand::Rng::gen_range(ctx.rng(), 0..d);
+                let to = ctx.neighbor(i);
+                ctx.send(to, m.msg - 1);
+            }
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        true // passive: run ends when the token dies
+    }
+}
+
+fn visit_vector(g: &Graph, cfg: SimConfig) -> Vec<u64> {
+    let mut sim = Simulator::new(g, cfg, |v| RandomForward::new(v, 40));
+    sim.run().unwrap();
+    sim.programs().iter().map(|p| p.visits).collect()
+}
+
+#[test]
+fn runs_are_deterministic_under_fixed_seed() {
+    let g = complete(12).unwrap();
+    let a = visit_vector(&g, SimConfig::default().with_seed(99));
+    let b = visit_vector(&g, SimConfig::default().with_seed(99));
+    assert_eq!(a, b);
+    let c = visit_vector(&g, SimConfig::default().with_seed(100));
+    assert_ne!(a, c, "different seeds should explore different walks");
+}
+
+#[test]
+fn parallel_execution_matches_sequential() {
+    let g = complete(70).unwrap();
+    let seq = visit_vector(&g, SimConfig::default().with_seed(5).with_threads(1));
+    let par = visit_vector(&g, SimConfig::default().with_seed(5).with_threads(4));
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn cut_meter_counts_crossing_traffic() {
+    // Cycle 0-1-2-3-0, cut {(1,2),(3,0)} separates {0,1} from {2,3}.
+    let g = cycle(4).unwrap();
+    let cfg = SimConfig::default().with_cut(vec![(1, 2), (0, 3)]);
+    let mut sim = Simulator::new(&g, cfg, |v| congest_sim::algorithms::Flood::new(v, 0));
+    let stats = sim.run().unwrap();
+    // Flood sends one message per edge direction: 2 cut edges * 2 = 4.
+    assert_eq!(stats.cut.messages, 4);
+    assert_eq!(stats.cut.bits, 4); // pulses cost 1 bit
+    assert_eq!(stats.total_messages, 8);
+}
+
+#[test]
+fn empty_program_terminates_immediately() {
+    struct Idle;
+    impl NodeProgram for Idle {
+        type Msg = ();
+        fn on_start(&mut self, _ctx: &mut Context<'_, ()>) {}
+        fn on_round(&mut self, _ctx: &mut Context<'_, ()>, _inbox: &[Incoming<()>]) {}
+        fn is_terminated(&self) -> bool {
+            true
+        }
+    }
+    let g = path(5).unwrap();
+    let mut sim = Simulator::new(&g, SimConfig::default(), |_| Idle);
+    let stats = sim.run().unwrap();
+    assert_eq!(stats.rounds, 0);
+    assert_eq!(stats.total_messages, 0);
+}
+
+#[test]
+fn budget_bits_reflect_network_size() {
+    let g = path(1000).unwrap();
+    let mut sim = Simulator::new(&g, SimConfig::default(), |_| PingPong { me: 0 });
+    // n = 1000 -> ceil(log2) = 10 -> default coeff 8 -> 80.
+    assert_eq!(sim.stats().budget_bits, 80);
+    let _ = sim.step();
+}
+
+#[test]
+fn bits_for_node_id_consistency_with_budget() {
+    // A message carrying k node ids fits the default budget when k <= coeff.
+    let n = 1 << 16;
+    let cfg = SimConfig::default();
+    assert!(8 * bits_for_node_id(n) <= cfg.budget_bits(n));
+}
+
+#[test]
+fn fault_injection_drops_messages_deterministically() {
+    use congest_sim::algorithms::Flood;
+    let g = complete(10).unwrap();
+    let cfg = SimConfig::default().with_seed(3).with_drop_probability(0.5);
+    let mut sim = Simulator::new(&g, cfg.clone(), |v| Flood::new(v, 0));
+    let stats = sim.run().unwrap();
+    assert!(
+        stats.dropped > 0,
+        "50% loss on 90 messages should drop some"
+    );
+    // Determinism: the same config replays the same losses.
+    let mut sim2 = Simulator::new(&g, cfg, |v| Flood::new(v, 0));
+    let stats2 = sim2.run().unwrap();
+    assert_eq!(stats, stats2);
+}
+
+#[test]
+fn zero_drop_probability_is_lossless() {
+    use congest_sim::algorithms::Flood;
+    let g = complete(8).unwrap();
+    let cfg = SimConfig::default().with_drop_probability(0.0);
+    let mut sim = Simulator::new(&g, cfg, |v| Flood::new(v, 0));
+    let stats = sim.run().unwrap();
+    assert_eq!(stats.dropped, 0);
+    assert!(sim.programs().iter().all(|p| p.informed()));
+}
+
+#[test]
+fn drop_probability_is_clamped() {
+    let cfg = SimConfig::default().with_drop_probability(7.5);
+    assert_eq!(cfg.drop_probability, 1.0);
+    let cfg = SimConfig::default().with_drop_probability(-1.0);
+    assert_eq!(cfg.drop_probability, 0.0);
+}

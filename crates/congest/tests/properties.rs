@@ -1,0 +1,108 @@
+//! Property-based tests on the simulator's model guarantees.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use congest_sim::algorithms::{BfsTree, Flood, LeaderElect};
+use congest_sim::{SimConfig, Simulator};
+use rwbc_graph::generators::random_tree;
+use rwbc_graph::traversal::bfs_distances;
+use rwbc_graph::Graph;
+
+/// Strategy: a small random connected graph.
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..16, 0u64..300, 0usize..8).prop_map(|(n, seed, extra)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_tree(n, &mut rng).unwrap();
+        let mut edges = tree.edge_vec();
+        let mut tries = 0;
+        while edges.len() < tree.edge_count() + extra && tries < 64 {
+            tries += 1;
+            let u = rand::Rng::gen_range(&mut rng, 0..n);
+            let v = rand::Rng::gen_range(&mut rng, 0..n);
+            let key = if u < v { (u, v) } else { (v, u) };
+            if u != v && !edges.contains(&key) {
+                edges.push(key);
+            }
+        }
+        Graph::from_edges(n, edges).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn flood_informs_everyone_in_eccentricity_rounds(
+        g in arb_connected_graph(),
+        seed in 0u64..50,
+    ) {
+        let source = seed as usize % g.node_count();
+        let mut sim = Simulator::new(
+            &g,
+            SimConfig::default().with_seed(seed),
+            |v| Flood::new(v, source),
+        );
+        let stats = sim.run().unwrap();
+        prop_assert!(stats.congest_compliant());
+        let dist = bfs_distances(&g, source);
+        for v in g.nodes() {
+            prop_assert_eq!(sim.program(v).informed_at(), dist[v], "node {}", v);
+        }
+    }
+
+    #[test]
+    fn bfs_depths_always_match_centralized(
+        g in arb_connected_graph(),
+        root_pick in 0usize..16,
+    ) {
+        let root = root_pick % g.node_count();
+        let mut sim = Simulator::new(&g, SimConfig::default(), |v| BfsTree::new(v, root));
+        let stats = sim.run().unwrap();
+        prop_assert!(stats.max_bits_edge_round <= stats.budget_bits);
+        let dist = bfs_distances(&g, root);
+        for v in g.nodes() {
+            prop_assert_eq!(sim.program(v).depth(), dist[v]);
+        }
+    }
+
+    #[test]
+    fn leader_election_always_finds_max_id(g in arb_connected_graph()) {
+        let n = g.node_count();
+        let mut sim = Simulator::new(&g, SimConfig::default(), LeaderElect::new);
+        sim.run().unwrap();
+        for v in g.nodes() {
+            prop_assert_eq!(sim.program(v).leader(), n - 1);
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results(
+        g in arb_connected_graph(),
+        seed in 0u64..50,
+    ) {
+        let run = |threads: usize| {
+            let cfg = SimConfig::default().with_seed(seed).with_threads(threads);
+            let mut sim = Simulator::new(&g, cfg, |v| Flood::new(v, 0));
+            let stats = sim.run().unwrap();
+            let informed: Vec<_> = sim.programs().iter().map(|p| p.informed_at()).collect();
+            (stats, informed)
+        };
+        let (s1, i1) = run(1);
+        let (s3, i3) = run(3);
+        prop_assert_eq!(s1, s3);
+        prop_assert_eq!(i1, i3);
+    }
+
+    #[test]
+    fn stats_accounting_is_internally_consistent(g in arb_connected_graph()) {
+        let mut sim = Simulator::new(&g, SimConfig::default(), |v| Flood::new(v, 0));
+        let stats = sim.run().unwrap();
+        // Pulses cost 1 bit each.
+        prop_assert_eq!(stats.total_bits, stats.total_messages);
+        // Flood sends exactly one message per edge direction.
+        prop_assert_eq!(stats.total_messages, g.degree_sum() as u64);
+        prop_assert!(stats.max_messages_edge_round <= 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Error and rank-agreement metrics used by the experiment suite.
+//!
+//! The paper's Theorem 2 states a multiplicative `(1 − ε)` guarantee; these
+//! metrics quantify how close an estimate actually lands (experiments E3
+//! and E7) and how well related measures agree in *ranking*, which is what
+//! most applications of betweenness consume (experiment E8).
+
+use crate::Centrality;
+
+/// Maximum relative error `max_v |est_v − ref_v| / ref_v` over nodes with
+/// non-zero reference.
+///
+/// # Panics
+///
+/// Panics when the vectors have different lengths.
+pub fn max_relative_error(estimate: &Centrality, reference: &Centrality) -> f64 {
+    relative_errors(estimate, reference).fold(0.0, f64::max)
+}
+
+/// Mean relative error over nodes with non-zero reference.
+///
+/// # Panics
+///
+/// Panics when the vectors have different lengths.
+pub fn mean_relative_error(estimate: &Centrality, reference: &Centrality) -> f64 {
+    let errors: Vec<f64> = relative_errors(estimate, reference).collect();
+    if errors.is_empty() {
+        0.0
+    } else {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    }
+}
+
+fn relative_errors<'a>(
+    estimate: &'a Centrality,
+    reference: &'a Centrality,
+) -> impl Iterator<Item = f64> + 'a {
+    assert_eq!(
+        estimate.len(),
+        reference.len(),
+        "compared centralities must cover the same nodes"
+    );
+    estimate
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .filter(|(_, &r)| r != 0.0)
+        .map(|(&e, &r)| (e - r).abs() / r.abs())
+}
+
+/// Spearman rank correlation coefficient between two score vectors.
+///
+/// Ranks are assigned with deterministic tie-breaking toward smaller node
+/// ids (see [`Centrality::ranks`]); values lie in `[-1, 1]`.
+///
+/// # Panics
+///
+/// Panics when the vectors have different lengths or fewer than 2 entries.
+pub fn spearman_rho(a: &Centrality, b: &Centrality) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "compared centralities must cover the same nodes"
+    );
+    let n = a.len();
+    assert!(n >= 2, "rank correlation needs at least 2 nodes");
+    let ra = a.ranks();
+    let rb = b.ranks();
+    let d2: f64 = ra
+        .iter()
+        .zip(&rb)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum();
+    let nf = n as f64;
+    1.0 - 6.0 * d2 / (nf * (nf * nf - 1.0))
+}
+
+/// Kendall tau-a rank correlation: `(concordant − discordant) / C(n, 2)`,
+/// computed on the raw scores (ties count as neither). `Θ(n²)`.
+///
+/// # Panics
+///
+/// Panics when the vectors have different lengths or fewer than 2 entries.
+pub fn kendall_tau(a: &Centrality, b: &Centrality) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "compared centralities must cover the same nodes"
+    );
+    let n = a.len();
+    assert!(n >= 2, "rank correlation needs at least 2 nodes");
+    let xs = a.as_slice();
+    let ys = b.as_slice();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let sx = (xs[i] - xs[j])
+                .partial_cmp(&0.0)
+                .expect("scores must not be NaN");
+            let sy = (ys[i] - ys[j])
+                .partial_cmp(&0.0)
+                .expect("scores must not be NaN");
+            use std::cmp::Ordering::Equal;
+            if sx == Equal || sy == Equal {
+                continue;
+            }
+            if sx == sy {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Jaccard overlap of the top-`k` node sets of two score vectors
+/// (`|A ∩ B| / |A ∪ B|`, in `[0, 1]`).
+pub fn top_k_jaccard(a: &Centrality, b: &Centrality, k: usize) -> f64 {
+    let ta = a.top_k(k);
+    let tb = b.top_k(k);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let sa: std::collections::HashSet<_> = ta.into_iter().collect();
+    let sb: std::collections::HashSet<_> = tb.into_iter().collect();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: &[f64]) -> Centrality {
+        Centrality::from_values(v.to_vec())
+    }
+
+    #[test]
+    fn relative_errors_basic() {
+        let est = c(&[1.1, 2.0, 0.5]);
+        let reference = c(&[1.0, 2.0, 1.0]);
+        assert!((max_relative_error(&est, &reference) - 0.5).abs() < 1e-12);
+        let mean = mean_relative_error(&est, &reference);
+        assert!((mean - (0.1 + 0.0 + 0.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_reference_entries_skipped() {
+        let est = c(&[5.0, 1.0]);
+        let reference = c(&[0.0, 1.0]);
+        assert_eq!(max_relative_error(&est, &reference), 0.0);
+    }
+
+    #[test]
+    fn identical_vectors_have_perfect_agreement() {
+        let a = c(&[0.3, 0.9, 0.1, 0.5]);
+        assert!((spearman_rho(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(top_k_jaccard(&a, &a, 2), 1.0);
+    }
+
+    #[test]
+    fn reversed_vectors_have_perfect_disagreement() {
+        let a = c(&[1.0, 2.0, 3.0, 4.0]);
+        let b = c(&[4.0, 3.0, 2.0, 1.0]);
+        assert!((spearman_rho(&a, &b) + 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_ignores_ties() {
+        let a = c(&[1.0, 1.0, 2.0]);
+        let b = c(&[1.0, 2.0, 3.0]);
+        // Pairs: (0,1) tied in a -> skipped; (0,2), (1,2) concordant.
+        assert!((kendall_tau(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_jaccard_partial_overlap() {
+        let a = c(&[0.9, 0.8, 0.1, 0.0]);
+        let b = c(&[0.9, 0.0, 0.8, 0.1]);
+        // Top-2: {0, 1} vs {0, 2} -> 1 / 3.
+        assert!((top_k_jaccard(&a, &b, 2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same nodes")]
+    fn mismatched_lengths_panic() {
+        let _ = spearman_rho(&c(&[1.0]), &c(&[1.0, 2.0]));
+    }
+}

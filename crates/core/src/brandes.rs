@@ -1,0 +1,190 @@
+//! Exact shortest-path betweenness centrality (Brandes' algorithm).
+//!
+//! The comparison measure of the paper's introduction and Fig. 1: the
+//! bridge nodes `A`, `B` dominate shortest-path betweenness, while the
+//! bypass node `C` scores zero — even though information demonstrably flows
+//! through `C` — which is precisely the motivation for the random-walk
+//! measure. `O(nm)` for unweighted graphs (Brandes 2001, the paper's \[4\]).
+//!
+//! Scores count each unordered pair once (`Σ_{s<t} σ_st(v)/σ_st`) and
+//! exclude endpoints, the standard convention; pass `normalized = true` to
+//! divide by the `(n−1)(n−2)/2` pairs a node can sit between.
+//!
+//! # Example
+//!
+//! ```
+//! use rwbc::brandes::betweenness;
+//! use rwbc_graph::generators::path;
+//!
+//! # fn main() -> Result<(), rwbc::RwbcError> {
+//! let g = path(3)?;
+//! let b = betweenness(&g, false)?;
+//! assert_eq!(b.as_slice(), &[0.0, 1.0, 0.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+
+use rwbc_graph::Graph;
+
+use crate::{Centrality, RwbcError};
+
+/// Exact shortest-path betweenness of every node.
+///
+/// # Errors
+///
+/// Returns [`RwbcError::TooSmall`] when `n < 2`. Disconnected graphs are
+/// allowed (unreachable pairs simply contribute nothing), matching the
+/// usual definition.
+pub fn betweenness(graph: &Graph, normalized: bool) -> Result<Centrality, RwbcError> {
+    let n = graph.node_count();
+    if n < 2 {
+        return Err(RwbcError::TooSmall { n });
+    }
+    let mut score = vec![0.0f64; n];
+    // Reusable per-source buffers.
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![usize::MAX; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut queue = VecDeque::with_capacity(n);
+
+    for s in graph.nodes() {
+        sigma.fill(0.0);
+        dist.fill(usize::MAX);
+        delta.fill(0.0);
+        for p in &mut preds {
+            p.clear();
+        }
+        order.clear();
+
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for v in graph.neighbors(u) {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+                if dist[v] == dist[u] + 1 {
+                    sigma[v] += sigma[u];
+                    preds[v].push(u);
+                }
+            }
+        }
+        // Dependency accumulation in reverse BFS order.
+        for &w in order.iter().rev() {
+            for &u in &preds[w] {
+                delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                score[w] += delta[w];
+            }
+        }
+    }
+    // Each unordered pair was counted twice (once per endpoint as source).
+    for x in &mut score {
+        *x /= 2.0;
+    }
+    if normalized && n > 2 {
+        let pairs = (n as f64 - 1.0) * (n as f64 - 2.0) / 2.0;
+        for x in &mut score {
+            *x /= pairs;
+        }
+    }
+    Ok(Centrality::from_values(score))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwbc_graph::generators::{barbell, complete, cycle, fig1_graph, path, star};
+    use rwbc_graph::Graph;
+
+    #[test]
+    fn path_values() {
+        let g = path(5).unwrap();
+        let b = betweenness(&g, false).unwrap();
+        // Node i on a path sits between i * (n-1-i) pairs.
+        assert_eq!(b.as_slice(), &[0.0, 3.0, 4.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn star_hub_is_on_all_pairs() {
+        let g = star(5).unwrap();
+        let b = betweenness(&g, false).unwrap();
+        assert_eq!(b[0], 10.0); // C(5, 2) leaf pairs
+        for leaf in 1..=5 {
+            assert_eq!(b[leaf], 0.0);
+        }
+        let bn = betweenness(&g, true).unwrap();
+        assert!((bn[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_all_zero() {
+        let g = complete(6).unwrap();
+        let b = betweenness(&g, false).unwrap();
+        assert!(b.as_slice().iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn cycle_even_splits_pairs() {
+        // On C_6 each node lies on the unique shortest paths of opposite
+        // pairs and shares antipodal ones; total per node by symmetry:
+        // sum over all = number of (pair, interior vertex) incidences.
+        let g = cycle(6).unwrap();
+        let b = betweenness(&g, false).unwrap();
+        let first = b[0];
+        assert!(first > 0.0);
+        for (_, x) in b.iter() {
+            assert!((x - first).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig1_c_has_zero_spbc_but_bridges_dominate() {
+        let (g, l) = fig1_graph(4).unwrap();
+        let b = betweenness(&g, false).unwrap();
+        // The paper's claim, verbatim: C lies on no shortest path.
+        assert_eq!(b[l.c], 0.0);
+        let top = b.top_k(2);
+        assert!(top.contains(&l.a) && top.contains(&l.b));
+    }
+
+    #[test]
+    fn disconnected_graphs_allowed() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let b = betweenness(&g, false).unwrap();
+        assert_eq!(b[1], 1.0);
+        assert_eq!(b[3], 0.0);
+    }
+
+    #[test]
+    fn barbell_bridge_dominates() {
+        let g = barbell(4, 1).unwrap();
+        let b = betweenness(&g, false).unwrap();
+        assert_eq!(b.argmax(), Some(4));
+    }
+
+    #[test]
+    fn tiny_graph_rejected() {
+        assert!(matches!(
+            betweenness(&Graph::empty(1), false),
+            Err(RwbcError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_shortest_paths_split_credit() {
+        // Square 0-1-3, 0-2-3: paths 0->3 split over 1 and 2.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let b = betweenness(&g, false).unwrap();
+        assert!((b[1] - 0.5).abs() < 1e-12);
+        assert!((b[2] - 0.5).abs() < 1e-12);
+    }
+}

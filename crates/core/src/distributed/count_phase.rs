@@ -1,0 +1,248 @@
+//! Phase 2 — the paper's **Algorithm 2**: nodes exchange their (degree-
+//! scaled) visit counts with their neighbors, one source per round, then
+//! each node combines Eqs. 6–8 locally.
+//!
+//! The paper's Lemma 3 bounds this phase by `O(n)` rounds: each node holds
+//! one count per source and each edge carries one count per round. We
+//! pipeline by *round index*: in round `r` every node broadcasts its count
+//! for source `r − 1`, so the source id never travels — it is implied by
+//! the global round number, leaving the entire `O(log n)`-bit budget to
+//! the value.
+//!
+//! Counts are transmitted in fixed-point (`F` fractional bits) because the
+//! CONGEST model cannot ship reals; the induced quantization error is
+//! `≤ 2^{−F−1}` per count and is measured in experiment E7 (design
+//! decision D5).
+
+use congest_sim::{Context, Incoming, NodeProgram};
+use rwbc_graph::NodeId;
+
+use crate::distributed::messages::CountMsg;
+use crate::flow_sum::node_net_flow_sorted;
+
+/// Node program for the computing phase.
+#[derive(Debug, Clone)]
+pub struct CountProgram {
+    me: NodeId,
+    n: usize,
+    /// Own scaled counts `x_me[s] = ξ_me^s / (K · d(me))`, already divided.
+    own: Vec<f64>,
+    /// Fixed-point image of `own` that actually travels.
+    own_scaled: Vec<u64>,
+    /// Per-neighbor columns received so far, indexed by neighbor position.
+    neighbor_cols: Vec<Vec<f64>>,
+    value_bits: u8,
+    fractional_bits: u8,
+    k: usize,
+    sent: usize,
+    received_rounds: usize,
+    /// The locally computed betweenness, available once the phase is done.
+    betweenness: Option<f64>,
+}
+
+impl CountProgram {
+    /// Program for node `me` with its phase-1 counts `xi` (`ξ_me^s`),
+    /// degree `degree`, and `K = walks_per_node`.
+    ///
+    /// `value_bits`/`fractional_bits` come from
+    /// [`count_field_bits`](crate::distributed::messages::count_field_bits)
+    /// and the driver's budget fitting.
+    pub fn new(
+        me: NodeId,
+        n: usize,
+        degree: usize,
+        xi: Vec<u64>,
+        walks_per_node: usize,
+        value_bits: u8,
+        fractional_bits: u8,
+    ) -> CountProgram {
+        debug_assert_eq!(xi.len(), n);
+        let scale = f64::from(1u32 << fractional_bits);
+        // Paper Algorithm 2 line 1: divide by the degree. The 1/K of line 4
+        // is folded in here too so "own" estimates T directly.
+        let own_scaled: Vec<u64> = xi
+            .iter()
+            .map(|&c| ((c as f64 / degree.max(1) as f64) * scale).round() as u64)
+            .collect();
+        let own: Vec<f64> = own_scaled
+            .iter()
+            .map(|&q| q as f64 / scale / walks_per_node as f64)
+            .collect();
+        CountProgram {
+            me,
+            n,
+            own,
+            own_scaled,
+            neighbor_cols: vec![vec![0.0; n]; degree],
+            value_bits,
+            fractional_bits,
+            k: walks_per_node,
+            sent: 0,
+            received_rounds: 0,
+            betweenness: None,
+        }
+    }
+
+    /// The locally computed RWBC of this node (`None` until the phase
+    /// finishes).
+    pub fn betweenness(&self) -> Option<f64> {
+        self.betweenness
+    }
+
+    fn send_next(&mut self, ctx: &mut Context<'_, CountMsg>) {
+        if self.sent < self.n {
+            let msg = CountMsg {
+                scaled: self.own_scaled[self.sent],
+                value_bits: self.value_bits,
+            };
+            ctx.broadcast(msg);
+            self.sent += 1;
+        }
+    }
+
+    fn finish_if_done(&mut self, ctx: &Context<'_, CountMsg>) {
+        if self.received_rounds == self.n && self.betweenness.is_none() {
+            let inner = node_net_flow_sorted(
+                self.me,
+                &self.own,
+                self.neighbor_cols.iter().map(Vec::as_slice),
+            );
+            let nf = self.n as f64;
+            self.betweenness = Some((inner + (nf - 1.0)) / (nf * (nf - 1.0) / 2.0));
+            let _ = ctx; // ctx retained in the signature for symmetry
+        }
+    }
+}
+
+impl NodeProgram for CountProgram {
+    type Msg = CountMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, CountMsg>) {
+        self.send_next(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, CountMsg>, inbox: &[Incoming<CountMsg>]) {
+        if self.received_rounds < self.n {
+            // Inbox of round r carries the neighbors' counts for source
+            // r − 1 (global lockstep). Map each message to its neighbor
+            // slot by sender id; under fault injection a message may be
+            // missing, in which case that cell keeps its zero default —
+            // a graceful undercount rather than a protocol failure.
+            let neighbors: Vec<rwbc_graph::NodeId> = ctx.neighbors().collect();
+            let source = self.received_rounds;
+            let scale = f64::from(1u32 << self.fractional_bits);
+            for m in inbox {
+                let slot = neighbors
+                    .binary_search(&m.from)
+                    .expect("messages only arrive from neighbors");
+                self.neighbor_cols[slot][source] = m.msg.scaled as f64 / scale / self.k as f64;
+            }
+            self.received_rounds += 1;
+        }
+        self.send_next(ctx);
+        self.finish_if_done(ctx);
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.betweenness.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_sim::{SimConfig, Simulator};
+    use rwbc_graph::generators::{cycle, path};
+
+    /// Runs phase 2 alone with synthetic integer counts and returns the
+    /// per-node betweenness.
+    fn run_counts(
+        g: &rwbc_graph::Graph,
+        counts: &[Vec<u64>],
+        k: usize,
+        f: u8,
+    ) -> (Vec<f64>, congest_sim::RunStats) {
+        let n = g.node_count();
+        let max = counts.iter().flatten().copied().max().unwrap_or(1);
+        let value_bits = (congest_sim::bits_for_count(max) + f as usize) as u8;
+        let mut sim = Simulator::new(g, SimConfig::default().with_bandwidth_coeff(16), |v| {
+            CountProgram::new(v, n, g.degree(v), counts[v].clone(), k, value_bits, f)
+        });
+        let stats = sim.run().unwrap();
+        let b = (0..n)
+            .map(|v| sim.program(v).betweenness().expect("phase finished"))
+            .collect();
+        (b, stats)
+    }
+
+    #[test]
+    fn phase2_takes_n_plus_one_rounds() {
+        let g = cycle(8).unwrap();
+        let counts = vec![vec![1u64; 8]; 8];
+        let (_, stats) = run_counts(&g, &counts, 1, 8);
+        // Pipelined: the source-s counts sent in round s arrive in round
+        // s + 1, so the phase completes in exactly n rounds (Lemma 3).
+        assert_eq!(stats.rounds, 8);
+    }
+
+    #[test]
+    fn combine_matches_centralized_formula() {
+        // Hand-feed exact potentials (times K * d(v), inverted by the
+        // program) and compare against combine_potentials.
+        let g = path(4).unwrap();
+        let n = 4;
+        let k = 2;
+        // Synthetic counts: xi[v][s] = (v + 2 s + 1), scaled by nothing.
+        let counts: Vec<Vec<u64>> = (0..n)
+            .map(|v| (0..n).map(|s| (v + 2 * s + 1) as u64).collect())
+            .collect();
+        let (b, _) = run_counts(&g, &counts, k, 16);
+
+        // Centralized reference with the same quantization (F = 16 is fine
+        // to treat as exact for integer inputs of this size).
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|v| {
+                (0..n)
+                    .map(|s| counts[v][s] as f64 / g.degree(v) as f64 / k as f64)
+                    .collect()
+            })
+            .collect();
+        let reference =
+            crate::flow_sum::combine_potentials(&g, &x, crate::flow_sum::PairSumMethod::Sorted);
+        for v in 0..n {
+            assert!(
+                (b[v] - reference[v]).abs() < 1e-3,
+                "node {v}: {} vs {}",
+                b[v],
+                reference[v]
+            );
+        }
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_fractional_bits() {
+        let g = cycle(5).unwrap();
+        let counts: Vec<Vec<u64>> = (0..5)
+            .map(|v| (0..5).map(|s| ((7 * v + 3 * s) % 11) as u64).collect())
+            .collect();
+        let (coarse, _) = run_counts(&g, &counts, 3, 2);
+        let (fine, _) = run_counts(&g, &counts, 3, 16);
+        let x: Vec<Vec<f64>> = (0..5)
+            .map(|v| {
+                (0..5)
+                    .map(|s| counts[v][s] as f64 / g.degree(v) as f64 / 3.0)
+                    .collect()
+            })
+            .collect();
+        let reference =
+            crate::flow_sum::combine_potentials(&g, &x, crate::flow_sum::PairSumMethod::Sorted);
+        let err = |b: &[f64]| -> f64 {
+            b.iter()
+                .zip(&reference)
+                .map(|(a, r)| (a - r).abs())
+                .fold(0.0, f64::max)
+        };
+        assert!(err(&fine) <= err(&coarse));
+        assert!(err(&fine) < 1e-3);
+    }
+}

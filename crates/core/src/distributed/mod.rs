@@ -1,0 +1,525 @@
+//! The paper's contribution: distributed RWBC approximation under CONGEST.
+//!
+//! The computation runs in the two phases of Section VI-B:
+//!
+//! 1. **Counting** ([`WalkProgram`], Algorithm 1): a target `t` is chosen at
+//!    random; every other node launches `K` random-walk tokens of length
+//!    `l`; walks are absorbed at `t` or truncated; every node tallies
+//!    per-source visit counts `ξ_v^s`. `O(Kn + l)` rounds (Lemma 2).
+//! 2. **Computing** ([`CountProgram`], Algorithm 2): nodes exchange
+//!    degree-scaled counts with neighbors — one source per round,
+//!    pipelined — then evaluate Eqs. 6–8 locally. `O(n)` rounds (Lemma 3).
+//!
+//! Together: `O(n log n)` rounds for `K = Θ(log n)`, `l = Θ(n)`
+//! (Theorem 5), and every message is `O(log n)` bits (Theorem 4) — both
+//! *enforced* by the simulator, not just claimed.
+//!
+//! The module also contains the trivial baseline the paper contrasts with
+//! (Section I): [`collect_and_solve`] gathers the whole topology at one
+//! node in `O(m + D)` rounds and solves exactly — more rounds on dense
+//! graphs, exact output, and the workhorse of the lower-bound experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use rwbc::distributed::{approximate, DistributedConfig};
+//! use rwbc::exact::newman;
+//! use rwbc_graph::generators::star;
+//!
+//! # fn main() -> Result<(), rwbc::RwbcError> {
+//! let g = star(5)?;
+//! let cfg = DistributedConfig::builder().walks(800).length(60).seed(1).build()?;
+//! let run = approximate(&g, &cfg)?;
+//! assert!(run.walk_stats.congest_compliant());
+//! assert!(run.count_stats.congest_compliant());
+//! // The hub wins, as in the exact computation.
+//! assert_eq!(run.centrality.argmax(), newman(&g)?.argmax());
+//! # Ok(())
+//! # }
+//! ```
+
+mod collect;
+mod count_phase;
+mod election;
+pub mod messages;
+mod walk_phase;
+
+pub use collect::{collect_and_solve, CollectRun};
+pub use count_phase::CountProgram;
+pub use election::{ElectMsg, ElectTargetProgram};
+pub use walk_phase::WalkProgram;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use congest_sim::{SimConfig, Simulator};
+use rwbc_graph::traversal::is_connected;
+use rwbc_graph::{Graph, NodeId};
+
+use crate::distributed::messages::{count_field_bits, len_field_bits};
+use crate::monte_carlo::TargetStrategy;
+use crate::params::ApproxParams;
+use crate::{Centrality, RwbcError};
+
+/// How simultaneous walk tokens contend for an edge (design decision D3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CongestionDiscipline {
+    /// The paper's rule (Algorithm 1 line 6): one token per edge per round;
+    /// the rest wait and re-roll.
+    #[default]
+    HoldAndResend,
+    /// Ablation: pack as many tokens per message as the `O(log n)`-bit
+    /// budget admits. Same estimator, fewer rounds.
+    Batched,
+}
+
+/// Configuration for [`approximate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedConfig {
+    /// The `(K, l)` pair of Algorithm 1.
+    pub params: ApproxParams,
+    /// Absorbing-target selection (Algorithm 1 line 2).
+    pub target: TargetStrategy,
+    /// When `true`, the target is chosen by the fully distributed
+    /// election protocol ([`ElectTargetProgram`], `O(n)` extra rounds)
+    /// instead of by the driver; `target` is then ignored.
+    pub elect_target: bool,
+    /// Master seed (drives both the target draw and every node's coins).
+    pub seed: u64,
+    /// Edge-contention rule.
+    pub discipline: CongestionDiscipline,
+    /// Fractional bits of the phase-2 fixed-point counts (clamped to fit
+    /// the budget; the value actually used is reported in the run).
+    pub fixed_point_bits: u8,
+    /// Simulator settings (bandwidth coefficient, thread count, cut, ...).
+    pub sim: SimConfig,
+}
+
+impl DistributedConfig {
+    /// Theory-driven defaults for a graph of `n` nodes: `K`, `l` from
+    /// [`ApproxParams::from_theory`] with `ε = δ = 0.1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RwbcError::InvalidParameter`] when `n < 2`.
+    pub fn from_theory(n: usize) -> Result<DistributedConfig, RwbcError> {
+        Ok(DistributedConfig {
+            params: ApproxParams::from_theory(n, 0.1, 0.1)?,
+            target: TargetStrategy::Random,
+            elect_target: false,
+            seed: 0,
+            discipline: CongestionDiscipline::default(),
+            fixed_point_bits: 16,
+            sim: SimConfig::default(),
+        })
+    }
+
+    /// Starts a builder with explicit parameters.
+    pub fn builder() -> DistributedConfigBuilder {
+        DistributedConfigBuilder::default()
+    }
+}
+
+/// Builder for [`DistributedConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct DistributedConfigBuilder {
+    walks: Option<usize>,
+    length: Option<usize>,
+    target: TargetStrategy,
+    elect_target: bool,
+    seed: u64,
+    discipline: CongestionDiscipline,
+    fixed_point_bits: Option<u8>,
+    sim: Option<SimConfig>,
+}
+
+impl DistributedConfigBuilder {
+    /// Sets `K`, the walks per node.
+    #[must_use]
+    pub fn walks(mut self, k: usize) -> Self {
+        self.walks = Some(k);
+        self
+    }
+
+    /// Sets `l`, the walk length.
+    #[must_use]
+    pub fn length(mut self, l: usize) -> Self {
+        self.length = Some(l);
+        self
+    }
+
+    /// Sets the absorbing-target strategy.
+    #[must_use]
+    pub fn target(mut self, t: TargetStrategy) -> Self {
+        self.target = t;
+        self
+    }
+
+    /// Enables the fully distributed target election (phase 0).
+    #[must_use]
+    pub fn elect_target(mut self, elect: bool) -> Self {
+        self.elect_target = elect;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the congestion discipline.
+    #[must_use]
+    pub fn discipline(mut self, d: CongestionDiscipline) -> Self {
+        self.discipline = d;
+        self
+    }
+
+    /// Sets the fixed-point fractional bits for phase 2.
+    #[must_use]
+    pub fn fixed_point_bits(mut self, f: u8) -> Self {
+        self.fixed_point_bits = Some(f);
+        self
+    }
+
+    /// Sets the simulator configuration.
+    #[must_use]
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.sim = Some(sim);
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RwbcError::InvalidParameter`] when `K` or `l` is missing
+    /// or zero.
+    pub fn build(self) -> Result<DistributedConfig, RwbcError> {
+        let (Some(k), Some(l)) = (self.walks, self.length) else {
+            return Err(RwbcError::InvalidParameter {
+                reason: "builder requires both walks(K) and length(l)".to_string(),
+            });
+        };
+        Ok(DistributedConfig {
+            params: ApproxParams::new(k, l)?,
+            target: self.target,
+            elect_target: self.elect_target,
+            seed: self.seed,
+            discipline: self.discipline,
+            fixed_point_bits: self.fixed_point_bits.unwrap_or(16),
+            sim: self.sim.unwrap_or_default(),
+        })
+    }
+}
+
+/// Result of a distributed approximation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedRun {
+    /// The estimated centrality (node `v`'s value was computed *at* node
+    /// `v`, as the problem demands).
+    pub centrality: Centrality,
+    /// The absorbing target that was drawn.
+    pub target: NodeId,
+    /// Phase-0 (target election) statistics, when `elect_target` was set.
+    pub election_stats: Option<congest_sim::RunStats>,
+    /// Phase-1 (Algorithm 1) round/traffic statistics.
+    pub walk_stats: congest_sim::RunStats,
+    /// Phase-2 (Algorithm 2) round/traffic statistics.
+    pub count_stats: congest_sim::RunStats,
+    /// Fractional bits actually used for the fixed-point counts (may be
+    /// clamped below the configured value to fit the budget).
+    pub fixed_point_bits: u8,
+}
+
+impl DistributedRun {
+    /// Total rounds across all phases — the paper's time-complexity
+    /// metric (Theorem 5).
+    pub fn total_rounds(&self) -> usize {
+        self.election_stats.as_ref().map_or(0, |s| s.rounds)
+            + self.walk_stats.rounds
+            + self.count_stats.rounds
+    }
+
+    /// Whether every phase stayed within the CONGEST budget (Theorem 4).
+    pub fn congest_compliant(&self) -> bool {
+        self.election_stats
+            .as_ref()
+            .is_none_or(congest_sim::RunStats::congest_compliant)
+            && self.walk_stats.congest_compliant()
+            && self.count_stats.congest_compliant()
+    }
+}
+
+/// Runs the full distributed approximation (Algorithms 1 + 2).
+///
+/// # Errors
+///
+/// * [`RwbcError::TooSmall`] / [`RwbcError::Disconnected`] on invalid
+///   graphs;
+/// * [`RwbcError::InvalidParameter`] on bad targets or when even 1
+///   fractional bit cannot fit the phase-2 budget;
+/// * [`RwbcError::Sim`] on CONGEST violations (which would indicate a bug —
+///   the algorithm is designed to comply).
+pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<DistributedRun, RwbcError> {
+    let n = graph.node_count();
+    if n < 2 {
+        return Err(RwbcError::TooSmall { n });
+    }
+    if !is_connected(graph) {
+        return Err(RwbcError::Disconnected);
+    }
+    let mut seeder = StdRng::seed_from_u64(config.seed);
+    let mut election_stats = None;
+    let target = if config.elect_target {
+        // Phase 0: fully distributed election (leader draws the target).
+        let cfg0 = config.sim.clone().with_seed(config.seed ^ 0xE1EC);
+        let mut sim0 = Simulator::new(graph, cfg0, |v| ElectTargetProgram::new(v, n));
+        let stats = sim0.run()?;
+        let t = sim0
+            .program(0)
+            .target()
+            .expect("election terminated, every node knows the target");
+        election_stats = Some(stats);
+        t
+    } else {
+        match config.target {
+            TargetStrategy::Random => seeder.gen_range(0..n),
+            TargetStrategy::Fixed(t) if t < n => t,
+            TargetStrategy::Fixed(t) => {
+                return Err(RwbcError::InvalidParameter {
+                    reason: format!("fixed target {t} out of range"),
+                })
+            }
+        }
+    };
+    let k = config.params.walks_per_node;
+    let l = config.params.walk_length;
+    let len_bits = len_field_bits(l);
+
+    // Phase 1: counting (Algorithm 1).
+    let phase1_cfg = config.sim.clone().with_seed(config.seed ^ 0x9E37_79B9);
+    let mut sim1 = Simulator::new(graph, phase1_cfg, |v| {
+        WalkProgram::new(v, n, target, k, l, len_bits, config.discipline)
+    });
+    let walk_stats = sim1.run()?;
+    let counts: Vec<Vec<u64>> = (0..n).map(|v| sim1.program(v).counts().to_vec()).collect();
+    drop(sim1);
+
+    // Fit the fixed-point width under the phase-2 budget.
+    let budget = config.sim.budget_bits(n);
+    let mut f = config.fixed_point_bits;
+    while f > 1 && count_field_bits(k, l, f) as usize > budget {
+        f -= 1;
+    }
+    if count_field_bits(k, l, f) as usize > budget {
+        return Err(RwbcError::InvalidParameter {
+            reason: format!(
+                "phase-2 counts cannot fit the {budget}-bit budget even with 1 fractional bit; \
+                 raise the bandwidth coefficient"
+            ),
+        });
+    }
+    let value_bits = count_field_bits(k, l, f);
+
+    // Phase 2: computing (Algorithm 2).
+    let phase2_cfg = config.sim.clone().with_seed(config.seed ^ 0x7F4A_7C15);
+    let mut sim2 = Simulator::new(graph, phase2_cfg, |v| {
+        CountProgram::new(v, n, graph.degree(v), counts[v].clone(), k, value_bits, f)
+    });
+    let count_stats = sim2.run()?;
+    let values: Vec<f64> = (0..n)
+        .map(|v| {
+            sim2.program(v)
+                .betweenness()
+                .expect("phase 2 finished, every node holds its value")
+        })
+        .collect();
+    Ok(DistributedRun {
+        centrality: Centrality::from_values(values),
+        target,
+        election_stats,
+        walk_stats,
+        count_stats,
+        fixed_point_bits: f,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::{mean_relative_error, spearman_rho};
+    use crate::exact::newman;
+    use crate::monte_carlo::{estimate, McConfig};
+    use rwbc_graph::generators::{connected_gnp, fig1_graph, path, star};
+
+    #[test]
+    fn distributed_matches_exact_on_star() {
+        let g = star(5).unwrap();
+        let cfg = DistributedConfig::builder()
+            .walks(1500)
+            .length(80)
+            .seed(2)
+            .build()
+            .unwrap();
+        let run = approximate(&g, &cfg).unwrap();
+        assert!(run.congest_compliant());
+        let exact = newman(&g).unwrap();
+        let err = mean_relative_error(&run.centrality, &exact);
+        assert!(err < 0.06, "mean relative error {err}");
+    }
+
+    #[test]
+    fn distributed_matches_monte_carlo_shape() {
+        // Same estimator, different execution substrate: rankings agree on
+        // a random graph.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let g = connected_gnp(24, 0.25, 100, &mut rng).unwrap();
+        let exact = newman(&g).unwrap();
+        let dcfg = DistributedConfig::builder()
+            .walks(600)
+            .length(150)
+            .seed(3)
+            .target(TargetStrategy::Fixed(0))
+            .build()
+            .unwrap();
+        let drun = approximate(&g, &dcfg).unwrap();
+        let mcfg = McConfig::new(600, 150)
+            .with_seed(3)
+            .with_target(TargetStrategy::Fixed(0));
+        let mrun = estimate(&g, &mcfg).unwrap();
+        assert!(spearman_rho(&drun.centrality, &exact) > 0.9);
+        assert!(spearman_rho(&mrun.centrality, &exact) > 0.9);
+        assert!(spearman_rho(&drun.centrality, &mrun.centrality) > 0.9);
+    }
+
+    #[test]
+    fn fig1_distributed_recovers_the_story() {
+        let (g, l) = fig1_graph(3).unwrap();
+        let cfg = DistributedConfig::builder()
+            .walks(1200)
+            .length(120)
+            .seed(5)
+            .build()
+            .unwrap();
+        let run = approximate(&g, &cfg).unwrap();
+        // C beats the endpoint floor; A and B are top-2.
+        let floor = 2.0 / g.node_count() as f64;
+        assert!(run.centrality[l.c] > 1.1 * floor);
+        let top = run.centrality.top_k(2);
+        assert!(top.contains(&l.a) && top.contains(&l.b));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = star(4).unwrap();
+        let cfg = DistributedConfig::builder()
+            .walks(40)
+            .length(30)
+            .seed(9)
+            .build()
+            .unwrap();
+        let a = approximate(&g, &cfg).unwrap();
+        let b = approximate(&g, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phase2_rounds_are_linear_in_n() {
+        let g = path(20).unwrap();
+        let cfg = DistributedConfig::builder()
+            .walks(5)
+            .length(40)
+            .seed(1)
+            .build()
+            .unwrap();
+        let run = approximate(&g, &cfg).unwrap();
+        assert_eq!(run.count_stats.rounds, 20, "Lemma 3: exactly n rounds");
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(DistributedConfig::builder().walks(5).build().is_err());
+        assert!(DistributedConfig::builder().length(5).build().is_err());
+        assert!(DistributedConfig::builder()
+            .walks(0)
+            .length(5)
+            .build()
+            .is_err());
+        assert!(DistributedConfig::from_theory(1).is_err());
+        let cfg = DistributedConfig::from_theory(64).unwrap();
+        assert!(cfg.params.walks_per_node >= 1);
+    }
+
+    #[test]
+    fn input_validation() {
+        let cfg = DistributedConfig::builder()
+            .walks(4)
+            .length(4)
+            .build()
+            .unwrap();
+        let tiny = rwbc_graph::Graph::empty(1);
+        assert!(matches!(
+            approximate(&tiny, &cfg),
+            Err(RwbcError::TooSmall { .. })
+        ));
+        let disc = rwbc_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            approximate(&disc, &cfg),
+            Err(RwbcError::Disconnected)
+        ));
+        let bad_target = DistributedConfig::builder()
+            .walks(4)
+            .length(4)
+            .target(TargetStrategy::Fixed(10))
+            .build()
+            .unwrap();
+        let g = star(3).unwrap();
+        assert!(matches!(
+            approximate(&g, &bad_target),
+            Err(RwbcError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn elected_target_pipeline_works_end_to_end() {
+        let g = star(5).unwrap();
+        let cfg = DistributedConfig::builder()
+            .walks(300)
+            .length(40)
+            .seed(7)
+            .elect_target(true)
+            .build()
+            .unwrap();
+        let run = approximate(&g, &cfg).unwrap();
+        let stats = run.election_stats.as_ref().expect("election phase ran");
+        assert!(stats.congest_compliant());
+        // Election window is n rounds plus <= D spread.
+        assert!(stats.rounds >= g.node_count());
+        assert!(stats.rounds <= g.node_count() + 4);
+        assert!(run.congest_compliant());
+        assert!(run.target < g.node_count());
+        assert!(run.total_rounds() > run.walk_stats.rounds + run.count_stats.rounds);
+        // Output is still a sound estimate.
+        let exact = newman(&g).unwrap();
+        assert!(mean_relative_error(&run.centrality, &exact) < 0.15);
+    }
+
+    #[test]
+    fn fixed_point_width_clamps_to_budget() {
+        let g = path(6).unwrap();
+        let mut cfg = DistributedConfig::builder()
+            .walks(8)
+            .length(20)
+            .fixed_point_bits(60)
+            .seed(4)
+            .build()
+            .unwrap();
+        cfg.sim = SimConfig::default().with_bandwidth_coeff(10);
+        let run = approximate(&g, &cfg).unwrap();
+        assert!(run.fixed_point_bits < 60);
+        assert!(run.congest_compliant());
+    }
+}

@@ -1,0 +1,313 @@
+//! Phase 1 — the paper's **Algorithm 1**: every node launches `K` truncated
+//! absorbing random walks and every node counts the visits it receives,
+//! per source.
+
+use rand::Rng;
+
+use congest_sim::{Context, Incoming, NodeProgram};
+use rwbc_graph::NodeId;
+
+use crate::distributed::messages::{WalkBatch, WalkToken};
+use crate::distributed::CongestionDiscipline;
+
+/// Node program for the counting phase.
+///
+/// Faithful to Algorithm 1 with one documented deviation: a walk's visit to
+/// its *birth* node is counted (`ξ_s^s` starts at `K`), because the matrix
+/// the estimator targets, `(I − M_t)^{-1}`, includes the `r = 0` term —
+/// see `DESIGN.md` §5. Line 6's congestion rule ("if more than one random
+/// walk needs the same edge, send one") is implemented as hold-and-resend:
+/// losers stay queued and re-roll a neighbor next round. The batched
+/// variant (ablation D3) instead packs as many tokens per message as the
+/// bit budget allows.
+#[derive(Debug, Clone)]
+pub struct WalkProgram {
+    me: NodeId,
+    target: NodeId,
+    k: usize,
+    len_bits: u8,
+    discipline: CongestionDiscipline,
+    /// Tokens currently parked at this node, waiting to move.
+    queue: Vec<WalkToken>,
+    /// `ξ_me^s` for every source `s`.
+    counts: Vec<u64>,
+    started: bool,
+}
+
+impl WalkProgram {
+    /// Program for node `me`. `walk_length` is `l`, `walks_per_node` is `K`.
+    pub fn new(
+        me: NodeId,
+        n: usize,
+        target: NodeId,
+        walks_per_node: usize,
+        walk_length: usize,
+        len_bits: u8,
+        discipline: CongestionDiscipline,
+    ) -> WalkProgram {
+        WalkProgram::with_token_lengths(
+            me,
+            n,
+            target,
+            vec![walk_length as u32; walks_per_node],
+            len_bits,
+            discipline,
+        )
+    }
+
+    /// Program whose `K = lengths.len()` tokens carry individual length
+    /// budgets. Used by the α-current-flow variant, where token lifetimes
+    /// are geometric with mean `1 / (1 − α)` instead of a fixed `l`.
+    pub fn with_token_lengths(
+        me: NodeId,
+        n: usize,
+        target: NodeId,
+        lengths: Vec<u32>,
+        len_bits: u8,
+        discipline: CongestionDiscipline,
+    ) -> WalkProgram {
+        let k = lengths.len();
+        let mut counts = vec![0u64; n];
+        let mut queue = Vec::new();
+        if me != target {
+            // Birth visits: the r = 0 term of the visit expectation.
+            counts[me] += k as u64;
+            queue.extend(lengths.into_iter().filter(|&l| l > 0).map(|l| WalkToken {
+                source: me,
+                remaining: l,
+            }));
+        }
+        WalkProgram {
+            me,
+            target,
+            k,
+            len_bits,
+            discipline,
+            queue,
+            counts,
+            started: false,
+        }
+    }
+
+    /// The visit counts `ξ_me^s` harvested after the phase completes.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Tokens still parked here (0 after a completed run).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Walks this node launched.
+    pub fn launched(&self) -> usize {
+        if self.me == self.target {
+            0
+        } else {
+            self.k
+        }
+    }
+
+    /// Rolls a neighbor for every queued token and ships what the
+    /// congestion discipline allows; the rest stay queued.
+    fn forward(&mut self, ctx: &mut Context<'_, WalkBatch>) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let deg = ctx.degree();
+        debug_assert!(deg > 0, "connected graphs have no isolated nodes");
+        // Pair each token with its chosen neighbor (paper line 6, first
+        // half: "choose a random neighbor v").
+        let choices: Vec<usize> = (0..self.queue.len())
+            .map(|_| ctx.rng().gen_range(0..deg))
+            .collect();
+        let max_per_edge = match self.discipline {
+            CongestionDiscipline::HoldAndResend => 1,
+            CongestionDiscipline::Batched => {
+                let budget = congest_sim::SimConfig::default().budget_bits(ctx.network_size());
+                let token = WalkBatch::token_bits(ctx.network_size(), self.len_bits);
+                ((budget.saturating_sub(4)) / token).max(1)
+            }
+        };
+        // For each neighbor, take up to `max_per_edge` tokens; the rest
+        // wait (paper line 6, second half).
+        let mut keep: Vec<WalkToken> = Vec::new();
+        let mut per_neighbor: Vec<Vec<WalkToken>> = vec![Vec::new(); deg];
+        for (token, choice) in self.queue.drain(..).zip(choices) {
+            if per_neighbor[choice].len() < max_per_edge {
+                per_neighbor[choice].push(token);
+            } else {
+                keep.push(token);
+            }
+        }
+        self.queue = keep;
+        for (i, tokens) in per_neighbor.into_iter().enumerate() {
+            if tokens.is_empty() {
+                continue;
+            }
+            let to = ctx.neighbor(i);
+            ctx.send(
+                to,
+                WalkBatch {
+                    tokens,
+                    len_bits: self.len_bits,
+                },
+            );
+        }
+    }
+}
+
+impl NodeProgram for WalkProgram {
+    type Msg = WalkBatch;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, WalkBatch>) {
+        self.started = true;
+        self.forward(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, WalkBatch>, inbox: &[Incoming<WalkBatch>]) {
+        for batch in inbox {
+            for token in &batch.msg.tokens {
+                // Paper lines 7-16: absorb at the target, otherwise count
+                // the visit, decrement, and keep the walk if it has hops
+                // left.
+                if self.me == self.target {
+                    continue; // absorbed
+                }
+                self.counts[token.source] += 1;
+                if token.remaining > 1 {
+                    self.queue.push(WalkToken {
+                        source: token.source,
+                        remaining: token.remaining - 1,
+                    });
+                }
+            }
+        }
+        self.forward(ctx);
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.started && self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_sim::{SimConfig, Simulator};
+    use rwbc_graph::generators::{complete, cycle, path, star};
+
+    fn run_phase(
+        g: &rwbc_graph::Graph,
+        target: NodeId,
+        k: usize,
+        l: usize,
+        discipline: CongestionDiscipline,
+        seed: u64,
+    ) -> (Vec<Vec<u64>>, congest_sim::RunStats) {
+        let n = g.node_count();
+        let len_bits = crate::distributed::messages::len_field_bits(l);
+        let mut sim = Simulator::new(g, SimConfig::default().with_seed(seed), |v| {
+            WalkProgram::new(v, n, target, k, l, len_bits, discipline)
+        });
+        let stats = sim.run().unwrap();
+        let counts = (0..n).map(|v| sim.program(v).counts().to_vec()).collect();
+        (counts, stats)
+    }
+
+    #[test]
+    fn walk_conservation_on_cycle() {
+        // Each walk makes visits: birth + one per completed hop. Total
+        // visits across all nodes from source s equals K (birth) + hops
+        // taken; hops <= K * l. Just sanity-check bounds and that the
+        // target row stays zero.
+        let g = cycle(6).unwrap();
+        let (counts, stats) = run_phase(&g, 0, 5, 20, CongestionDiscipline::HoldAndResend, 1);
+        assert!(stats.congest_compliant());
+        for s in 1..6 {
+            let total: u64 = (0..6).map(|v| counts[v][s]).sum();
+            assert!(total >= 5, "source {s} total {total}");
+            assert!(total <= 5 * 21, "source {s} total {total}");
+        }
+        // The absorbing target never counts visits.
+        assert!(counts[0].iter().all(|&c| c == 0));
+        // And no walks start at the target: column 0 of every node is 0.
+        for v in 1..6 {
+            assert_eq!(counts[v][0], 0);
+        }
+    }
+
+    #[test]
+    fn birth_visits_counted() {
+        let g = path(4).unwrap();
+        let (counts, _) = run_phase(&g, 3, 7, 1, CongestionDiscipline::HoldAndResend, 2);
+        // With l = 1 every walk makes exactly one hop; the birth visit must
+        // still be there.
+        for s in 0..3 {
+            assert!(counts[s][s] >= 7, "node {s} birth visits {}", counts[s][s]);
+        }
+    }
+
+    #[test]
+    fn all_walks_drain_and_queues_empty() {
+        let g = complete(8).unwrap();
+        let n = g.node_count();
+        let len_bits = crate::distributed::messages::len_field_bits(30);
+        let mut sim = Simulator::new(&g, SimConfig::default().with_seed(3), |v| {
+            WalkProgram::new(
+                v,
+                n,
+                2,
+                10,
+                30,
+                len_bits,
+                CongestionDiscipline::HoldAndResend,
+            )
+        });
+        sim.run().unwrap();
+        for v in 0..n {
+            assert_eq!(sim.program(v).queued(), 0);
+        }
+    }
+
+    #[test]
+    fn expected_visits_approach_fundamental_matrix() {
+        // Path 0-1-2 absorbed at 2: E[visits to 0 from 0] = 2 (see the
+        // Monte-Carlo test of the same quantity). Distributed must agree.
+        let g = path(3).unwrap();
+        let k = 8000;
+        let (counts, _) = run_phase(&g, 2, k, 200, CongestionDiscipline::HoldAndResend, 4);
+        let est = counts[0][0] as f64 / k as f64;
+        assert!((est - 2.0).abs() < 0.15, "visits(0<-0) = {est}");
+    }
+
+    #[test]
+    fn batched_discipline_matches_hold_and_resend_statistically() {
+        let g = star(6).unwrap();
+        let k = 2000;
+        let (a, stats_a) = run_phase(&g, 6, k, 60, CongestionDiscipline::HoldAndResend, 5);
+        let (b, stats_b) = run_phase(&g, 6, k, 60, CongestionDiscipline::Batched, 5);
+        assert!(stats_a.congest_compliant());
+        assert!(stats_b.congest_compliant());
+        // Batched drains the K-token backlog faster.
+        assert!(stats_b.rounds <= stats_a.rounds);
+        // Same estimator: per-node totals agree within Monte-Carlo noise.
+        for v in 0..6 {
+            let ta: u64 = a[v].iter().sum();
+            let tb: u64 = b[v].iter().sum();
+            if ta + tb > 1000 {
+                let ratio = ta as f64 / tb as f64;
+                assert!((0.9..1.1).contains(&ratio), "node {v}: {ta} vs {tb}");
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_delays_but_preserves_hop_budget() {
+        // Many walks from one node of a path: degree-1 endpoint can emit
+        // only one token per round, so draining K tokens takes >= K rounds.
+        let g = path(2).unwrap();
+        let (_, stats) = run_phase(&g, 1, 50, 3, CongestionDiscipline::HoldAndResend, 6);
+        assert!(stats.rounds >= 50, "rounds {}", stats.rounds);
+    }
+}

@@ -1,0 +1,107 @@
+use std::error::Error;
+use std::fmt;
+
+use congest_sim::SimError;
+use rwbc_graph::GraphError;
+use rwbc_linalg::LinalgError;
+
+/// Errors produced by the RWBC algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RwbcError {
+    /// The input graph is disconnected — absorbing random walks from some
+    /// source could never reach the target, and the grounded Laplacian is
+    /// singular. The paper's model (Section III-A) assumes connectivity.
+    Disconnected,
+    /// The input graph is too small for the measure to be defined
+    /// (betweenness averages over pairs `s < t`, so `n >= 2`).
+    TooSmall {
+        /// The offending node count.
+        n: usize,
+    },
+    /// A configuration value is invalid (e.g. `K = 0` walks).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Propagated graph-substrate error.
+    Graph(GraphError),
+    /// Propagated linear-algebra error.
+    Linalg(LinalgError),
+    /// Propagated CONGEST-simulation error.
+    Sim(SimError),
+}
+
+impl fmt::Display for RwbcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RwbcError::Disconnected => {
+                write!(f, "graph must be connected for random walk betweenness")
+            }
+            RwbcError::TooSmall { n } => {
+                write!(f, "graph with {n} nodes is too small (need at least 2)")
+            }
+            RwbcError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            RwbcError::Graph(e) => write!(f, "graph error: {e}"),
+            RwbcError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            RwbcError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for RwbcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RwbcError::Graph(e) => Some(e),
+            RwbcError::Linalg(e) => Some(e),
+            RwbcError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for RwbcError {
+    fn from(e: GraphError) -> RwbcError {
+        RwbcError::Graph(e)
+    }
+}
+
+impl From<LinalgError> for RwbcError {
+    fn from(e: LinalgError) -> RwbcError {
+        RwbcError::Linalg(e)
+    }
+}
+
+impl From<SimError> for RwbcError {
+    fn from(e: SimError) -> RwbcError {
+        RwbcError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let g: RwbcError = GraphError::SelfLoop { node: 1 }.into();
+        assert!(matches!(g, RwbcError::Graph(_)));
+        assert!(g.source().is_some());
+        let l: RwbcError = LinalgError::Singular { column: 0 }.into();
+        assert!(matches!(l, RwbcError::Linalg(_)));
+        let s: RwbcError = SimError::RoundLimitExceeded { limit: 5 }.into();
+        assert!(matches!(s, RwbcError::Sim(_)));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(RwbcError::Disconnected.to_string().contains("connected"));
+        assert!(RwbcError::TooSmall { n: 1 }.to_string().contains('1'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RwbcError>();
+    }
+}

@@ -1,0 +1,161 @@
+//! Freeman's network-flow betweenness (paper Section II-A).
+//!
+//! A node's flow betweenness is the amount of max-flow routed through it,
+//! summed over all source/target pairs. Like RWBC it credits non-shortest
+//! paths; unlike RWBC it presumes the "ideal route" (a maximum flow) is
+//! known — the criticism the paper raises. We include it as a comparison
+//! measure for experiment E8.
+//!
+//! Exact computation runs `C(n, 2)` Edmonds–Karp flows — `O(n m²)` per
+//! pair bound, fine at experiment scale; [`flow_betweenness_sampled`]
+//! subsamples pairs for larger graphs.
+//!
+//! Endpoint pairs contribute the full flow value to `s` and `t` themselves
+//! (mirroring the RWBC convention of Eq. 7, which keeps the two measures
+//! comparable on an identical scale after normalization by the max-flow
+//! total).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use rwbc_graph::Graph;
+
+use crate::maxflow::max_flow;
+use crate::{Centrality, RwbcError};
+
+/// Exact flow betweenness: `FB(i) = Σ_{s<t} f_st(i) / Σ_{s<t} f_st`, where
+/// `f_st(i)` is the flow through `i` in a maximum `s`–`t` flow.
+///
+/// Note: maximum flows are not unique; values reflect the specific flows
+/// Edmonds–Karp finds (deterministically), as in other practical
+/// implementations.
+///
+/// # Errors
+///
+/// * [`RwbcError::TooSmall`] when `n < 2`;
+/// * propagated flow errors.
+pub fn flow_betweenness(graph: &Graph) -> Result<Centrality, RwbcError> {
+    let n = graph.node_count();
+    if n < 2 {
+        return Err(RwbcError::TooSmall { n });
+    }
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|s| ((s + 1)..n).map(move |t| (s, t)))
+        .collect();
+    accumulate(graph, &pairs)
+}
+
+/// Flow betweenness estimated from `sample_size` uniformly sampled pairs.
+///
+/// # Errors
+///
+/// Same as [`flow_betweenness`], plus [`RwbcError::InvalidParameter`] when
+/// `sample_size == 0`.
+pub fn flow_betweenness_sampled(
+    graph: &Graph,
+    sample_size: usize,
+    seed: u64,
+) -> Result<Centrality, RwbcError> {
+    let n = graph.node_count();
+    if n < 2 {
+        return Err(RwbcError::TooSmall { n });
+    }
+    if sample_size == 0 {
+        return Err(RwbcError::InvalidParameter {
+            reason: "sample_size must be positive".to_string(),
+        });
+    }
+    let mut all: Vec<(usize, usize)> = (0..n)
+        .flat_map(|s| ((s + 1)..n).map(move |t| (s, t)))
+        .collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    all.shuffle(&mut rng);
+    all.truncate(sample_size);
+    accumulate(graph, &all)
+}
+
+fn accumulate(graph: &Graph, pairs: &[(usize, usize)]) -> Result<Centrality, RwbcError> {
+    let n = graph.node_count();
+    let mut through = vec![0.0f64; n];
+    let mut total = 0.0;
+    for &(s, t) in pairs {
+        let f = max_flow(graph, s, t)?;
+        total += f.value;
+        for (v, acc) in through.iter_mut().enumerate() {
+            *acc += f.through(v, s, t);
+        }
+    }
+    if total > 0.0 {
+        for x in &mut through {
+            *x /= total;
+        }
+    }
+    Ok(Centrality::from_values(through))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes::betweenness;
+    use rwbc_graph::generators::{complete, fig1_graph, path, star};
+
+    #[test]
+    fn star_hub_carries_everything() {
+        let g = star(4).unwrap();
+        let fb = flow_betweenness(&g).unwrap();
+        assert_eq!(fb.argmax(), Some(0));
+        // Hub carries the full unit of each of the 10 pairs.
+        assert!((fb[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_matches_shortest_path_structure() {
+        // On a tree every flow uses the unique path, so flow betweenness
+        // ranks nodes like shortest-path betweenness.
+        let g = path(6).unwrap();
+        let fb = flow_betweenness(&g).unwrap();
+        let sp = betweenness(&g, false).unwrap();
+        assert_eq!(fb.argmax(), sp.argmax());
+        assert!(fb[2] > fb[1]);
+        assert!(fb[1] > fb[0]);
+    }
+
+    #[test]
+    fn complete_graph_symmetry() {
+        let g = complete(5).unwrap();
+        let fb = flow_betweenness(&g).unwrap();
+        let first = fb[0];
+        for (_, x) in fb.iter() {
+            assert!((x - first).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig1_flow_betweenness_credits_c() {
+        // Unlike SPBC, flow betweenness routes some flow through C (the
+        // max flow between groups uses the C detour as extra capacity).
+        let (g, l) = fig1_graph(3).unwrap();
+        let fb = flow_betweenness(&g).unwrap();
+        let sp = betweenness(&g, false).unwrap();
+        assert_eq!(sp[l.c], 0.0);
+        assert!(fb[l.c] > 0.0);
+    }
+
+    #[test]
+    fn sampled_approximates_exact() {
+        let g = star(6).unwrap();
+        let exact = flow_betweenness(&g).unwrap();
+        let full_sample = flow_betweenness_sampled(&g, 21, 1).unwrap();
+        // Sampling all pairs reproduces the exact result.
+        assert!(exact.approx_eq(&full_sample, 1e-12));
+        let partial = flow_betweenness_sampled(&g, 10, 1).unwrap();
+        assert_eq!(partial.argmax(), Some(0));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(flow_betweenness(&rwbc_graph::Graph::empty(1)).is_err());
+        let g = path(3).unwrap();
+        assert!(flow_betweenness_sampled(&g, 0, 1).is_err());
+    }
+}

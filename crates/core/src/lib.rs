@@ -1,0 +1,62 @@
+//! Random-walk betweenness centrality (RWBC), reproducing
+//! *"Distributively Computing Random Walk Betweenness Centrality in Linear
+//! Time"* (Hua, Ai, Jin, Yu, Shi — ICDCS 2017).
+//!
+//! RWBC (Newman 2005), also known as *current-flow betweenness*, measures
+//! how often a node is traversed — net of back-and-forth cancellation — by
+//! an absorbing random walk between a source `s` and target `t`, averaged
+//! over all pairs. The paper contributes the first distributed algorithm
+//! for it under the CONGEST model, plus a matching-style lower bound.
+//!
+//! # What this crate provides
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`exact`] | Newman's matrix-expression algorithm (Section IV, Eqs. 1–8), in three solver variants |
+//! | [`monte_carlo`] | the centralized form of the paper's estimator (truncated absorbing walks) |
+//! | [`distributed`] | **the contribution**: Algorithms 1 + 2 as CONGEST node programs, plus the trivial `O(m)` collection baseline |
+//! | [`params`] | the `l = O(n)`, `K = O(log n)` parameter theory (Theorems 1 and 3) |
+//! | [`lower_bound`] | the Fig. 2–5 gadget and the Lemma 4 separation verifier |
+//! | [`brandes`] | shortest-path betweenness (the Fig. 1 comparison measure) |
+//! | [`pagerank`], [`alpha_cfb`], [`flow_betweenness`] | the related measures of Section II |
+//! | [`accuracy`] | error/rank-agreement metrics used by the experiment suite |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rwbc::exact::newman;
+//! use rwbc_graph::generators::path;
+//!
+//! # fn main() -> Result<(), rwbc::RwbcError> {
+//! let g = path(3)?; // 0 - 1 - 2
+//! let b = newman(&g)?;
+//! // The middle node carries every unit of flow; ends only their own.
+//! assert!((b[1] - 1.0).abs() < 1e-9);
+//! assert!((b[0] - 2.0 / 3.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod centrality;
+mod error;
+pub(crate) mod flow_sum;
+
+pub mod accuracy;
+pub mod alpha_cfb;
+pub mod brandes;
+pub mod distributed;
+pub mod exact;
+pub mod flow_betweenness;
+pub mod lower_bound;
+pub mod maxflow;
+pub mod monte_carlo;
+pub mod pagerank;
+pub mod params;
+pub mod random_walk;
+pub mod spbc_distributed;
+
+pub use centrality::Centrality;
+pub use error::RwbcError;

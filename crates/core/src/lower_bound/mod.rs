@@ -1,0 +1,466 @@
+//! The lower-bound gadget of the paper's Section VIII (Figs. 2–5).
+//!
+//! The `Ω(n / log n + D)` bound for *exact* RWBC reduces two-party set
+//! disjointness to deciding whether `b_P = z` or `b_P > z` on a graph built
+//! from Alice's subsets `X_1..X_N` and Bob's subsets `Y_1..Y_N` of
+//! `[M]` (`|X_i| = |Y_i| = M/2`, `M = Θ(log N)`):
+//!
+//! * a perfect matching `L_i — R_i` between Alice's and Bob's columns;
+//! * spine nodes `A` (adjacent to all of `L` and to `B`) and `B`
+//!   (adjacent to all of `R`);
+//! * Alice's set node `S_i` adjacent to `L_j` for `j ∈ X_i`;
+//! * Bob's set node `T_i` adjacent to `R_j` for `j ∉ Y_i` (note the
+//!   complement, per the paper's construction);
+//! * the probe node `P` adjacent to every `S_i` and `T_i`.
+//!
+//! Lemma 4: `b_P` attains its minimum value `z` exactly when
+//! `X ∩ Y = ∅`, i.e. `X_i ∩ Y_j = ∅` for all `i, j` (equivalently, every
+//! `S_i`'s neighborhood matches every `T_j`'s through the matching).
+//! Because any algorithm deciding this must ship `Ω(N log N)` bits across
+//! the `Θ(M + N)`-edge Alice/Bob cut while the CONGEST model moves only
+//! `O(log n)` bits per edge per round, `Ω(n / log n)` rounds follow
+//! (Theorems 6–8).
+//!
+//! This module builds the gadget, verifies the Lemma 4 separation with the
+//! exact solver, and exposes the Alice/Bob cut for the traffic-metering
+//! experiment E6. (The paper counts only the `M` matching edges in the
+//! cut, implicitly letting both players simulate the shared spine/probe
+//! nodes; our explicit cut also contains `(A, B)` and the `(P, T_i)`
+//! edges — still `Θ(M + N)` and documented in `EXPERIMENTS.md`.)
+
+use std::collections::BTreeSet;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use rwbc_graph::{Graph, GraphBuilder, NodeId};
+
+use crate::exact::newman;
+use crate::RwbcError;
+
+/// Node labels of a built gadget graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GadgetLabels {
+    /// Alice's matching column `L_1..L_M` (indices `0..M`).
+    pub l: Vec<NodeId>,
+    /// Bob's matching column `R_1..R_M`.
+    pub r: Vec<NodeId>,
+    /// Spine node adjacent to all of `L` and to `B`.
+    pub a: NodeId,
+    /// Spine node adjacent to all of `R` and to `A`.
+    pub b: NodeId,
+    /// Alice's set nodes `S_1..S_N`.
+    pub s: Vec<NodeId>,
+    /// Bob's set nodes `T_1..T_N`.
+    pub t: Vec<NodeId>,
+    /// The probe node whose betweenness encodes disjointness.
+    pub p: NodeId,
+}
+
+impl GadgetLabels {
+    /// The Alice/Bob cut: the `M` matching edges, the spine edge `(A, B)`,
+    /// and the `N` probe edges `(P, T_i)` (with `P` placed on Alice's
+    /// side). `Θ(M + N)` edges total.
+    pub fn alice_bob_cut(&self) -> Vec<(NodeId, NodeId)> {
+        let mut cut: Vec<(NodeId, NodeId)> =
+            self.l.iter().zip(&self.r).map(|(&l, &r)| (l, r)).collect();
+        cut.push((self.a, self.b));
+        cut.extend(self.t.iter().map(|&t| (self.p, t)));
+        cut
+    }
+}
+
+/// A set-disjointness instance realized as a gadget graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerBoundInstance {
+    m: usize,
+    x_sets: Vec<BTreeSet<usize>>,
+    y_sets: Vec<BTreeSet<usize>>,
+}
+
+impl LowerBoundInstance {
+    /// Builds an instance from Alice's sets `x_sets` and Bob's sets
+    /// `y_sets`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RwbcError::InvalidParameter`] unless `m` is even and
+    /// `>= 2`, both sides have the same positive number of sets, and every
+    /// set is an `m/2`-subset of `0..m`.
+    pub fn new(
+        m: usize,
+        x_sets: Vec<BTreeSet<usize>>,
+        y_sets: Vec<BTreeSet<usize>>,
+    ) -> Result<LowerBoundInstance, RwbcError> {
+        if m < 2 || !m.is_multiple_of(2) {
+            return Err(RwbcError::InvalidParameter {
+                reason: format!("M = {m} must be even and at least 2"),
+            });
+        }
+        if x_sets.is_empty() || x_sets.len() != y_sets.len() {
+            return Err(RwbcError::InvalidParameter {
+                reason: "need the same positive number of X and Y sets".to_string(),
+            });
+        }
+        for (side, sets) in [("X", &x_sets), ("Y", &y_sets)] {
+            for (i, set) in sets.iter().enumerate() {
+                if set.len() != m / 2 {
+                    return Err(RwbcError::InvalidParameter {
+                        reason: format!(
+                            "{side}_{i} has {} elements, need M/2 = {}",
+                            set.len(),
+                            m / 2
+                        ),
+                    });
+                }
+                if set.iter().any(|&e| e >= m) {
+                    return Err(RwbcError::InvalidParameter {
+                        reason: format!("{side}_{i} contains an element outside 0..{m}"),
+                    });
+                }
+            }
+        }
+        Ok(LowerBoundInstance { m, x_sets, y_sets })
+    }
+
+    /// The canonical disjoint instance: every `X_i = {0, .., M/2 − 1}`,
+    /// every `Y_j = {M/2, .., M − 1}` — so `X_i ∩ Y_j = ∅` for all pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` is odd, `m < 2`, or `n_subsets == 0` (programmer
+    /// error in experiment setup).
+    pub fn disjoint(m: usize, n_subsets: usize) -> LowerBoundInstance {
+        let x: BTreeSet<usize> = (0..m / 2).collect();
+        let y: BTreeSet<usize> = (m / 2..m).collect();
+        LowerBoundInstance::new(m, vec![x; n_subsets], vec![y; n_subsets])
+            .expect("canonical disjoint instance is valid")
+    }
+
+    /// A uniformly random instance (sets drawn independently).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid `m`/`n_subsets` (programmer error in experiment
+    /// setup).
+    pub fn random<R: Rng + ?Sized>(m: usize, n_subsets: usize, rng: &mut R) -> LowerBoundInstance {
+        let draw = |rng: &mut R| -> BTreeSet<usize> {
+            let mut items: Vec<usize> = (0..m).collect();
+            items.shuffle(rng);
+            items.into_iter().take(m / 2).collect()
+        };
+        let x_sets = (0..n_subsets).map(|_| draw(rng)).collect();
+        let y_sets = (0..n_subsets).map(|_| draw(rng)).collect();
+        LowerBoundInstance::new(m, x_sets, y_sets).expect("random instance is valid")
+    }
+
+    /// `M` (size of the matching).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// `N` (number of subsets per side).
+    pub fn n_subsets(&self) -> usize {
+        self.x_sets.len()
+    }
+
+    /// Whether `X ∩ Y = ∅` in the paper's sense: `X_i ∩ Y_j = ∅` for
+    /// every pair `(i, j)`.
+    pub fn is_disjoint(&self) -> bool {
+        self.x_sets
+            .iter()
+            .all(|x| self.y_sets.iter().all(|y| x.is_disjoint(y)))
+    }
+
+    /// Number of nodes in the built gadget: `2M + 2N + 3` (paper
+    /// Section VIII).
+    pub fn node_count(&self) -> usize {
+        2 * self.m + 2 * self.n_subsets() + 3
+    }
+
+    /// Builds the gadget graph and its labels.
+    pub fn build(&self) -> (Graph, GadgetLabels) {
+        let m = self.m;
+        let n_sub = self.n_subsets();
+        let l: Vec<NodeId> = (0..m).collect();
+        let r: Vec<NodeId> = (m..2 * m).collect();
+        let a = 2 * m;
+        let b = 2 * m + 1;
+        let s: Vec<NodeId> = (2 * m + 2..2 * m + 2 + n_sub).collect();
+        let t: Vec<NodeId> = (2 * m + 2 + n_sub..2 * m + 2 + 2 * n_sub).collect();
+        let p = 2 * m + 2 + 2 * n_sub;
+        let mut builder = GraphBuilder::new(self.node_count());
+        let mut add = |u: NodeId, v: NodeId| {
+            builder
+                .add_edge(u, v)
+                .expect("gadget construction produces a simple graph");
+        };
+        for (&lj, &rj) in l.iter().zip(&r) {
+            add(lj, rj); // the matching
+            add(a, lj); // spine to Alice's column
+            add(b, rj); // spine to Bob's column
+        }
+        add(a, b);
+        for (i, x) in self.x_sets.iter().enumerate() {
+            for &j in x {
+                add(s[i], l[j]);
+            }
+            add(p, s[i]);
+        }
+        for (i, y) in self.y_sets.iter().enumerate() {
+            for (j, &rj) in r.iter().enumerate() {
+                if !y.contains(&j) {
+                    add(t[i], rj); // the complement, per the paper
+                }
+            }
+            add(p, t[i]);
+        }
+        (
+            builder.build(),
+            GadgetLabels {
+                l,
+                r,
+                a,
+                b,
+                s,
+                t,
+                p,
+            },
+        )
+    }
+
+    /// The probe's exact RWBC `b_P`, computed with the exact solver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exact-solver errors (the gadget is always connected, so
+    /// none are expected).
+    pub fn b_p(&self) -> Result<f64, RwbcError> {
+        let (graph, labels) = self.build();
+        let c = newman(&graph)?;
+        Ok(c[labels.p])
+    }
+}
+
+/// Enumerates every `m/2`-subset of `0..m` (helper for exhaustive small-`M`
+/// separation experiments).
+pub fn half_subsets(m: usize) -> Vec<BTreeSet<usize>> {
+    let mut out = Vec::new();
+    let k = m / 2;
+    let mut current: Vec<usize> = Vec::with_capacity(k);
+    fn recurse(
+        m: usize,
+        k: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<BTreeSet<usize>>,
+    ) {
+        if current.len() == k {
+            out.push(current.iter().copied().collect());
+            return;
+        }
+        for e in start..m {
+            current.push(e);
+            recurse(m, k, e + 1, current, out);
+            current.pop();
+        }
+    }
+    recurse(m, k, 0, &mut current, &mut out);
+    out
+}
+
+/// The Lemma 4 separation, measured: the common `b_P` of disjoint
+/// instances (`z`) and the range of `b_P` over non-disjoint instances,
+/// from exhaustive enumeration at `N = 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeparationReport {
+    /// `b_P` on the canonical disjoint instance.
+    pub z_disjoint: f64,
+    /// Smallest `b_P` among non-disjoint instances.
+    pub min_intersecting: f64,
+    /// Largest `b_P` among non-disjoint instances.
+    pub max_intersecting: f64,
+    /// Number of instances examined.
+    pub instances: usize,
+}
+
+impl SeparationReport {
+    /// Whether `b_P` separates disjoint from intersecting instances
+    /// (Lemma 4's premise — in either direction).
+    pub fn separated(&self) -> bool {
+        self.z_disjoint < self.min_intersecting || self.z_disjoint > self.max_intersecting
+    }
+}
+
+/// Exhaustively verifies the Lemma 4 separation for `N = 1` and the given
+/// (small, even) `M`: all `C(M, M/2)²` instances are built and solved
+/// exactly.
+///
+/// # Errors
+///
+/// Propagates construction/solver errors.
+pub fn verify_separation(m: usize) -> Result<SeparationReport, RwbcError> {
+    let subsets = half_subsets(m);
+    let mut z: Option<f64> = None;
+    let mut min_int = f64::INFINITY;
+    let mut max_int = f64::NEG_INFINITY;
+    let mut instances = 0;
+    for x in &subsets {
+        for y in &subsets {
+            let inst = LowerBoundInstance::new(m, vec![x.clone()], vec![y.clone()])?;
+            let bp = inst.b_p()?;
+            instances += 1;
+            if inst.is_disjoint() {
+                // All disjoint instances are isomorphic; record and check.
+                match z {
+                    None => z = Some(bp),
+                    Some(prev) => {
+                        debug_assert!(
+                            (prev - bp).abs() < 1e-9,
+                            "disjoint instances must share b_P: {prev} vs {bp}"
+                        );
+                    }
+                }
+            } else {
+                min_int = min_int.min(bp);
+                max_int = max_int.max(bp);
+            }
+        }
+    }
+    Ok(SeparationReport {
+        z_disjoint: z.expect("enumeration always contains a disjoint instance"),
+        min_intersecting: min_int,
+        max_intersecting: max_int,
+        instances,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rwbc_graph::traversal::is_connected;
+
+    #[test]
+    fn gadget_shape_matches_paper() {
+        let inst = LowerBoundInstance::disjoint(4, 2);
+        let (g, labels) = inst.build();
+        // n = 2M + 2N + 3 (paper Section VIII).
+        assert_eq!(g.node_count(), 2 * 4 + 2 * 2 + 3);
+        assert!(is_connected(&g));
+        // Matching edges L_i - R_i.
+        for (l, r) in labels.l.iter().zip(&labels.r) {
+            assert!(g.has_edge(*l, *r));
+        }
+        // Spine.
+        assert!(g.has_edge(labels.a, labels.b));
+        for &l in &labels.l {
+            assert!(g.has_edge(labels.a, l));
+        }
+        for &r in &labels.r {
+            assert!(g.has_edge(labels.b, r));
+        }
+        // Each S_i has M/2 column edges + P; each T_i likewise.
+        for &s in &labels.s {
+            assert_eq!(g.degree(s), 4 / 2 + 1);
+            assert!(g.has_edge(labels.p, s));
+        }
+        for &t in &labels.t {
+            assert_eq!(g.degree(t), 4 / 2 + 1);
+            assert!(g.has_edge(labels.p, t));
+        }
+        assert_eq!(g.degree(labels.p), 2 * 2);
+    }
+
+    #[test]
+    fn complement_wiring_for_t_nodes() {
+        // Y_1 = {2, 3} -> T_1 connects to R_0, R_1 only.
+        let x: BTreeSet<usize> = [0, 1].into();
+        let y: BTreeSet<usize> = [2, 3].into();
+        let inst = LowerBoundInstance::new(4, vec![x], vec![y]).unwrap();
+        let (g, labels) = inst.build();
+        assert!(g.has_edge(labels.t[0], labels.r[0]));
+        assert!(g.has_edge(labels.t[0], labels.r[1]));
+        assert!(!g.has_edge(labels.t[0], labels.r[2]));
+        assert!(!g.has_edge(labels.t[0], labels.r[3]));
+    }
+
+    #[test]
+    fn disjointness_predicate() {
+        assert!(LowerBoundInstance::disjoint(4, 2).is_disjoint());
+        let x: BTreeSet<usize> = [0, 1].into();
+        let y: BTreeSet<usize> = [1, 2].into();
+        let inst = LowerBoundInstance::new(4, vec![x], vec![y]).unwrap();
+        assert!(!inst.is_disjoint());
+    }
+
+    #[test]
+    fn validation() {
+        let ok: BTreeSet<usize> = [0, 1].into();
+        assert!(LowerBoundInstance::new(3, vec![ok.clone()], vec![ok.clone()]).is_err()); // odd M
+        assert!(LowerBoundInstance::new(4, vec![], vec![]).is_err());
+        let wrong_size: BTreeSet<usize> = [0].into();
+        assert!(LowerBoundInstance::new(4, vec![wrong_size], vec![ok.clone()]).is_err());
+        let out_of_range: BTreeSet<usize> = [0, 7].into();
+        assert!(LowerBoundInstance::new(4, vec![out_of_range], vec![ok]).is_err());
+    }
+
+    #[test]
+    fn half_subsets_counts() {
+        assert_eq!(half_subsets(2).len(), 2);
+        assert_eq!(half_subsets(4).len(), 6);
+        assert_eq!(half_subsets(6).len(), 20);
+        for s in half_subsets(4) {
+            assert_eq!(s.len(), 2);
+        }
+    }
+
+    #[test]
+    fn cut_has_theta_m_plus_n_edges() {
+        let inst = LowerBoundInstance::disjoint(6, 3);
+        let (g, labels) = inst.build();
+        let cut = labels.alice_bob_cut();
+        assert_eq!(cut.len(), 6 + 1 + 3);
+        for (u, v) in cut {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn lemma4_separation_exists_for_m4() {
+        // Exhaustive: all 36 instances at M = 4, N = 1. Disjoint instances
+        // share one b_P value that differs from every intersecting one.
+        let report = verify_separation(4).unwrap();
+        assert_eq!(report.instances, 36);
+        // The paper's exact claim: b_P is *minimized* on disjoint
+        // instances (measured: z = 0.2380 < 0.2528 = min intersecting).
+        assert!(
+            report.z_disjoint < report.min_intersecting,
+            "Lemma 4 violated: z = {}, intersecting in [{}, {}]",
+            report.z_disjoint,
+            report.min_intersecting,
+            report.max_intersecting
+        );
+    }
+
+    #[test]
+    fn random_instances_are_valid_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = LowerBoundInstance::random(6, 2, &mut rng);
+        let (g, _) = a.build();
+        assert!(is_connected(&g));
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let b = LowerBoundInstance::random(6, 2, &mut rng2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn b_p_is_a_probability_like_score() {
+        let inst = LowerBoundInstance::disjoint(4, 1);
+        let bp = inst.b_p().unwrap();
+        let n = inst.node_count() as f64;
+        assert!(bp >= 2.0 / n - 1e-12);
+        assert!(bp <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,264 @@
+//! Maximum-flow substrate (Edmonds–Karp) for network-flow betweenness.
+//!
+//! The paper's Section II-A discusses Freeman's flow betweenness, which
+//! needs an `s`–`t` maximum flow for every pair; the classic augmenting-
+//! path method (the paper's \[9\]) runs in `O(V E²)` — plenty for the
+//! experiment-scale graphs. Undirected unit-capacity edges are modeled as
+//! a pair of directed arcs with residual bookkeeping.
+
+use std::collections::VecDeque;
+
+use rwbc_graph::{Graph, NodeId};
+
+use crate::RwbcError;
+
+/// A computed maximum flow between a source and a sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxFlow {
+    /// The max-flow value.
+    pub value: f64,
+    /// Net flow on each directed arc `(u, v)` with positive flow, as
+    /// `(u, v, flow)`.
+    pub arcs: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl MaxFlow {
+    /// Total flow *through* a node: the sum of flow entering it (equals
+    /// the flow leaving it by conservation). For the source/sink this is
+    /// the max-flow value itself.
+    pub fn through(&self, v: NodeId, source: NodeId, sink: NodeId) -> f64 {
+        if v == source || v == sink {
+            return self.value;
+        }
+        self.arcs
+            .iter()
+            .filter(|&&(_, to, _)| to == v)
+            .map(|&(_, _, f)| f)
+            .sum()
+    }
+}
+
+/// Edmonds–Karp maximum flow on an undirected unit-capacity graph.
+///
+/// # Errors
+///
+/// Returns [`RwbcError::InvalidParameter`] when `source == sink` or either
+/// is out of range.
+///
+/// # Example
+///
+/// ```
+/// use rwbc::maxflow::max_flow;
+/// use rwbc_graph::generators::cycle;
+///
+/// # fn main() -> Result<(), rwbc::RwbcError> {
+/// let g = cycle(6)?; // two disjoint paths between opposite nodes
+/// let f = max_flow(&g, 0, 3)?;
+/// assert_eq!(f.value, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn max_flow(graph: &Graph, source: NodeId, sink: NodeId) -> Result<MaxFlow, RwbcError> {
+    let n = graph.node_count();
+    if source >= n || sink >= n {
+        return Err(RwbcError::InvalidParameter {
+            reason: format!("flow endpoints ({source}, {sink}) out of range"),
+        });
+    }
+    if source == sink {
+        return Err(RwbcError::InvalidParameter {
+            reason: "flow source and sink must differ".to_string(),
+        });
+    }
+    // Arc storage: forward and backward arcs interleaved; `cap` is the
+    // residual capacity. Undirected edge {u, v} -> arcs u->v and v->u with
+    // capacity 1 each (standard undirected reduction: pushing on one
+    // direction adds residual to the other).
+    let mut head: Vec<NodeId> = Vec::with_capacity(4 * graph.edge_count());
+    let mut cap: Vec<f64> = Vec::with_capacity(4 * graph.edge_count());
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let add_arc = |adj: &mut Vec<Vec<usize>>,
+                   head: &mut Vec<NodeId>,
+                   cap: &mut Vec<f64>,
+                   u: NodeId,
+                   v: NodeId,
+                   c: f64| {
+        adj[u].push(head.len());
+        head.push(v);
+        cap.push(c);
+        adj[v].push(head.len());
+        head.push(u);
+        cap.push(0.0);
+    };
+    for e in graph.edges() {
+        add_arc(&mut adj, &mut head, &mut cap, e.u, e.v, 1.0);
+        add_arc(&mut adj, &mut head, &mut cap, e.v, e.u, 1.0);
+    }
+    let original_cap = cap.clone();
+
+    let mut value = 0.0;
+    loop {
+        // BFS for a shortest augmenting path.
+        let mut pred: Vec<Option<usize>> = vec![None; n]; // arc index into node
+        let mut visited = vec![false; n];
+        visited[source] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &a in &adj[u] {
+                let v = head[a];
+                if !visited[v] && cap[a] > 0.0 {
+                    visited[v] = true;
+                    pred[v] = Some(a);
+                    if v == sink {
+                        break 'bfs;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !visited[sink] {
+            break;
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = f64::INFINITY;
+        let mut v = sink;
+        while v != source {
+            let a = pred[v].expect("path arc");
+            bottleneck = bottleneck.min(cap[a]);
+            v = head[a ^ 1];
+        }
+        // Augment.
+        let mut v = sink;
+        while v != source {
+            let a = pred[v].expect("path arc");
+            cap[a] -= bottleneck;
+            cap[a ^ 1] += bottleneck;
+            v = head[a ^ 1];
+        }
+        value += bottleneck;
+    }
+
+    // Extract net positive flows: flow on arc a = original_cap - residual.
+    let mut arcs = Vec::new();
+    for a in (0..head.len()).step_by(2) {
+        let f = original_cap[a] - cap[a];
+        if f > 1e-12 {
+            let u = head[a ^ 1];
+            let v = head[a];
+            arcs.push((u, v, f));
+        }
+    }
+    // Cancel opposite flows on the two directions of each undirected edge.
+    let mut net: std::collections::HashMap<(NodeId, NodeId), f64> =
+        std::collections::HashMap::new();
+    for (u, v, f) in arcs {
+        let key = if u < v { (u, v) } else { (v, u) };
+        let signed = if u < v { f } else { -f };
+        *net.entry(key).or_insert(0.0) += signed;
+    }
+    let arcs: Vec<(NodeId, NodeId, f64)> = net
+        .into_iter()
+        .filter(|&(_, f)| f.abs() > 1e-12)
+        .map(|((u, v), f)| if f > 0.0 { (u, v, f) } else { (v, u, -f) })
+        .collect();
+
+    Ok(MaxFlow { value, arcs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwbc_graph::generators::{complete, cycle, grid_2d, path, star};
+    use rwbc_graph::Graph;
+
+    #[test]
+    fn path_has_unit_flow() {
+        let g = path(5).unwrap();
+        let f = max_flow(&g, 0, 4).unwrap();
+        assert_eq!(f.value, 1.0);
+        // Every interior node carries the whole unit.
+        for v in 1..4 {
+            assert!((f.through(v, 0, 4) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cycle_splits_two_ways() {
+        let g = cycle(8).unwrap();
+        let f = max_flow(&g, 0, 4).unwrap();
+        assert_eq!(f.value, 2.0);
+        assert!((f.through(2, 0, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complete_graph_flow_is_degree() {
+        let g = complete(5).unwrap();
+        let f = max_flow(&g, 0, 4).unwrap();
+        assert_eq!(f.value, 4.0);
+    }
+
+    #[test]
+    fn star_leaf_pairs_flow_through_hub() {
+        let g = star(4).unwrap();
+        let f = max_flow(&g, 1, 2).unwrap();
+        assert_eq!(f.value, 1.0);
+        assert!((f.through(0, 1, 2) - 1.0).abs() < 1e-9);
+        assert!(f.through(3, 1, 2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_respected_on_bridge() {
+        // Two triangles joined by one bridge: max flow across = 1.
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]).unwrap();
+        let f = max_flow(&g, 0, 5).unwrap();
+        assert_eq!(f.value, 1.0);
+    }
+
+    #[test]
+    fn grid_corner_flow_is_two() {
+        let g = grid_2d(3, 3).unwrap();
+        let f = max_flow(&g, 0, 8).unwrap();
+        assert_eq!(f.value, 2.0);
+    }
+
+    #[test]
+    fn disconnected_pair_has_zero_flow() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let f = max_flow(&g, 0, 3).unwrap();
+        assert_eq!(f.value, 0.0);
+        assert!(f.arcs.is_empty());
+    }
+
+    #[test]
+    fn validation() {
+        let g = path(3).unwrap();
+        assert!(max_flow(&g, 0, 0).is_err());
+        assert!(max_flow(&g, 0, 9).is_err());
+    }
+
+    #[test]
+    fn conservation_at_interior_nodes() {
+        let g = grid_2d(3, 3).unwrap();
+        let f = max_flow(&g, 0, 8).unwrap();
+        for v in 1..8 {
+            if v == 8 {
+                continue;
+            }
+            let inflow: f64 = f
+                .arcs
+                .iter()
+                .filter(|&&(_, to, _)| to == v)
+                .map(|&(_, _, x)| x)
+                .sum();
+            let outflow: f64 = f
+                .arcs
+                .iter()
+                .filter(|&&(from, _, _)| from == v)
+                .map(|&(_, _, x)| x)
+                .sum();
+            assert!((inflow - outflow).abs() < 1e-9, "node {v}");
+        }
+    }
+}

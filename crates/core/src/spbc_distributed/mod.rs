@@ -1,0 +1,251 @@
+//! Distributed **shortest-path** betweenness under CONGEST — the paper's
+//! direct predecessor and comparison point.
+//!
+//! The paper's own prior work (\[5\], Hua et al., ICDCS 2016) gives an
+//! `O(n)`-round distributed SPBC algorithm with a `(1 ± 1/n^c)`
+//! multiplicative error (path *counts* can be exponential, so they cannot
+//! cross an `O(log n)`-bit edge exactly). This module reproduces that
+//! design point with a two-phase pipelined distributed Brandes:
+//!
+//! 1. [`ForwardProgram`] — all-sources BFS with path counting, incremental
+//!    and self-stabilizing, one announcement per edge per round;
+//! 2. [`BackwardProgram`] — dependency accumulation as a convergecast over
+//!    each source's BFS DAG, again one announcement per edge per round;
+//!
+//! with σ and δ values crossing edges in an explicit minifloat
+//! ([`MinifloatFormat`]), which is where the `(1 ± ε)` error enters —
+//! exactly as in \[5\].
+//!
+//! Having both this and the RWBC pipeline in one workspace lets experiment
+//! E8 compare the *measures* and the *algorithms* (rounds, traffic) on
+//! identical networks.
+//!
+//! # Example
+//!
+//! ```
+//! use rwbc::spbc_distributed::{distributed_spbc, SpbcConfig};
+//! use rwbc::brandes::betweenness;
+//! use rwbc_graph::generators::star;
+//!
+//! # fn main() -> Result<(), rwbc::RwbcError> {
+//! let g = star(5)?;
+//! let run = distributed_spbc(&g, &SpbcConfig::default())?;
+//! let exact = betweenness(&g, false)?;
+//! assert!((run.centrality[0] - exact[0]).abs() < 0.05); // hub: 10 pairs
+//! # Ok(())
+//! # }
+//! ```
+
+mod backward;
+mod float;
+mod forward;
+
+pub use backward::{BackwardMsg, BackwardProgram};
+pub use float::MinifloatFormat;
+pub use forward::{ForwardMsg, ForwardProgram};
+
+use congest_sim::{SimConfig, Simulator};
+use rwbc_graph::traversal::is_connected;
+use rwbc_graph::Graph;
+
+use crate::{Centrality, RwbcError};
+
+/// Per-node forward-phase state handed to the backward phase:
+/// `(dist, sigma, neighbor_dist)`.
+type ForwardState = (Vec<u32>, Vec<f64>, Vec<Vec<u32>>);
+
+/// Configuration for [`distributed_spbc`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpbcConfig {
+    /// Wire format for σ/δ values; precision controls the `(1 ± ε)`
+    /// error, `ε ≈ 2^{-(mantissa_bits − 1)}` per hop.
+    pub format: MinifloatFormat,
+    /// Simulator settings.
+    pub sim: SimConfig,
+}
+
+impl Default for SpbcConfig {
+    fn default() -> SpbcConfig {
+        SpbcConfig {
+            format: MinifloatFormat {
+                mantissa_bits: 14,
+                exp_bits: 7,
+            },
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Result of a distributed SPBC run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpbcRun {
+    /// Unnormalized SPBC per node (each unordered pair counted once),
+    /// with the `(1 ± ε)` minifloat error.
+    pub centrality: Centrality,
+    /// Forward-phase statistics.
+    pub forward_stats: congest_sim::RunStats,
+    /// Backward-phase statistics.
+    pub backward_stats: congest_sim::RunStats,
+}
+
+impl SpbcRun {
+    /// Total rounds across both phases.
+    pub fn total_rounds(&self) -> usize {
+        self.forward_stats.rounds + self.backward_stats.rounds
+    }
+
+    /// Whether both phases stayed within the CONGEST budget.
+    pub fn congest_compliant(&self) -> bool {
+        self.forward_stats.congest_compliant() && self.backward_stats.congest_compliant()
+    }
+}
+
+/// Runs the two-phase distributed Brandes.
+///
+/// # Errors
+///
+/// * [`RwbcError::TooSmall`] / [`RwbcError::Disconnected`] on invalid
+///   graphs;
+/// * propagated simulation errors.
+pub fn distributed_spbc(graph: &Graph, config: &SpbcConfig) -> Result<SpbcRun, RwbcError> {
+    let n = graph.node_count();
+    if n < 2 {
+        return Err(RwbcError::TooSmall { n });
+    }
+    if !is_connected(graph) {
+        return Err(RwbcError::Disconnected);
+    }
+    // Fit the minifloat under the per-edge budget: the forward message is
+    // the widest (two ids + the float). Shrink the mantissa first, then
+    // the exponent, down to the 4+4 floor; below that, error out.
+    let budget = config.sim.budget_bits(n);
+    let id_bits = congest_sim::bits_for_node_id(n);
+    let mut format = config.format;
+    while 2 * id_bits + format.bits() > budget && format.mantissa_bits > 4 {
+        format.mantissa_bits -= 1;
+    }
+    while 2 * id_bits + format.bits() > budget && format.exp_bits > 4 {
+        format.exp_bits -= 1;
+    }
+    if 2 * id_bits + format.bits() > budget {
+        return Err(RwbcError::InvalidParameter {
+            reason: format!(
+                "spbc messages cannot fit the {budget}-bit budget; raise the bandwidth coefficient"
+            ),
+        });
+    }
+    // Phase 1: forward BFS + counting.
+    let fwd_cfg = config.sim.clone().with_seed(config.sim.seed ^ 0xF0);
+    let mut fwd = Simulator::new(graph, fwd_cfg, |v| ForwardProgram::new(v, n, format));
+    let forward_stats = fwd.run()?;
+    let state: Vec<ForwardState> = (0..n)
+        .map(|v| {
+            let p = fwd.program(v);
+            (
+                p.dist().to_vec(),
+                p.sigma().to_vec(),
+                p.neighbor_dist().to_vec(),
+            )
+        })
+        .collect();
+    drop(fwd);
+
+    // Phase 2: backward dependency convergecast.
+    let bwd_cfg = config.sim.clone().with_seed(config.sim.seed ^ 0x0B);
+    let mut bwd = Simulator::new(graph, bwd_cfg, |v| {
+        let (d, s, nd) = state[v].clone();
+        BackwardProgram::new(v, n, format, d, s, nd)
+    });
+    let backward_stats = bwd.run()?;
+    let values: Vec<f64> = (0..n).map(|v| bwd.program(v).betweenness()).collect();
+    Ok(SpbcRun {
+        centrality: Centrality::from_values(values),
+        forward_stats,
+        backward_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::{max_relative_error, spearman_rho};
+    use crate::brandes::betweenness;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rwbc_graph::generators::{barabasi_albert, connected_gnp, grid_2d};
+
+    #[test]
+    fn matches_brandes_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for seed in 0..3u64 {
+            let g = connected_gnp(18, 0.25, 100, &mut rng).unwrap();
+            let mut cfg = SpbcConfig::default();
+            cfg.sim = cfg.sim.with_seed(seed);
+            let run = distributed_spbc(&g, &cfg).unwrap();
+            assert!(run.congest_compliant());
+            let exact = betweenness(&g, false).unwrap();
+            let err = max_relative_error(&run.centrality, &exact);
+            assert!(err < 0.01, "seed {seed}: max rel err {err}");
+        }
+    }
+
+    #[test]
+    fn matches_brandes_on_scale_free() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(30, 2, &mut rng).unwrap();
+        let run = distributed_spbc(&g, &SpbcConfig::default()).unwrap();
+        let exact = betweenness(&g, false).unwrap();
+        assert!(spearman_rho(&run.centrality, &exact) > 0.99);
+        assert_eq!(run.centrality.argmax(), exact.argmax());
+    }
+
+    #[test]
+    fn rounds_scale_near_linearly() {
+        // O(n + D)-flavored: rounds well below n * D on a grid.
+        let g = grid_2d(5, 5).unwrap();
+        let run = distributed_spbc(&g, &SpbcConfig::default()).unwrap();
+        let n = g.node_count();
+        let d = rwbc_graph::traversal::diameter(&g).unwrap();
+        assert!(
+            run.total_rounds() < n * d,
+            "rounds {} vs n*D = {}",
+            run.total_rounds(),
+            n * d
+        );
+        assert!(run.total_rounds() >= d);
+    }
+
+    #[test]
+    fn coarse_minifloat_degrades_gracefully() {
+        let g = grid_2d(4, 4).unwrap();
+        let exact = betweenness(&g, false).unwrap();
+        let fine = distributed_spbc(&g, &SpbcConfig::default()).unwrap();
+        let coarse_cfg = SpbcConfig {
+            format: MinifloatFormat {
+                mantissa_bits: 5,
+                exp_bits: 6,
+            },
+            ..SpbcConfig::default()
+        };
+        let coarse = distributed_spbc(&g, &coarse_cfg).unwrap();
+        let fine_err = max_relative_error(&fine.centrality, &exact);
+        let coarse_err = max_relative_error(&coarse.centrality, &exact);
+        assert!(fine_err <= coarse_err + 1e-9);
+        // Even 5 mantissa bits keep the ranking intact on this graph.
+        assert!(spearman_rho(&coarse.centrality, &exact) > 0.9);
+    }
+
+    #[test]
+    fn validation() {
+        let tiny = rwbc_graph::Graph::empty(1);
+        assert!(matches!(
+            distributed_spbc(&tiny, &SpbcConfig::default()),
+            Err(RwbcError::TooSmall { .. })
+        ));
+        let disc = rwbc_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            distributed_spbc(&disc, &SpbcConfig::default()),
+            Err(RwbcError::Disconnected)
+        ));
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests on the centrality invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rwbc::accuracy::{kendall_tau, spearman_rho};
+use rwbc::brandes::betweenness;
+use rwbc::exact::{newman, newman_with, ExactOptions, PairSum, Solver};
+use rwbc::monte_carlo::{estimate, McConfig, TargetStrategy};
+use rwbc::Centrality;
+use rwbc_graph::generators::{connected_gnp, random_tree};
+use rwbc_graph::Graph;
+
+/// Strategy: a small random *connected* graph (random tree plus extra
+/// random edges).
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (3usize..12, 0u64..500, 0usize..10).prop_map(|(n, seed, extra)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_tree(n, &mut rng).unwrap();
+        let mut edges = tree.edge_vec();
+        let mut tries = 0;
+        while edges.len() < tree.edge_count() + extra && tries < 100 {
+            tries += 1;
+            let u = rand::Rng::gen_range(&mut rng, 0..n);
+            let v = rand::Rng::gen_range(&mut rng, 0..n);
+            let key = if u < v { (u, v) } else { (v, u) };
+            if u != v && !edges.contains(&key) {
+                edges.push(key);
+            }
+        }
+        Graph::from_edges(n, edges).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rwbc_is_bounded_by_endpoint_floor_and_one(g in arb_connected_graph()) {
+        let b = newman(&g).unwrap();
+        let n = g.node_count() as f64;
+        for (v, x) in b.iter() {
+            prop_assert!(x >= 2.0 / n - 1e-9, "node {v}: {x} below endpoint floor");
+            prop_assert!(x <= 1.0 + 1e-9, "node {v}: {x} above 1");
+        }
+    }
+
+    #[test]
+    fn solvers_and_reductions_agree(g in arb_connected_graph()) {
+        let reference = newman_with(&g, &ExactOptions {
+            solver: Solver::DenseLu,
+            pair_sum: PairSum::Direct,
+        }).unwrap();
+        let alt = newman_with(&g, &ExactOptions {
+            solver: Solver::ConjugateGradient,
+            pair_sum: PairSum::Sorted,
+        }).unwrap();
+        prop_assert!(reference.approx_eq(&alt, 1e-6));
+    }
+
+    #[test]
+    fn rwbc_dominates_spbc_pointwise_on_any_graph(g in arb_connected_graph()) {
+        // Net random-walk flow through i for a pair is at most 1 and at
+        // least the shortest-path indicator only on trees; in general the
+        // *normalized* rwbc with endpoint credit is >= (sp_pairs)/(pairs):
+        // I_i >= 0 always, so rwbc_i >= (n-1)/pairs = 2/n, while SPBC can
+        // be 0. Check the weaker universal relation: rwbc > 0 everywhere.
+        let rw = newman(&g).unwrap();
+        for (_, x) in rw.iter() {
+            prop_assert!(x > 0.0);
+        }
+        // And on trees, the exact identity with Brandes.
+        if g.edge_count() == g.node_count() - 1 {
+            let sp = betweenness(&g, false).unwrap();
+            let n = g.node_count() as f64;
+            for v in g.nodes() {
+                let expected = (sp[v] + (n - 1.0)) / (n * (n - 1.0) / 2.0);
+                prop_assert!((rw[v] - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn relabeling_permutes_rwbc(g in arb_connected_graph(), flip in any::<bool>()) {
+        let n = g.node_count();
+        let perm: Vec<usize> = if flip {
+            (0..n).rev().collect()
+        } else {
+            let mut p: Vec<usize> = (0..n).collect();
+            p.rotate_left(1);
+            p
+        };
+        let b = newman(&g).unwrap();
+        let h = g.relabel(&perm);
+        let bh = newman(&h).unwrap();
+        for v in 0..n {
+            prop_assert!((b[v] - bh[perm[v]]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_seed_determinism(g in arb_connected_graph(), seed in 0u64..100) {
+        let cfg = McConfig::new(8, 3 * g.node_count())
+            .with_seed(seed)
+            .with_target(TargetStrategy::Fixed(0));
+        let a = estimate(&g, &cfg).unwrap();
+        let b = estimate(&g, &cfg).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rank_metrics_are_symmetric_and_reflexive(
+        vals in proptest::collection::vec(0.0f64..10.0, 3..20)
+    ) {
+        let a = Centrality::from_values(vals.clone());
+        let shifted = Centrality::from_values(vals.iter().map(|x| x + 1.0).collect());
+        // Monotone transforms preserve ranks exactly.
+        prop_assert!((spearman_rho(&a, &shifted) - 1.0).abs() < 1e-9);
+        prop_assert!((kendall_tau(&a, &shifted) - 1.0).abs() < 1e-9);
+        // Symmetry.
+        let b = Centrality::from_values(vals.iter().rev().copied().collect());
+        prop_assert!((spearman_rho(&a, &b) - spearman_rho(&b, &a)).abs() < 1e-9);
+        prop_assert!((kendall_tau(&a, &b) - kendall_tau(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brandes_totals_match_pair_decomposition(g in arb_connected_graph()) {
+        // Sum over nodes of unnormalized SPBC = sum over pairs of
+        // (interior nodes on shortest paths, weighted by path shares) =
+        // sum over pairs (d(s,t) - 1) when shortest paths are unique; in
+        // general it still equals sum over pairs of (expected interior
+        // nodes) = sum_{s<t} (avg path length - 1).
+        let sp = betweenness(&g, false).unwrap();
+        let total: f64 = sp.as_slice().iter().sum();
+        // Compare against BFS-derived expected interior counts.
+        let n = g.node_count();
+        let mut expect = 0.0;
+        for s in 0..n {
+            let dist = rwbc_graph::traversal::bfs_distances(&g, s);
+            for t in (s + 1)..n {
+                // On unweighted graphs every shortest path from s to t has
+                // d - 1 interior nodes regardless of which path is taken.
+                expect += (dist[t].unwrap() - 1) as f64;
+            }
+        }
+        prop_assert!((total - expect).abs() < 1e-6, "{total} vs {expect}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn max_flow_equals_min_cut_on_small_graphs(g in arb_connected_graph()) {
+        // Max-flow/min-cut duality, brute-forced: for unit capacities the
+        // min s-t cut is the minimum number of edges whose removal
+        // disconnects s from t; enumerate all 2^(n-2) side assignments.
+        let n = g.node_count();
+        if n > 10 { return Ok(()); }
+        let (s, t) = (0, n - 1);
+        let flow = rwbc::maxflow::max_flow(&g, s, t).unwrap().value;
+        let interior: Vec<usize> = (0..n).filter(|&v| v != s && v != t).collect();
+        let mut min_cut = usize::MAX;
+        for mask in 0..(1u32 << interior.len()) {
+            let mut side = vec![false; n]; // true = s-side
+            side[s] = true;
+            for (bit, &v) in interior.iter().enumerate() {
+                side[v] = mask & (1 << bit) != 0;
+            }
+            let crossing = g.edges().filter(|e| side[e.u] != side[e.v]).count();
+            min_cut = min_cut.min(crossing);
+        }
+        prop_assert!((flow - min_cut as f64).abs() < 1e-9,
+            "flow {flow} vs min cut {min_cut}");
+    }
+}
+
+#[test]
+fn gnp_smoke_with_all_estimators() {
+    // One richer deterministic case on top of the property sweep.
+    let mut rng = StdRng::seed_from_u64(99);
+    let g = connected_gnp(14, 0.35, 100, &mut rng).unwrap();
+    let exact = newman(&g).unwrap();
+    let mc = estimate(
+        &g,
+        &McConfig::new(800, 150)
+            .with_seed(1)
+            .with_target(TargetStrategy::Fixed(0)),
+    )
+    .unwrap();
+    assert!(spearman_rho(&mc.centrality, &exact) > 0.8);
+}

@@ -1,0 +1,200 @@
+use std::collections::BTreeSet;
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Incremental, validating builder for [`Graph`].
+///
+/// Edges may be added in any order and with endpoints in either orientation;
+/// the builder rejects self-loops, duplicate edges, and out-of-range ids at
+/// insertion time, so that [`GraphBuilder::build`] is infallible.
+///
+/// # Example
+///
+/// ```
+/// use rwbc_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), rwbc_graph::GraphError> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(2, 0)?;
+/// b.add_edge(0, 1)?;
+/// assert!(b.add_edge(1, 0).is_err()); // duplicate of (0, 1)
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> GraphBuilder {
+        GraphBuilder {
+            n,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the undirected edge `{u, v}` has already been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u <= v { (u, v) } else { (v, u) };
+        self.edges.contains(&key)
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfRange`] if `u >= n` or `v >= n`;
+    /// * [`GraphError::SelfLoop`] if `u == v`;
+    /// * [`GraphError::DuplicateEdge`] if the edge was already added.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut GraphBuilder, GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { id: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { id: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !self.edges.insert(key) {
+            return Err(GraphError::DuplicateEdge { u: key.0, v: key.1 });
+        }
+        Ok(self)
+    }
+
+    /// Adds the edge if absent; returns `true` when it was newly inserted.
+    ///
+    /// Convenient for randomized generators that may propose repeats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError::NodeOutOfRange`] and [`GraphError::SelfLoop`];
+    /// duplicates are not an error here.
+    pub fn add_edge_if_absent(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        match self.add_edge(u, v) {
+            Ok(_) => Ok(true),
+            Err(GraphError::DuplicateEdge { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Adds every edge from the iterator; stops at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphBuilder::add_edge`].
+    pub fn add_edges<I>(&mut self, edges: I) -> Result<&mut GraphBuilder, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        for (u, v) in edges {
+            self.add_edge(u, v)?;
+        }
+        Ok(self)
+    }
+
+    /// Finalizes into a CSR [`Graph`]. Infallible: all validation happened
+    /// at insertion time.
+    pub fn build(&self) -> Graph {
+        let mut degree = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut cursor = offsets.clone();
+        let mut adjacency = vec![0 as NodeId; 2 * self.edges.len()];
+        // BTreeSet iterates (u, v) with u < v in lexicographic order, so each
+        // row is filled in ascending neighbor order for the `u` side; the `v`
+        // side needs a sort only if insertions interleave — they do: v rows
+        // receive u's out of order. Fill then sort each row.
+        for &(u, v) in &self.edges {
+            adjacency[cursor[u]] = v;
+            cursor[u] += 1;
+            adjacency[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        for v in 0..self.n {
+            adjacency[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph::from_csr_unchecked(offsets, adjacency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_eagerly() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 2),
+            Err(GraphError::NodeOutOfRange { id: 2, n: 2 })
+        ));
+        assert!(matches!(
+            b.add_edge(1, 1),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
+        b.add_edge(0, 1).unwrap();
+        assert!(matches!(
+            b.add_edge(1, 0),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        ));
+    }
+
+    #[test]
+    fn add_edge_if_absent_tolerates_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge_if_absent(0, 1).unwrap());
+        assert!(!b.add_edge_if_absent(1, 0).unwrap());
+        assert!(b.add_edge_if_absent(1, 2).unwrap());
+        assert_eq!(b.edge_count(), 2);
+        assert!(b.add_edge_if_absent(0, 5).is_err());
+    }
+
+    #[test]
+    fn build_produces_sorted_rows() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edges([(4, 2), (2, 0), (2, 3), (1, 2)]).unwrap();
+        let g = b.build();
+        assert_eq!(g.neighbor_slice(2), &[0, 1, 3, 4]);
+        assert_eq!(g.degree(2), 4);
+    }
+
+    #[test]
+    fn chaining_works() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap().add_edge(1, 2).unwrap();
+        assert_eq!(b.edge_count(), 2);
+        assert!(b.has_edge(1, 0));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let b = GraphBuilder::default();
+        let g = b.build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Built-in real-world datasets.
+//!
+//! The only data this reproduction needs are synthetic (the paper has no
+//! evaluation section), but a real social network makes the examples and
+//! the E8 measure-comparison experiments more convincing. Zachary's karate
+//! club (Zachary 1977) is the canonical one: 34 members of a university
+//! karate club, edges between members who interacted outside the club,
+//! observed while the club split into two factions around the instructor
+//! ("Mr. Hi", node 0) and the officer ("John A.", node 33).
+
+use crate::{Graph, NodeId};
+
+/// Faction labels for [`karate_club`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KarateLabels {
+    /// The instructor, "Mr. Hi" (node 0).
+    pub instructor: NodeId,
+    /// The club officer, "John A." (node 33).
+    pub officer: NodeId,
+    /// Members who sided with the instructor after the split.
+    pub mr_hi_faction: Vec<NodeId>,
+    /// Members who sided with the officer.
+    pub officer_faction: Vec<NodeId>,
+}
+
+/// Zachary's karate club: 34 nodes, 78 edges (the standard edge list).
+///
+/// # Example
+///
+/// ```
+/// use rwbc_graph::datasets::karate_club;
+/// let (g, labels) = karate_club();
+/// assert_eq!(g.node_count(), 34);
+/// assert_eq!(g.edge_count(), 78);
+/// assert_eq!(g.degree(labels.instructor), 16);
+/// assert_eq!(g.degree(labels.officer), 17);
+/// ```
+pub fn karate_club() -> (Graph, KarateLabels) {
+    const EDGES: [(NodeId, NodeId); 78] = [
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (0, 5),
+        (0, 6),
+        (0, 7),
+        (0, 8),
+        (0, 10),
+        (0, 11),
+        (0, 12),
+        (0, 13),
+        (0, 17),
+        (0, 19),
+        (0, 21),
+        (0, 31),
+        (1, 2),
+        (1, 3),
+        (1, 7),
+        (1, 13),
+        (1, 17),
+        (1, 19),
+        (1, 21),
+        (1, 30),
+        (2, 3),
+        (2, 7),
+        (2, 8),
+        (2, 9),
+        (2, 13),
+        (2, 27),
+        (2, 28),
+        (2, 32),
+        (3, 7),
+        (3, 12),
+        (3, 13),
+        (4, 6),
+        (4, 10),
+        (5, 6),
+        (5, 10),
+        (5, 16),
+        (6, 16),
+        (8, 30),
+        (8, 32),
+        (8, 33),
+        (9, 33),
+        (13, 33),
+        (14, 32),
+        (14, 33),
+        (15, 32),
+        (15, 33),
+        (18, 32),
+        (18, 33),
+        (19, 33),
+        (20, 32),
+        (20, 33),
+        (22, 32),
+        (22, 33),
+        (23, 25),
+        (23, 27),
+        (23, 29),
+        (23, 32),
+        (23, 33),
+        (24, 25),
+        (24, 27),
+        (24, 31),
+        (25, 31),
+        (26, 29),
+        (26, 33),
+        (27, 33),
+        (28, 31),
+        (28, 33),
+        (29, 32),
+        (29, 33),
+        (30, 32),
+        (30, 33),
+        (31, 32),
+        (31, 33),
+        (32, 33),
+    ];
+    let graph = Graph::from_edges(34, EDGES).expect("the canonical edge list is simple");
+    let mr_hi: Vec<NodeId> = vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13, 16, 17, 19, 21];
+    let officer: Vec<NodeId> = (0..34).filter(|v| !mr_hi.contains(v)).collect();
+    (
+        graph,
+        KarateLabels {
+            instructor: 0,
+            officer: 33,
+            mr_hi_faction: mr_hi,
+            officer_faction: officer,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_connected};
+
+    #[test]
+    fn karate_shape_matches_the_literature() {
+        let (g, l) = karate_club();
+        assert_eq!(g.node_count(), 34);
+        assert_eq!(g.edge_count(), 78);
+        assert!(is_connected(&g));
+        // Known structural facts about the karate club graph.
+        assert_eq!(diameter(&g), Some(5));
+        assert_eq!(g.degree(l.instructor), 16);
+        assert_eq!(g.degree(l.officer), 17);
+        assert_eq!(g.degree(32), 12);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.max_degree(), 17);
+    }
+
+    #[test]
+    fn factions_partition_the_club() {
+        let (g, l) = karate_club();
+        let mut all: Vec<_> = l
+            .mr_hi_faction
+            .iter()
+            .chain(&l.officer_faction)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..g.node_count()).collect::<Vec<_>>());
+        assert!(l.mr_hi_faction.contains(&l.instructor));
+        assert!(l.officer_faction.contains(&l.officer));
+        assert_eq!(l.mr_hi_faction.len(), 17);
+        assert_eq!(l.officer_faction.len(), 17);
+    }
+
+    #[test]
+    fn leaders_do_not_interact_directly() {
+        // The famous detail: the instructor and officer have no edge.
+        let (g, l) = karate_club();
+        assert!(!g.has_edge(l.instructor, l.officer));
+    }
+}

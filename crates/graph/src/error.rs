@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or parsing graphs.
+///
+/// Every fallible operation in this crate returns `Result<_, GraphError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An endpoint referenced a node id `id` that is outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        id: usize,
+        /// The number of nodes in the graph being built.
+        n: usize,
+    },
+    /// A self-loop `(u, u)` was supplied; the paper's model uses simple graphs.
+    SelfLoop {
+        /// The node at both endpoints.
+        node: usize,
+    },
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge {
+        /// Smaller endpoint.
+        u: usize,
+        /// Larger endpoint.
+        v: usize,
+    },
+    /// A generator was asked for a graph that cannot exist
+    /// (e.g. a 3-regular graph on 3 nodes, or `p` outside `[0, 1]`).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An edge-list document could not be parsed.
+    Parse {
+        /// 1-based line number of the malformed line.
+        line: usize,
+        /// Description of the problem on that line.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { id, n } => {
+                write!(f, "node id {id} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at node {node} not allowed in a simple graph")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate undirected edge ({u}, {v})")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+            GraphError::Parse { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { id: 9, n: 4 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+        assert_eq!(s, s.trim());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+
+    #[test]
+    fn self_loop_display() {
+        assert_eq!(
+            GraphError::SelfLoop { node: 3 }.to_string(),
+            "self-loop at node 3 not allowed in a simple graph"
+        );
+    }
+}

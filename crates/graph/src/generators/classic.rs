@@ -1,0 +1,239 @@
+//! Deterministic classic graph families.
+
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Path graph `P_n`: nodes `0..n` with edges `(i, i+1)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use rwbc_graph::generators::path;
+/// let g = path(4).unwrap();
+/// assert_eq!(g.edge_count(), 3);
+/// ```
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    require(n >= 1, "path requires n >= 1")?;
+    Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+}
+
+/// Cycle graph `C_n` (`n >= 3`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    require(n >= 3, "cycle requires n >= 3")?;
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+/// Complete graph `K_n`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `n == 0`.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    require(n >= 1, "complete graph requires n >= 1")?;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Star `K_{1,k}`: node 0 is the hub, nodes `1..=k` are leaves.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `k == 0`.
+pub fn star(k: usize) -> Result<Graph, GraphError> {
+    require(k >= 1, "star requires at least one leaf")?;
+    Graph::from_edges(k + 1, (1..=k).map(|v| (0, v)))
+}
+
+/// Wheel `W_n`: a cycle on nodes `1..=n` plus hub node 0 adjacent to all.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `n < 3`.
+pub fn wheel(n: usize) -> Result<Graph, GraphError> {
+    require(n >= 3, "wheel requires a rim of at least 3 nodes")?;
+    let mut b = GraphBuilder::new(n + 1);
+    for i in 1..=n {
+        b.add_edge(0, i)?;
+        let next = if i == n { 1 } else { i + 1 };
+        b.add_edge(i, next)?;
+    }
+    Ok(b.build())
+}
+
+/// Complete bipartite graph `K_{a,b}`: parts `0..a` and `a..a+b`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when either part is empty.
+pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph, GraphError> {
+    require(a >= 1 && b >= 1, "both parts must be non-empty")?;
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            builder.add_edge(u, v)?;
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Complete binary tree with `n` nodes in heap order: node `i` has children
+/// `2i + 1` and `2i + 2` when they exist.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `n == 0`.
+pub fn binary_tree(n: usize) -> Result<Graph, GraphError> {
+    require(n >= 1, "binary tree requires n >= 1")?;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < n {
+                b.add_edge(i, c)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Barbell graph: two cliques `K_k` joined by a path of `bridge` extra nodes
+/// (`bridge == 0` joins the cliques by a single edge).
+///
+/// Layout: left clique `0..k`, bridge `k..k+bridge`, right clique at the end.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `k < 2`.
+pub fn barbell(k: usize, bridge: usize) -> Result<Graph, GraphError> {
+    require(k >= 2, "barbell cliques need k >= 2")?;
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(u, v)?;
+        }
+    }
+    let right = k + bridge;
+    for u in right..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v)?;
+        }
+    }
+    // Chain: last node of left clique -> bridge nodes -> first of right clique.
+    let mut prev = k - 1;
+    for w in k..k + bridge {
+        b.add_edge(prev, w)?;
+        prev = w;
+    }
+    b.add_edge(prev, right)?;
+    Ok(b.build())
+}
+
+fn require(cond: bool, reason: &str) -> Result<(), GraphError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(GraphError::InvalidParameter {
+            reason: reason.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_connected};
+
+    #[test]
+    fn path_shape() {
+        let g = path(5).unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(diameter(&g), Some(4));
+        assert!(path(0).is_err());
+        assert_eq!(path(1).unwrap().edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5).unwrap();
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 5));
+        assert_eq!(diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7).unwrap();
+        assert_eq!(g.degree(0), 7);
+        assert!((1..=7).all(|v| g.degree(v) == 1));
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(5).unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.degree(0), 5);
+        assert!((1..=5).all(|v| g.degree(v) == 3));
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(2, 3).unwrap();
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(2), 2);
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7).unwrap();
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 2).unwrap();
+        assert_eq!(g.node_count(), 10);
+        // 2 * C(4,2) clique edges + 3 chain edges.
+        assert_eq!(g.edge_count(), 15);
+        assert!(is_connected(&g));
+        assert!(g.has_edge(3, 4));
+        assert!(g.has_edge(4, 5));
+        assert!(g.has_edge(5, 6));
+    }
+
+    #[test]
+    fn barbell_zero_bridge() {
+        let g = barbell(3, 0).unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert!(g.has_edge(2, 3));
+        assert!(is_connected(&g));
+    }
+}

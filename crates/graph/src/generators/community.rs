@@ -1,0 +1,208 @@
+//! Community-structured graphs, including the paper's Fig. 1 example.
+
+use rand::Rng;
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// Node roles in the [`fig1_graph`] construction.
+///
+/// The paper's Fig. 1 argues that bridge nodes `A` and `B` have high
+/// *shortest-path* betweenness, while the bypass node `C` has essentially
+/// none — yet `C` should matter for information flow, which is exactly what
+/// *random-walk* betweenness captures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig1Labels {
+    /// Bridge node attached to the left group.
+    pub a: NodeId,
+    /// Bridge node attached to the right group.
+    pub b: NodeId,
+    /// Bypass node adjacent to both `A` and `B` (on no shortest path).
+    pub c: NodeId,
+    /// Members of the left group.
+    pub left: Vec<NodeId>,
+    /// Members of the right group.
+    pub right: Vec<NodeId>,
+}
+
+/// The two-community bridge graph of the paper's Fig. 1.
+///
+/// Two cliques of `group_size` nodes each; node `A` is adjacent to every
+/// left-group node, `B` to every right-group node, the edge `A—B` carries
+/// all shortest inter-group paths, and `C` is adjacent to `A` and `B` only.
+/// Every inter-group shortest path goes `... — A — B — ...` (length through
+/// `C` is one longer), so `C` lies on **no** shortest path, but random walks
+/// detour through it.
+///
+/// Node layout: `0..g` left group, `g..2g` right group, then `A = 2g`,
+/// `B = 2g + 1`, `C = 2g + 2`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `group_size < 2`.
+///
+/// # Example
+///
+/// ```
+/// use rwbc_graph::generators::fig1_graph;
+/// let (g, labels) = fig1_graph(4).unwrap();
+/// assert!(g.has_edge(labels.a, labels.b));
+/// assert!(g.has_edge(labels.c, labels.a));
+/// assert_eq!(g.degree(labels.c), 2);
+/// ```
+pub fn fig1_graph(group_size: usize) -> Result<(Graph, Fig1Labels), GraphError> {
+    if group_size < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: "fig1_graph requires groups of at least 2 nodes".to_string(),
+        });
+    }
+    let g = group_size;
+    let (a, b, c) = (2 * g, 2 * g + 1, 2 * g + 2);
+    let n = 2 * g + 3;
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..g {
+        for v in (u + 1)..g {
+            builder.add_edge(u, v)?;
+        }
+        builder.add_edge(u, a)?;
+    }
+    for u in g..2 * g {
+        for v in (u + 1)..2 * g {
+            builder.add_edge(u, v)?;
+        }
+        builder.add_edge(u, b)?;
+    }
+    builder.add_edge(a, b)?;
+    builder.add_edge(a, c)?;
+    builder.add_edge(b, c)?;
+    Ok((
+        builder.build(),
+        Fig1Labels {
+            a,
+            b,
+            c,
+            left: (0..g).collect(),
+            right: (g..2 * g).collect(),
+        },
+    ))
+}
+
+/// Planted-partition random graph: `k` communities of `size` nodes each;
+/// intra-community edges appear with probability `p_in`, inter-community
+/// edges with `p_out`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for probabilities outside
+/// `[0, 1]`, `k == 0`, or `size == 0`.
+pub fn planted_partition<R: Rng + ?Sized>(
+    k: usize,
+    size: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if k == 0 || size == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "planted_partition requires k >= 1 and size >= 1".to_string(),
+        });
+    }
+    for (name, p) in [("p_in", p_in), ("p_out", p_out)] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("{name} = {p} must lie in [0, 1]"),
+            });
+        }
+    }
+    let n = k * size;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if u / size == v / size { p_in } else { p_out };
+            if rng.gen_bool(p) {
+                b.add_edge(u, v)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{bfs_distances, is_connected};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig1_structure() {
+        let (g, l) = fig1_graph(3).unwrap();
+        assert_eq!(g.node_count(), 9);
+        assert!(is_connected(&g));
+        // A touches all left nodes and B; degree = group + 2 (B and C).
+        assert_eq!(g.degree(l.a), 3 + 2);
+        assert_eq!(g.degree(l.b), 3 + 2);
+        assert_eq!(g.degree(l.c), 2);
+        assert!(g.has_edge(l.a, l.b));
+        // No direct edges between groups.
+        for &u in &l.left {
+            for &v in &l.right {
+                assert!(!g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_c_is_on_no_shortest_inter_group_path() {
+        let (g, l) = fig1_graph(4).unwrap();
+        // dist(left, right) via A-B is 3; any path through C has length >= 4.
+        let d_from_left = bfs_distances(&g, l.left[0]);
+        assert_eq!(d_from_left[l.right[0]], Some(3));
+        // C is at distance 2 from left[0] (via A) and 2 from right[0] (via
+        // B), so a path through C has length >= 4 > 3: C is on no shortest
+        // inter-group path.
+        assert_eq!(d_from_left[l.c], Some(2));
+        let d_from_right = bfs_distances(&g, l.right[0]);
+        assert_eq!(d_from_right[l.c], Some(2));
+    }
+
+    #[test]
+    fn fig1_rejects_tiny_groups() {
+        assert!(fig1_graph(1).is_err());
+    }
+
+    #[test]
+    fn planted_partition_shape() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = planted_partition(3, 10, 0.9, 0.05, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 30);
+        // Count intra vs inter community edges: intra should dominate.
+        let mut intra = 0;
+        let mut inter = 0;
+        for e in g.edges() {
+            if e.u / 10 == e.v / 10 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn planted_partition_validation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(planted_partition(0, 5, 0.5, 0.5, &mut rng).is_err());
+        assert!(planted_partition(2, 0, 0.5, 0.5, &mut rng).is_err());
+        assert!(planted_partition(2, 5, 1.5, 0.5, &mut rng).is_err());
+        assert!(planted_partition(2, 5, 0.5, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn planted_partition_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = planted_partition(2, 4, 1.0, 0.0, &mut rng).unwrap();
+        // Two disjoint K_4s.
+        assert_eq!(g.edge_count(), 2 * 6);
+        assert!(!is_connected(&g));
+    }
+}

@@ -1,0 +1,147 @@
+//! Lattice-like deterministic families: grids, tori, hypercubes.
+//!
+//! Lattices have large diameter relative to `n`, which stresses the
+//! walk-truncation experiments (E2): the spectral gap of the transition
+//! matrix is small, so walks take close to the paper's `l = O(n)` bound to
+//! be absorbed.
+
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// 2-D grid with `rows x cols` nodes; node `(r, c)` has index `r * cols + c`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when either dimension is 0.
+///
+/// # Example
+///
+/// ```
+/// use rwbc_graph::generators::grid_2d;
+/// let g = grid_2d(3, 4).unwrap();
+/// assert_eq!(g.node_count(), 12);
+/// assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
+/// ```
+pub fn grid_2d(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    require(rows >= 1 && cols >= 1, "grid dimensions must be positive")?;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                b.add_edge(v, v + 1)?;
+            }
+            if r + 1 < rows {
+                b.add_edge(v, v + cols)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// 2-D torus (grid with wraparound). Requires both dimensions `>= 3` so the
+/// wrap edges do not duplicate grid edges.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when either dimension is `< 3`.
+pub fn torus_2d(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    require(rows >= 3 && cols >= 3, "torus dimensions must be >= 3")?;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            let right = r * cols + (c + 1) % cols;
+            let down = ((r + 1) % rows) * cols + c;
+            b.add_edge_if_absent(v, right)?;
+            b.add_edge_if_absent(v, down)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// `d`-dimensional hypercube `Q_d` on `2^d` nodes; nodes adjacent iff their
+/// indices differ in exactly one bit.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `d == 0` or `d > 20`
+/// (over a million nodes — guard against accidental blowup).
+pub fn hypercube(d: u32) -> Result<Graph, GraphError> {
+    require(
+        (1..=20).contains(&d),
+        "hypercube dimension must be in 1..=20",
+    )?;
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge(v, u)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+fn require(cond: bool, reason: &str) -> Result<(), GraphError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(GraphError::InvalidParameter {
+            reason: reason.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_connected};
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_2d(3, 3).unwrap();
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.degree(4), 4); // center
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(diameter(&g), Some(4));
+        assert!(grid_2d(0, 3).is_err());
+    }
+
+    #[test]
+    fn grid_1xn_is_path() {
+        let g = grid_2d(1, 5).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus_2d(4, 5).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.edge_count(), 2 * 20);
+        assert!(is_connected(&g));
+        assert!(torus_2d(2, 5).is_err());
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.node_count(), 16);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.edge_count(), 32);
+        assert_eq!(diameter(&g), Some(4));
+        assert!(hypercube(0).is_err());
+        assert!(hypercube(21).is_err());
+    }
+
+    #[test]
+    fn hypercube_adjacency_is_single_bit() {
+        let g = hypercube(3).unwrap();
+        for e in g.edges() {
+            assert_eq!((e.u ^ e.v).count_ones(), 1);
+        }
+    }
+}

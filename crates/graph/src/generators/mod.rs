@@ -1,0 +1,27 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates nothing empirically, so the reproduction's experiment
+//! suite (see `EXPERIMENTS.md` at the workspace root) runs on standard
+//! synthetic families plus the two graphs the paper itself draws:
+//!
+//! * [`fig1_graph`] — the motivating example of the paper's Fig. 1 (two
+//!   dense groups bridged by `A—B`, with a bypass node `C`);
+//! * the lower-bound gadget of Figs. 2–5 lives in the `rwbc` crate
+//!   (`rwbc::lower_bound`), since it needs the exact solver to verify
+//!   Lemma 4.
+//!
+//! Deterministic families are plain functions; randomized families take an
+//! `&mut impl Rng` so experiments stay reproducible under a fixed seed.
+
+mod classic;
+mod community;
+mod lattice;
+mod random;
+
+pub use classic::{barbell, binary_tree, complete, complete_bipartite, cycle, path, star, wheel};
+pub use community::{fig1_graph, planted_partition, Fig1Labels};
+pub use lattice::{grid_2d, hypercube, torus_2d};
+pub use random::{
+    barabasi_albert, connected_gnp, gnm, gnp, random_geometric, random_regular, random_tree,
+    watts_strogatz,
+};

@@ -1,0 +1,456 @@
+//! Randomized graph families. All take an explicit RNG for reproducibility.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::traversal::is_connected;
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Erdős–Rényi `G(n, p)`: each of the `C(n, 2)` edges present independently
+/// with probability `p`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `p` is not in `[0, 1]` or
+/// `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use rwbc_graph::generators::gnp;
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let g = gnp(50, 0.2, &mut rng).unwrap();
+/// assert_eq!(g.node_count(), 50);
+/// ```
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GraphError> {
+    validate_n(n)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("edge probability p = {p} must lie in [0, 1]"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(u, v)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Uniform random graph with exactly `m` edges (`G(n, m)`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m > C(n, 2)` or `n == 0`.
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GraphError> {
+    validate_n(n)?;
+    let max = n * (n - 1) / 2;
+    if m > max {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("m = {m} exceeds the maximum {max} for n = {n}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    // Dense regime: sample by shuffling all pairs; sparse: rejection sample.
+    if m * 3 > max {
+        let mut pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        pairs.shuffle(rng);
+        for &(u, v) in pairs.iter().take(m) {
+            b.add_edge(u, v)?;
+        }
+    } else {
+        while b.edge_count() < m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                b.add_edge_if_absent(u, v)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// `G(n, p)` conditioned on connectivity: resamples until connected.
+///
+/// The paper's algorithms assume a connected network (a random walk must be
+/// able to reach the absorbing target from every source). Use a `p` above
+/// the `ln n / n` connectivity threshold or this may loop for many attempts.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] on invalid `n`/`p`, or when no
+/// connected sample is found within `max_attempts`.
+pub fn connected_gnp<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    max_attempts: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    for _ in 0..max_attempts {
+        let g = gnp(n, p, rng)?;
+        if is_connected(&g) {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::InvalidParameter {
+        reason: format!(
+            "no connected G({n}, {p}) sample within {max_attempts} attempts; increase p"
+        ),
+    })
+}
+
+/// Barabási–Albert preferential attachment: starts from a star on `m0 + 1`
+/// nodes, then each new node attaches to `m_attach` distinct existing nodes
+/// chosen proportionally to degree.
+///
+/// Always connected.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `m_attach == 0` or
+/// `n <= m_attach`.
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    m_attach: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if m_attach == 0 || n <= m_attach {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("barabasi_albert requires 0 < m_attach < n (got m={m_attach}, n={n})"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    // Repeated-endpoints urn: sampling an entry uniformly is degree-biased.
+    let mut urn: Vec<usize> = Vec::with_capacity(4 * n * m_attach.max(1));
+    // Seed: star on nodes 0..=m_attach keeps the urn non-empty and connected.
+    for v in 1..=m_attach {
+        b.add_edge(0, v)?;
+        urn.extend([0, v]);
+    }
+    for new in (m_attach + 1)..n {
+        let mut chosen = Vec::with_capacity(m_attach);
+        while chosen.len() < m_attach {
+            let pick = urn[rng.gen_range(0..urn.len())];
+            if pick != new && !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(new, t)?;
+            urn.extend([new, t]);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Random `d`-regular graph via the configuration (pairing) model with
+/// restarts on collisions.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `n * d` is odd, `d >= n`,
+/// or no simple pairing is found within `max_attempts`.
+pub fn random_regular<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    max_attempts: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    validate_n(n)?;
+    if d >= n || !(n * d).is_multiple_of(2) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("no {d}-regular simple graph on {n} nodes (need d < n and n*d even)"),
+        });
+    }
+    'attempt: for _ in 0..max_attempts {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(rng);
+        let mut b = GraphBuilder::new(n);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                continue 'attempt;
+            }
+            if !b.add_edge_if_absent(u, v)? {
+                continue 'attempt;
+            }
+        }
+        return Ok(b.build());
+    }
+    Err(GraphError::InvalidParameter {
+        reason: format!("pairing model failed to produce a simple {d}-regular graph on {n} nodes"),
+    })
+}
+
+/// Uniformly random labeled tree on `n` nodes, decoded from a random Prüfer
+/// sequence. Always connected with `n - 1` edges.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `n == 0`.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Graph, GraphError> {
+    validate_n(n)?;
+    if n == 1 {
+        return Ok(Graph::empty(1));
+    }
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]);
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &x in &prufer {
+        degree[x] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Min-heap over current leaves.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &x in &prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("a tree always has a leaf");
+        b.add_edge(leaf, x)?;
+        degree[x] -= 1;
+        if degree[x] == 1 {
+            leaves.push(std::cmp::Reverse(x));
+        }
+    }
+    let std::cmp::Reverse(u) = leaves.pop().expect("two nodes remain");
+    let std::cmp::Reverse(v) = leaves.pop().expect("two nodes remain");
+    b.add_edge(u, v)?;
+    Ok(b.build())
+}
+
+/// Watts–Strogatz small world: ring lattice where each node connects to its
+/// `k/2` nearest neighbors on each side, then each edge is rewired with
+/// probability `beta` (keeping the graph simple).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `k` is even,
+/// `2 <= k < n`, and `beta` is in `[0, 1]`.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if k < 2 || !k.is_multiple_of(2) || k >= n {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("watts_strogatz requires even k with 2 <= k < n (got k={k}, n={n})"),
+        });
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("rewiring probability beta = {beta} must lie in [0, 1]"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire to a uniform non-neighbor (retry a few times; fall
+                // back to the lattice edge if the node is saturated).
+                let mut rewired = false;
+                for _ in 0..4 * n {
+                    let w = rng.gen_range(0..n);
+                    if w != u && !b.has_edge(u, w) {
+                        b.add_edge(u, w)?;
+                        rewired = true;
+                        break;
+                    }
+                }
+                if !rewired && !b.has_edge(u, v) {
+                    b.add_edge(u, v)?;
+                }
+            } else if !b.has_edge(u, v) {
+                b.add_edge(u, v)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Random geometric graph: `n` points uniform in the unit square, edges
+/// between pairs within Euclidean distance `radius` — the canonical model
+/// of wireless/ad-hoc networks in the distributed-computing literature.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `n == 0` or `radius` is
+/// not in `(0, sqrt(2)]`.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use rwbc_graph::generators::random_geometric;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let g = random_geometric(50, 0.3, &mut rng).unwrap();
+/// assert_eq!(g.node_count(), 50);
+/// ```
+pub fn random_geometric<R: Rng + ?Sized>(
+    n: usize,
+    radius: f64,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    validate_n(n)?;
+    if !(radius > 0.0 && radius * radius <= 2.0 + 1e-12) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("radius = {radius} must lie in (0, sqrt(2)]"),
+        });
+    }
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect();
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = points[u].0 - points[v].0;
+            let dy = points[u].1 - points[v].1;
+            if dx * dx + dy * dy <= r2 {
+                b.add_edge(u, v)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+fn validate_n(n: usize) -> Result<(), GraphError> {
+    if n == 0 {
+        Err(GraphError::InvalidParameter {
+            reason: "graph must have at least one node".to_string(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut r = rng(1);
+        let g0 = gnp(10, 0.0, &mut r).unwrap();
+        assert_eq!(g0.edge_count(), 0);
+        let g1 = gnp(10, 1.0, &mut r).unwrap();
+        assert_eq!(g1.edge_count(), 45);
+        assert!(gnp(10, 1.5, &mut r).is_err());
+        assert!(gnp(0, 0.5, &mut r).is_err());
+    }
+
+    #[test]
+    fn gnp_is_deterministic_under_seed() {
+        let a = gnp(30, 0.3, &mut rng(42)).unwrap();
+        let b = gnp(30, 0.3, &mut rng(42)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut r = rng(2);
+        for &m in &[0usize, 5, 20, 45] {
+            let g = gnm(10, m, &mut r).unwrap();
+            assert_eq!(g.edge_count(), m);
+        }
+        assert!(gnm(10, 46, &mut r).is_err());
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        let mut r = rng(3);
+        let g = connected_gnp(40, 0.15, 100, &mut r).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn ba_edge_count_and_connectivity() {
+        let mut r = rng(4);
+        let g = barabasi_albert(50, 3, &mut r).unwrap();
+        assert_eq!(g.node_count(), 50);
+        // Seed star has 3 edges; each of the 46 later nodes adds 3.
+        assert_eq!(g.edge_count(), 3 + 46 * 3);
+        assert!(is_connected(&g));
+        assert!(barabasi_albert(3, 3, &mut r).is_err());
+        assert!(barabasi_albert(5, 0, &mut r).is_err());
+    }
+
+    #[test]
+    fn ba_hubs_emerge() {
+        let mut r = rng(5);
+        let g = barabasi_albert(200, 2, &mut r).unwrap();
+        // Preferential attachment should create a hub noticeably above the
+        // mean degree (~4).
+        assert!(g.max_degree() >= 10, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn regular_graph_is_regular() {
+        let mut r = rng(6);
+        let g = random_regular(20, 4, 200, &mut r).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(random_regular(5, 3, 10, &mut r).is_err()); // n*d odd
+        assert!(random_regular(4, 4, 10, &mut r).is_err()); // d >= n
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let mut r = rng(7);
+        for n in [1usize, 2, 3, 10, 60] {
+            let g = random_tree(n, &mut r).unwrap();
+            assert_eq!(g.edge_count(), n.saturating_sub(1));
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn random_geometric_shape() {
+        let mut r = rng(9);
+        // Radius sqrt(2) connects everything.
+        let g = random_geometric(12, 2.0f64.sqrt(), &mut r).unwrap();
+        assert_eq!(g.edge_count(), 12 * 11 / 2);
+        // Tiny radius connects (almost) nothing.
+        let g = random_geometric(12, 1e-6, &mut r).unwrap();
+        assert!(g.edge_count() <= 1);
+        assert!(random_geometric(0, 0.5, &mut r).is_err());
+        assert!(random_geometric(5, 0.0, &mut r).is_err());
+        assert!(random_geometric(5, 3.0, &mut r).is_err());
+    }
+
+    #[test]
+    fn random_geometric_is_deterministic() {
+        let a = random_geometric(30, 0.3, &mut rng(4)).unwrap();
+        let b = random_geometric(30, 0.3, &mut rng(4)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn watts_strogatz_degrees() {
+        let mut r = rng(8);
+        let g = watts_strogatz(30, 4, 0.0, &mut r).unwrap();
+        // beta = 0: pure ring lattice, all degrees k.
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        let g = watts_strogatz(30, 4, 0.5, &mut r).unwrap();
+        assert_eq!(g.node_count(), 30);
+        assert!(g.edge_count() <= 60);
+        assert!(watts_strogatz(10, 3, 0.1, &mut r).is_err());
+        assert!(watts_strogatz(10, 4, 1.5, &mut r).is_err());
+    }
+}

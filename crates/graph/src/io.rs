@@ -1,0 +1,161 @@
+//! Plain-text edge-list serialization.
+//!
+//! The format is deliberately minimal so that graphs can be exchanged with
+//! other tools (networkx `read_edgelist`-compatible):
+//!
+//! ```text
+//! # comment lines start with '#'
+//! n 5          <- header: node count (required, first non-comment line)
+//! 0 1
+//! 1 2
+//! ```
+
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Serializes a graph to the edge-list text format.
+///
+/// # Example
+///
+/// ```
+/// use rwbc_graph::{Graph, io};
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+/// let text = io::to_edge_list(&g);
+/// let h = io::from_edge_list(&text).unwrap();
+/// assert_eq!(g, h);
+/// ```
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::with_capacity(16 + 8 * g.edge_count());
+    out.push_str(&format!("n {}\n", g.node_count()));
+    for e in g.edges() {
+        out.push_str(&format!("{} {}\n", e.u, e.v));
+    }
+    out
+}
+
+/// Parses a graph from the edge-list text format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines or a missing header, and
+/// propagates the builder's validation errors (out-of-range endpoints,
+/// self-loops, duplicates) tagged with the offending line number.
+pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut builder: Option<GraphBuilder> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match builder.as_mut() {
+            None => {
+                let tag = parts.next();
+                let count = parts.next();
+                match (tag, count, parts.next()) {
+                    (Some("n"), Some(c), None) => {
+                        let n: usize = c.parse().map_err(|_| GraphError::Parse {
+                            line: lineno,
+                            reason: format!("invalid node count '{c}'"),
+                        })?;
+                        builder = Some(GraphBuilder::new(n));
+                    }
+                    _ => {
+                        return Err(GraphError::Parse {
+                            line: lineno,
+                            reason: "expected header 'n <count>'".to_string(),
+                        })
+                    }
+                }
+            }
+            Some(b) => {
+                let u = parse_endpoint(parts.next(), lineno)?;
+                let v = parse_endpoint(parts.next(), lineno)?;
+                if parts.next().is_some() {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        reason: "expected exactly two endpoints".to_string(),
+                    });
+                }
+                b.add_edge(u, v).map_err(|e| GraphError::Parse {
+                    line: lineno,
+                    reason: e.to_string(),
+                })?;
+            }
+        }
+    }
+    match builder {
+        Some(b) => Ok(b.build()),
+        None => Err(GraphError::Parse {
+            line: 0,
+            reason: "missing header 'n <count>'".to_string(),
+        }),
+    }
+}
+
+fn parse_endpoint(tok: Option<&str>, line: usize) -> Result<usize, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        reason: "expected two endpoints".to_string(),
+    })?;
+    tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        reason: format!("invalid endpoint '{tok}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 3)]).unwrap();
+        let text = to_edge_list(&g);
+        assert_eq!(from_edge_list(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header comment\n\nn 3\n# edge next\n0 1\n\n1 2\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        let err = from_edge_list("0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = from_edge_list("# nothing\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 0, .. }));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_number() {
+        let err = from_edge_list("n 3\n0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        let err = from_edge_list("n 3\n0 1 2\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        let err = from_edge_list("n 3\n0 x\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn builder_errors_surface_as_parse_errors() {
+        let err = from_edge_list("n 2\n0 1\n1 0\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, reason } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("duplicate"));
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_graph_round_trip() {
+        let g = Graph::empty(7);
+        assert_eq!(from_edge_list(&to_edge_list(&g)).unwrap(), g);
+    }
+}

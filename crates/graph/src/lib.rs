@@ -1,0 +1,54 @@
+//! Undirected-graph substrate for the reproduction of *"Distributively
+//! Computing Random Walk Betweenness Centrality in Linear Time"* (ICDCS 2017).
+//!
+//! The paper's algorithms operate on simple, connected, undirected graphs
+//! `G = (V, E)` with `|V| = n` and `|E| = m` (Section III-A of the paper).
+//! This crate provides:
+//!
+//! * [`Graph`] — an immutable compressed-sparse-row (CSR) representation with
+//!   `O(1)` degree queries and cache-friendly neighbor iteration, the shape
+//!   every other crate in the workspace consumes;
+//! * [`GraphBuilder`] — an incremental, validating builder;
+//! * [`generators`] — the synthetic graph families used throughout the
+//!   experiment suite (Erdős–Rényi, Barabási–Albert, random regular,
+//!   lattices, classic families, the paper's Fig. 1 two-community graph, and
+//!   more);
+//! * [`traversal`] — BFS, connected components, diameter and eccentricities;
+//! * [`analysis`] — degree statistics and structural summaries;
+//! * [`io`] — a plain edge-list text format for persisting graphs.
+//!
+//! # Example
+//!
+//! ```
+//! use rwbc_graph::{Graph, GraphBuilder};
+//!
+//! # fn main() -> Result<(), rwbc_graph::GraphError> {
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1)?;
+//! b.add_edge(1, 2)?;
+//! b.add_edge(2, 3)?;
+//! let g: Graph = b.build();
+//! assert_eq!(g.node_count(), 4);
+//! assert_eq!(g.edge_count(), 3);
+//! assert_eq!(g.degree(1), 2);
+//! assert!(g.neighbors(1).eq([0, 2]));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+
+pub mod analysis;
+pub mod datasets;
+pub mod generators;
+pub mod io;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{EdgeRef, Edges, Graph, Neighbors, NodeId};

@@ -1,0 +1,250 @@
+//! Breadth-first traversal, connectivity, and distance utilities.
+//!
+//! The paper's complexity claims are stated in terms of the number of nodes
+//! `n` and the network diameter `D` (e.g. the `Ω(n / log n + D)` lower bound
+//! of Theorem 6); this module computes those structural quantities for the
+//! experiment harness.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Distance value used by BFS; `None` encodes "unreachable".
+pub type Distance = Option<usize>;
+
+/// Single-source BFS distances from `source`.
+///
+/// Returns a vector of length `n` where entry `v` is `Some(dist(source, v))`
+/// or `None` when `v` is unreachable.
+///
+/// # Panics
+///
+/// Panics if `source >= n`.
+///
+/// # Example
+///
+/// ```
+/// use rwbc_graph::{Graph, traversal::bfs_distances};
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+/// let d = bfs_distances(&g, 0);
+/// assert_eq!(d, vec![Some(0), Some(1), Some(2), None]);
+/// ```
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Distance> {
+    assert!(source < g.node_count(), "source {source} out of range");
+    let mut dist: Vec<Distance> = vec![None; g.node_count()];
+    dist[source] = Some(0);
+    let mut queue = VecDeque::with_capacity(g.node_count());
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        for v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS parent tree from `source`: entry `v` is the BFS parent of `v`
+/// (`source` maps to itself; unreachable nodes map to `None`).
+pub fn bfs_tree(g: &Graph, source: NodeId) -> Vec<Option<NodeId>> {
+    assert!(source < g.node_count(), "source {source} out of range");
+    let mut parent: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    parent[source] = Some(source);
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for v in g.neighbors(u) {
+            if parent[v].is_none() {
+                parent[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    parent
+}
+
+/// Whether the graph is connected. The empty graph and single node count as
+/// connected.
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|d| d.is_some())
+}
+
+/// Connected components: returns `(component_id_per_node, component_count)`.
+/// Component ids are dense, assigned in order of smallest contained node.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = count;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for v in g.neighbors(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Eccentricity of `v`: the greatest BFS distance from `v` to any node.
+///
+/// Returns `None` when some node is unreachable from `v`.
+pub fn eccentricity(g: &Graph, v: NodeId) -> Option<usize> {
+    let d = bfs_distances(g, v);
+    let mut ecc = 0;
+    for dv in d {
+        match dv {
+            Some(x) => ecc = ecc.max(x),
+            None => return None,
+        }
+    }
+    Some(ecc)
+}
+
+/// Exact diameter `D` via all-pairs BFS in `O(nm)`.
+///
+/// Returns `None` for disconnected graphs and graphs with fewer than 2 nodes
+/// have diameter `Some(0)`.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    let n = g.node_count();
+    if n == 0 {
+        return Some(0);
+    }
+    let mut best = 0;
+    for v in 0..n {
+        best = best.max(eccentricity(g, v)?);
+    }
+    Some(best)
+}
+
+/// Fast diameter *lower bound* by the classic double-sweep heuristic:
+/// BFS from `start`, then BFS from the farthest node found.
+///
+/// Exact on trees; a lower bound in general. Returns `None` on disconnected
+/// graphs.
+pub fn diameter_double_sweep(g: &Graph, start: NodeId) -> Option<usize> {
+    let d1 = bfs_distances(g, start);
+    let mut far = start;
+    let mut best = 0;
+    for (v, dv) in d1.iter().enumerate() {
+        let x = (*dv)?;
+        if x > best {
+            best = x;
+            far = v;
+        }
+    }
+    let d2 = bfs_distances(g, far);
+    let mut diam = 0;
+    for dv in d2 {
+        diam = diam.max(dv?);
+    }
+    Some(diam)
+}
+
+/// Shortest-path distance between two nodes, or `None` if disconnected.
+pub fn distance(g: &Graph, u: NodeId, v: NodeId) -> Distance {
+    bfs_distances(g, u)[v]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+        assert_eq!(distance(&g, 1, 4), Some(3));
+    }
+
+    #[test]
+    fn bfs_tree_parents() {
+        let g = path(4);
+        let p = bfs_tree(&g, 1);
+        assert_eq!(p[1], Some(1));
+        assert_eq!(p[0], Some(1));
+        assert_eq!(p[2], Some(1));
+        assert_eq!(p[3], Some(2));
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&path(6)));
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!is_connected(&g));
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn components_of_empty_and_singletons() {
+        let g = Graph::empty(3);
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(comp, vec![0, 1, 2]);
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(is_connected(&Graph::empty(0)));
+    }
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        assert_eq!(diameter(&path(7)), Some(6));
+        let cycle = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        assert_eq!(diameter(&cycle), Some(3));
+    }
+
+    #[test]
+    fn diameter_disconnected_is_none() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(diameter(&g), None);
+        assert_eq!(eccentricity(&g, 0), None);
+        assert_eq!(diameter_double_sweep(&g, 0), None);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees() {
+        // A star with one long arm: diameter is 1 + 3 = 4.
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (3, 4), (4, 5)]).unwrap();
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(diameter_double_sweep(&g, 2), Some(4));
+    }
+
+    #[test]
+    fn double_sweep_lower_bounds_diameter() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]).unwrap();
+        let exact = diameter(&g).unwrap();
+        let ds = diameter_double_sweep(&g, 0).unwrap();
+        assert!(ds <= exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bfs_panics_out_of_range() {
+        bfs_distances(&path(3), 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rwbc_graph::generators::{self, gnp};
+use rwbc_graph::traversal::{bfs_distances, connected_components, diameter, is_connected};
+use rwbc_graph::{io, Graph, GraphBuilder};
+
+/// Strategy: a small random simple graph described by (n, edge set).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..20).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n, 0..n), 0..=max_edges).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    let _ = b.add_edge_if_absent(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        prop_assert_eq!(g.degree_sum(), 2 * g.edge_count());
+    }
+
+    #[test]
+    fn edges_iter_matches_has_edge(g in arb_graph()) {
+        let mut count = 0;
+        for e in g.edges() {
+            prop_assert!(e.u < e.v);
+            prop_assert!(g.has_edge(e.u, e.v));
+            prop_assert!(g.has_edge(e.v, e.u));
+            count += 1;
+        }
+        prop_assert_eq!(count, g.edge_count());
+    }
+
+    #[test]
+    fn neighbor_lists_sorted_and_loop_free(g in arb_graph()) {
+        for v in g.nodes() {
+            let row = g.neighbor_slice(v);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!row.contains(&v));
+        }
+    }
+
+    #[test]
+    fn edge_list_round_trip(g in arb_graph()) {
+        let text = io::to_edge_list(&g);
+        let h = io::from_edge_list(&text).unwrap();
+        prop_assert_eq!(g, h);
+    }
+
+    #[test]
+    fn relabel_by_reverse_preserves_edge_count(g in arb_graph()) {
+        let n = g.node_count();
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let h = g.relabel(&perm);
+        prop_assert_eq!(g.edge_count(), h.edge_count());
+        for e in g.edges() {
+            prop_assert!(h.has_edge(perm[e.u], perm[e.v]));
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_on_edges(g in arb_graph()) {
+        if g.node_count() == 0 { return Ok(()); }
+        let d = bfs_distances(&g, 0);
+        for e in g.edges() {
+            if let (Some(du), Some(dv)) = (d[e.u], d[e.v]) {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            } else {
+                // Endpoints of one edge are in the same component.
+                prop_assert!(d[e.u].is_none() && d[e.v].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn component_count_consistent_with_connectivity(g in arb_graph()) {
+        let (_, k) = connected_components(&g);
+        prop_assert_eq!(k == 1, is_connected(&g));
+    }
+
+    #[test]
+    fn remove_node_drops_exactly_incident_edges(g in arb_graph()) {
+        if g.node_count() < 2 { return Ok(()); }
+        let t = g.node_count() / 2;
+        let (h, map) = g.remove_node(t);
+        prop_assert_eq!(h.node_count(), g.node_count() - 1);
+        prop_assert_eq!(h.edge_count(), g.edge_count() - g.degree(t));
+        prop_assert!(map[t].is_none());
+    }
+
+    #[test]
+    fn gnp_seeded_determinism(n in 2usize..30, denom in 1u32..10, seed in 0u64..1000) {
+        let p = f64::from(denom) / 10.0;
+        let a = gnp(n, p, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let b = gnp(n, p, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_tree_always_tree(n in 1usize..40, seed in 0u64..500) {
+        let g = generators::random_tree(n, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(g.edge_count(), n - 1);
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid_diameter_is_manhattan(r in 1usize..6, c in 1usize..6) {
+        let g = generators::grid_2d(r, c).unwrap();
+        prop_assert_eq!(diameter(&g), Some(r - 1 + c - 1));
+    }
+}

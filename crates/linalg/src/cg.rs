@@ -1,0 +1,278 @@
+use crate::vector::{axpy, dot, norm2};
+use crate::{CsrMatrix, LinalgError};
+
+/// Preconditioner choice for [`conjugate_gradient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Preconditioner {
+    /// No preconditioning.
+    #[default]
+    None,
+    /// Jacobi (diagonal) preconditioning — effective for Laplacians of
+    /// graphs with heterogeneous degrees.
+    Jacobi,
+}
+
+/// Options for [`conjugate_gradient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOptions {
+    /// Stop once `‖r‖₂ <= tolerance * ‖b‖₂`.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Preconditioner.
+    pub preconditioner: Preconditioner,
+}
+
+impl Default for CgOptions {
+    fn default() -> CgOptions {
+        CgOptions {
+            tolerance: 1e-10,
+            max_iterations: 10_000,
+            preconditioner: Preconditioner::Jacobi,
+        }
+    }
+}
+
+/// Outcome of a successful CG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgResult {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual 2-norm (absolute).
+    pub residual: f64,
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` by (preconditioned)
+/// conjugate gradient.
+///
+/// The grounded Laplacian `D_t − A_t` of a connected graph is SPD, so this
+/// gives a sparse `O(m · √κ)`-ish alternative to the dense LU path of the
+/// exact RWBC solver (design decision D4 in `DESIGN.md`).
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `A` is not square or `b` has the
+///   wrong length;
+/// * [`LinalgError::NoConvergence`] if the tolerance is not reached within
+///   `max_iterations`;
+/// * [`LinalgError::InvalidParameter`] if Jacobi preconditioning is asked
+///   for but some diagonal entry is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use rwbc_linalg::{conjugate_gradient, CgOptions, CsrMatrix};
+///
+/// # fn main() -> Result<(), rwbc_linalg::LinalgError> {
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0)])?;
+/// let r = conjugate_gradient(&a, &[1.0, 0.0], &CgOptions::default())?;
+/// assert!((r.x[0] - 2.0 / 3.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn conjugate_gradient(
+    a: &CsrMatrix,
+    b: &[f64],
+    options: &CgOptions,
+) -> Result<CgResult, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "conjugate gradient".into(),
+            left: (a.rows(), a.cols()),
+            right: (a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "conjugate gradient".into(),
+            left: (n, n),
+            right: (b.len(), 1),
+        });
+    }
+    let inv_diag: Option<Vec<f64>> = match options.preconditioner {
+        Preconditioner::None => None,
+        Preconditioner::Jacobi => {
+            let d = a.diagonal();
+            if d.iter().any(|&x| x <= 0.0) {
+                return Err(LinalgError::InvalidParameter {
+                    reason: "jacobi preconditioner requires strictly positive diagonal".into(),
+                });
+            }
+            Some(d.into_iter().map(|x| 1.0 / x).collect())
+        }
+    };
+    let apply_m = |r: &[f64]| -> Vec<f64> {
+        match &inv_diag {
+            None => r.to_vec(),
+            Some(inv) => r.iter().zip(inv).map(|(x, w)| x * w).collect(),
+        }
+    };
+
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(CgResult {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual: 0.0,
+        });
+    }
+    let target = options.tolerance * b_norm;
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = apply_m(&r);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+
+    for iter in 0..options.max_iterations {
+        let res = norm2(&r);
+        if res <= target {
+            return Ok(CgResult {
+                x,
+                iterations: iter,
+                residual: res,
+            });
+        }
+        let ap = a.matvec(&p)?;
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Matrix is not positive definite along p; bail out.
+            return Err(LinalgError::NoConvergence {
+                iterations: iter,
+                residual: res,
+            });
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        z = apply_m(&r);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+    }
+    let res = norm2(&r);
+    if res <= target {
+        Ok(CgResult {
+            x,
+            iterations: options.max_iterations,
+            residual: res,
+        })
+    } else {
+        Err(LinalgError::NoConvergence {
+            iterations: options.max_iterations,
+            residual: res,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LuDecomposition, Matrix};
+
+    fn spd_example() -> CsrMatrix {
+        // Grounded Laplacian of a path 0-1-2-3 with node 3 removed.
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 1.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 2.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cg_matches_lu() {
+        let a = spd_example();
+        let b = vec![1.0, 2.0, 3.0];
+        let cg = conjugate_gradient(&a, &b, &CgOptions::default()).unwrap();
+        let lu = LuDecomposition::new(&a.to_dense()).unwrap();
+        let direct = lu.solve(&b).unwrap();
+        for (x, y) in cg.x.iter().zip(&direct) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn cg_without_preconditioner() {
+        let a = spd_example();
+        let opts = CgOptions {
+            preconditioner: Preconditioner::None,
+            ..CgOptions::default()
+        };
+        let r = conjugate_gradient(&a, &[1.0, 0.0, 0.0], &opts).unwrap();
+        assert!(r.residual <= 1e-9);
+    }
+
+    #[test]
+    fn cg_exact_in_n_iterations() {
+        // CG on an SPD n x n system converges in at most n iterations
+        // (exact arithmetic); allow a little slack for floating point.
+        let a = spd_example();
+        let r = conjugate_gradient(&a, &[0.5, -1.0, 2.0], &CgOptions::default()).unwrap();
+        assert!(r.iterations <= 4, "took {} iterations", r.iterations);
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = spd_example();
+        let r = conjugate_gradient(&a, &[0.0, 0.0, 0.0], &CgOptions::default()).unwrap();
+        assert_eq!(r.x, vec![0.0; 3]);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = spd_example();
+        assert!(conjugate_gradient(&a, &[1.0], &CgOptions::default()).is_err());
+        let rect = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]).unwrap();
+        assert!(conjugate_gradient(&rect, &[1.0, 1.0, 1.0], &CgOptions::default()).is_err());
+    }
+
+    #[test]
+    fn jacobi_requires_positive_diagonal() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let err = conjugate_gradient(&a, &[1.0, 1.0], &CgOptions::default()).unwrap_err();
+        assert!(matches!(err, LinalgError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn no_convergence_reported() {
+        let a = spd_example();
+        let opts = CgOptions {
+            tolerance: 1e-14,
+            max_iterations: 1,
+            preconditioner: Preconditioner::None,
+        };
+        let err = conjugate_gradient(&a, &[1.0, 2.0, 3.0], &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            LinalgError::NoConvergence { iterations: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn indefinite_matrix_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]).unwrap();
+        let s = CsrMatrix::from_dense(&a);
+        let opts = CgOptions {
+            preconditioner: Preconditioner::None,
+            ..CgOptions::default()
+        };
+        let err = conjugate_gradient(&s, &[0.0, 1.0], &opts).unwrap_err();
+        assert!(matches!(err, LinalgError::NoConvergence { .. }));
+    }
+}

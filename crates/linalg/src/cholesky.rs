@@ -1,0 +1,219 @@
+use crate::{LinalgError, Matrix};
+
+/// Cholesky factorization `A = L Lᵀ` for symmetric positive-definite
+/// matrices.
+///
+/// The grounded Laplacian `D_t − A_t` (paper Eq. 3) is SPD on connected
+/// graphs, so Cholesky applies and halves both the work and the storage of
+/// the general LU path — the third arm of the exact-solver ablation (D4).
+///
+/// # Example
+///
+/// ```
+/// use rwbc_linalg::{CholeskyDecomposition, Matrix};
+///
+/// # fn main() -> Result<(), rwbc_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let ch = CholeskyDecomposition::new(&a)?;
+/// let x = ch.solve(&[8.0, 7.0])?;
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CholeskyDecomposition {
+    /// Lower-triangular factor (upper part unused).
+    l: Matrix,
+}
+
+/// Diagonal entries below this during factorization mean "not positive
+/// definite".
+const SPD_EPS: f64 = 1e-12;
+
+impl CholeskyDecomposition {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's responsibility (checked in debug builds).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` is not square;
+    /// * [`LinalgError::Singular`] if a pivot drops below `1e-12`
+    ///   (the matrix is not positive definite).
+    pub fn new(a: &Matrix) -> Result<CholeskyDecomposition, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky factorization".into(),
+                left: a.shape(),
+                right: a.shape(),
+            });
+        }
+        let n = a.rows();
+        #[cfg(debug_assertions)]
+        for i in 0..n {
+            for j in 0..i {
+                debug_assert!(
+                    (a.get(i, j) - a.get(j, i)).abs() < 1e-9,
+                    "cholesky input must be symmetric"
+                );
+            }
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum < SPD_EPS {
+                        return Err(LinalgError::Singular { column: i });
+                    }
+                    l.set(i, i, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(CholeskyDecomposition { l })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` via two triangular solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != order`.
+    #[allow(clippy::needless_range_loop)] // triangular index bounds read clearer than iterators
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve".into(),
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.l.get(i, j) * y[j];
+            }
+            y[i] = sum / self.l.get(i, i);
+        }
+        // Backward: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.l.get(j, i) * x[j];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// The full inverse `A^{-1}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.order();
+        let mut out = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let x = self.solve(&e)?;
+            e[c] = 0.0;
+            for (r, v) in x.into_iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant: the squared product of the factor's diagonal.
+    pub fn determinant(&self) -> f64 {
+        let mut d = 1.0;
+        for i in 0..self.order() {
+            d *= self.l.get(i, i);
+        }
+        d * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LuDecomposition;
+
+    fn spd() -> Matrix {
+        Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn matches_lu_solve() {
+        let a = spd();
+        let ch = CholeskyDecomposition::new(&a).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let xc = ch.solve(&b).unwrap();
+        let xl = lu.solve(&b).unwrap();
+        for (c, l) in xc.iter().zip(&xl) {
+            assert!((c - l).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = spd();
+        let inv = CholeskyDecomposition::new(&a).unwrap().inverse().unwrap();
+        assert!(a
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn determinant_matches_lu() {
+        let a = spd();
+        let dc = CholeskyDecomposition::new(&a).unwrap().determinant();
+        let dl = LuDecomposition::new(&a).unwrap().determinant();
+        assert!((dc - dl).abs() < 1e-9);
+        assert!(dc > 0.0);
+    }
+
+    #[test]
+    fn rejects_indefinite_and_nonsquare() {
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            CholeskyDecomposition::new(&indef),
+            Err(LinalgError::Singular { .. })
+        ));
+        assert!(CholeskyDecomposition::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn solve_validates_dimensions() {
+        let ch = CholeskyDecomposition::new(&spd()).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn grounded_laplacian_is_spd() {
+        // Path 0-1-2-3 grounded at 3.
+        let l =
+            Matrix::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]).unwrap();
+        let ch = CholeskyDecomposition::new(&l).unwrap();
+        assert!(ch.determinant() > 0.0);
+    }
+}

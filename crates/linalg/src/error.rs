@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (e.g. multiplying `a x b` by `c x d`
+    /// with `b != c`).
+    DimensionMismatch {
+        /// Description of the attempted operation.
+        op: String,
+        /// Shape of the left/first operand.
+        left: (usize, usize),
+        /// Shape of the right/second operand.
+        right: (usize, usize),
+    },
+    /// Matrix rows of unequal length were supplied to a constructor.
+    RaggedRows {
+        /// Index of the first row whose length differs from row 0.
+        row: usize,
+    },
+    /// A factorization or solve hit a (numerically) singular matrix.
+    Singular {
+        /// Pivot column where rank deficiency was detected.
+        column: usize,
+    },
+    /// An iterative method failed to reach the requested tolerance.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the final iteration.
+        residual: f64,
+    },
+    /// An invalid parameter (non-finite entry, zero dimension where
+    /// positive is required, etc.).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::RaggedRows { row } => {
+                write!(f, "row {row} has a different length from row 0")
+            }
+            LinalgError::Singular { column } => {
+                write!(f, "matrix is singular (zero pivot in column {column})")
+            }
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative method did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            LinalgError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul".into(),
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(LinalgError::Singular { column: 1 }
+            .to_string()
+            .contains("column 1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,285 @@
+use crate::{LinalgError, Matrix};
+
+/// LU factorization with partial pivoting (`P A = L U`).
+///
+/// This is the direct solver behind Newman's exact expression
+/// `T_t = (D_t − A_t)^{-1}` (paper Eq. 3): factor once in `O(n³)`, then each
+/// of the `n` right-hand sides (or the full inverse) is an `O(n²)`
+/// substitution — matching the `O((n + m) n²)` complexity the paper cites
+/// for the centralized algorithm.
+///
+/// # Example
+///
+/// ```
+/// use rwbc_linalg::{LuDecomposition, Matrix};
+///
+/// # fn main() -> Result<(), rwbc_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = LuDecomposition::new(&a)?;
+/// let inv = lu.inverse()?;
+/// assert!(a.matmul(&inv)?.approx_eq(&Matrix::identity(2), 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row index now at row `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    perm_sign: f64,
+}
+
+/// Pivots smaller than this magnitude are treated as exact zeros.
+const PIVOT_EPS: f64 = 1e-12;
+
+impl LuDecomposition {
+    /// Factors `a` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` is not square;
+    /// * [`LinalgError::Singular`] if a pivot column has no entry larger
+    ///   than `1e-12` in magnitude.
+    pub fn new(a: &Matrix) -> Result<LuDecomposition, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu factorization".into(),
+                left: a.shape(),
+                right: a.shape(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = lu.get(r, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < PIVOT_EPS {
+                return Err(LinalgError::Singular { column: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu.get(k, c);
+                    lu.set(k, c, lu.get(pivot_row, c));
+                    lu.set(pivot_row, c, tmp);
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu.get(k, k);
+            for r in (k + 1)..n {
+                let factor = lu.get(r, k) / pivot;
+                lu.set(r, k, factor);
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in (k + 1)..n {
+                    let v = lu.get(r, c) - factor * lu.get(k, c);
+                    lu.set(r, c, v);
+                }
+            }
+        }
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != order`.
+    #[allow(clippy::needless_range_loop)] // triangular index bounds read clearer than iterators
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu solve".into(),
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward substitution on P b with unit-diagonal L.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[self.perm[i]];
+            for j in 0..i {
+                sum -= self.lu.get(i, j) * y[j];
+            }
+            y[i] = sum;
+        }
+        // Back substitution with U.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = sum / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.rows() != order`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.order();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu solve_matrix".into(),
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let col = b.col(c);
+            let x = self.solve(&col)?;
+            for (r, v) in x.into_iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The full inverse `A^{-1}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (none expected after a successful
+    /// factorization).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.solve_matrix(&Matrix::identity(self.order()))
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.order() {
+            det *= self.lu.get(i, i);
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&[3.0, 4.0]).unwrap();
+        assert!((x[0] - 4.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap();
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        assert!(a
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-10));
+        assert!(inv
+            .matmul(&a)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let det = LuDecomposition::new(&a).unwrap().determinant();
+        assert!((det - (-2.0)).abs() < 1e-12);
+        let i = Matrix::identity(4);
+        assert!((LuDecomposition::new(&i).unwrap().determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_permutation() {
+        // Swapping rows of the identity gives determinant -1.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let det = LuDecomposition::new(&a).unwrap().determinant();
+        assert!((det + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matrix_identity_gives_inverse() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let inv1 = lu.inverse().unwrap();
+        let inv2 = lu.solve_matrix(&Matrix::identity(2)).unwrap();
+        assert!(inv1.approx_eq(&inv2, 1e-14));
+    }
+
+    #[test]
+    fn solve_dimension_mismatch() {
+        let a = Matrix::identity(2);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+        assert!(lu.solve_matrix(&Matrix::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn grounded_laplacian_of_path_is_invertible() {
+        // Path 0-1-2 with node 2 grounded: D_t - A_t = [[1, -1], [-1, 2]].
+        let a = Matrix::from_rows(&[&[1.0, -1.0], &[-1.0, 2.0]]).unwrap();
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        // Known inverse: [[2, 1], [1, 1]].
+        let expected = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(inv.approx_eq(&expected, 1e-12));
+    }
+}

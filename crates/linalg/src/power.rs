@@ -1,0 +1,173 @@
+use crate::vector::{norm1, norm2, scale};
+use crate::{CsrMatrix, LinalgError};
+
+/// Options for [`power_iteration`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerOptions {
+    /// Stop when successive eigenvalue estimates differ by less than this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PowerOptions {
+    fn default() -> PowerOptions {
+        PowerOptions {
+            tolerance: 1e-12,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// Result of [`power_iteration`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerResult {
+    /// Estimated dominant eigenvalue magnitude (spectral radius for
+    /// non-negative matrices).
+    pub eigenvalue: f64,
+    /// The associated (2-normalized) eigenvector estimate.
+    pub eigenvector: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Power iteration for the dominant eigenvalue of a non-negative matrix.
+///
+/// Used in the E2 experiment to compute `ρ(M_t)`, the spectral radius of
+/// the absorbing transition matrix: Theorem 1's proof shows the
+/// unabsorbed-walk mass decays essentially like `ρ(M_t)^l`, and our measured
+/// decay curves are compared against this prediction.
+///
+/// The iteration starts from the uniform vector, which has non-zero overlap
+/// with the Perron vector of a non-negative matrix.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if the matrix is not square;
+/// * [`LinalgError::InvalidParameter`] if it is 0×0;
+/// * [`LinalgError::NoConvergence`] if the estimate has not stabilized
+///   within `max_iterations` (common when the top two eigenvalues are very
+///   close — increase the cap).
+///
+/// # Example
+///
+/// ```
+/// use rwbc_linalg::{power_iteration, CsrMatrix, PowerOptions};
+///
+/// # fn main() -> Result<(), rwbc_linalg::LinalgError> {
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 0.5)])?;
+/// let r = power_iteration(&a, &PowerOptions::default())?;
+/// assert!((r.eigenvalue - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn power_iteration(a: &CsrMatrix, options: &PowerOptions) -> Result<PowerResult, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "power iteration".into(),
+            left: (a.rows(), a.cols()),
+            right: (a.rows(), a.cols()),
+        });
+    }
+    if n == 0 {
+        return Err(LinalgError::InvalidParameter {
+            reason: "power iteration on an empty matrix".into(),
+        });
+    }
+    let mut v = vec![1.0 / n as f64; n];
+    let mut lambda_prev = f64::INFINITY;
+    for iter in 1..=options.max_iterations {
+        // Two applications per iteration: bipartite-like transition matrices
+        // (e.g. `M_t` of a path graph) have a dominant eigenvalue *pair*
+        // `±λ`, so a one-step growth ratio oscillates forever. The two-step
+        // growth `‖A² v‖ / ‖v‖` converges to `λ²` in that case too.
+        let w1 = a.matvec(&v)?;
+        let mut w = a.matvec(&w1)?;
+        let growth2 = norm1(&w) / norm1(&v).max(f64::MIN_POSITIVE);
+        let lambda = growth2.sqrt();
+        let w_norm = norm2(&w);
+        if w_norm == 0.0 {
+            // Nilpotent-like: spectral radius 0.
+            return Ok(PowerResult {
+                eigenvalue: 0.0,
+                eigenvector: v,
+                iterations: iter,
+            });
+        }
+        scale(1.0 / w_norm, &mut w);
+        v = w;
+        if (lambda - lambda_prev).abs() <= options.tolerance {
+            return Ok(PowerResult {
+                eigenvalue: lambda,
+                eigenvector: v,
+                iterations: iter,
+            });
+        }
+        lambda_prev = lambda;
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn diagonal_dominant_eigenvalue() {
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 0, 3.0), (1, 1, 1.0), (2, 2, 0.5)]).unwrap();
+        let r = power_iteration(&a, &PowerOptions::default()).unwrap();
+        assert!((r.eigenvalue - 3.0).abs() < 1e-9);
+        // Eigenvector concentrates on coordinate 0.
+        assert!(r.eigenvector[0].abs() > 0.99);
+    }
+
+    #[test]
+    fn doubly_stochastic_has_radius_one() {
+        let m = Matrix::from_rows(&[&[0.5, 0.5], &[0.5, 0.5]]).unwrap();
+        let r = power_iteration(&CsrMatrix::from_dense(&m), &PowerOptions::default()).unwrap();
+        assert!((r.eigenvalue - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn substochastic_has_radius_below_one() {
+        // Transition matrix of a path 0-1-2 with absorbing node removed:
+        // column sums < 1 somewhere, so the spectral radius is < 1.
+        // M_t for path 0-1-2-3, t=3: states {0,1,2}.
+        let m = Matrix::from_rows(&[&[0.0, 0.5, 0.0], &[1.0, 0.0, 0.5], &[0.0, 0.5, 0.0]]).unwrap();
+        let r = power_iteration(&CsrMatrix::from_dense(&m), &PowerOptions::default()).unwrap();
+        assert!(r.eigenvalue < 1.0);
+        assert!(r.eigenvalue > 0.5);
+    }
+
+    #[test]
+    fn zero_matrix_radius_zero() {
+        let a = CsrMatrix::from_triplets(2, 2, &[]).unwrap();
+        let r = power_iteration(&a, &PowerOptions::default()).unwrap();
+        assert_eq!(r.eigenvalue, 0.0);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let rect = CsrMatrix::from_triplets(2, 3, &[]).unwrap();
+        assert!(power_iteration(&rect, &PowerOptions::default()).is_err());
+        let empty = CsrMatrix::from_triplets(0, 0, &[]).unwrap();
+        assert!(power_iteration(&empty, &PowerOptions::default()).is_err());
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let m = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let opts = PowerOptions {
+            tolerance: 0.0,
+            max_iterations: 3,
+        };
+        // Tolerance 0 can never be met exactly with alternating iterates.
+        let err = power_iteration(&CsrMatrix::from_dense(&m), &opts);
+        assert!(err.is_err() || err.unwrap().iterations <= 3);
+    }
+}

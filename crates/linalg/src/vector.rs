@@ -1,0 +1,93 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! Kept as plain functions (rather than a wrapper type) because callers in
+//! this workspace overwhelmingly own `Vec<f64>` buffers they want to reuse.
+
+/// Dot product. Panics if lengths differ.
+///
+/// # Panics
+///
+/// Panics when `a.len() != b.len()`.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` in place.
+///
+/// # Panics
+///
+/// Panics when `x.len() != y.len()`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Maximum absolute entry (∞-norm); 0 for the empty vector.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, &x| m.max(x.abs()))
+}
+
+/// Sum of absolute entries (1-norm).
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Scales every entry in place.
+pub fn scale(alpha: f64, a: &mut [f64]) {
+    for x in a {
+        *x *= alpha;
+    }
+}
+
+/// `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm1(&[-1.0, 2.0, -3.0]), 6.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![21.0, 41.0]);
+    }
+
+    #[test]
+    fn scale_and_sub() {
+        let mut a = vec![1.0, -2.0];
+        scale(-3.0, &mut a);
+        assert_eq!(a, vec![-3.0, 6.0]);
+        assert_eq!(sub(&[5.0, 5.0], &[2.0, 7.0]), vec![3.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

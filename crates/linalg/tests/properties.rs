@@ -1,0 +1,117 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use rwbc_linalg::{
+    conjugate_gradient, power_iteration, CgOptions, CsrMatrix, LuDecomposition, Matrix,
+    PowerOptions,
+};
+
+/// Strategy: a random well-conditioned SPD matrix `A = B Bᵀ + n I`.
+fn arb_spd() -> impl Strategy<Value = Matrix> {
+    (2usize..7).prop_flat_map(|n| {
+        proptest::collection::vec(-2.0f64..2.0, n * n).prop_map(move |data| {
+            let b = Matrix::from_vec(n, n, data).unwrap();
+            let bt = b.transpose();
+            let mut a = b.matmul(&bt).unwrap();
+            for i in 0..n {
+                a.set(i, i, a.get(i, i) + n as f64);
+            }
+            a
+        })
+    })
+}
+
+fn arb_vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-5.0f64..5.0, n)
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_satisfies_system(a in arb_spd()) {
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-6, "Ax={l} b={r}");
+        }
+    }
+
+    #[test]
+    fn inverse_is_two_sided(a in arb_spd()) {
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        let id = Matrix::identity(a.rows());
+        prop_assert!(a.matmul(&inv).unwrap().approx_eq(&id, 1e-6));
+        prop_assert!(inv.matmul(&a).unwrap().approx_eq(&id, 1e-6));
+    }
+
+    #[test]
+    fn determinant_of_product_multiplies((a, b) in (arb_spd(), arb_spd())) {
+        if a.rows() != b.rows() { return Ok(()); }
+        let da = LuDecomposition::new(&a).unwrap().determinant();
+        let db = LuDecomposition::new(&b).unwrap().determinant();
+        let dab = LuDecomposition::new(&a.matmul(&b).unwrap()).unwrap().determinant();
+        let rel = (dab - da * db).abs() / dab.abs().max(1.0);
+        prop_assert!(rel < 1e-6, "det(AB)={dab} det(A)det(B)={}", da * db);
+    }
+
+    #[test]
+    fn cg_agrees_with_lu(a in arb_spd()) {
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let sparse = CsrMatrix::from_dense(&a);
+        let cg = conjugate_gradient(&sparse, &b, &CgOptions::default()).unwrap();
+        let direct = LuDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        for (x, y) in cg.x.iter().zip(&direct) {
+            prop_assert!((x - y).abs() < 1e-5, "cg={x} lu={y}");
+        }
+    }
+
+    #[test]
+    fn sparse_matvec_matches_dense(a in arb_spd(), seed in 0u64..100) {
+        let n = a.rows();
+        let x: Vec<f64> = (0..n).map(|i| ((i as u64 + seed) % 7) as f64 - 3.0).collect();
+        let s = CsrMatrix::from_dense(&a);
+        let lhs = s.matvec(&x).unwrap();
+        let rhs = a.matvec(&x).unwrap();
+        for (l, r) in lhs.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn norm_1_is_max_column_sum(a in arb_spd()) {
+        let s = CsrMatrix::from_dense(&a);
+        prop_assert!((s.norm_1() - a.norm_1()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_iteration_bounded_by_norms(a in arb_spd()) {
+        let s = CsrMatrix::from_dense(&a);
+        let opts = PowerOptions { tolerance: 1e-10, max_iterations: 200_000 };
+        let r = power_iteration(&s, &opts).unwrap();
+        // Spectral radius is at most any induced norm.
+        prop_assert!(r.eigenvalue <= a.norm_1() + 1e-6);
+        prop_assert!(r.eigenvalue <= a.norm_inf() + 1e-6);
+        // And at least the mean diagonal (for SPD: lambda_max >= trace/n).
+        let n = a.rows();
+        let trace: f64 = (0..n).map(|i| a.get(i, i)).sum();
+        prop_assert!(r.eigenvalue >= trace / n as f64 - 1e-6);
+    }
+
+    #[test]
+    fn matvec_is_linear(v1 in arb_vector(4), v2 in arb_vector(4)) {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.0, -1.0],
+            &[0.0, 1.0, 3.0, 0.5],
+            &[2.0, 0.0, 1.0, 0.0],
+        ]).unwrap();
+        let lhs = a.matvec(&v1.iter().zip(&v2).map(|(x, y)| x + y).collect::<Vec<_>>()).unwrap();
+        let r1 = a.matvec(&v1).unwrap();
+        let r2 = a.matvec(&v2).unwrap();
+        for i in 0..3 {
+            prop_assert!((lhs[i] - (r1[i] + r2[i])).abs() < 1e-9);
+        }
+    }
+}

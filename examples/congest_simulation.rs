@@ -1,0 +1,77 @@
+//! A guided tour of the CONGEST simulator: run the paper's distributed
+//! algorithm phase by phase on a small-world network and watch the
+//! round/bandwidth accounting that backs Theorems 4 and 5.
+//!
+//! ```sh
+//! cargo run --release --example congest_simulation
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rwbc_repro::congest::{SimConfig, Simulator};
+use rwbc_repro::graph::generators::watts_strogatz;
+use rwbc_repro::graph::traversal::diameter;
+use rwbc_repro::rwbc::distributed::{approximate, CongestionDiscipline, DistributedConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = watts_strogatz(48, 4, 0.2, &mut rng)?;
+    let n = g.node_count();
+    println!(
+        "small-world network: n = {n}, m = {}, diameter = {:?}",
+        g.edge_count(),
+        diameter(&g)
+    );
+    println!(
+        "CONGEST budget: B(n) = {} bits per edge per round\n",
+        SimConfig::default().budget_bits(n)
+    );
+
+    // First, a plain BFS to calibrate the simulator: it must take exactly
+    // eccentricity(0) rounds of useful work.
+    let mut bfs = Simulator::new(&g, SimConfig::default(), |v| {
+        rwbc_repro::congest::algorithms::BfsTree::new(v, 0)
+    });
+    let bfs_stats = bfs.run()?;
+    println!(
+        "BFS tree from node 0: {} rounds, {} messages, {} total bits",
+        bfs_stats.rounds, bfs_stats.total_messages, bfs_stats.total_bits
+    );
+
+    // Now the real thing, under both congestion disciplines.
+    for discipline in [
+        CongestionDiscipline::HoldAndResend,
+        CongestionDiscipline::Batched,
+    ] {
+        let k = (n as f64).log2().ceil() as usize;
+        let cfg = DistributedConfig::builder()
+            .walks(k)
+            .length(n)
+            .seed(3)
+            .discipline(discipline)
+            .build()?;
+        let run = approximate(&g, &cfg)?;
+        println!("\n{discipline:?}: K = {k}, l = {n}",);
+        println!(
+            "  phase 1 (counting):  {:>5} rounds, {:>8} msgs, max {:>2} bits/edge/round",
+            run.walk_stats.rounds,
+            run.walk_stats.total_messages,
+            run.walk_stats.max_bits_edge_round
+        );
+        println!(
+            "  phase 2 (computing): {:>5} rounds, {:>8} msgs, max {:>2} bits/edge/round",
+            run.count_stats.rounds,
+            run.count_stats.total_messages,
+            run.count_stats.max_bits_edge_round
+        );
+        println!(
+            "  total {} rounds (n log2 n = {:.0}); compliant = {}",
+            run.total_rounds(),
+            n as f64 * (n as f64).log2(),
+            run.congest_compliant()
+        );
+        println!("  most central node: {:?}", run.centrality.argmax());
+    }
+    Ok(())
+}

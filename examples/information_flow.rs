@@ -1,0 +1,66 @@
+//! The paper's Fig. 1 scenario: who actually matters for information flow?
+//!
+//! Two dense communities are bridged by `A — B`; a bypass node `C` touches
+//! both bridges but sits on **no** shortest path. Shortest-path
+//! betweenness declares `C` irrelevant; random-walk betweenness — where
+//! information diffuses rather than being routed optimally — gives `C`
+//! substantial weight. This example prints both rankings side by side.
+//!
+//! ```sh
+//! cargo run --release --example information_flow
+//! ```
+
+use rwbc_repro::graph::generators::fig1_graph;
+use rwbc_repro::rwbc::brandes::betweenness;
+use rwbc_repro::rwbc::exact::newman;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (g, labels) = fig1_graph(5)?;
+    let spbc = betweenness(&g, true)?;
+    let rwbc = newman(&g)?;
+
+    let name = |v: usize| -> String {
+        if v == labels.a {
+            "A (bridge)".to_string()
+        } else if v == labels.b {
+            "B (bridge)".to_string()
+        } else if v == labels.c {
+            "C (bypass)".to_string()
+        } else if labels.left.contains(&v) {
+            format!("left[{v}]")
+        } else {
+            format!("right[{v}]")
+        }
+    };
+
+    println!("Fig. 1 graph: two K_5 communities, bridges A-B, bypass C");
+    println!("n = {}, m = {}\n", g.node_count(), g.edge_count());
+    println!(
+        "{:<14} {:>10} {:>10} {:>8} {:>8}",
+        "node", "SPBC", "RWBC", "SP rank", "RW rank"
+    );
+    let sp_ranks = spbc.ranks();
+    let rw_ranks = rwbc.ranks();
+    let mut order: Vec<usize> = g.nodes().collect();
+    order.sort_by_key(|&v| rw_ranks[v]);
+    for v in order {
+        println!(
+            "{:<14} {:>10.4} {:>10.4} {:>8} {:>8}",
+            name(v),
+            spbc[v],
+            rwbc[v],
+            sp_ranks[v] + 1,
+            rw_ranks[v] + 1
+        );
+    }
+
+    println!(
+        "\nC's shortest-path betweenness is exactly {:.4} (on no shortest path),",
+        spbc[labels.c]
+    );
+    println!(
+        "yet its random-walk betweenness {:.4} beats every community member ({:.4}).",
+        rwbc[labels.c], rwbc[labels.left[0]]
+    );
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the reproduction of *"Distributively Computing Random
+//! Walk Betweenness Centrality in Linear Time"* (ICDCS 2017).
+//!
+//! This crate re-exports the workspace's public surface so that the examples
+//! and integration tests at the repository root can use a single dependency:
+//!
+//! * [`graph`] — graph substrate ([`rwbc_graph`]);
+//! * [`linalg`] — linear-algebra substrate ([`rwbc_linalg`]);
+//! * [`congest`] — CONGEST-model simulator ([`congest_sim`]);
+//! * [`rwbc`] — the centrality algorithms (exact, Monte-Carlo, distributed)
+//!   and baselines.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use congest_sim as congest;
+pub use rwbc;
+pub use rwbc_graph as graph;
+pub use rwbc_linalg as linalg;

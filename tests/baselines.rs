@@ -1,0 +1,105 @@
+//! Integration tests across the related-measure baselines (paper
+//! Section II): the measures must each behave per their own theory *and*
+//! relate to RWBC the way the paper describes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rwbc_repro::congest::SimConfig;
+use rwbc_repro::graph::generators::{barabasi_albert, fig1_graph};
+use rwbc_repro::rwbc::accuracy::spearman_rho;
+use rwbc_repro::rwbc::alpha_cfb::{estimate as alpha_estimate, AlphaConfig};
+use rwbc_repro::rwbc::brandes::betweenness;
+use rwbc_repro::rwbc::distributed::{approximate, DistributedConfig};
+use rwbc_repro::rwbc::exact::newman;
+use rwbc_repro::rwbc::flow_betweenness::flow_betweenness;
+use rwbc_repro::rwbc::monte_carlo::TargetStrategy;
+use rwbc_repro::rwbc::pagerank;
+
+#[test]
+fn fig1_discriminates_the_measures() {
+    // The paper's Fig. 1 is the acid test: SPBC gives C nothing, every
+    // flow-ish measure gives C something.
+    let (g, l) = fig1_graph(4).unwrap();
+    let sp = betweenness(&g, true).unwrap();
+    let rw = newman(&g).unwrap();
+    let fb = flow_betweenness(&g).unwrap();
+    assert_eq!(sp[l.c], 0.0);
+    assert!(rw[l.c] > 2.0 / g.node_count() as f64);
+    assert!(fb[l.c] > 0.0);
+}
+
+#[test]
+fn measures_roughly_agree_on_scale_free_hubs() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let g = barabasi_albert(30, 2, &mut rng).unwrap();
+    let rw = newman(&g).unwrap();
+    let sp = betweenness(&g, true).unwrap();
+    let pr = pagerank::power(&g, 0.15, 1e-12, 100_000).unwrap();
+    assert!(
+        spearman_rho(&sp, &rw) > 0.6,
+        "spbc rho {}",
+        spearman_rho(&sp, &rw)
+    );
+    assert!(
+        spearman_rho(&pr, &rw) > 0.6,
+        "pagerank rho {}",
+        spearman_rho(&pr, &rw)
+    );
+    // The top hub agrees across all three.
+    assert_eq!(rw.argmax(), sp.argmax());
+    assert_eq!(rw.argmax(), pr.argmax());
+}
+
+#[test]
+fn alpha_cfb_interpolates_toward_rwbc() {
+    let mut rng = StdRng::seed_from_u64(32);
+    let g = barabasi_albert(20, 2, &mut rng).unwrap();
+    let rw = newman(&g).unwrap();
+    let rho_at = |alpha: f64| {
+        let cfg = AlphaConfig::new(alpha, 900)
+            .unwrap()
+            .with_seed(33)
+            .with_target(TargetStrategy::Fixed(0));
+        spearman_rho(&alpha_estimate(&g, &cfg).unwrap(), &rw)
+    };
+    let lo = rho_at(0.2);
+    let hi = rho_at(0.95);
+    assert!(hi > 0.75, "rho at alpha = 0.95: {hi}");
+    assert!(hi + 0.1 >= lo, "interpolation reversed: {lo} -> {hi}");
+}
+
+#[test]
+fn pagerank_distributed_beats_rwbc_distributed_on_rounds() {
+    // Section II-B's point, measured: short geometric walks terminate in
+    // O(log / eps) rounds; RWBC's Theta(n)-length walks cannot.
+    let mut rng = StdRng::seed_from_u64(34);
+    let g = barabasi_albert(40, 2, &mut rng).unwrap();
+    let pr = pagerank::distributed(&g, 0.25, 64, SimConfig::default().with_seed(35)).unwrap();
+    let cfg = DistributedConfig::builder()
+        .walks(6)
+        .length(40)
+        .seed(36)
+        .build()
+        .unwrap();
+    let rw = approximate(&g, &cfg).unwrap();
+    assert!(
+        3 * pr.stats.rounds < rw.total_rounds(),
+        "pagerank {} rounds vs rwbc {}",
+        pr.stats.rounds,
+        rw.total_rounds()
+    );
+}
+
+#[test]
+fn pagerank_flavors_agree() {
+    let mut rng = StdRng::seed_from_u64(37);
+    let g = barabasi_albert(30, 2, &mut rng).unwrap();
+    let exact = pagerank::power(&g, 0.2, 1e-13, 100_000).unwrap();
+    let mc = pagerank::monte_carlo(&g, 0.2, 1500, 38).unwrap();
+    let dist = pagerank::distributed(&g, 0.2, 1500, SimConfig::default().with_seed(39)).unwrap();
+    assert!(spearman_rho(&mc, &exact) > 0.85);
+    assert!(spearman_rho(&dist.centrality, &exact) > 0.85);
+    assert!((mc.sum() - 1.0).abs() < 1e-9);
+    assert!((dist.centrality.sum() - 1.0).abs() < 1e-9);
+}

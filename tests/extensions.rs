@@ -1,0 +1,86 @@
+//! Integration tests for the extension systems (S13–S16): distributed
+//! SPBC, target election, short-walk stitching, and tree aggregation —
+//! exercised together on realistic inputs.
+
+use rwbc_repro::congest::algorithms::{Aggregate, AggregateOp};
+use rwbc_repro::congest::{SimConfig, Simulator};
+use rwbc_repro::graph::datasets::karate_club;
+use rwbc_repro::graph::generators::torus_2d;
+use rwbc_repro::graph::traversal::diameter;
+use rwbc_repro::rwbc::accuracy::spearman_rho;
+use rwbc_repro::rwbc::brandes::betweenness;
+use rwbc_repro::rwbc::distributed::{approximate, DistributedConfig};
+use rwbc_repro::rwbc::random_walk::{naive_walk, stitched_walk, StitchParams};
+use rwbc_repro::rwbc::spbc_distributed::{distributed_spbc, SpbcConfig};
+
+#[test]
+fn distributed_spbc_matches_brandes_on_karate() {
+    let (g, labels) = karate_club();
+    let run = distributed_spbc(&g, &SpbcConfig::default()).unwrap();
+    assert!(run.congest_compliant());
+    let exact = betweenness(&g, false).unwrap();
+    assert!(
+        spearman_rho(&run.centrality, &exact) > 0.995,
+        "rho = {}",
+        spearman_rho(&run.centrality, &exact)
+    );
+    // The instructor tops SPBC on the karate club (well-known result).
+    assert_eq!(run.centrality.argmax(), Some(labels.instructor));
+}
+
+#[test]
+fn elected_target_run_on_karate_is_compliant_and_sound() {
+    let (g, _) = karate_club();
+    let cfg = DistributedConfig::builder()
+        .walks(64)
+        .length(2 * g.node_count())
+        .seed(11)
+        .elect_target(true)
+        .build()
+        .unwrap();
+    let run = approximate(&g, &cfg).unwrap();
+    assert!(run.congest_compliant());
+    let election = run.election_stats.as_ref().unwrap();
+    // Election: n rounds of window + <= D spread.
+    assert!(election.rounds >= g.node_count());
+    assert!(election.rounds <= g.node_count() + diameter(&g).unwrap() + 2);
+    // All phases together still land near n log n territory.
+    assert!(run.total_rounds() < 40 * g.node_count());
+}
+
+#[test]
+fn walk_algorithms_agree_and_stitching_helps_on_torus() {
+    let g = torus_2d(6, 6).unwrap();
+    let d = diameter(&g).unwrap();
+    let l = 360;
+    let naive = naive_walk(&g, 0, l, SimConfig::default().with_seed(2)).unwrap();
+    assert_eq!(naive.rounds, l);
+    let stitched = stitched_walk(
+        &g,
+        0,
+        l,
+        StitchParams::optimized(l, d),
+        SimConfig::default().with_seed(2),
+    )
+    .unwrap();
+    assert!(
+        stitched.rounds < naive.rounds,
+        "stitched {} vs naive {}",
+        stitched.rounds,
+        naive.rounds
+    );
+    assert!(stitched.phase2_stats.congest_compliant());
+}
+
+#[test]
+fn aggregation_computes_global_degree_sum() {
+    // Sum of degrees = 2m, aggregated at an arbitrary root in O(D) rounds.
+    let (g, _) = karate_club();
+    let mut sim = Simulator::new(&g, SimConfig::default(), |v| {
+        Aggregate::new(v, 7, g.degree(v) as u64, AggregateOp::Sum)
+    });
+    let stats = sim.run().unwrap();
+    assert_eq!(sim.program(7).result(), Some(2 * g.edge_count() as u64));
+    assert!(stats.congest_compliant());
+    assert!(stats.rounds <= 2 * diameter(&g).unwrap() + 8);
+}
