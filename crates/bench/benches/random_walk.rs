@@ -2,8 +2,8 @@
 //! Das Sarma et al. short-walk stitching (`Õ(√(lD))`), wall-time view of
 //! experiment E10.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use congest_sim::SimConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rwbc::random_walk::{naive_walk, stitched_walk, StitchParams};
 use rwbc_graph::generators::torus_2d;
 use rwbc_graph::traversal::diameter;

@@ -13,6 +13,9 @@
 //! | E6 | Figs. 2–5, Lemma 4, Theorems 6–8 (lower bound) | [`suite::e6`] |
 //! | E7 | Theorem 2 (approximation quality) | [`suite::e7`] |
 //! | E8 | Section II (related measures) | [`suite::e8`] |
+//! | E9 | extension: distributed algorithm landscape | [`suite::e9`] |
+//! | E10 | Section II-D, ref. \[15\] (the random walk problem) | [`suite::e10`] |
+//! | E11 | extension: chaos sweep (faults + reliable delivery) | [`suite::e11`] |
 //!
 //! Run them with `cargo run --release -p rwbc-bench --bin experiments --
 //! all` (add `--quick` for a fast smoke pass). Each module exposes a

@@ -2,6 +2,8 @@ use serde::{Deserialize, Serialize};
 
 use rwbc_graph::NodeId;
 
+use crate::fault::{sanitize_probability, FaultPlan};
+
 /// What to do when traffic exceeds the CONGEST budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ViolationPolicy {
@@ -47,13 +49,12 @@ pub struct SimConfig {
     pub violation_policy: ViolationPolicy,
     /// Edges (unordered pairs) whose traffic the cut meter accumulates.
     pub cut: Vec<(NodeId, NodeId)>,
-    /// Fault injection: each delivered message is independently dropped
-    /// with this probability (default 0 — the CONGEST model is reliable).
-    /// Dropped messages are still charged against the budget (they were
-    /// sent) and counted in [`RunStats::dropped`].
+    /// Fault injection schedule (default: empty — the CONGEST model is
+    /// reliable). Messages lost to any fault are still charged against the
+    /// budget (they were sent) and counted in [`RunStats::dropped`].
     ///
     /// [`RunStats::dropped`]: crate::RunStats
-    pub drop_probability: f64,
+    pub faults: FaultPlan,
     /// Number of worker threads for the round loop (1 = sequential).
     /// Results are identical for any value; this only affects wall-time.
     pub threads: usize,
@@ -68,7 +69,7 @@ impl Default for SimConfig {
             max_rounds: 10_000_000,
             violation_policy: ViolationPolicy::Strict,
             cut: Vec::new(),
-            drop_probability: 0.0,
+            faults: FaultPlan::default(),
             threads: 1,
         }
     }
@@ -118,10 +119,19 @@ impl SimConfig {
     }
 
     /// Sets the message-drop probability for fault injection (builder
-    /// style). Clamped to `[0, 1]`.
+    /// style). Clamped to `[0, 1]`; NaN is treated as 0 rather than being
+    /// propagated into the Bernoulli draw, where it would panic mid-run.
+    /// Shorthand for configuring a [`FaultPlan`] with only Bernoulli drops.
     #[must_use]
     pub fn with_drop_probability(mut self, p: f64) -> SimConfig {
-        self.drop_probability = p.clamp(0.0, 1.0);
+        self.faults.drop_probability = sanitize_probability(p);
+        self
+    }
+
+    /// Installs a complete fault schedule (builder style).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> SimConfig {
+        self.faults = faults;
         self
     }
 
@@ -171,6 +181,16 @@ mod tests {
         assert_eq!(cfg.budget_bits(1 << 20), 3 * 20);
         // Degenerate graphs still allow at least coeff bits.
         assert_eq!(cfg.budget_bits(1), 3);
+    }
+
+    #[test]
+    fn drop_probability_nan_is_disabled_not_propagated() {
+        // A NaN survives f64::clamp (clamp only panics when min > max), so
+        // without sanitization it would reach gen_bool mid-run and panic
+        // there. NaN means "no valid probability": treat it as disabled.
+        let cfg = SimConfig::default().with_drop_probability(f64::NAN);
+        assert_eq!(cfg.faults.drop_probability, 0.0);
+        assert!(cfg.faults.is_empty());
     }
 
     #[test]

@@ -26,12 +26,17 @@ pub struct Simulator<'g, P: NodeProgram> {
     rngs: Vec<StdRng>,
     /// Messages to be delivered at the start of the next round.
     pending: Vec<Vec<Incoming<P::Msg>>>,
+    /// Messages held back one round by fault-injected delay; they join
+    /// `pending` at the next step and are delivered the round after.
+    delayed: Vec<Vec<Incoming<P::Msg>>>,
     in_flight: usize,
     stats: RunStats,
     round: usize,
     started: bool,
     cut_set: HashSet<(NodeId, NodeId)>,
-    /// Dedicated RNG for fault injection, independent of node coins.
+    /// Dedicated RNG for fault injection, independent of node coins. Only
+    /// consulted when a probabilistic fault is enabled, so an empty
+    /// [`FaultPlan`](crate::FaultPlan) replays fault-free traces exactly.
     fault_rng: StdRng,
 }
 
@@ -59,6 +64,7 @@ where
             programs,
             rngs,
             pending: (0..n).map(|_| Vec::new()).collect(),
+            delayed: (0..n).map(|_| Vec::new()).collect(),
             in_flight: 0,
             stats,
             round: 0,
@@ -98,8 +104,13 @@ where
     }
 
     /// Whether every program has terminated and no messages are in flight.
+    /// Nodes that are crashed with no scheduled recovery can never report
+    /// termination themselves and are treated as terminated.
     pub fn is_finished(&self) -> bool {
-        self.in_flight == 0 && self.programs.iter().all(NodeProgram::is_terminated)
+        self.in_flight == 0
+            && self.programs.iter().enumerate().all(|(v, p)| {
+                p.is_terminated() || self.config.faults.node_permanently_down(v, self.round)
+            })
     }
 
     /// Executes a single round (running `on_start` first if needed).
@@ -115,6 +126,10 @@ where
             let mut outboxes: Vec<Vec<(NodeId, P::Msg)>> =
                 (0..self.graph.node_count()).map(|_| Vec::new()).collect();
             for (v, (outbox, rng)) in outboxes.iter_mut().zip(&mut self.rngs).enumerate() {
+                if self.config.faults.node_crashed(v, 0) {
+                    self.stats.crashed_node_rounds += 1;
+                    continue;
+                }
                 let mut ctx = Context::new(v, self.graph, rng, 0, outbox);
                 self.programs[v].on_start(&mut ctx);
             }
@@ -134,9 +149,32 @@ where
         let n = self.graph.node_count();
         let mut inboxes: Vec<Vec<Incoming<P::Msg>>> =
             std::mem::replace(&mut self.pending, (0..n).map(|_| Vec::new()).collect());
+        // Delayed traffic joins the next delivery wave; everything still
+        // undelivered after this swap is exactly the delayed backlog.
         self.in_flight = 0;
+        for (pending, delayed) in self.pending.iter_mut().zip(&mut self.delayed) {
+            self.in_flight += delayed.len();
+            pending.append(delayed);
+        }
+        // A crashed receiver loses everything delivered while it is down.
+        if !self.config.faults.crashes.is_empty() {
+            for (v, inbox) in inboxes.iter_mut().enumerate() {
+                if self.config.faults.node_crashed(v, self.round) && !inbox.is_empty() {
+                    self.stats.dropped += inbox.len() as u64;
+                    inbox.clear();
+                }
+            }
+        }
         for inbox in &mut inboxes {
             inbox.sort_by_key(|m| m.from);
+        }
+
+        if !self.config.faults.crashes.is_empty() {
+            for v in 0..n {
+                if self.config.faults.node_crashed(v, self.round) {
+                    self.stats.crashed_node_rounds += 1;
+                }
+            }
         }
 
         let outboxes = if self.config.threads <= 1 || n < 64 {
@@ -156,8 +194,34 @@ where
     pub fn run(&mut self) -> Result<RunStats, SimError> {
         loop {
             if self.step()? {
+                self.fold_reliability_stats();
                 return Ok(self.stats.clone());
             }
+        }
+    }
+
+    /// Folds per-node delivery-layer counters (if the programs report any)
+    /// into the run statistics. `delivery_overhead_rounds` is only
+    /// meaningful when every node runs behind a delivery layer: it is the
+    /// tail of the run after the last application-level activity anywhere
+    /// in the network — rounds spent purely on acks and retransmissions.
+    fn fold_reliability_stats(&mut self) {
+        self.stats.retransmissions = 0;
+        self.stats.duplicates_suppressed = 0;
+        let mut last_active = 0usize;
+        let mut all_reported = true;
+        for p in &self.programs {
+            match p.reliability_stats() {
+                Some(rs) => {
+                    self.stats.retransmissions += rs.retransmissions;
+                    self.stats.duplicates_suppressed += rs.duplicates_suppressed;
+                    last_active = last_active.max(rs.inner_last_active_round.unwrap_or(0));
+                }
+                None => all_reported = false,
+            }
+        }
+        if all_reported {
+            self.stats.delivery_overhead_rounds = self.round.saturating_sub(last_active) as u64;
         }
     }
 
@@ -168,6 +232,9 @@ where
         let n = self.graph.node_count();
         let mut outboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
         for v in 0..n {
+            if self.config.faults.node_crashed(v, self.round) {
+                continue;
+            }
             let mut ctx = Context::new(
                 v,
                 self.graph,
@@ -193,6 +260,7 @@ where
 
         let programs = &mut self.programs;
         let rngs = &mut self.rngs;
+        let faults = &self.config.faults;
         crossbeam::thread::scope(|scope| {
             let prog_chunks = programs.chunks_mut(chunk);
             let rng_chunks = rngs.chunks_mut(chunk);
@@ -208,6 +276,9 @@ where
                 scope.spawn(move |_| {
                     for (offset, prog) in progs.iter_mut().enumerate() {
                         let v = base + offset;
+                        if faults.node_crashed(v, round) {
+                            continue;
+                        }
                         let mut ctx =
                             Context::new(v, graph, &mut rngs[offset], round, &mut outs[offset]);
                         prog.on_round(&mut ctx, &ins[offset]);
@@ -220,26 +291,34 @@ where
     }
 
     /// Validates and books one round's worth of outgoing traffic, moving it
-    /// into `pending` for delivery next round.
+    /// into `pending` (or `delayed`) for later delivery.
+    ///
+    /// Runs single-threaded, and every fault decision is made here in
+    /// deterministic `(from, to, send order)` order — the thread count can
+    /// never change which messages a fault plan affects.
     fn commit(&mut self, outboxes: Vec<Vec<(NodeId, P::Msg)>>) -> Result<(), SimError> {
         let n = self.graph.node_count();
         let budget = self.stats.budget_bits;
-        for (from, outbox) in outboxes.into_iter().enumerate() {
+        let send_round = self.round;
+        for (from, mut outbox) in outboxes.into_iter().enumerate() {
             if outbox.is_empty() {
                 continue;
             }
             // Group by destination to charge per-edge-direction budgets.
-            let mut by_dest: Vec<(NodeId, Vec<P::Msg>)> = Vec::new();
-            for (to, msg) in outbox {
+            // The sort is stable, preserving each destination's send order;
+            // grouping consecutive runs afterwards keeps commit at
+            // O(d log d) per sender instead of the quadratic scan a
+            // per-message destination lookup would cost on high-degree hubs.
+            outbox.sort_by_key(|(to, _)| *to);
+            let mut queue = outbox.into_iter().peekable();
+            while let Some((to, first)) = queue.next() {
                 if !self.graph.has_edge(from, to) {
                     return Err(SimError::NotNeighbor { from, to });
                 }
-                match by_dest.iter_mut().find(|(d, _)| *d == to) {
-                    Some((_, msgs)) => msgs.push(msg),
-                    None => by_dest.push((to, vec![msg])),
+                let mut msgs = vec![first];
+                while queue.peek().is_some_and(|(d, _)| *d == to) {
+                    msgs.push(queue.next().expect("peeked element exists").1);
                 }
-            }
-            for (to, msgs) in by_dest {
                 let count = msgs.len();
                 let bits: usize = msgs.iter().map(|m| m.bit_size(n)).sum();
                 let mut violated = false;
@@ -282,15 +361,46 @@ where
                     self.stats.cut.messages += count as u64;
                     self.stats.cut.bits += bits as u64;
                 }
+                if self.config.faults.link_down(from, to, send_round) {
+                    // The edge is out: everything sent over it this round
+                    // is lost, with no randomness consumed.
+                    self.stats.dropped += count as u64;
+                    continue;
+                }
                 for msg in msgs {
-                    if self.config.drop_probability > 0.0
-                        && rand::Rng::gen_bool(&mut self.fault_rng, self.config.drop_probability)
+                    // Each probabilistic fault draws from the dedicated
+                    // fault RNG only when enabled, in a fixed order per
+                    // message (drop, then delay, then duplicate), so a
+                    // given plan replays identically.
+                    let faults = &self.config.faults;
+                    if faults.drop_probability > 0.0
+                        && rand::Rng::gen_bool(&mut self.fault_rng, faults.drop_probability)
                     {
                         self.stats.dropped += 1;
                         continue;
                     }
+                    let late = faults.delay_probability > 0.0
+                        && rand::Rng::gen_bool(&mut self.fault_rng, faults.delay_probability);
+                    let duplicated = faults.duplicate_probability > 0.0
+                        && rand::Rng::gen_bool(&mut self.fault_rng, faults.duplicate_probability);
+                    if duplicated {
+                        // The extra copy always takes the fast path; if the
+                        // original is simultaneously delayed, the pair
+                        // arrives reordered across rounds.
+                        self.stats.duplicated += 1;
+                        self.in_flight += 1;
+                        self.pending[to].push(Incoming {
+                            from,
+                            msg: msg.clone(),
+                        });
+                    }
                     self.in_flight += 1;
-                    self.pending[to].push(Incoming { from, msg });
+                    if late {
+                        self.stats.delayed += 1;
+                        self.delayed[to].push(Incoming { from, msg });
+                    } else {
+                        self.pending[to].push(Incoming { from, msg });
+                    }
                 }
             }
         }

@@ -1,0 +1,280 @@
+//! Declarative fault injection for the simulator.
+//!
+//! A [`FaultPlan`] describes every deviation from the reliable CONGEST
+//! model that a run should experience:
+//!
+//! * **Bernoulli drops** — each committed message is independently lost
+//!   with [`FaultPlan::drop_probability`];
+//! * **duplication** — each delivered message is independently delivered
+//!   twice with [`FaultPlan::duplicate_probability`];
+//! * **delay** — each delivered message is independently held back one
+//!   round with [`FaultPlan::delay_probability`];
+//! * **link outages** — scheduled intervals during which an edge silently
+//!   discards everything sent over it ([`LinkOutage`]);
+//! * **node crashes** — scheduled intervals during which a node's program
+//!   is not stepped and all traffic addressed to it is discarded
+//!   ([`NodeCrash`]).
+//!
+//! All random decisions are drawn from the simulator's dedicated fault RNG
+//! inside the single-threaded commit step, in deterministic message order,
+//! so a `(graph, seed, plan)` triple replays bit-identically at any thread
+//! count. A plan whose probabilities are all zero draws nothing from that
+//! RNG, which is why an empty plan reproduces a fault-free trace exactly.
+//!
+//! Schedule-driven faults (outages, crashes) consume no randomness at all.
+
+use serde::{Deserialize, Serialize};
+
+use rwbc_graph::NodeId;
+
+use crate::stats::ordered;
+
+/// A scheduled bidirectional link failure.
+///
+/// Messages sent over the edge `{u, v}` in any round of
+/// `[from_round, until_round)` are discarded (in both directions). Rounds
+/// are the simulator's send rounds: `on_start` sends happen in round 0.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkOutage {
+    /// One endpoint of the failed edge.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// First send round of the outage (inclusive).
+    pub from_round: usize,
+    /// End of the outage (exclusive). Use `usize::MAX` for a permanent cut.
+    pub until_round: usize,
+}
+
+impl LinkOutage {
+    /// Whether this outage covers edge `{a, b}` at `round`.
+    pub fn covers(&self, a: NodeId, b: NodeId, round: usize) -> bool {
+        ordered(self.u, self.v) == ordered(a, b)
+            && round >= self.from_round
+            && round < self.until_round
+    }
+}
+
+/// A scheduled node crash, optionally followed by recovery.
+///
+/// While crashed (rounds in `[crash_round, recover_round)`), the node's
+/// program is not stepped, it sends nothing, and every message addressed
+/// to it is discarded on delivery. A recovered node resumes from its
+/// pre-crash local state (crash-recover semantics with stable storage);
+/// messages that arrived while it was down stay lost.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCrash {
+    /// The crashing node.
+    pub node: NodeId,
+    /// First round the node is down (inclusive). A value of 0 suppresses
+    /// the node's `on_start` as well.
+    pub crash_round: usize,
+    /// Round the node comes back (exclusive end of the outage), or `None`
+    /// for a permanent crash.
+    pub recover_round: Option<usize>,
+}
+
+impl NodeCrash {
+    /// Whether `node` is down at `round` under this schedule.
+    pub fn covers(&self, node: NodeId, round: usize) -> bool {
+        self.node == node
+            && round >= self.crash_round
+            && self.recover_round.is_none_or(|r| round < r)
+    }
+
+    /// Whether this crash never recovers.
+    pub fn is_permanent(&self) -> bool {
+        self.recover_round.is_none()
+    }
+}
+
+/// The complete fault schedule of one simulation run.
+///
+/// The default plan is empty: no drops, no duplication, no delay, no
+/// outages, no crashes — byte-for-byte the reliable CONGEST model.
+///
+/// # Example
+///
+/// ```
+/// use congest_sim::{FaultPlan, LinkOutage};
+///
+/// let plan = FaultPlan::default()
+///     .with_drop_probability(0.05)
+///     .with_link_outage(LinkOutage { u: 0, v: 1, from_round: 10, until_round: 20 });
+/// assert!(!plan.is_empty());
+/// assert!(plan.link_down(1, 0, 15));
+/// assert!(!plan.link_down(1, 0, 20));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Independent per-message loss probability (0 disables, NaN is
+    /// treated as 0).
+    pub drop_probability: f64,
+    /// Independent per-message probability of being delivered twice in the
+    /// same round (0 disables, NaN is treated as 0). Duplicates are fault
+    /// artifacts: they are not charged against the sender's budget.
+    pub duplicate_probability: f64,
+    /// Independent per-message probability of arriving one round late
+    /// (0 disables, NaN is treated as 0).
+    pub delay_probability: f64,
+    /// Scheduled link failures.
+    pub outages: Vec<LinkOutage>,
+    /// Scheduled node crashes.
+    pub crashes: Vec<NodeCrash>,
+}
+
+/// Clamps a probability to `[0, 1]`, mapping NaN to 0 (NaN would otherwise
+/// survive `f64::clamp` and panic inside the Bernoulli draw).
+pub(crate) fn sanitize_probability(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
+}
+
+impl FaultPlan {
+    /// Sets the per-message drop probability (builder style). Clamped to
+    /// `[0, 1]`; NaN becomes 0.
+    #[must_use]
+    pub fn with_drop_probability(mut self, p: f64) -> FaultPlan {
+        self.drop_probability = sanitize_probability(p);
+        self
+    }
+
+    /// Sets the per-message duplication probability (builder style).
+    /// Clamped to `[0, 1]`; NaN becomes 0.
+    #[must_use]
+    pub fn with_duplicate_probability(mut self, p: f64) -> FaultPlan {
+        self.duplicate_probability = sanitize_probability(p);
+        self
+    }
+
+    /// Sets the per-message one-round-delay probability (builder style).
+    /// Clamped to `[0, 1]`; NaN becomes 0.
+    #[must_use]
+    pub fn with_delay_probability(mut self, p: f64) -> FaultPlan {
+        self.delay_probability = sanitize_probability(p);
+        self
+    }
+
+    /// Adds a scheduled link outage (builder style).
+    #[must_use]
+    pub fn with_link_outage(mut self, outage: LinkOutage) -> FaultPlan {
+        self.outages.push(outage);
+        self
+    }
+
+    /// Adds a scheduled node crash (builder style).
+    #[must_use]
+    pub fn with_node_crash(mut self, crash: NodeCrash) -> FaultPlan {
+        self.crashes.push(crash);
+        self
+    }
+
+    /// Whether this plan injects nothing (the reliable model).
+    pub fn is_empty(&self) -> bool {
+        self.drop_probability <= 0.0
+            && self.duplicate_probability <= 0.0
+            && self.delay_probability <= 0.0
+            && self.outages.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Whether any probabilistic fault is enabled (and hence the fault RNG
+    /// will be consulted).
+    pub fn uses_rng(&self) -> bool {
+        self.drop_probability > 0.0
+            || self.duplicate_probability > 0.0
+            || self.delay_probability > 0.0
+    }
+
+    /// Whether edge `{u, v}` is down at send round `round`.
+    pub fn link_down(&self, u: NodeId, v: NodeId, round: usize) -> bool {
+        self.outages.iter().any(|o| o.covers(u, v, round))
+    }
+
+    /// Whether `node` is down at `round`.
+    pub fn node_crashed(&self, node: NodeId, round: usize) -> bool {
+        self.crashes.iter().any(|c| c.covers(node, round))
+    }
+
+    /// Whether `node` is down at `round` with no scheduled recovery.
+    /// Permanently-down nodes are exempt from the global termination
+    /// condition (they will never report termination themselves).
+    pub fn node_permanently_down(&self, node: NodeId, round: usize) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.covers(node, round) && c.is_permanent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert!(!plan.uses_rng());
+        assert!(!plan.link_down(0, 1, 5));
+        assert!(!plan.node_crashed(0, 5));
+    }
+
+    #[test]
+    fn probabilities_are_sanitized() {
+        let plan = FaultPlan::default()
+            .with_drop_probability(7.5)
+            .with_duplicate_probability(-2.0)
+            .with_delay_probability(f64::NAN);
+        assert_eq!(plan.drop_probability, 1.0);
+        assert_eq!(plan.duplicate_probability, 0.0);
+        assert_eq!(plan.delay_probability, 0.0);
+        let nan_drop = FaultPlan::default().with_drop_probability(f64::NAN);
+        assert_eq!(nan_drop.drop_probability, 0.0);
+        assert!(nan_drop.is_empty());
+    }
+
+    #[test]
+    fn outage_covers_unordered_interval() {
+        let o = LinkOutage {
+            u: 3,
+            v: 1,
+            from_round: 2,
+            until_round: 4,
+        };
+        assert!(o.covers(1, 3, 2));
+        assert!(o.covers(3, 1, 3));
+        assert!(!o.covers(1, 3, 4));
+        assert!(!o.covers(1, 3, 1));
+        assert!(!o.covers(1, 2, 3));
+    }
+
+    #[test]
+    fn crash_windows_and_permanence() {
+        let temp = NodeCrash {
+            node: 5,
+            crash_round: 3,
+            recover_round: Some(6),
+        };
+        let perm = NodeCrash {
+            node: 7,
+            crash_round: 1,
+            recover_round: None,
+        };
+        let plan = FaultPlan::default()
+            .with_node_crash(temp)
+            .with_node_crash(perm);
+        assert!(!plan.node_crashed(5, 2));
+        assert!(plan.node_crashed(5, 3));
+        assert!(plan.node_crashed(5, 5));
+        assert!(!plan.node_crashed(5, 6));
+        assert!(!plan.node_permanently_down(5, 4));
+        assert!(plan.node_crashed(7, 100));
+        assert!(plan.node_permanently_down(7, 100));
+        assert!(!plan.node_permanently_down(7, 0));
+        assert!(!plan.is_empty());
+        assert!(!plan.uses_rng());
+    }
+}

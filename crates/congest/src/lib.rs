@@ -47,8 +47,10 @@
 mod config;
 mod engine;
 mod error;
+mod fault;
 mod message;
 mod node;
+mod reliable;
 mod rng;
 mod stats;
 
@@ -58,7 +60,9 @@ pub mod wire;
 pub use config::{SimConfig, ViolationPolicy};
 pub use engine::Simulator;
 pub use error::SimError;
+pub use fault::{FaultPlan, LinkOutage, NodeCrash};
 pub use message::{bits_for_count, bits_for_node_id, Message};
 pub use node::{Context, Incoming, NodeProgram};
+pub use reliable::{Reliable, ReliableMsg};
 pub use rng::node_rng;
-pub use stats::{CutMeter, RunStats};
+pub use stats::{CutMeter, ReliabilityStats, RunStats};

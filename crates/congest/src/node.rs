@@ -90,6 +90,13 @@ impl<'a, M: Message> Context<'a, M> {
         self.rng
     }
 
+    /// The underlying graph, for adapters in this crate that construct a
+    /// nested [`Context`] around an inner program (e.g. reliable delivery).
+    /// Not public: node programs must not observe global topology.
+    pub(crate) fn graph_ref(&self) -> &'a Graph {
+        self.graph
+    }
+
     /// Queues `msg` for delivery to neighbor `to` at the start of the next
     /// round. Budget enforcement happens when the round is committed; a
     /// send to a non-neighbor is detected there as well.
@@ -135,4 +142,14 @@ pub trait NodeProgram {
     /// Local termination flag. Termination of the *run* additionally
     /// requires an empty network.
     fn is_terminated(&self) -> bool;
+
+    /// Delivery-layer counters, if this program wraps another behind a
+    /// reliability adapter. The default (`None`) means "no delivery layer";
+    /// [`Simulator::run`] folds `Some` values into the run's [`RunStats`].
+    ///
+    /// [`Simulator::run`]: crate::Simulator::run
+    /// [`RunStats`]: crate::RunStats
+    fn reliability_stats(&self) -> Option<crate::ReliabilityStats> {
+        None
+    }
 }

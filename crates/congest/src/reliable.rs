@@ -1,0 +1,435 @@
+//! Reliable in-order delivery over lossy CONGEST links.
+//!
+//! [`Reliable<P>`] wraps any [`NodeProgram`] and gives it exactly-once,
+//! in-order per-neighbor delivery on top of a faulty network (see
+//! [`FaultPlan`](crate::FaultPlan)): a sliding-window ARQ with small
+//! sequence numbers, cumulative acknowledgments piggybacked on every
+//! message, and timeout-driven retransmission with capped exponential
+//! backoff.
+//!
+//! # Staying inside the CONGEST budget
+//!
+//! The adapter never sends more than **one** frame per neighbor per round,
+//! so the per-edge message limit is respected. A frame adds
+//! [`Reliable::<P>::HEADER_BITS`] to the payload it carries (2 tag bits +
+//! 4-bit cumulative ack + 4-bit sequence number) — a constant, so a
+//! protocol that fit `O(log n)` bits still fits after reserving the header
+//! (callers shave the header off the budget they size payloads against).
+//! Pure acks cost [`Reliable::<P>::ACK_BITS`]. Retransmissions do not
+//! widen any frame; they consume a later round's slot on the same edge.
+//!
+//! # Time dilation
+//!
+//! The wrapped program still executes once per engine round, but its
+//! messages may take several rounds to arrive (retransmissions, queueing
+//! behind the one-frame-per-round limit). The adapter therefore suits
+//! *self-clocking* protocols — ones driven by message arrival order, not
+//! by the global round number. The RWBC walk phase and the
+//! strict-delivery count phase are of this kind; a protocol that infers
+//! sender state from `ctx.round()` is not.
+//!
+//! # Determinism
+//!
+//! The adapter holds no randomness of its own; all its decisions are
+//! functions of arrival order, which the engine keeps deterministic.
+//!
+//! # Limits: permanently dead links
+//!
+//! ARQ without a failure detector cannot distinguish a dead link from a
+//! slow one. Under a *permanent* [`LinkOutage`](crate::LinkOutage) (or a
+//! never-recovering crash of a neighbor) the sender retransmits with
+//! capped backoff until the engine's round limit, and the run ends in
+//! `SimError::RoundLimitExceeded` — a typed error rather than a silent
+//! hang or a wrong answer. Bounded outages and crash–recover schedules
+//! are repaired transparently; for permanent partitions, run the raw
+//! transport and read the degradation counters instead.
+
+use std::collections::VecDeque;
+
+use crate::node::{Context, Incoming};
+use crate::stats::ReliabilityStats;
+use crate::{Message, NodeProgram};
+
+use rwbc_graph::NodeId;
+
+/// Sequence-number width in bits. The window must stay at or below half
+/// the sequence space for old-duplicate and in-window detection to stay
+/// unambiguous.
+const SEQ_BITS: usize = 4;
+/// Sequence-number modulus.
+const SEQ_MOD: u8 = 1 << SEQ_BITS;
+/// Sliding-window size: frames a sender may have outstanding per neighbor.
+const WINDOW: u8 = 4;
+/// Rounds a sender waits for ack progress before retransmitting. The
+/// fault-free round trip is 2 rounds (frame out, ack back); the base adds
+/// slack for the ack's own queueing.
+const BASE_TIMEOUT: usize = 4;
+/// Backoff cap: retransmission intervals double up to this many rounds.
+const MAX_TIMEOUT: usize = 32;
+
+/// A delivery-layer frame: an optional sequenced payload plus a cumulative
+/// acknowledgment. Every frame acks; payload-free frames are "pure acks".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReliableMsg<M> {
+    /// Sequenced payload, absent for a pure ack.
+    payload: Option<(u8, M)>,
+    /// Cumulative ack: the next sequence number this node expects from the
+    /// destination (everything before it has been delivered in order).
+    ack: u8,
+}
+
+impl<M: Message> Message for ReliableMsg<M> {
+    fn bit_size(&self, n: usize) -> usize {
+        match &self.payload {
+            Some((_, m)) => 2 + SEQ_BITS + SEQ_BITS + m.bit_size(n),
+            None => 2 + SEQ_BITS,
+        }
+    }
+}
+
+/// Circular distance `b - a (mod 2^SEQ_BITS)`.
+fn seq_dist(a: u8, b: u8) -> u8 {
+    b.wrapping_sub(a) & (SEQ_MOD - 1)
+}
+
+/// Per-neighbor ARQ state.
+#[derive(Debug, Clone)]
+struct Channel {
+    /// The neighbor's node id.
+    peer: NodeId,
+    /// Application messages accepted from the inner program but not yet
+    /// put on the wire.
+    backlog: VecDeque<ReliableBuffered>,
+    /// Frames on the wire (or lost) awaiting acknowledgment, oldest first.
+    unacked: VecDeque<(u8, ReliableBuffered)>,
+    /// Sequence number of the next fresh frame.
+    next_seq: u8,
+    /// Next in-order sequence number expected from the peer.
+    expected: u8,
+    /// Whether the peer is owed an ack not yet carried by any frame.
+    owes_ack: bool,
+    /// Rounds since the last transmission or ack progress on this channel.
+    idle_rounds: usize,
+    /// Current retransmission timeout (backs off exponentially).
+    timeout: usize,
+}
+
+/// Type-erased storage index into the inner message buffer would over-
+/// complicate things; channels buffer payload clones directly.
+type ReliableBuffered = usize;
+
+impl Channel {
+    fn new(peer: NodeId) -> Channel {
+        Channel {
+            peer,
+            backlog: VecDeque::new(),
+            unacked: VecDeque::new(),
+            next_seq: 0,
+            expected: 0,
+            owes_ack: false,
+            idle_rounds: 0,
+            timeout: BASE_TIMEOUT,
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.backlog.is_empty() && self.unacked.is_empty() && !self.owes_ack
+    }
+}
+
+/// Reliable-delivery adapter; see the module docs.
+///
+/// Wrap the per-node program when constructing the simulator and unwrap
+/// results through [`Reliable::inner`]:
+///
+/// ```
+/// use congest_sim::{algorithms::Flood, FaultPlan, Reliable, SimConfig, Simulator};
+/// use rwbc_graph::generators::cycle;
+///
+/// # fn main() -> Result<(), congest_sim::SimError> {
+/// let g = cycle(8).unwrap();
+/// let faults = FaultPlan::default().with_drop_probability(0.3);
+/// let cfg = SimConfig::default().with_faults(faults).with_seed(11);
+/// let mut sim = Simulator::new(&g, cfg, |v| Reliable::new(Flood::new(v, 0)));
+/// let stats = sim.run()?;
+/// assert!(sim.programs().iter().all(|p| p.inner().informed()));
+/// assert!(stats.dropped > 0); // faults fired…
+/// assert_eq!(stats.retransmissions > 0, true); // …and were repaired
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Reliable<P: NodeProgram> {
+    inner: P,
+    /// Buffered payloads, indexed by the `ReliableBuffered` handles stored
+    /// in channels. Slots are freed on ack.
+    slots: Vec<Option<P::Msg>>,
+    free_slots: Vec<usize>,
+    channels: Vec<Channel>,
+    retransmissions: u64,
+    duplicates_suppressed: u64,
+    inner_last_active_round: Option<usize>,
+}
+
+impl<P: NodeProgram> Reliable<P> {
+    /// Bits a frame adds on top of the payload it carries.
+    pub const HEADER_BITS: usize = 2 + SEQ_BITS + SEQ_BITS;
+    /// Size of a payload-free (pure ack) frame.
+    pub const ACK_BITS: usize = 2 + SEQ_BITS;
+
+    /// Wraps `inner` in the reliable-delivery layer.
+    pub fn new(inner: P) -> Reliable<P> {
+        Reliable {
+            inner,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            channels: Vec::new(),
+            retransmissions: 0,
+            duplicates_suppressed: 0,
+            inner_last_active_round: None,
+        }
+    }
+
+    /// The wrapped application program.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped program.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// Payload retransmissions performed so far.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Duplicate deliveries suppressed so far.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates_suppressed
+    }
+
+    fn store(&mut self, msg: P::Msg) -> ReliableBuffered {
+        if let Some(i) = self.free_slots.pop() {
+            self.slots[i] = Some(msg);
+            i
+        } else {
+            self.slots.push(Some(msg));
+            self.slots.len() - 1
+        }
+    }
+
+    fn release(&mut self, slot: ReliableBuffered) {
+        self.slots[slot] = None;
+        self.free_slots.push(slot);
+    }
+
+    fn channel_index(&self, peer: NodeId) -> usize {
+        self.channels
+            .binary_search_by_key(&peer, |c| c.peer)
+            .expect("message from a non-neighbor")
+    }
+
+    /// Lazily builds per-neighbor channels (sorted by peer id).
+    fn ensure_channels(&mut self, ctx: &Context<'_, ReliableMsg<P::Msg>>) {
+        if self.channels.is_empty() {
+            self.channels = ctx.neighbors().map(Channel::new).collect();
+        }
+    }
+
+    /// Runs the inner program for one round and queues what it sent.
+    fn step_inner(
+        &mut self,
+        ctx: &mut Context<'_, ReliableMsg<P::Msg>>,
+        inbox: &[Incoming<P::Msg>],
+        start: bool,
+    ) {
+        let mut inner_outbox: Vec<(NodeId, P::Msg)> = Vec::new();
+        let round = ctx.round();
+        {
+            let mut inner_ctx = Context::new(
+                ctx.id(),
+                ctx.graph_ref(),
+                ctx.rng(),
+                round,
+                &mut inner_outbox,
+            );
+            if start {
+                self.inner.on_start(&mut inner_ctx);
+            } else {
+                self.inner.on_round(&mut inner_ctx, inbox);
+            }
+        }
+        if !inbox.is_empty() || !inner_outbox.is_empty() {
+            self.inner_last_active_round = Some(round);
+        }
+        for (to, msg) in inner_outbox {
+            let slot = self.store(msg);
+            let ch = self.channel_index(to);
+            self.channels[ch].backlog.push_back(slot);
+        }
+    }
+
+    /// Processes one round's frames: acks advance the window, in-order
+    /// payloads are collected for the inner program, everything else is
+    /// suppressed. Returns the inner inbox.
+    fn absorb(&mut self, frames: &[Incoming<ReliableMsg<P::Msg>>]) -> Vec<Incoming<P::Msg>> {
+        let mut delivered: Vec<Incoming<P::Msg>> = Vec::new();
+        for frame in frames {
+            let ch = self.channel_index(frame.from);
+            // Cumulative ack: release every frame it covers.
+            let mut progressed = false;
+            while let Some(&(seq, slot)) = self.channels[ch].unacked.front() {
+                if seq_dist(seq, frame.msg.ack) == 0 || seq_dist(seq, frame.msg.ack) > WINDOW {
+                    break;
+                }
+                self.channels[ch].unacked.pop_front();
+                self.release(slot);
+                progressed = true;
+            }
+            if progressed {
+                self.channels[ch].timeout = BASE_TIMEOUT;
+                self.channels[ch].idle_rounds = 0;
+            }
+            if let Some((seq, payload)) = &frame.msg.payload {
+                let expected = self.channels[ch].expected;
+                let d = seq_dist(expected, *seq);
+                if d == 0 {
+                    // In order: deliver and advance.
+                    self.channels[ch].expected = expected.wrapping_add(1) & (SEQ_MOD - 1);
+                    self.channels[ch].owes_ack = true;
+                    delivered.push(Incoming {
+                        from: frame.from,
+                        msg: payload.clone(),
+                    });
+                } else if d < WINDOW {
+                    // A gap: an earlier frame was lost. Go-back-N discards
+                    // and re-acks so the sender rewinds.
+                    self.channels[ch].owes_ack = true;
+                } else {
+                    // Behind the window: a retransmission of something
+                    // already delivered (or a fault-injected duplicate).
+                    self.duplicates_suppressed += 1;
+                    self.channels[ch].owes_ack = true;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Emits at most one frame per neighbor: a timed-out retransmission,
+    /// else the next fresh payload, else a pure ack if one is owed.
+    fn transmit(&mut self, ctx: &mut Context<'_, ReliableMsg<P::Msg>>) {
+        for ch in 0..self.channels.len() {
+            let peer = self.channels[ch].peer;
+            let ack = self.channels[ch].expected;
+            if !self.channels[ch].unacked.is_empty() {
+                self.channels[ch].idle_rounds += 1;
+            }
+            if self.channels[ch].idle_rounds >= self.channels[ch].timeout
+                && !self.channels[ch].unacked.is_empty()
+            {
+                // Retransmit the oldest outstanding frame and back off.
+                let (seq, slot) = *self.channels[ch].unacked.front().expect("checked nonempty");
+                let msg = self.slots[slot].clone().expect("slot held by unacked");
+                self.retransmissions += 1;
+                self.channels[ch].idle_rounds = 0;
+                self.channels[ch].timeout = (self.channels[ch].timeout * 2).min(MAX_TIMEOUT);
+                self.channels[ch].owes_ack = false;
+                ctx.send(
+                    peer,
+                    ReliableMsg {
+                        payload: Some((seq, msg)),
+                        ack,
+                    },
+                );
+            } else if !self.channels[ch].backlog.is_empty()
+                && (self.channels[ch].unacked.len() as u8) < WINDOW
+            {
+                let slot = self.channels[ch]
+                    .backlog
+                    .pop_front()
+                    .expect("checked nonempty");
+                let seq = self.channels[ch].next_seq;
+                self.channels[ch].next_seq = seq.wrapping_add(1) & (SEQ_MOD - 1);
+                self.channels[ch].unacked.push_back((seq, slot));
+                self.channels[ch].idle_rounds = 0;
+                self.channels[ch].owes_ack = false;
+                let msg = self.slots[slot].clone().expect("slot held by backlog");
+                ctx.send(
+                    peer,
+                    ReliableMsg {
+                        payload: Some((seq, msg)),
+                        ack,
+                    },
+                );
+            } else if self.channels[ch].owes_ack {
+                self.channels[ch].owes_ack = false;
+                ctx.send(peer, ReliableMsg { payload: None, ack });
+            }
+        }
+    }
+}
+
+impl<P> NodeProgram for Reliable<P>
+where
+    P: NodeProgram,
+    P::Msg: Message,
+{
+    type Msg = ReliableMsg<P::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        self.ensure_channels(ctx);
+        self.step_inner(ctx, &[], true);
+        self.transmit(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[Incoming<Self::Msg>]) {
+        self.ensure_channels(ctx);
+        let delivered = self.absorb(inbox);
+        self.step_inner(ctx, &delivered, false);
+        self.transmit(ctx);
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.inner.is_terminated() && self.channels.iter().all(Channel::quiescent)
+    }
+
+    fn reliability_stats(&self) -> Option<ReliabilityStats> {
+        Some(ReliabilityStats {
+            retransmissions: self.retransmissions,
+            duplicates_suppressed: self.duplicates_suppressed,
+            inner_last_active_round: self.inner_last_active_round,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_distance_wraps() {
+        assert_eq!(seq_dist(0, 0), 0);
+        assert_eq!(seq_dist(0, 1), 1);
+        assert_eq!(seq_dist(15, 0), 1);
+        assert_eq!(seq_dist(15, 3), 4);
+        assert_eq!(seq_dist(3, 15), 12);
+    }
+
+    #[test]
+    fn frame_sizes_account_for_header() {
+        let with_payload: ReliableMsg<u64> = ReliableMsg {
+            payload: Some((3, 5u64)),
+            ack: 1,
+        };
+        let pure_ack: ReliableMsg<u64> = ReliableMsg {
+            payload: None,
+            ack: 1,
+        };
+        // u64's bit_size of 5 is 3 bits.
+        assert_eq!(with_payload.bit_size(64), 2 + 4 + 4 + 3);
+        assert_eq!(pure_ack.bit_size(64), 2 + 4);
+    }
+}

@@ -36,8 +36,27 @@ pub struct RunStats {
     ///
     /// [`ViolationPolicy::Record`]: crate::ViolationPolicy::Record
     pub violations: u64,
-    /// Messages lost to fault injection (`drop_probability > 0`).
+    /// Messages lost to fault injection: Bernoulli drops, link outages,
+    /// and deliveries discarded because the receiver was crashed.
     pub dropped: u64,
+    /// Extra copies delivered by fault-injected duplication.
+    pub duplicated: u64,
+    /// Messages that arrived one round late due to fault-injected delay.
+    pub delayed: u64,
+    /// Retransmissions performed by the reliable-delivery layer (folded
+    /// from [`NodeProgram::reliability_stats`] at the end of a run).
+    ///
+    /// [`NodeProgram::reliability_stats`]: crate::NodeProgram::reliability_stats
+    pub retransmissions: u64,
+    /// Duplicate deliveries suppressed by the reliable-delivery layer.
+    pub duplicates_suppressed: u64,
+    /// Total (node, round) pairs in which a node was crashed and therefore
+    /// not stepped.
+    pub crashed_node_rounds: u64,
+    /// Rounds spent purely on delivery recovery: rounds executed after
+    /// every node's *application* program had terminated, while the
+    /// reliable layer was still retransmitting or draining acks.
+    pub delivery_overhead_rounds: u64,
     /// Traffic across the configured cut.
     pub cut: CutMeter,
 }
@@ -57,6 +76,23 @@ impl RunStats {
             self.total_bits as f64 / self.total_messages as f64
         }
     }
+}
+
+/// Per-node counters reported by a reliable-delivery adapter through
+/// [`NodeProgram::reliability_stats`].
+///
+/// [`NodeProgram::reliability_stats`]: crate::NodeProgram::reliability_stats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Payload retransmissions this node performed.
+    pub retransmissions: u64,
+    /// Duplicate deliveries this node suppressed.
+    pub duplicates_suppressed: u64,
+    /// Last round in which the wrapped application program was *active* —
+    /// received or produced an application message (`None` if it never
+    /// was). Rounds after the network-wide maximum of this value are pure
+    /// delivery overhead: ack draining and retransmissions.
+    pub inner_last_active_round: Option<usize>,
 }
 
 /// Normalizes an undirected pair for cut membership checks.

@@ -377,7 +377,206 @@ fn zero_drop_probability_is_lossless() {
 #[test]
 fn drop_probability_is_clamped() {
     let cfg = SimConfig::default().with_drop_probability(7.5);
-    assert_eq!(cfg.drop_probability, 1.0);
+    assert_eq!(cfg.faults.drop_probability, 1.0);
     let cfg = SimConfig::default().with_drop_probability(-1.0);
-    assert_eq!(cfg.drop_probability, 0.0);
+    assert_eq!(cfg.faults.drop_probability, 0.0);
+    let cfg = SimConfig::default().with_drop_probability(f64::NAN);
+    assert_eq!(cfg.faults.drop_probability, 0.0);
+}
+
+/// Hub program for the star micro-test: sends `per_leaf` sequenced messages
+/// to every leaf in one burst, interleaved across destinations so commit
+/// must regroup them.
+struct StarHub {
+    me: NodeId,
+    per_leaf: u64,
+    done: bool,
+}
+
+impl NodeProgram for StarHub {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        if self.me == 0 {
+            let leaves: Vec<NodeId> = ctx.neighbors().collect();
+            for seq in 0..self.per_leaf {
+                for &leaf in &leaves {
+                    ctx.send(leaf, seq);
+                }
+            }
+        }
+        self.done = true;
+    }
+
+    fn on_round(&mut self, _ctx: &mut Context<'_, u64>, inbox: &[Incoming<u64>]) {
+        if self.me != 0 {
+            // Per-destination send order must survive commit's regrouping.
+            let got: Vec<u64> = inbox.iter().map(|m| m.msg).collect();
+            let want: Vec<u64> = (0..self.per_leaf).collect();
+            assert_eq!(got, want, "leaf {} saw a reordered burst", self.me);
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.done
+    }
+}
+
+#[test]
+fn star_hub_burst_commits_grouped_and_in_order() {
+    // A 300-leaf hub emitting interleaved per-leaf bursts exercises the
+    // sort-then-group commit path (the old per-message linear destination
+    // scan was quadratic in hub degree).
+    use rwbc_graph::generators::star;
+    let leaves = 300;
+    let per_leaf = 3u64;
+    let g = star(leaves).unwrap();
+    let cfg = SimConfig::default().with_messages_per_edge(per_leaf as usize);
+    let mut sim = Simulator::new(&g, cfg, |me| StarHub {
+        me,
+        per_leaf,
+        done: false,
+    });
+    let stats = sim.run().unwrap();
+    assert_eq!(stats.total_messages, leaves as u64 * per_leaf);
+    assert_eq!(stats.max_messages_edge_round, per_leaf as usize);
+}
+
+#[test]
+fn link_outage_blocks_exactly_its_window() {
+    use congest_sim::algorithms::Flood;
+    use congest_sim::{FaultPlan, LinkOutage};
+    let g = path(3).unwrap();
+    // The source's only transmission over {0, 1} happens in send round 0;
+    // cutting that round partitions the flood.
+    let plan = FaultPlan::default().with_link_outage(LinkOutage {
+        u: 1,
+        v: 0,
+        from_round: 0,
+        until_round: 1,
+    });
+    let cfg = SimConfig::default().with_faults(plan);
+    let mut sim = Simulator::new(&g, cfg, |v| Flood::new(v, 0));
+    let stats = sim.run().unwrap();
+    assert_eq!(stats.dropped, 1);
+    assert!(!sim.program(1).informed());
+    assert!(!sim.program(2).informed());
+
+    // An outage scheduled after the pulse already crossed changes nothing.
+    let late = FaultPlan::default().with_link_outage(LinkOutage {
+        u: 0,
+        v: 1,
+        from_round: 5,
+        until_round: usize::MAX,
+    });
+    let cfg = SimConfig::default().with_faults(late);
+    let mut sim = Simulator::new(&g, cfg, |v| Flood::new(v, 0));
+    let stats = sim.run().unwrap();
+    assert_eq!(stats.dropped, 0);
+    assert!(sim.programs().iter().all(Flood::informed));
+}
+
+#[test]
+fn crashed_node_loses_deliveries_and_is_not_stepped() {
+    use congest_sim::algorithms::Flood;
+    use congest_sim::{FaultPlan, NodeCrash};
+    let g = path(3).unwrap();
+    // Node 1 is down exactly when the pulse arrives (delivery round 1).
+    let plan = FaultPlan::default().with_node_crash(NodeCrash {
+        node: 1,
+        crash_round: 1,
+        recover_round: Some(3),
+    });
+    let cfg = SimConfig::default().with_faults(plan);
+    let mut sim = Simulator::new(&g, cfg, |v| Flood::new(v, 0));
+    let stats = sim.run().unwrap();
+    assert_eq!(stats.dropped, 1, "the delivery into the crash is lost");
+    // The network drains in round 1, so only one crashed round executes.
+    assert_eq!(stats.crashed_node_rounds, 1);
+    assert!(!sim.program(1).informed());
+    assert!(!sim.program(2).informed());
+}
+
+#[test]
+fn permanently_crashed_node_does_not_block_termination() {
+    use congest_sim::algorithms::Flood;
+    use congest_sim::{FaultPlan, NodeCrash};
+    let g = path(3).unwrap();
+    let plan = FaultPlan::default().with_node_crash(NodeCrash {
+        node: 2,
+        crash_round: 0,
+        recover_round: None,
+    });
+    let cfg = SimConfig::default().with_faults(plan).with_max_rounds(100);
+    let mut sim = Simulator::new(&g, cfg, |v| Flood::new(v, 0));
+    let stats = sim.run().unwrap();
+    assert!(stats.rounds < 100, "run must terminate without node 2");
+    assert!(sim.program(1).informed());
+    assert!(!sim.program(2).informed());
+    assert!(stats.crashed_node_rounds >= 1);
+}
+
+#[test]
+fn delay_one_always_doubles_flood_informing_times() {
+    use congest_sim::algorithms::Flood;
+    use congest_sim::FaultPlan;
+    let g = path(4).unwrap();
+    let plan = FaultPlan::default().with_delay_probability(1.0);
+    let cfg = SimConfig::default().with_faults(plan);
+    let mut sim = Simulator::new(&g, cfg, |v| Flood::new(v, 0));
+    let stats = sim.run().unwrap();
+    // Every hop takes two rounds: one in the delay buffer, one in flight.
+    for v in 1..4 {
+        assert_eq!(sim.program(v).informed_at(), Some(2 * v), "node {v}");
+    }
+    assert_eq!(stats.delayed, stats.total_messages);
+    assert_eq!(stats.dropped, 0);
+}
+
+/// Counts how many copies of the pulse arrive at node 1.
+struct DupProbe {
+    me: NodeId,
+    received: usize,
+    done: bool,
+}
+
+impl NodeProgram for DupProbe {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+        if self.me == 0 {
+            ctx.send(1, ());
+        } else {
+            self.done = true;
+        }
+        if self.me == 0 {
+            self.done = true;
+        }
+    }
+
+    fn on_round(&mut self, _ctx: &mut Context<'_, ()>, inbox: &[Incoming<()>]) {
+        self.received += inbox.len();
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.done
+    }
+}
+
+#[test]
+fn duplicate_one_delivers_every_message_twice() {
+    use congest_sim::FaultPlan;
+    let g = path(2).unwrap();
+    let plan = FaultPlan::default().with_duplicate_probability(1.0);
+    let cfg = SimConfig::default().with_faults(plan);
+    let mut sim = Simulator::new(&g, cfg, |me| DupProbe {
+        me,
+        received: 0,
+        done: false,
+    });
+    let stats = sim.run().unwrap();
+    assert_eq!(sim.program(1).received, 2);
+    assert_eq!(stats.duplicated, 1);
+    // The duplicate is a fault artifact: budget accounting saw one send.
+    assert_eq!(stats.total_messages, 1);
 }

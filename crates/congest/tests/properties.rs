@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use congest_sim::algorithms::{BfsTree, Flood, LeaderElect};
-use congest_sim::{SimConfig, Simulator};
+use congest_sim::{FaultPlan, Reliable, SimConfig, Simulator};
 use rwbc_graph::generators::random_tree;
 use rwbc_graph::traversal::bfs_distances;
 use rwbc_graph::Graph;
@@ -104,5 +104,89 @@ proptest! {
         // Flood sends exactly one message per edge direction.
         prop_assert_eq!(stats.total_messages, g.degree_sum() as u64);
         prop_assert!(stats.max_messages_edge_round <= 1);
+    }
+
+    #[test]
+    fn fault_plans_replay_identically_at_any_thread_count(
+        g in arb_connected_graph(),
+        seed in 0u64..50,
+        drop_p in 0.0f64..0.4,
+        dup_p in 0.0f64..0.3,
+        delay_p in 0.0f64..0.3,
+    ) {
+        // All fault decisions are made in the single-threaded commit step
+        // from a dedicated RNG, so a fixed (graph, seed, FaultPlan) triple
+        // must replay bit-identically regardless of worker threads.
+        let faults = FaultPlan::default()
+            .with_drop_probability(drop_p)
+            .with_duplicate_probability(dup_p)
+            .with_delay_probability(delay_p);
+        let run = |threads: usize| {
+            let cfg = SimConfig::default()
+                .with_seed(seed)
+                .with_threads(threads)
+                .with_faults(faults.clone());
+            let mut sim = Simulator::new(&g, cfg, |v| Flood::new(v, 0));
+            let stats = sim.run().unwrap();
+            let informed: Vec<_> = sim.programs().iter().map(|p| p.informed_at()).collect();
+            (stats, informed)
+        };
+        let (s1, i1) = run(1);
+        let (s8, i8) = run(8);
+        prop_assert_eq!(s1, s8);
+        prop_assert_eq!(i1, i8);
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_the_fault_free_trace(
+        g in arb_connected_graph(),
+        seed in 0u64..50,
+    ) {
+        // An all-zero FaultPlan consults the fault RNG zero times, so its
+        // trace — stats and per-node outcomes — is bit-identical to a run
+        // with no plan at all.
+        let run = |faults: Option<FaultPlan>| {
+            let mut cfg = SimConfig::default().with_seed(seed);
+            if let Some(f) = faults {
+                cfg = cfg.with_faults(f);
+            }
+            let mut sim = Simulator::new(&g, cfg, |v| Flood::new(v, 0));
+            let stats = sim.run().unwrap();
+            let informed: Vec<_> = sim.programs().iter().map(|p| p.informed_at()).collect();
+            (stats, informed)
+        };
+        let (s_none, i_none) = run(None);
+        let (s_empty, i_empty) = run(Some(FaultPlan::default()));
+        // Explicit zero probabilities are the same empty plan.
+        let (s_zero, i_zero) = run(Some(
+            FaultPlan::default()
+                .with_drop_probability(0.0)
+                .with_duplicate_probability(0.0)
+                .with_delay_probability(0.0),
+        ));
+        prop_assert_eq!(&s_none, &s_empty);
+        prop_assert_eq!(&i_none, &i_empty);
+        prop_assert_eq!(&s_none, &s_zero);
+        prop_assert_eq!(&i_none, &i_zero);
+    }
+
+    #[test]
+    fn reliable_flood_always_informs_everyone_under_drops(
+        g in arb_connected_graph(),
+        seed in 0u64..30,
+        drop_p in 0.05f64..0.35,
+    ) {
+        // The constant-size reliable header dominates B(n) on 2-node
+        // graphs; give the tiny instances headroom (the header is O(1), so
+        // any n >= 4 fits the default coefficient).
+        let cfg = SimConfig::default()
+            .with_seed(seed)
+            .with_bandwidth_coeff(16)
+            .with_faults(FaultPlan::default().with_drop_probability(drop_p));
+        let mut sim = Simulator::new(&g, cfg, |v| Reliable::new(Flood::new(v, 0)));
+        sim.run().unwrap();
+        for v in g.nodes() {
+            prop_assert!(sim.program(v).inner().informed(), "node {} uninformed", v);
+        }
     }
 }

@@ -1,0 +1,112 @@
+//! Integration tests for the reliable-delivery adapter.
+
+use congest_sim::algorithms::Flood;
+use congest_sim::{FaultPlan, LinkOutage, NodeProgram, Reliable, SimConfig, Simulator};
+use rwbc_graph::generators::{cycle, path, star};
+
+#[test]
+fn fault_free_reliable_run_neither_retransmits_nor_suppresses() {
+    let g = path(6).unwrap();
+    let mut sim = Simulator::new(&g, SimConfig::default(), |v| {
+        Reliable::new(Flood::new(v, 0))
+    });
+    let stats = sim.run().unwrap();
+    assert!(sim.programs().iter().all(|p| p.inner().informed()));
+    assert_eq!(stats.retransmissions, 0);
+    assert_eq!(stats.duplicates_suppressed, 0);
+    assert_eq!(stats.dropped, 0);
+    // After the application is done, only ack draining remains; the
+    // overhead must be small and bounded.
+    assert!(
+        stats.delivery_overhead_rounds <= 4,
+        "overhead {} rounds",
+        stats.delivery_overhead_rounds
+    );
+}
+
+#[test]
+fn reliable_flood_survives_heavy_bernoulli_drops() {
+    let g = cycle(12).unwrap();
+    let faults = FaultPlan::default().with_drop_probability(0.3);
+    let cfg = SimConfig::default().with_faults(faults).with_seed(7);
+    let mut sim = Simulator::new(&g, cfg, |v| Reliable::new(Flood::new(v, 0)));
+    let stats = sim.run().unwrap();
+    assert!(
+        sim.programs().iter().all(|p| p.inner().informed()),
+        "reliable flood must inform every node despite 30% drops"
+    );
+    assert!(stats.dropped > 0, "the fault plan should have fired");
+    assert!(
+        stats.retransmissions > 0,
+        "drops must have forced retransmissions"
+    );
+}
+
+#[test]
+fn reliable_flood_survives_duplication_and_delay() {
+    let g = path(8).unwrap();
+    let faults = FaultPlan::default()
+        .with_duplicate_probability(0.5)
+        .with_delay_probability(0.3);
+    let cfg = SimConfig::default().with_faults(faults).with_seed(3);
+    let mut sim = Simulator::new(&g, cfg, |v| Reliable::new(Flood::new(v, 0)));
+    let stats = sim.run().unwrap();
+    assert!(sim.programs().iter().all(|p| p.inner().informed()));
+    assert!(stats.duplicated > 0, "duplication should have fired");
+    assert!(
+        stats.duplicates_suppressed > 0,
+        "fault-injected copies must be filtered before the application"
+    );
+}
+
+#[test]
+fn reliable_flood_rides_out_a_link_outage() {
+    // Sever the only edge into the far end of a path for 10 rounds; the
+    // retransmission timer must push the token through once the link heals.
+    let g = path(5).unwrap();
+    let faults = FaultPlan::default().with_link_outage(LinkOutage {
+        u: 3,
+        v: 4,
+        from_round: 0,
+        until_round: 10,
+    });
+    let cfg = SimConfig::default().with_faults(faults);
+    let mut sim = Simulator::new(&g, cfg, |v| Reliable::new(Flood::new(v, 0)));
+    let stats = sim.run().unwrap();
+    assert!(sim.programs().iter().all(|p| p.inner().informed()));
+    assert!(stats.rounds > 10, "cannot finish before the link heals");
+    assert!(stats.retransmissions > 0);
+}
+
+#[test]
+fn reliable_star_hub_respects_window_and_budget() {
+    // The hub talks to many leaves at once; each channel is independent, so
+    // the per-edge CONGEST budget must hold exactly as in the raw run.
+    let g = star(16).unwrap();
+    let faults = FaultPlan::default().with_drop_probability(0.2);
+    let cfg = SimConfig::default().with_faults(faults).with_seed(5);
+    let mut sim = Simulator::new(&g, cfg, |v| Reliable::new(Flood::new(v, 0)));
+    let stats = sim.run().unwrap();
+    assert!(sim.programs().iter().all(|p| p.inner().informed()));
+    assert!(stats.congest_compliant(), "reliable layer blew the budget");
+    assert_eq!(stats.max_messages_edge_round, 1);
+}
+
+#[test]
+fn reliable_layer_reports_per_node_counters() {
+    let g = path(4).unwrap();
+    let faults = FaultPlan::default().with_drop_probability(0.25);
+    let cfg = SimConfig::default().with_faults(faults).with_seed(2);
+    let mut sim = Simulator::new(&g, cfg, |v| Reliable::new(Flood::new(v, 0)));
+    let stats = sim.run().unwrap();
+    let summed: u64 = sim
+        .programs()
+        .iter()
+        .map(|p| p.reliability_stats().unwrap().retransmissions)
+        .sum();
+    assert_eq!(stats.retransmissions, summed);
+    for p in sim.programs() {
+        let rs = p.reliability_stats().unwrap();
+        assert!(rs.inner_last_active_round.is_some());
+    }
+}

@@ -154,8 +154,12 @@ pub struct CollectRun {
     /// Round/traffic statistics — compare `rounds ≈ O(m + D)` against the
     /// approximation algorithm's `O(n log n)`.
     pub stats: congest_sim::RunStats,
-    /// Edges gathered at the root (always `m` on success).
+    /// Distinct edges gathered at the root (`m` on a fault-free run).
     pub edges_collected: usize,
+    /// Edges the root never received (lost to fault injection). When
+    /// non-zero the solve ran on a partial topology and `centrality` is
+    /// degraded accordingly.
+    pub edges_missing: usize,
 }
 
 /// Runs the trivial collect-everything baseline and solves exactly at the
@@ -186,14 +190,20 @@ pub fn collect_and_solve(
     }
     let mut simulator = Simulator::new(graph, sim, |v| CollectProgram::new(v, root));
     let stats = simulator.run()?;
-    let edges = simulator.program(root).collected().to_vec();
-    debug_assert_eq!(edges.len(), graph.edge_count());
+    // Fault injection can duplicate records (harmless — dedup) or lose
+    // them (surfaced as `edges_missing`; the solve proceeds on what
+    // arrived, and a disconnecting loss propagates the solver's error).
+    let mut edges = simulator.program(root).collected().to_vec();
+    edges.sort_unstable();
+    edges.dedup();
+    let edges_missing = graph.edge_count().saturating_sub(edges.len());
     let rebuilt = Graph::from_edges(n, edges.iter().copied())?;
     let centrality = newman(&rebuilt)?;
     Ok(CollectRun {
         centrality,
         stats,
         edges_collected: edges.len(),
+        edges_missing,
     })
 }
 

@@ -36,6 +36,19 @@ pub struct CountProgram {
     k: usize,
     sent: usize,
     received_rounds: usize,
+    /// Messages received per neighbor slot so far.
+    received_per_neighbor: Vec<usize>,
+    /// When `true`, counts are indexed by their *arrival position* per
+    /// neighbor instead of by the global round number. Position indexing is
+    /// only sound on a channel with in-order exactly-once delivery — i.e.
+    /// behind [`Reliable`](congest_sim::Reliable), where retransmitted
+    /// counts arrive rounds late but never out of order. In lockstep mode
+    /// (the default) the round number implies the source, and a lost
+    /// message degrades to a zero cell counted in [`CountProgram::missing`].
+    strict_delivery: bool,
+    /// Neighbor-count cells that never arrived (lockstep mode only; the
+    /// cells keep their zero default — a graceful undercount).
+    missing: u64,
     /// The locally computed betweenness, available once the phase is done.
     betweenness: Option<f64>,
 }
@@ -79,14 +92,32 @@ impl CountProgram {
             k: walks_per_node,
             sent: 0,
             received_rounds: 0,
+            received_per_neighbor: vec![0; degree],
+            strict_delivery: false,
+            missing: 0,
             betweenness: None,
         }
+    }
+
+    /// Switches to strict-delivery (position-indexed) mode; see
+    /// [`CountProgram::missing`] for the trade-off. Use when the program
+    /// runs behind a reliable-delivery adapter.
+    #[must_use]
+    pub fn with_strict_delivery(mut self, strict: bool) -> CountProgram {
+        self.strict_delivery = strict;
+        self
     }
 
     /// The locally computed RWBC of this node (`None` until the phase
     /// finishes).
     pub fn betweenness(&self) -> Option<f64> {
         self.betweenness
+    }
+
+    /// Neighbor-count cells this node never received (always 0 in
+    /// strict-delivery mode, where the transport repairs losses).
+    pub fn missing(&self) -> u64 {
+        self.missing
     }
 
     fn send_next(&mut self, ctx: &mut Context<'_, CountMsg>) {
@@ -100,8 +131,19 @@ impl CountProgram {
         }
     }
 
+    fn all_counts_received(&self) -> bool {
+        if self.strict_delivery {
+            self.sent == self.n && self.received_per_neighbor.iter().all(|&r| r >= self.n)
+        } else {
+            self.received_rounds == self.n
+        }
+    }
+
     fn finish_if_done(&mut self, ctx: &Context<'_, CountMsg>) {
-        if self.received_rounds == self.n && self.betweenness.is_none() {
+        if self.all_counts_received() && self.betweenness.is_none() {
+            let expected = (self.neighbor_cols.len() * self.n) as u64;
+            let received: u64 = self.received_per_neighbor.iter().map(|&r| r as u64).sum();
+            self.missing = expected.saturating_sub(received);
             let inner = node_net_flow_sorted(
                 self.me,
                 &self.own,
@@ -122,22 +164,35 @@ impl NodeProgram for CountProgram {
     }
 
     fn on_round(&mut self, ctx: &mut Context<'_, CountMsg>, inbox: &[Incoming<CountMsg>]) {
-        if self.received_rounds < self.n {
-            // Inbox of round r carries the neighbors' counts for source
-            // r − 1 (global lockstep). Map each message to its neighbor
-            // slot by sender id; under fault injection a message may be
-            // missing, in which case that cell keeps its zero default —
-            // a graceful undercount rather than a protocol failure.
+        if self.strict_delivery || self.received_rounds < self.n {
             let neighbors: Vec<rwbc_graph::NodeId> = ctx.neighbors().collect();
-            let source = self.received_rounds;
             let scale = f64::from(1u32 << self.fractional_bits);
             for m in inbox {
                 let slot = neighbors
                     .binary_search(&m.from)
                     .expect("messages only arrive from neighbors");
-                self.neighbor_cols[slot][source] = m.msg.scaled as f64 / scale / self.k as f64;
+                // Lockstep: the inbox of round r carries the neighbors'
+                // counts for source r − 1 (the source id travels for free
+                // in the round number). Strict delivery: an in-order
+                // exactly-once transport decouples arrival rounds from
+                // send rounds, so the arrival *position* implies the
+                // source instead. Under raw fault injection a message may
+                // be missing; its cell keeps the zero default — a graceful
+                // undercount, tallied in `missing` — rather than a
+                // protocol failure.
+                let source = if self.strict_delivery {
+                    self.received_per_neighbor[slot]
+                } else {
+                    self.received_rounds
+                };
+                if source < self.n {
+                    self.neighbor_cols[slot][source] = m.msg.scaled as f64 / scale / self.k as f64;
+                    self.received_per_neighbor[slot] += 1;
+                }
             }
-            self.received_rounds += 1;
+            if self.received_rounds < self.n {
+                self.received_rounds += 1;
+            }
         }
         self.send_next(ctx);
         self.finish_if_done(ctx);

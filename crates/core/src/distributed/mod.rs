@@ -53,7 +53,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use congest_sim::{SimConfig, Simulator};
+use congest_sim::{Reliable, RunStats, SimConfig, Simulator};
 use rwbc_graph::traversal::is_connected;
 use rwbc_graph::{Graph, NodeId};
 
@@ -92,6 +92,19 @@ pub struct DistributedConfig {
     /// Fractional bits of the phase-2 fixed-point counts (clamped to fit
     /// the budget; the value actually used is reported in the run).
     pub fixed_point_bits: u8,
+    /// When `true`, both phases run behind the
+    /// [`Reliable`](congest_sim::Reliable) delivery adapter: every walk
+    /// token and count message survives the configured
+    /// [`FaultPlan`](congest_sim::FaultPlan) (drops, duplicates, delays are
+    /// repaired by retransmission), at the price of extra rounds and the
+    /// per-message header bits. Phase 2 then uses strict-delivery
+    /// (position-indexed) count attribution.
+    pub reliable: bool,
+    /// Recovery sub-phases for the *unreliable* walk phase: after the
+    /// network drains, sources whose tokens went missing (per-source death
+    /// tally short of `K`) relaunch the difference, up to this many times.
+    /// Ignored when `reliable` is set (nothing is ever lost there).
+    pub walk_retries: usize,
     /// Simulator settings (bandwidth coefficient, thread count, cut, ...).
     pub sim: SimConfig,
 }
@@ -111,6 +124,8 @@ impl DistributedConfig {
             seed: 0,
             discipline: CongestionDiscipline::default(),
             fixed_point_bits: 16,
+            reliable: false,
+            walk_retries: 0,
             sim: SimConfig::default(),
         })
     }
@@ -131,6 +146,8 @@ pub struct DistributedConfigBuilder {
     seed: u64,
     discipline: CongestionDiscipline,
     fixed_point_bits: Option<u8>,
+    reliable: bool,
+    walk_retries: usize,
     sim: Option<SimConfig>,
 }
 
@@ -184,6 +201,20 @@ impl DistributedConfigBuilder {
         self
     }
 
+    /// Runs both phases behind the reliable-delivery adapter.
+    #[must_use]
+    pub fn reliable(mut self, reliable: bool) -> Self {
+        self.reliable = reliable;
+        self
+    }
+
+    /// Sets the number of walk-relaunch recovery sub-phases.
+    #[must_use]
+    pub fn walk_retries(mut self, retries: usize) -> Self {
+        self.walk_retries = retries;
+        self
+    }
+
     /// Sets the simulator configuration.
     #[must_use]
     pub fn sim(mut self, sim: SimConfig) -> Self {
@@ -210,8 +241,37 @@ impl DistributedConfigBuilder {
             seed: self.seed,
             discipline: self.discipline,
             fixed_point_bits: self.fixed_point_bits.unwrap_or(16),
+            reliable: self.reliable,
+            walk_retries: self.walk_retries,
             sim: self.sim.unwrap_or_default(),
         })
+    }
+}
+
+/// What fault injection cost a run, and what recovery won back.
+///
+/// A fault-free run (or one behind the reliable layer) reports
+/// `walks_lost == 0` and `count_cells_missing == 0`; anything else means
+/// the estimate is degraded and by how much.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Walk tokens still unaccounted for after all recovery sub-phases
+    /// (each missing token undercounts every visit it would have made).
+    pub walks_lost: u64,
+    /// Replacement tokens launched by the recovery sub-phases.
+    pub walks_relaunched: u64,
+    /// Walk sub-phases executed (1 for a run that needed no recovery).
+    pub walk_subphases: usize,
+    /// Phase-2 neighbor-count cells that never arrived and evaluated as
+    /// zero.
+    pub count_cells_missing: u64,
+}
+
+impl DegradationReport {
+    /// Whether the run lost nothing (the estimate is exactly what a
+    /// fault-free execution would have produced, modulo recovery noise).
+    pub fn is_clean(&self) -> bool {
+        self.walks_lost == 0 && self.count_cells_missing == 0
     }
 }
 
@@ -232,6 +292,9 @@ pub struct DistributedRun {
     /// Fractional bits actually used for the fixed-point counts (may be
     /// clamped below the configured value to fit the budget).
     pub fixed_point_bits: u8,
+    /// What fault injection cost this run (all-zero when faults were off
+    /// or fully repaired).
+    pub degradation: DegradationReport,
 }
 
 impl DistributedRun {
@@ -298,18 +361,106 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
     let k = config.params.walks_per_node;
     let l = config.params.walk_length;
     let len_bits = len_field_bits(l);
+    let mut degradation = DegradationReport::default();
 
     // Phase 1: counting (Algorithm 1).
-    let phase1_cfg = config.sim.clone().with_seed(config.seed ^ 0x9E37_79B9);
-    let mut sim1 = Simulator::new(graph, phase1_cfg, |v| {
-        WalkProgram::new(v, n, target, k, l, len_bits, config.discipline)
-    });
-    let walk_stats = sim1.run()?;
-    let counts: Vec<Vec<u64>> = (0..n).map(|v| sim1.program(v).counts().to_vec()).collect();
-    drop(sim1);
+    let phase1_seed = config.seed ^ 0x9E37_79B9;
+    let (counts, walk_stats) = if config.reliable {
+        // Reliable transport: no token can be lost, so one sub-phase
+        // always accounts for every walk.
+        degradation.walk_subphases = 1;
+        let phase1_cfg = config.sim.clone().with_seed(phase1_seed);
+        let mut sim1 = Simulator::new(graph, phase1_cfg, |v| {
+            Reliable::new(WalkProgram::new(
+                v,
+                n,
+                target,
+                k,
+                l,
+                len_bits,
+                config.discipline,
+            ))
+        });
+        let stats = sim1.run()?;
+        let counts: Vec<Vec<u64>> = (0..n)
+            .map(|v| sim1.program(v).inner().counts().to_vec())
+            .collect();
+        // Verify (rather than assume) that the transport lost nothing:
+        // every launched token must have died exactly once somewhere.
+        for s in 0..n {
+            if s == target {
+                continue;
+            }
+            let deaths: u64 = (0..n).map(|v| sim1.program(v).inner().deaths()[s]).sum();
+            degradation.walks_lost += (k as u64).saturating_sub(deaths);
+        }
+        (counts, stats)
+    } else {
+        // Raw transport with relaunch recovery: after the network drains,
+        // every completed walk has been tallied (absorbed at the target or
+        // truncated somewhere) exactly once. A per-source death count
+        // short of `K` therefore equals the number of tokens faults ate;
+        // the source relaunches that many replacements in the next
+        // sub-phase. Replacement walks restart from hop 0, so the lost
+        // originals' partial visit prefixes remain tallied — a small
+        // overcount bias traded for the large undercount of losing whole
+        // walks.
+        let mut counts = vec![vec![0u64; n]; n];
+        let mut outstanding: Vec<u64> = (0..n)
+            .map(|s| if s == target { 0 } else { k as u64 })
+            .collect();
+        let mut merged: Option<RunStats> = None;
+        for attempt in 0..=config.walk_retries {
+            if attempt > 0 && outstanding.iter().all(|&o| o == 0) {
+                break;
+            }
+            let cfg = config
+                .sim
+                .clone()
+                .with_seed(phase1_seed.wrapping_add(attempt as u64 * 0x5851_F42D));
+            let mut sim1 = if attempt == 0 {
+                Simulator::new(graph, cfg, |v| {
+                    WalkProgram::new(v, n, target, k, l, len_bits, config.discipline)
+                })
+            } else {
+                degradation.walks_relaunched += outstanding.iter().sum::<u64>();
+                Simulator::new(graph, cfg, |v| {
+                    WalkProgram::resume(
+                        v,
+                        n,
+                        target,
+                        vec![l as u32; outstanding[v] as usize],
+                        len_bits,
+                        config.discipline,
+                    )
+                })
+            };
+            let stats = sim1.run()?;
+            degradation.walk_subphases += 1;
+            for (v, row) in counts.iter_mut().enumerate() {
+                let p = sim1.program(v);
+                for s in 0..n {
+                    row[s] += p.counts()[s];
+                    outstanding[s] = outstanding[s].saturating_sub(p.deaths()[s]);
+                }
+            }
+            match &mut merged {
+                None => merged = Some(stats),
+                Some(m) => merge_stats(m, &stats),
+            }
+        }
+        degradation.walks_lost = outstanding.iter().sum();
+        (counts, merged.expect("at least one sub-phase ran"))
+    };
 
-    // Fit the fixed-point width under the phase-2 budget.
-    let budget = config.sim.budget_bits(n);
+    // Fit the fixed-point width under the phase-2 budget (reserving the
+    // delivery-layer header when the transport is reliable).
+    let header = if config.reliable {
+        Reliable::<CountProgram>::HEADER_BITS
+    } else {
+        0
+    };
+    let budget = config.sim.budget_bits(n).saturating_sub(header);
     let mut f = config.fixed_point_bits;
     while f > 1 && count_field_bits(k, l, f) as usize > budget {
         f -= 1;
@@ -326,17 +477,38 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
 
     // Phase 2: computing (Algorithm 2).
     let phase2_cfg = config.sim.clone().with_seed(config.seed ^ 0x7F4A_7C15);
-    let mut sim2 = Simulator::new(graph, phase2_cfg, |v| {
-        CountProgram::new(v, n, graph.degree(v), counts[v].clone(), k, value_bits, f)
-    });
-    let count_stats = sim2.run()?;
-    let values: Vec<f64> = (0..n)
-        .map(|v| {
-            sim2.program(v)
-                .betweenness()
-                .expect("phase 2 finished, every node holds its value")
-        })
-        .collect();
+    let (values, count_stats) = if config.reliable {
+        let mut sim2 = Simulator::new(graph, phase2_cfg, |v| {
+            Reliable::new(
+                CountProgram::new(v, n, graph.degree(v), counts[v].clone(), k, value_bits, f)
+                    .with_strict_delivery(true),
+            )
+        });
+        let stats = sim2.run()?;
+        let values: Vec<f64> = (0..n)
+            .map(|v| {
+                sim2.program(v)
+                    .inner()
+                    .betweenness()
+                    .expect("phase 2 finished, every node holds its value")
+            })
+            .collect();
+        (values, stats)
+    } else {
+        let mut sim2 = Simulator::new(graph, phase2_cfg, |v| {
+            CountProgram::new(v, n, graph.degree(v), counts[v].clone(), k, value_bits, f)
+        });
+        let stats = sim2.run()?;
+        degradation.count_cells_missing = (0..n).map(|v| sim2.program(v).missing()).sum();
+        let values: Vec<f64> = (0..n)
+            .map(|v| {
+                sim2.program(v)
+                    .betweenness()
+                    .expect("phase 2 finished, every node holds its value")
+            })
+            .collect();
+        (values, stats)
+    };
     Ok(DistributedRun {
         centrality: Centrality::from_values(values),
         target,
@@ -344,7 +516,28 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
         walk_stats,
         count_stats,
         fixed_point_bits: f,
+        degradation,
     })
+}
+
+/// Accumulates a recovery sub-phase's statistics into the phase total:
+/// additive counters add, per-round maxima take the max.
+fn merge_stats(acc: &mut RunStats, s: &RunStats) {
+    acc.rounds += s.rounds;
+    acc.total_messages += s.total_messages;
+    acc.total_bits += s.total_bits;
+    acc.max_bits_edge_round = acc.max_bits_edge_round.max(s.max_bits_edge_round);
+    acc.max_messages_edge_round = acc.max_messages_edge_round.max(s.max_messages_edge_round);
+    acc.violations += s.violations;
+    acc.dropped += s.dropped;
+    acc.duplicated += s.duplicated;
+    acc.delayed += s.delayed;
+    acc.retransmissions += s.retransmissions;
+    acc.duplicates_suppressed += s.duplicates_suppressed;
+    acc.crashed_node_rounds += s.crashed_node_rounds;
+    acc.delivery_overhead_rounds += s.delivery_overhead_rounds;
+    acc.cut.messages += s.cut.messages;
+    acc.cut.bits += s.cut.bits;
 }
 
 #[cfg(test)]

@@ -31,6 +31,12 @@ pub struct WalkProgram {
     queue: Vec<WalkToken>,
     /// `ξ_me^s` for every source `s`.
     counts: Vec<u64>,
+    /// Walk completions observed *at this node*, per source: absorptions
+    /// (when this node is the target) and truncations (remaining hit 0
+    /// here). Summed across nodes by the driver, `K − Σ deaths[s]` is the
+    /// number of source-`s` tokens lost to faults — the signal behind the
+    /// relaunch recovery loop.
+    deaths: Vec<u64>,
     started: bool,
 }
 
@@ -68,14 +74,22 @@ impl WalkProgram {
     ) -> WalkProgram {
         let k = lengths.len();
         let mut counts = vec![0u64; n];
+        let mut deaths = vec![0u64; n];
         let mut queue = Vec::new();
         if me != target {
             // Birth visits: the r = 0 term of the visit expectation.
             counts[me] += k as u64;
-            queue.extend(lengths.into_iter().filter(|&l| l > 0).map(|l| WalkToken {
-                source: me,
-                remaining: l,
-            }));
+            for l in lengths {
+                if l > 0 {
+                    queue.push(WalkToken {
+                        source: me,
+                        remaining: l,
+                    });
+                } else {
+                    // A zero-length walk completes at birth.
+                    deaths[me] += 1;
+                }
+            }
         }
         WalkProgram {
             me,
@@ -85,6 +99,47 @@ impl WalkProgram {
             discipline,
             queue,
             counts,
+            deaths,
+            started: false,
+        }
+    }
+
+    /// Program for a *recovery sub-phase*: node `me` relaunches
+    /// `lengths.len()` replacement tokens for walks of its own that were
+    /// lost to faults in an earlier sub-phase. No birth visits are counted
+    /// (the lost originals already counted theirs) and `launched()` reports
+    /// zero — the driver accumulates visit counts across sub-phases.
+    pub fn resume(
+        me: NodeId,
+        n: usize,
+        target: NodeId,
+        lengths: Vec<u32>,
+        len_bits: u8,
+        discipline: CongestionDiscipline,
+    ) -> WalkProgram {
+        let mut deaths = vec![0u64; n];
+        let mut queue = Vec::new();
+        if me != target {
+            for l in lengths {
+                if l > 0 {
+                    queue.push(WalkToken {
+                        source: me,
+                        remaining: l,
+                    });
+                } else {
+                    deaths[me] += 1;
+                }
+            }
+        }
+        WalkProgram {
+            me,
+            target,
+            k: 0,
+            len_bits,
+            discipline,
+            queue,
+            counts: vec![0u64; n],
+            deaths,
             started: false,
         }
     }
@@ -92,6 +147,12 @@ impl WalkProgram {
     /// The visit counts `ξ_me^s` harvested after the phase completes.
     pub fn counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Walk completions observed at this node, per source (absorptions
+    /// here if this node is the target, truncations otherwise).
+    pub fn deaths(&self) -> &[u64] {
+        &self.deaths
     }
 
     /// Tokens still parked here (0 after a completed run).
@@ -172,6 +233,7 @@ impl NodeProgram for WalkProgram {
                 // the visit, decrement, and keep the walk if it has hops
                 // left.
                 if self.me == self.target {
+                    self.deaths[token.source] += 1;
                     continue; // absorbed
                 }
                 self.counts[token.source] += 1;
@@ -180,6 +242,9 @@ impl NodeProgram for WalkProgram {
                         source: token.source,
                         remaining: token.remaining - 1,
                     });
+                } else {
+                    // Truncated here: this walk has completed its budget.
+                    self.deaths[token.source] += 1;
                 }
             }
         }

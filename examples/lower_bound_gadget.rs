@@ -64,10 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// (M, nodes, cut_edges, cut_bits, normalized) for one N.
-fn rwbc_bench_like_cut(
-    n_subsets: usize,
-) -> Result<(usize, usize, usize, u64, f64), Box<dyn std::error::Error>> {
+/// One row of the cut-traffic table: (M, nodes, cut_edges, cut_bits,
+/// normalized bits).
+type CutRow = (usize, usize, usize, u64, f64);
+
+fn rwbc_bench_like_cut(n_subsets: usize) -> Result<CutRow, Box<dyn std::error::Error>> {
     // Smallest even M with C(M, M/2) >= N^2 (the paper's encoding bound).
     let mut m = 2;
     let binom =

@@ -34,20 +34,31 @@ fn gadget_has_constant_diameter() {
 
 #[test]
 fn cut_bits_scale_with_instance_size() {
+    // Individual instances vary by a constant number of records depending on
+    // which subsets the RNG draws, so measure each N over a few instances.
     let mut bits = Vec::new();
     for n_subsets in [2usize, 4, 8] {
         let m = 6;
-        let mut rng = StdRng::seed_from_u64(n_subsets as u64);
-        let inst = LowerBoundInstance::random(m, n_subsets, &mut rng);
-        let (g, labels) = inst.build();
-        let sim = SimConfig::default().with_cut(labels.alice_bob_cut());
-        let run = collect_and_solve(&g, labels.p, sim).unwrap();
-        bits.push(run.stats.cut.bits);
+        let mut total = 0u64;
+        for trial in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(trial * 100 + n_subsets as u64);
+            let inst = LowerBoundInstance::random(m, n_subsets, &mut rng);
+            let (g, labels) = inst.build();
+            let sim = SimConfig::default().with_cut(labels.alice_bob_cut());
+            let run = collect_and_solve(&g, labels.p, sim).unwrap();
+            total += run.stats.cut.bits;
+        }
+        bits.push(total);
     }
     assert!(bits[0] < bits[1] && bits[1] < bits[2], "cut bits {bits:?}");
-    // Doubling N should at least double the information crossing the cut
-    // (Bob's side adjacency alone is Theta(N * M) records).
-    assert!(bits[2] >= 2 * bits[0], "cut bits {bits:?}");
+    // The traffic decomposes as Theta(M) spine/matching records plus
+    // Theta(N * M) for Bob's subset adjacency. Differencing consecutive
+    // measurements cancels the N-independent baseline, so the N = 4 -> 8
+    // increment must be at least twice the N = 2 -> 4 increment.
+    assert!(
+        bits[2] - bits[1] >= 2 * (bits[1] - bits[0]),
+        "cut bits {bits:?}"
+    );
 }
 
 #[test]

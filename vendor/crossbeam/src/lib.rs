@@ -1,0 +1,59 @@
+//! Offline stand-in for `crossbeam`, covering `crossbeam::thread::scope`.
+//!
+//! `std::thread::scope` (stable since 1.63) provides the same guarantee —
+//! borrowed data may cross into worker threads because all workers join
+//! before the scope returns — so this shim simply adapts the call shape:
+//! crossbeam's `scope` returns a `Result` and its `spawn` closures receive
+//! a scope handle argument.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    /// Handle passed to `scope` closures; wraps the std scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Placeholder handle passed to `spawn` closures (crossbeam passes a
+    /// nested scope there; the workspace ignores it).
+    pub struct SpawnScope;
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker joined before the scope ends.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&SpawnScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&SpawnScope))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned. Always returns `Ok`; a panicking worker propagates its
+    /// panic when the scope joins (same observable effect as unwrapping
+    /// crossbeam's `Err`).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut outputs = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (out, x) in outputs.chunks_mut(1).zip(data.chunks(1)) {
+                s.spawn(move |_| out[0] = x[0] * 10);
+            }
+        })
+        .unwrap();
+        assert_eq!(outputs, vec![10, 20, 30, 40]);
+    }
+}

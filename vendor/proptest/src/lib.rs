@@ -1,0 +1,493 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! [`collection::vec`], [`any`], the [`ProptestConfig`] case count, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros. Cases are drawn
+//! from a deterministic per-test RNG (seeded from the test's module path and
+//! case index), so failures replay exactly. Shrinking is intentionally
+//! omitted — a failing case reports its inputs via the assertion message.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates one value per test case.
+///
+/// Unlike upstream proptest there is no value tree or shrinking: a strategy
+/// is just a deterministic function of the case RNG.
+pub trait Strategy {
+    /// Type of values produced.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A / 0)
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy over a type's whole domain, `any::<bool>()` style.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+
+    /// Strategy producing `Vec`s of `elem` values with a length drawn from
+    /// `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `vec(strategy, len)` where `len` is a `usize`, `Range<usize>`, or
+    /// `RangeInclusive<usize>`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Inclusive length bounds accepted by [`collection::vec`].
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut StdRng) -> usize {
+        if self.lo >= self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        SizeRange {
+            lo: r.start,
+            hi: r.end.saturating_sub(1),
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Runner configuration; only the case count is honored.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG for one `(test, case)` pair: FNV-1a over the test's
+/// identifier mixed with the case index, independent of execution order.
+pub fn test_rng(test_id: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_id.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    StdRng::seed_from_u64(h)
+}
+
+/// Asserts inside a `proptest!` body; failure fails only the current case
+/// (reported with its deterministic case index) instead of panicking
+/// mid-generation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($lhs),
+                ::std::stringify!($rhs),
+                l,
+                r
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Inequality form of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if l == r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                ::std::stringify!($lhs),
+                ::std::stringify!($rhs),
+                l
+            ));
+        }
+    }};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr)) => {};
+    (
+        @with ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strat = ($($strat,)+);
+            for case in 0..config.cases {
+                let mut case_rng = $crate::test_rng(
+                    ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+                    case,
+                );
+                let ($($pat,)+) = $crate::Strategy::generate(&strat, &mut case_rng);
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    ::std::panic!("case {}/{} failed: {}", case, config.cases, msg);
+                }
+            }
+        }
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = super::test_rng("ranges", 0);
+        for _ in 0..200 {
+            let x = Strategy::generate(&(3usize..10), &mut rng);
+            assert!((3..10).contains(&x));
+            let y = Strategy::generate(&(0u64..=5), &mut rng);
+            assert!(y <= 5);
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_bounds() {
+        let mut rng = super::test_rng("vec", 0);
+        for _ in 0..100 {
+            let v = Strategy::generate(&super::collection::vec(0usize..4, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let w = Strategy::generate(&super::collection::vec(0usize..4, 0..=0), &mut rng);
+            assert!(w.is_empty());
+            let z =
+                Strategy::generate(&super::collection::vec((0usize..3, 0usize..3), 7), &mut rng);
+            assert_eq!(z.len(), 7);
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let strat = (2usize..6)
+            .prop_flat_map(|n| super::collection::vec(0usize..n, n).prop_map(move |v| (n, v)));
+        let mut rng = super::test_rng("compose", 0);
+        for _ in 0..50 {
+            let (n, v) = Strategy::generate(&strat, &mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn same_case_replays_identically() {
+        let strat = super::collection::vec(0u64..1000, 5..20);
+        let a = Strategy::generate(&strat, &mut super::test_rng("replay", 7));
+        let b = Strategy::generate(&strat, &mut super::test_rng("replay", 7));
+        let c = Strategy::generate(&strat, &mut super::test_rng("replay", 8));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "distinct cases should draw distinct data");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_runs_and_binds_tuples((a, b) in (0usize..10, 0usize..10), flip in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 10);
+            if flip {
+                prop_assert_eq!(a + b, b + a);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config_works(n in 1usize..4) {
+            if n == 0 { return Ok(()); }
+            prop_assert!(n < 4, "n was {}", n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case 0/")]
+    fn failing_property_panics_with_case_index() {
+        proptest! {
+            #[allow(dead_code)]
+            fn always_fails(_n in 0usize..3) {
+                prop_assert!(false);
+            }
+        }
+        always_fails();
+    }
+}

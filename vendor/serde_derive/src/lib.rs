@@ -1,0 +1,43 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The stand-in traits are markers, so the derive only needs to emit
+//! `impl serde::Serialize for Type {}` (and the `Deserialize` mirror).
+//! The item is parsed by hand — no `syn`/`quote` available offline — which
+//! is sufficient because every derived type in this workspace is a plain
+//! non-generic `struct` or `enum`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input {
+        // Attribute/visibility punctuation and groups are skipped.
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive stand-in: could not find a struct/enum name");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
