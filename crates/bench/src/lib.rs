@@ -16,6 +16,7 @@
 //! | E9 | extension: distributed algorithm landscape | [`suite::e9`] |
 //! | E10 | Section II-D, ref. \[15\] (the random walk problem) | [`suite::e10`] |
 //! | E11 | extension: chaos sweep (faults + reliable delivery) | [`suite::e11`] |
+//! | E12 | extension: permanent kills (detector + partition tolerance) | [`suite::e12`] |
 //!
 //! Run them with `cargo run --release -p rwbc-bench --bin experiments --
 //! all` (add `--quick` for a fast smoke pass). Each module exposes a

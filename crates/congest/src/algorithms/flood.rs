@@ -54,6 +54,23 @@ impl Flood {
     }
 }
 
+impl crate::wire::WireState for Flood {
+    fn encode_state(&self, w: &mut crate::wire::BitWriter) {
+        self.me.encode_state(w);
+        self.source.encode_state(w);
+        self.informed_at.encode_state(w);
+        self.forwarded.encode_state(w);
+    }
+    fn decode_state(r: &mut crate::wire::BitReader<'_>) -> Option<Flood> {
+        Some(Flood {
+            me: usize::decode_state(r)?,
+            source: usize::decode_state(r)?,
+            informed_at: Option::decode_state(r)?,
+            forwarded: bool::decode_state(r)?,
+        })
+    }
+}
+
 impl NodeProgram for Flood {
     type Msg = ();
 

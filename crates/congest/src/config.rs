@@ -43,7 +43,12 @@ pub struct SimConfig {
     /// Messages allowed per edge *direction* per round (the paper's model
     /// transfers a constant number; default 1).
     pub messages_per_edge: usize,
-    /// Abort if global termination is not reached by this round.
+    /// Hard round budget: abort with
+    /// [`SimError::RoundBudgetExceeded`](crate::SimError::RoundBudgetExceeded)
+    /// if global termination is not reached by this round. Every config
+    /// carries a finite budget (the default is 10⁷), so a livelocked
+    /// protocol — e.g. unbounded retransmission toward a dead link —
+    /// becomes a typed error, never a hang.
     pub max_rounds: usize,
     /// How budget violations are handled.
     pub violation_policy: ViolationPolicy,
@@ -97,10 +102,12 @@ impl SimConfig {
         self
     }
 
-    /// Sets the round cap (builder style).
+    /// Sets the hard round budget (builder style). Clamped to at least 1,
+    /// the same defensive validation the fault probabilities get: a zero
+    /// budget would reject every run before its first round.
     #[must_use]
     pub fn with_max_rounds(mut self, max_rounds: usize) -> SimConfig {
-        self.max_rounds = max_rounds;
+        self.max_rounds = max_rounds.max(1);
         self
     }
 
@@ -201,6 +208,7 @@ mod tests {
             .with_max_rounds(100)
             .with_threads(0)
             .with_violation_policy(ViolationPolicy::Record);
+        assert_eq!(SimConfig::default().with_max_rounds(0).max_rounds, 1);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.messages_per_edge, 2);
         assert_eq!(cfg.max_rounds, 100);

@@ -8,7 +8,29 @@ use crate::config::ViolationPolicy;
 use crate::node::{Context, Incoming};
 use crate::rng::node_rng;
 use crate::stats::ordered;
+use crate::wire::{BitReader, BitWriter, WireState};
 use crate::{Message, NodeProgram, RunStats, SimConfig, SimError};
+
+/// Magic word opening every checkpoint image.
+/// Per-node outgoing `(destination, message)` buffers for one round.
+type Outboxes<M> = Vec<Vec<(NodeId, M)>>;
+
+const CHECKPOINT_MAGIC: u64 = 0xC4EC_5A7E;
+/// Bumped whenever the checkpoint layout changes incompatibly.
+const CHECKPOINT_VERSION: u64 = 1;
+
+/// Renders a worker panic payload for [`SimError::WorkerPanic`]. Panics
+/// raised via `panic!("..")` carry `&str` or `String`; anything else is
+/// opaque and rendered as a placeholder.
+fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
 
 /// The synchronous CONGEST round engine.
 ///
@@ -123,7 +145,7 @@ where
     pub fn step(&mut self) -> Result<bool, SimError> {
         if !self.started {
             self.started = true;
-            let mut outboxes: Vec<Vec<(NodeId, P::Msg)>> =
+            let mut outboxes: Outboxes<P::Msg> =
                 (0..self.graph.node_count()).map(|_| Vec::new()).collect();
             for (v, (outbox, rng)) in outboxes.iter_mut().zip(&mut self.rngs).enumerate() {
                 if self.config.faults.node_crashed(v, 0) {
@@ -139,7 +161,7 @@ where
             }
         }
         if self.round >= self.config.max_rounds {
-            return Err(SimError::RoundLimitExceeded {
+            return Err(SimError::RoundBudgetExceeded {
                 limit: self.config.max_rounds,
             });
         }
@@ -180,7 +202,7 @@ where
         let outboxes = if self.config.threads <= 1 || n < 64 {
             self.run_round_sequential(&inboxes)
         } else {
-            self.run_round_parallel(&inboxes)
+            self.run_round_parallel(&inboxes)?
         };
         self.commit(outboxes)?;
         Ok(self.is_finished())
@@ -208,6 +230,8 @@ where
     fn fold_reliability_stats(&mut self) {
         self.stats.retransmissions = 0;
         self.stats.duplicates_suppressed = 0;
+        self.stats.dead_links_declared = 0;
+        self.stats.undeliverable_messages = 0;
         let mut last_active = 0usize;
         let mut all_reported = true;
         for p in &self.programs {
@@ -215,6 +239,8 @@ where
                 Some(rs) => {
                     self.stats.retransmissions += rs.retransmissions;
                     self.stats.duplicates_suppressed += rs.duplicates_suppressed;
+                    self.stats.dead_links_declared += rs.dead_links_declared;
+                    self.stats.undeliverable_messages += rs.undeliverable_messages;
                     last_active = last_active.max(rs.inner_last_active_round.unwrap_or(0));
                 }
                 None => all_reported = false,
@@ -225,12 +251,9 @@ where
         }
     }
 
-    fn run_round_sequential(
-        &mut self,
-        inboxes: &[Vec<Incoming<P::Msg>>],
-    ) -> Vec<Vec<(NodeId, P::Msg)>> {
+    fn run_round_sequential(&mut self, inboxes: &[Vec<Incoming<P::Msg>>]) -> Outboxes<P::Msg> {
         let n = self.graph.node_count();
-        let mut outboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut outboxes: Outboxes<P::Msg> = (0..n).map(|_| Vec::new()).collect();
         for v in 0..n {
             if self.config.faults.node_crashed(v, self.round) {
                 continue;
@@ -250,22 +273,26 @@ where
     fn run_round_parallel(
         &mut self,
         inboxes: &[Vec<Incoming<P::Msg>>],
-    ) -> Vec<Vec<(NodeId, P::Msg)>> {
+    ) -> Result<Outboxes<P::Msg>, SimError> {
         let n = self.graph.node_count();
         let threads = self.config.threads;
         let chunk = n.div_ceil(threads);
         let graph = self.graph;
         let round = self.round;
-        let mut outboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut outboxes: Outboxes<P::Msg> = (0..n).map(|_| Vec::new()).collect();
 
         let programs = &mut self.programs;
         let rngs = &mut self.rngs;
         let faults = &self.config.faults;
-        crossbeam::thread::scope(|scope| {
+        // Every handle is joined explicitly so the whole pool drains even
+        // when a worker panics; the first panic payload is captured and
+        // surfaced as a structured error instead of aborting the process.
+        let panicked = crossbeam::thread::scope(|scope| {
             let prog_chunks = programs.chunks_mut(chunk);
             let rng_chunks = rngs.chunks_mut(chunk);
             let out_chunks = outboxes.chunks_mut(chunk);
             let in_chunks = inboxes.chunks(chunk);
+            let mut handles = Vec::new();
             for (idx, (((progs, rngs), outs), ins)) in prog_chunks
                 .zip(rng_chunks)
                 .zip(out_chunks)
@@ -273,7 +300,7 @@ where
                 .enumerate()
             {
                 let base = idx * chunk;
-                scope.spawn(move |_| {
+                handles.push(scope.spawn(move |_| {
                     for (offset, prog) in progs.iter_mut().enumerate() {
                         let v = base + offset;
                         if faults.node_crashed(v, round) {
@@ -283,11 +310,159 @@ where
                             Context::new(v, graph, &mut rngs[offset], round, &mut outs[offset]);
                         prog.on_round(&mut ctx, &ins[offset]);
                     }
-                });
+                }));
             }
+            let mut first: Option<Box<dyn std::any::Any + Send>> = None;
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    first.get_or_insert(payload);
+                }
+            }
+            first
+        });
+        match panicked {
+            Ok(None) => Ok(outboxes),
+            // `&*payload` reborrows the boxed payload itself; a plain
+            // `&payload` would unsize the `Box` into a fresh trait object
+            // and every downcast would miss.
+            Ok(Some(payload)) => Err(SimError::WorkerPanic {
+                round,
+                payload: panic_payload_string(&*payload),
+            }),
+            Err(payload) => Err(SimError::WorkerPanic {
+                round,
+                payload: panic_payload_string(&*payload),
+            }),
+        }
+    }
+
+    /// Serializes the complete simulation state at the current round
+    /// boundary: round counter, statistics, every node's program and RNG,
+    /// the fault RNG, and all in-flight traffic (pending and delayed).
+    ///
+    /// The image is host-side — it is never charged against the CONGEST
+    /// budget — and [`Simulator::restore`] resumes it bit-identically:
+    /// checkpoint → kill → restore → run produces exactly the trace of the
+    /// uninterrupted run, at any thread count.
+    pub fn checkpoint(&self) -> bytes::Bytes
+    where
+        P: WireState,
+        P::Msg: WireState,
+    {
+        let mut w = BitWriter::new();
+        w.write_bits(CHECKPOINT_MAGIC, 64);
+        w.write_bits(CHECKPOINT_VERSION, 64);
+        self.graph.node_count().encode_state(&mut w);
+        self.config.seed.encode_state(&mut w);
+        self.round.encode_state(&mut w);
+        self.started.encode_state(&mut w);
+        self.stats.encode_state(&mut w);
+        for rng in &self.rngs {
+            for word in rng.state() {
+                word.encode_state(&mut w);
+            }
+        }
+        for word in self.fault_rng.state() {
+            word.encode_state(&mut w);
+        }
+        for prog in &self.programs {
+            prog.encode_state(&mut w);
+        }
+        for inbox in &self.pending {
+            inbox.encode_state(&mut w);
+        }
+        for inbox in &self.delayed {
+            inbox.encode_state(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Reconstructs a simulator from a [`Simulator::checkpoint`] image.
+    ///
+    /// `graph` and `config` must describe the same run that produced the
+    /// image (the node count and seed are validated against it); the cut
+    /// set and budget are rebuilt from `config`, so policy knobs that don't
+    /// alter the trace (e.g. `threads`) may differ.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CorruptCheckpoint`] when the image is truncated, has the
+    /// wrong magic/version, or disagrees with `graph`/`config`.
+    pub fn restore(graph: &'g Graph, config: SimConfig, data: &[u8]) -> Result<Self, SimError>
+    where
+        P: WireState,
+        P::Msg: WireState,
+    {
+        fn corrupt(reason: &str) -> SimError {
+            SimError::CorruptCheckpoint {
+                reason: reason.to_string(),
+            }
+        }
+        let mut r = BitReader::new(data);
+        if r.read_bits(64) != Some(CHECKPOINT_MAGIC) {
+            return Err(corrupt("bad magic word"));
+        }
+        if r.read_bits(64) != Some(CHECKPOINT_VERSION) {
+            return Err(corrupt("unsupported checkpoint version"));
+        }
+        let n = usize::decode_state(&mut r).ok_or_else(|| corrupt("truncated header"))?;
+        if n != graph.node_count() {
+            return Err(corrupt("node count disagrees with the provided graph"));
+        }
+        let seed = u64::decode_state(&mut r).ok_or_else(|| corrupt("truncated header"))?;
+        if seed != config.seed {
+            return Err(corrupt("seed disagrees with the provided config"));
+        }
+        let round = usize::decode_state(&mut r).ok_or_else(|| corrupt("truncated header"))?;
+        let started = bool::decode_state(&mut r).ok_or_else(|| corrupt("truncated header"))?;
+        let stats = RunStats::decode_state(&mut r).ok_or_else(|| corrupt("truncated stats"))?;
+        let read_rng = |r: &mut BitReader<'_>| -> Option<StdRng> {
+            let mut words = [0u64; 4];
+            for w in &mut words {
+                *w = u64::decode_state(r)?;
+            }
+            Some(StdRng::from_state(words))
+        };
+        let mut rngs = Vec::with_capacity(n);
+        for _ in 0..n {
+            rngs.push(read_rng(&mut r).ok_or_else(|| corrupt("truncated rng state"))?);
+        }
+        let fault_rng = read_rng(&mut r).ok_or_else(|| corrupt("truncated fault rng state"))?;
+        let mut programs = Vec::with_capacity(n);
+        for _ in 0..n {
+            programs.push(P::decode_state(&mut r).ok_or_else(|| corrupt("truncated program"))?);
+        }
+        let read_boxes =
+            |r: &mut BitReader<'_>, what: &str| -> Result<Vec<Vec<Incoming<P::Msg>>>, SimError> {
+                let mut boxes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    boxes.push(
+                        Vec::<Incoming<P::Msg>>::decode_state(r)
+                            .ok_or_else(|| corrupt(&format!("truncated {what} traffic")))?,
+                    );
+                }
+                Ok(boxes)
+            };
+        let pending = read_boxes(&mut r, "pending")?;
+        let delayed = read_boxes(&mut r, "delayed")?;
+        let in_flight = pending.iter().map(Vec::len).sum::<usize>()
+            + delayed.iter().map(Vec::len).sum::<usize>();
+        let cut_set: HashSet<(NodeId, NodeId)> =
+            config.cut.iter().map(|&(u, v)| ordered(u, v)).collect();
+        Ok(Simulator {
+            graph,
+            config,
+            programs,
+            rngs,
+            pending,
+            delayed,
+            in_flight,
+            stats,
+            round,
+            started,
+            cut_set,
+            fault_rng,
         })
-        .expect("round worker panicked");
-        outboxes
     }
 
     /// Validates and books one round's worth of outgoing traffic, moving it
@@ -296,7 +471,7 @@ where
     /// Runs single-threaded, and every fault decision is made here in
     /// deterministic `(from, to, send order)` order — the thread count can
     /// never change which messages a fault plan affects.
-    fn commit(&mut self, outboxes: Vec<Vec<(NodeId, P::Msg)>>) -> Result<(), SimError> {
+    fn commit(&mut self, outboxes: Outboxes<P::Msg>) -> Result<(), SimError> {
         let n = self.graph.node_count();
         let budget = self.stats.budget_bits;
         let send_round = self.round;

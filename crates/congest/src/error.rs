@@ -45,10 +45,31 @@ pub enum SimError {
         /// Allowed messages per edge direction per round.
         limit: usize,
     },
-    /// The run exceeded `max_rounds` without global termination.
-    RoundLimitExceeded {
+    /// The run exceeded its hard `max_rounds` budget without global
+    /// termination. Every run carries this budget (the default
+    /// [`SimConfig`](crate::SimConfig) sets one), so a livelocked protocol
+    /// surfaces as this typed error instead of hanging the host.
+    RoundBudgetExceeded {
         /// The configured cap.
         limit: usize,
+    },
+    /// A worker thread panicked while stepping node programs. The panic is
+    /// captured and surfaced as an error so one misbehaving program cannot
+    /// abort the whole process; the remaining workers are drained first.
+    WorkerPanic {
+        /// The round being executed when the panic fired.
+        round: usize,
+        /// The panic payload, stringified (`"<non-string panic>"` when the
+        /// payload was not a string).
+        payload: String,
+    },
+    /// A checkpoint image failed validation during
+    /// [`Simulator::restore`](crate::Simulator::restore): truncated data,
+    /// a version mismatch, or a `(graph, seed)` pair that differs from the
+    /// one the checkpoint was taken against.
+    CorruptCheckpoint {
+        /// Human-readable description of what failed to validate.
+        reason: String,
     },
 }
 
@@ -78,8 +99,14 @@ impl fmt::Display for SimError {
                 f,
                 "edge ({from}, {to}) carried {count} messages in round {round}, limit is {limit}"
             ),
-            SimError::RoundLimitExceeded { limit } => {
+            SimError::RoundBudgetExceeded { limit } => {
                 write!(f, "simulation did not terminate within {limit} rounds")
+            }
+            SimError::WorkerPanic { round, payload } => {
+                write!(f, "round worker panicked in round {round}: {payload}")
+            }
+            SimError::CorruptCheckpoint { reason } => {
+                write!(f, "checkpoint failed validation: {reason}")
             }
         }
     }

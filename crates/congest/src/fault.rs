@@ -199,6 +199,42 @@ impl FaultPlan {
         self.crashes.iter().any(|c| c.covers(node, round))
     }
 
+    /// Projects the plan onto a *recovery sub-phase*: permanent faults
+    /// (outages with `until_round == usize::MAX`, crashes that never
+    /// recover) are shifted to fire from round 0 — they are facts of the
+    /// topology now, not scheduled events — while transient scheduled
+    /// faults are dropped (their windows belong to the original run's
+    /// clock). Probabilistic faults carry over unchanged.
+    #[must_use]
+    pub fn collapse_permanent(&self) -> FaultPlan {
+        FaultPlan {
+            drop_probability: self.drop_probability,
+            duplicate_probability: self.duplicate_probability,
+            delay_probability: self.delay_probability,
+            outages: self
+                .outages
+                .iter()
+                .filter(|o| o.until_round == usize::MAX)
+                .map(|o| LinkOutage {
+                    u: o.u,
+                    v: o.v,
+                    from_round: 0,
+                    until_round: usize::MAX,
+                })
+                .collect(),
+            crashes: self
+                .crashes
+                .iter()
+                .filter(|c| c.is_permanent())
+                .map(|c| NodeCrash {
+                    node: c.node,
+                    crash_round: 0,
+                    recover_round: None,
+                })
+                .collect(),
+        }
+    }
+
     /// Whether `node` is down at `round` with no scheduled recovery.
     /// Permanently-down nodes are exempt from the global termination
     /// condition (they will never report termination themselves).
@@ -249,6 +285,42 @@ mod tests {
         assert!(!o.covers(1, 3, 4));
         assert!(!o.covers(1, 3, 1));
         assert!(!o.covers(1, 2, 3));
+    }
+
+    #[test]
+    fn collapse_permanent_keeps_only_standing_faults() {
+        let plan = FaultPlan::default()
+            .with_drop_probability(0.1)
+            .with_link_outage(LinkOutage {
+                u: 0,
+                v: 1,
+                from_round: 5,
+                until_round: usize::MAX,
+            })
+            .with_link_outage(LinkOutage {
+                u: 2,
+                v: 3,
+                from_round: 5,
+                until_round: 9,
+            })
+            .with_node_crash(NodeCrash {
+                node: 4,
+                crash_round: 7,
+                recover_round: None,
+            })
+            .with_node_crash(NodeCrash {
+                node: 5,
+                crash_round: 1,
+                recover_round: Some(3),
+            });
+        let sub = plan.collapse_permanent();
+        assert_eq!(sub.drop_probability, 0.1);
+        // The permanent outage now covers round 0; the transient one is
+        // gone entirely.
+        assert!(sub.link_down(0, 1, 0));
+        assert!(!sub.link_down(2, 3, 6));
+        assert!(sub.node_permanently_down(4, 0));
+        assert!(!sub.node_crashed(5, 2));
     }
 
     #[test]

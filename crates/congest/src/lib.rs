@@ -63,6 +63,6 @@ pub use error::SimError;
 pub use fault::{FaultPlan, LinkOutage, NodeCrash};
 pub use message::{bits_for_count, bits_for_node_id, Message};
 pub use node::{Context, Incoming, NodeProgram};
-pub use reliable::{Reliable, ReliableMsg};
+pub use reliable::{Reliable, ReliableMsg, DEFAULT_DEATH_THRESHOLD};
 pub use rng::node_rng;
 pub use stats::{CutMeter, ReliabilityStats, RunStats};

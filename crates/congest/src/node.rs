@@ -13,6 +13,19 @@ pub struct Incoming<M> {
     pub msg: M,
 }
 
+impl<M: crate::wire::WireState> crate::wire::WireState for Incoming<M> {
+    fn encode_state(&self, w: &mut crate::wire::BitWriter) {
+        self.from.encode_state(w);
+        self.msg.encode_state(w);
+    }
+    fn decode_state(r: &mut crate::wire::BitReader<'_>) -> Option<Incoming<M>> {
+        Some(Incoming {
+            from: crate::wire::WireState::decode_state(r)?,
+            msg: M::decode_state(r)?,
+        })
+    }
+}
+
 /// The per-round view a node program has of its environment.
 ///
 /// A CONGEST node knows only: its own id, its neighbors' ids, the global
@@ -142,6 +155,20 @@ pub trait NodeProgram {
     /// Local termination flag. Termination of the *run* additionally
     /// requires an empty network.
     fn is_terminated(&self) -> bool;
+
+    /// Notification that the channel to neighbor `peer` has been declared
+    /// permanently dead by a failure detector (e.g.
+    /// [`Reliable::with_failure_detection`]). Messages to and from `peer`
+    /// will never be delivered again; a survivor-aware protocol should
+    /// patch its live-neighbor set here. Declarations are irrevocable and
+    /// fire at most once per peer. The default is a no-op: protocols that
+    /// predate (or don't care about) failure detection keep their exact
+    /// behavior.
+    ///
+    /// [`Reliable::with_failure_detection`]: crate::Reliable::with_failure_detection
+    fn on_neighbor_down(&mut self, peer: rwbc_graph::NodeId) {
+        let _ = peer;
+    }
 
     /// Delivery-layer counters, if this program wraps another behind a
     /// reliability adapter. The default (`None`) means "no delivery layer";

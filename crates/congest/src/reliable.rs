@@ -33,16 +33,48 @@
 //! The adapter holds no randomness of its own; all its decisions are
 //! functions of arrival order, which the engine keeps deterministic.
 //!
-//! # Limits: permanently dead links
+//! # Failure detection: permanently dead links
 //!
-//! ARQ without a failure detector cannot distinguish a dead link from a
-//! slow one. Under a *permanent* [`LinkOutage`](crate::LinkOutage) (or a
-//! never-recovering crash of a neighbor) the sender retransmits with
-//! capped backoff until the engine's round limit, and the run ends in
-//! `SimError::RoundLimitExceeded` — a typed error rather than a silent
-//! hang or a wrong answer. Bounded outages and crash–recover schedules
-//! are repaired transparently; for permanent partitions, run the raw
-//! transport and read the degradation counters instead.
+//! ARQ alone cannot distinguish a dead link from a slow one: under a
+//! *permanent* [`LinkOutage`](crate::LinkOutage) (or a never-recovering
+//! crash of a neighbor) a plain [`Reliable::new`] adapter retransmits with
+//! capped backoff until the engine's hard round budget fires, and the run
+//! ends in `SimError::RoundBudgetExceeded` — a typed error rather than a
+//! silent hang, but no recovery.
+//!
+//! [`Reliable::with_failure_detection`] adds the missing detector. Every
+//! data frame already doubles as a heartbeat (it demands a cumulative-ack
+//! response), so the detector piggybacks on the existing traffic: it costs
+//! **zero extra rounds and zero extra bits** when the network is healthy,
+//! and only constant per-channel state (a strike counter) otherwise. A
+//! channel accrues one *strike* per timeout-driven retransmission that
+//! happens with no ack progress in between; any progress resets the
+//! count. When the strikes reach the configured threshold the channel is
+//! **declared dead**: retransmission stops, buffered payloads are
+//! abandoned (counted in
+//! [`RunStats::undeliverable_messages`](crate::RunStats::undeliverable_messages)),
+//! the wrapped program is told via
+//! [`NodeProgram::on_neighbor_down`](crate::NodeProgram::on_neighbor_down),
+//! and the channel counts as quiescent for termination. Declarations are
+//! irrevocable — frames later arriving from a declared-dead peer are
+//! ignored.
+//!
+//! The guarantees are those of an eventually-perfect detector *under the
+//! permanence assumption*:
+//!
+//! * **Completeness** — a channel with outstanding traffic toward a
+//!   permanently dead link is declared within a bounded number of rounds
+//!   (at most `threshold` retransmission timeouts, each capped at
+//!   [`MAX_TIMEOUT`](self) rounds), so the run always terminates.
+//! * **Accuracy** — only channels with outstanding unacknowledged traffic
+//!   can accrue strikes; a healthy-but-silent neighbor is never suspected.
+//!   Against *probabilistic* loss the detector can still false-positive
+//!   (`threshold` consecutive loss events); pick the threshold so
+//!   `p_loss^threshold` is negligible, or keep [`Reliable::new`], which
+//!   never declares.
+//!
+//! Bounded outages and crash–recover schedules shorter than the declaration
+//! window are still repaired transparently, exactly as without detection.
 
 use std::collections::VecDeque;
 
@@ -65,7 +97,13 @@ const WINDOW: u8 = 4;
 /// slack for the ack's own queueing.
 const BASE_TIMEOUT: usize = 4;
 /// Backoff cap: retransmission intervals double up to this many rounds.
-const MAX_TIMEOUT: usize = 32;
+pub(crate) const MAX_TIMEOUT: usize = 32;
+
+/// Default declaration threshold for
+/// [`Reliable::with_failure_detection`]: strikes (consecutive
+/// no-progress retransmissions) before a channel is declared dead. At a
+/// 5% loss rate the false-positive odds per window are below 1e-8.
+pub const DEFAULT_DEATH_THRESHOLD: usize = 8;
 
 /// A delivery-layer frame: an optional sequenced payload plus a cumulative
 /// acknowledgment. Every frame acks; payload-free frames are "pure acks".
@@ -112,6 +150,12 @@ struct Channel {
     idle_rounds: usize,
     /// Current retransmission timeout (backs off exponentially).
     timeout: usize,
+    /// Timeout-driven retransmissions since the last ack progress; feeds
+    /// the failure detector when one is enabled.
+    strikes: usize,
+    /// Whether this channel has been declared permanently dead. Dead
+    /// channels send nothing, accept nothing, and count as quiescent.
+    dead: bool,
 }
 
 /// Type-erased storage index into the inner message buffer would over-
@@ -129,11 +173,13 @@ impl Channel {
             owes_ack: false,
             idle_rounds: 0,
             timeout: BASE_TIMEOUT,
+            strikes: 0,
+            dead: false,
         }
     }
 
     fn quiescent(&self) -> bool {
-        self.backlog.is_empty() && self.unacked.is_empty() && !self.owes_ack
+        self.dead || (self.backlog.is_empty() && self.unacked.is_empty() && !self.owes_ack)
     }
 }
 
@@ -169,6 +215,14 @@ pub struct Reliable<P: NodeProgram> {
     retransmissions: u64,
     duplicates_suppressed: u64,
     inner_last_active_round: Option<usize>,
+    /// Strike threshold of the failure detector; `None` disables
+    /// detection entirely (the original retransmit-forever behavior).
+    detect_after: Option<usize>,
+    /// Peers known dead before the run starts (survivor-side restarts);
+    /// their channels are declared at channel setup, before any traffic.
+    preseed_dead: Vec<NodeId>,
+    dead_links_declared: u64,
+    undeliverable: u64,
 }
 
 impl<P: NodeProgram> Reliable<P> {
@@ -177,7 +231,8 @@ impl<P: NodeProgram> Reliable<P> {
     /// Size of a payload-free (pure ack) frame.
     pub const ACK_BITS: usize = 2 + SEQ_BITS;
 
-    /// Wraps `inner` in the reliable-delivery layer.
+    /// Wraps `inner` in the reliable-delivery layer (no failure detection:
+    /// a permanently dead link retransmits until the round budget fires).
     pub fn new(inner: P) -> Reliable<P> {
         Reliable {
             inner,
@@ -187,7 +242,32 @@ impl<P: NodeProgram> Reliable<P> {
             retransmissions: 0,
             duplicates_suppressed: 0,
             inner_last_active_round: None,
+            detect_after: None,
+            preseed_dead: Vec::new(),
+            dead_links_declared: 0,
+            undeliverable: 0,
         }
+    }
+
+    /// Enables the piggybacked failure detector (see the module docs):
+    /// after `threshold` consecutive no-progress retransmissions a channel
+    /// is declared permanently dead instead of retried forever. Clamped to
+    /// at least 1. Use [`DEFAULT_DEATH_THRESHOLD`] unless the fault plan's
+    /// loss rate calls for more slack.
+    #[must_use]
+    pub fn with_failure_detection(mut self, threshold: usize) -> Reliable<P> {
+        self.detect_after = Some(threshold.max(1));
+        self
+    }
+
+    /// Declares `peers` dead before the first round (they are *not*
+    /// counted as detections). Survivor-side recovery uses this to carry
+    /// knowledge of a partition into restarted sub-phases; the wrapped
+    /// program still receives `on_neighbor_down` for each, at startup.
+    #[must_use]
+    pub fn with_dead_peers(mut self, peers: Vec<NodeId>) -> Reliable<P> {
+        self.preseed_dead = peers;
+        self
     }
 
     /// The wrapped application program.
@@ -208,6 +288,52 @@ impl<P: NodeProgram> Reliable<P> {
     /// Duplicate deliveries suppressed so far.
     pub fn duplicates_suppressed(&self) -> u64 {
         self.duplicates_suppressed
+    }
+
+    /// Peers whose channels this node has declared dead (detected or
+    /// pre-seeded), in ascending id order.
+    pub fn dead_peers(&self) -> Vec<NodeId> {
+        self.channels
+            .iter()
+            .filter(|c| c.dead)
+            .map(|c| c.peer)
+            .collect()
+    }
+
+    /// Channel-death declarations this node made (pre-seeded deaths are
+    /// prior knowledge and not counted).
+    pub fn dead_links_declared(&self) -> u64 {
+        self.dead_links_declared
+    }
+
+    /// Payloads abandoned because their channel died.
+    pub fn undeliverable(&self) -> u64 {
+        self.undeliverable
+    }
+
+    /// Kills channel `ch`: abandons its buffered traffic, marks it
+    /// quiescent-forever, and notifies the wrapped program. Idempotent by
+    /// construction (callers check `dead` first).
+    fn declare_dead(&mut self, ch: usize, detected: bool) {
+        let mut drained: Vec<ReliableBuffered> = self.channels[ch]
+            .unacked
+            .drain(..)
+            .map(|(_, slot)| slot)
+            .collect();
+        drained.extend(self.channels[ch].backlog.drain(..));
+        self.undeliverable += drained.len() as u64;
+        for slot in drained {
+            self.release(slot);
+        }
+        let c = &mut self.channels[ch];
+        c.dead = true;
+        c.owes_ack = false;
+        c.idle_rounds = 0;
+        if detected {
+            self.dead_links_declared += 1;
+        }
+        let peer = self.channels[ch].peer;
+        self.inner.on_neighbor_down(peer);
     }
 
     fn store(&mut self, msg: P::Msg) -> ReliableBuffered {
@@ -231,10 +357,18 @@ impl<P: NodeProgram> Reliable<P> {
             .expect("message from a non-neighbor")
     }
 
-    /// Lazily builds per-neighbor channels (sorted by peer id).
+    /// Lazily builds per-neighbor channels (sorted by peer id), declaring
+    /// any pre-seeded dead peers before the first frame moves.
     fn ensure_channels(&mut self, ctx: &Context<'_, ReliableMsg<P::Msg>>) {
         if self.channels.is_empty() {
             self.channels = ctx.neighbors().map(Channel::new).collect();
+            for peer in std::mem::take(&mut self.preseed_dead) {
+                if let Ok(ch) = self.channels.binary_search_by_key(&peer, |c| c.peer) {
+                    if !self.channels[ch].dead {
+                        self.declare_dead(ch, false);
+                    }
+                }
+            }
         }
     }
 
@@ -265,8 +399,14 @@ impl<P: NodeProgram> Reliable<P> {
             self.inner_last_active_round = Some(round);
         }
         for (to, msg) in inner_outbox {
-            let slot = self.store(msg);
             let ch = self.channel_index(to);
+            if self.channels[ch].dead {
+                // The inner program addressed a declared-dead peer; the
+                // payload can never be delivered.
+                self.undeliverable += 1;
+                continue;
+            }
+            let slot = self.store(msg);
             self.channels[ch].backlog.push_back(slot);
         }
     }
@@ -278,6 +418,11 @@ impl<P: NodeProgram> Reliable<P> {
         let mut delivered: Vec<Incoming<P::Msg>> = Vec::new();
         for frame in frames {
             let ch = self.channel_index(frame.from);
+            if self.channels[ch].dead {
+                // Irrevocable declaration: late frames from a declared-dead
+                // peer are dropped without acknowledgment.
+                continue;
+            }
             // Cumulative ack: release every frame it covers.
             let mut progressed = false;
             while let Some(&(seq, slot)) = self.channels[ch].unacked.front() {
@@ -291,6 +436,7 @@ impl<P: NodeProgram> Reliable<P> {
             if progressed {
                 self.channels[ch].timeout = BASE_TIMEOUT;
                 self.channels[ch].idle_rounds = 0;
+                self.channels[ch].strikes = 0;
             }
             if let Some((seq, payload)) = &frame.msg.payload {
                 let expected = self.channels[ch].expected;
@@ -322,6 +468,9 @@ impl<P: NodeProgram> Reliable<P> {
     /// else the next fresh payload, else a pure ack if one is owed.
     fn transmit(&mut self, ctx: &mut Context<'_, ReliableMsg<P::Msg>>) {
         for ch in 0..self.channels.len() {
+            if self.channels[ch].dead {
+                continue;
+            }
             let peer = self.channels[ch].peer;
             let ack = self.channels[ch].expected;
             if !self.channels[ch].unacked.is_empty() {
@@ -330,6 +479,17 @@ impl<P: NodeProgram> Reliable<P> {
             if self.channels[ch].idle_rounds >= self.channels[ch].timeout
                 && !self.channels[ch].unacked.is_empty()
             {
+                // A retransmission timeout fired with no ack progress since
+                // the last one: a strike. When the detector is armed and the
+                // strikes hit the threshold, the channel is declared dead
+                // instead of retried — retransmission is bounded.
+                if let Some(threshold) = self.detect_after {
+                    if self.channels[ch].strikes >= threshold {
+                        self.declare_dead(ch, true);
+                        continue;
+                    }
+                    self.channels[ch].strikes += 1;
+                }
                 // Retransmit the oldest outstanding frame and back off.
                 let (seq, slot) = *self.channels[ch].unacked.front().expect("checked nonempty");
                 let msg = self.slots[slot].clone().expect("slot held by unacked");
@@ -400,8 +560,21 @@ where
         Some(ReliabilityStats {
             retransmissions: self.retransmissions,
             duplicates_suppressed: self.duplicates_suppressed,
+            dead_links_declared: self.dead_links_declared,
+            undeliverable_messages: self.undeliverable,
             inner_last_active_round: self.inner_last_active_round,
         })
+    }
+
+    fn on_neighbor_down(&mut self, peer: NodeId) {
+        // An outer layer (or a test harness) declared the peer dead for
+        // us: kill the channel if it exists, else pre-seed for setup.
+        match self.channels.binary_search_by_key(&peer, |c| c.peer) {
+            Ok(ch) if !self.channels[ch].dead => self.declare_dead(ch, false),
+            Ok(_) => {}
+            Err(_) if self.channels.is_empty() => self.preseed_dead.push(peer),
+            Err(_) => {}
+        }
     }
 }
 

@@ -50,6 +50,16 @@ pub struct RunStats {
     pub retransmissions: u64,
     /// Duplicate deliveries suppressed by the reliable-delivery layer.
     pub duplicates_suppressed: u64,
+    /// Channel-death declarations made by the failure detector (each
+    /// directed channel that gave up counts once; a mutually declared edge
+    /// counts twice). Zero unless
+    /// [`Reliable::with_failure_detection`](crate::Reliable::with_failure_detection)
+    /// is in use.
+    pub dead_links_declared: u64,
+    /// Application payloads abandoned because their channel was declared
+    /// dead: in-flight frames whose retransmission was cancelled plus
+    /// later sends addressed to an already-dead peer.
+    pub undeliverable_messages: u64,
     /// Total (node, round) pairs in which a node was crashed and therefore
     /// not stepped.
     pub crashed_node_rounds: u64,
@@ -78,6 +88,62 @@ impl RunStats {
     }
 }
 
+impl crate::wire::WireState for CutMeter {
+    fn encode_state(&self, w: &mut crate::wire::BitWriter) {
+        self.messages.encode_state(w);
+        self.bits.encode_state(w);
+    }
+    fn decode_state(r: &mut crate::wire::BitReader<'_>) -> Option<CutMeter> {
+        Some(CutMeter {
+            messages: u64::decode_state(r)?,
+            bits: u64::decode_state(r)?,
+        })
+    }
+}
+
+impl crate::wire::WireState for RunStats {
+    fn encode_state(&self, w: &mut crate::wire::BitWriter) {
+        self.rounds.encode_state(w);
+        self.total_messages.encode_state(w);
+        self.total_bits.encode_state(w);
+        self.max_bits_edge_round.encode_state(w);
+        self.max_messages_edge_round.encode_state(w);
+        self.budget_bits.encode_state(w);
+        self.violations.encode_state(w);
+        self.dropped.encode_state(w);
+        self.duplicated.encode_state(w);
+        self.delayed.encode_state(w);
+        self.retransmissions.encode_state(w);
+        self.duplicates_suppressed.encode_state(w);
+        self.dead_links_declared.encode_state(w);
+        self.undeliverable_messages.encode_state(w);
+        self.crashed_node_rounds.encode_state(w);
+        self.delivery_overhead_rounds.encode_state(w);
+        self.cut.encode_state(w);
+    }
+    fn decode_state(r: &mut crate::wire::BitReader<'_>) -> Option<RunStats> {
+        Some(RunStats {
+            rounds: usize::decode_state(r)?,
+            total_messages: u64::decode_state(r)?,
+            total_bits: u64::decode_state(r)?,
+            max_bits_edge_round: usize::decode_state(r)?,
+            max_messages_edge_round: usize::decode_state(r)?,
+            budget_bits: usize::decode_state(r)?,
+            violations: u64::decode_state(r)?,
+            dropped: u64::decode_state(r)?,
+            duplicated: u64::decode_state(r)?,
+            delayed: u64::decode_state(r)?,
+            retransmissions: u64::decode_state(r)?,
+            duplicates_suppressed: u64::decode_state(r)?,
+            dead_links_declared: u64::decode_state(r)?,
+            undeliverable_messages: u64::decode_state(r)?,
+            crashed_node_rounds: u64::decode_state(r)?,
+            delivery_overhead_rounds: u64::decode_state(r)?,
+            cut: CutMeter::decode_state(r)?,
+        })
+    }
+}
+
 /// Per-node counters reported by a reliable-delivery adapter through
 /// [`NodeProgram::reliability_stats`].
 ///
@@ -88,6 +154,10 @@ pub struct ReliabilityStats {
     pub retransmissions: u64,
     /// Duplicate deliveries this node suppressed.
     pub duplicates_suppressed: u64,
+    /// Channels this node declared dead (failure detection only).
+    pub dead_links_declared: u64,
+    /// Payloads this node abandoned on dead channels.
+    pub undeliverable_messages: u64,
     /// Last round in which the wrapped application program was *active* —
     /// received or produced an application message (`None` if it never
     /// was). Rounds after the network-wide maximum of this value are pure

@@ -24,6 +24,140 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
+/// State that can round-trip through the bit-exact wire encoding.
+///
+/// This is the serialization contract behind [`Simulator::checkpoint`] /
+/// [`Simulator::restore`]: a program (and its message type) that implements
+/// `WireState` can be frozen at a round boundary and resumed bit-identically
+/// later, possibly in another process. Checkpoints live on the *host* side —
+/// they are never charged against the CONGEST budget — so implementations
+/// are free to use full-width fields; symmetry with the encoder is what
+/// matters, not compactness.
+///
+/// Decoding is total: a truncated or corrupt image yields `None`, never a
+/// panic, so restore paths can surface a typed error.
+///
+/// [`Simulator::checkpoint`]: crate::Simulator::checkpoint
+/// [`Simulator::restore`]: crate::Simulator::restore
+pub trait WireState: Sized {
+    /// Appends this value's complete state to `w`.
+    fn encode_state(&self, w: &mut BitWriter);
+    /// Reads back a value previously written by
+    /// [`WireState::encode_state`]; `None` on truncated input.
+    fn decode_state(r: &mut BitReader<'_>) -> Option<Self>;
+}
+
+impl WireState for u64 {
+    fn encode_state(&self, w: &mut BitWriter) {
+        w.write_bits(*self, 64);
+    }
+    fn decode_state(r: &mut BitReader<'_>) -> Option<u64> {
+        r.read_bits(64)
+    }
+}
+
+impl WireState for u32 {
+    fn encode_state(&self, w: &mut BitWriter) {
+        w.write_bits(u64::from(*self), 32);
+    }
+    fn decode_state(r: &mut BitReader<'_>) -> Option<u32> {
+        r.read_bits(32).map(|v| v as u32)
+    }
+}
+
+impl WireState for u8 {
+    fn encode_state(&self, w: &mut BitWriter) {
+        w.write_bits(u64::from(*self), 8);
+    }
+    fn decode_state(r: &mut BitReader<'_>) -> Option<u8> {
+        r.read_bits(8).map(|v| v as u8)
+    }
+}
+
+impl WireState for usize {
+    fn encode_state(&self, w: &mut BitWriter) {
+        w.write_bits(*self as u64, 64);
+    }
+    fn decode_state(r: &mut BitReader<'_>) -> Option<usize> {
+        r.read_bits(64).map(|v| v as usize)
+    }
+}
+
+impl WireState for bool {
+    fn encode_state(&self, w: &mut BitWriter) {
+        w.write_bits(u64::from(*self), 1);
+    }
+    fn decode_state(r: &mut BitReader<'_>) -> Option<bool> {
+        r.read_bits(1).map(|v| v == 1)
+    }
+}
+
+impl WireState for f64 {
+    fn encode_state(&self, w: &mut BitWriter) {
+        w.write_bits(self.to_bits(), 64);
+    }
+    fn decode_state(r: &mut BitReader<'_>) -> Option<f64> {
+        r.read_bits(64).map(f64::from_bits)
+    }
+}
+
+impl WireState for () {
+    fn encode_state(&self, _w: &mut BitWriter) {}
+    fn decode_state(_r: &mut BitReader<'_>) -> Option<()> {
+        Some(())
+    }
+}
+
+impl<T: WireState> WireState for Option<T> {
+    fn encode_state(&self, w: &mut BitWriter) {
+        match self {
+            Some(v) => {
+                w.write_bits(1, 1);
+                v.encode_state(w);
+            }
+            None => w.write_bits(0, 1),
+        }
+    }
+    fn decode_state(r: &mut BitReader<'_>) -> Option<Option<T>> {
+        match r.read_bits(1)? {
+            0 => Some(None),
+            _ => T::decode_state(r).map(Some),
+        }
+    }
+}
+
+impl<T: WireState> WireState for Vec<T> {
+    fn encode_state(&self, w: &mut BitWriter) {
+        w.write_bits(self.len() as u64, 64);
+        for item in self {
+            item.encode_state(w);
+        }
+    }
+    fn decode_state(r: &mut BitReader<'_>) -> Option<Vec<T>> {
+        let len = r.read_bits(64)? as usize;
+        // Guard against a corrupt length field allocating the world: the
+        // remaining input must hold at least one bit per element.
+        if len > r.remaining_bits() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode_state(r)?);
+        }
+        Some(out)
+    }
+}
+
+impl<A: WireState, B: WireState> WireState for (A, B) {
+    fn encode_state(&self, w: &mut BitWriter) {
+        self.0.encode_state(w);
+        self.1.encode_state(w);
+    }
+    fn decode_state(r: &mut BitReader<'_>) -> Option<(A, B)> {
+        Some((A::decode_state(r)?, B::decode_state(r)?))
+    }
+}
+
 /// Append-only bit-level writer backed by [`bytes::BytesMut`].
 #[derive(Debug, Default)]
 pub struct BitWriter {
@@ -115,6 +249,11 @@ impl<'a> BitReader<'a> {
     /// Bits consumed so far.
     pub fn position(&self) -> usize {
         self.cursor
+    }
+
+    /// Bits left to read (counting the zero padding of the final byte).
+    pub fn remaining_bits(&self) -> usize {
+        (self.data.len() * 8).saturating_sub(self.cursor)
     }
 }
 

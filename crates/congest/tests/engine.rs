@@ -218,7 +218,7 @@ fn round_limit_enforced() {
     let mut sim = Simulator::new(&g, cfg, |me| PingPong { me });
     assert!(matches!(
         sim.run(),
-        Err(SimError::RoundLimitExceeded { limit: 50 })
+        Err(SimError::RoundBudgetExceeded { limit: 50 })
     ));
 }
 
@@ -561,6 +561,143 @@ impl NodeProgram for DupProbe {
     fn is_terminated(&self) -> bool {
         self.done
     }
+}
+
+/// A node program that panics mid-round, for the worker-panic tests.
+struct Grenade {
+    me: NodeId,
+    victim: NodeId,
+}
+
+impl NodeProgram for Grenade {
+    type Msg = ();
+
+    fn on_start(&mut self, _ctx: &mut Context<'_, ()>) {}
+
+    fn on_round(&mut self, _ctx: &mut Context<'_, ()>, _inbox: &[Incoming<()>]) {
+        assert!(
+            self.me != self.victim,
+            "grenade detonated at node {}",
+            self.me
+        );
+    }
+
+    fn is_terminated(&self) -> bool {
+        false
+    }
+}
+
+#[test]
+fn worker_panic_surfaces_as_typed_error() {
+    // n >= 64 and threads > 1 forces the thread-pool path, where a panic
+    // used to abort via the implicit scope join; it must instead come back
+    // as a typed error carrying the payload.
+    let g = cycle(70).unwrap();
+    let cfg = SimConfig::default().with_threads(4).with_max_rounds(10);
+    let mut sim = Simulator::new(&g, cfg, |me| Grenade { me, victim: 13 });
+    match sim.run().unwrap_err() {
+        SimError::WorkerPanic { round, payload } => {
+            assert!(
+                payload.contains("grenade detonated at node 13"),
+                "payload: {payload}"
+            );
+            assert!(round <= 10);
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical() {
+    use congest_sim::algorithms::Flood;
+    let g = cycle(16).unwrap();
+    let cfg = SimConfig::default().with_seed(42);
+
+    // Uninterrupted reference run.
+    let mut reference = Simulator::new(&g, cfg.clone(), |v| Flood::new(v, 0));
+    let ref_stats = reference.run().unwrap();
+    let ref_informed: Vec<_> = reference
+        .programs()
+        .iter()
+        .map(Flood::informed_at)
+        .collect();
+
+    // Interrupted run: a few rounds, checkpoint, drop, restore, finish.
+    let mut first = Simulator::new(&g, cfg.clone(), |v| Flood::new(v, 0));
+    assert!(!first.step().unwrap());
+    assert!(!first.step().unwrap());
+    let image = first.checkpoint();
+    drop(first);
+    let mut resumed = Simulator::<Flood>::restore(&g, cfg, &image).unwrap();
+    let stats = resumed.run().unwrap();
+    let informed: Vec<_> = resumed.programs().iter().map(Flood::informed_at).collect();
+    assert_eq!(stats, ref_stats);
+    assert_eq!(informed, ref_informed);
+}
+
+#[test]
+fn checkpoint_resume_preserves_in_flight_faulted_traffic() {
+    use congest_sim::algorithms::Flood;
+    use congest_sim::FaultPlan;
+    // Delays keep messages parked in the delay buffer across the
+    // checkpoint boundary; drops consume fault-RNG draws whose stream
+    // position must survive serialization.
+    let g = complete(10).unwrap();
+    let faults = FaultPlan::default()
+        .with_drop_probability(0.2)
+        .with_delay_probability(0.5);
+    let cfg = SimConfig::default().with_seed(7).with_faults(faults);
+
+    let mut reference = Simulator::new(&g, cfg.clone(), |v| Flood::new(v, 0));
+    let ref_stats = reference.run().unwrap();
+
+    let mut first = Simulator::new(&g, cfg.clone(), |v| Flood::new(v, 0));
+    assert!(!first.step().unwrap());
+    let image = first.checkpoint();
+    drop(first);
+    let mut resumed = Simulator::<Flood>::restore(&g, cfg, &image).unwrap();
+    let stats = resumed.run().unwrap();
+    assert_eq!(stats, ref_stats);
+}
+
+#[test]
+fn restore_rejects_corrupt_images() {
+    use congest_sim::algorithms::Flood;
+    let g = path(5).unwrap();
+    let cfg = SimConfig::default().with_seed(1);
+    let mut sim = Simulator::new(&g, cfg.clone(), |v| Flood::new(v, 0));
+    let _ = sim.step().unwrap();
+    let image = sim.checkpoint();
+
+    // A pristine image restores.
+    assert!(Simulator::<Flood>::restore(&g, cfg.clone(), &image).is_ok());
+
+    // Truncation.
+    assert!(matches!(
+        Simulator::<Flood>::restore(&g, cfg.clone(), &image[..image.len() / 2]),
+        Err(SimError::CorruptCheckpoint { .. })
+    ));
+
+    // Flipped magic word.
+    let mut bad = image.to_vec();
+    bad[0] ^= 0xFF;
+    assert!(matches!(
+        Simulator::<Flood>::restore(&g, cfg.clone(), &bad),
+        Err(SimError::CorruptCheckpoint { .. })
+    ));
+
+    // Seed mismatch between image and config.
+    assert!(matches!(
+        Simulator::<Flood>::restore(&g, cfg.clone().with_seed(2), &image),
+        Err(SimError::CorruptCheckpoint { .. })
+    ));
+
+    // Graph size mismatch.
+    let bigger = path(6).unwrap();
+    assert!(matches!(
+        Simulator::<Flood>::restore(&bigger, cfg, &image),
+        Err(SimError::CorruptCheckpoint { .. })
+    ));
 }
 
 #[test]

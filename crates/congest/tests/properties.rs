@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use congest_sim::algorithms::{BfsTree, Flood, LeaderElect};
-use congest_sim::{FaultPlan, Reliable, SimConfig, Simulator};
+use congest_sim::{FaultPlan, LinkOutage, Reliable, SimConfig, Simulator};
 use rwbc_graph::generators::random_tree;
 use rwbc_graph::traversal::bfs_distances;
 use rwbc_graph::Graph;
@@ -188,5 +188,85 @@ proptest! {
         for v in g.nodes() {
             prop_assert!(sim.program(v).inner().informed(), "node {} uninformed", v);
         }
+    }
+
+    #[test]
+    fn detector_always_terminates_under_a_permanent_outage(
+        g in arb_connected_graph(),
+        seed in 0u64..30,
+        edge_pick in 0usize..64,
+        threshold in 1usize..6,
+    ) {
+        // Sever one arbitrary edge forever. The detector must turn the
+        // would-be livelock into a declared-dead channel and a normally
+        // terminating run — source side always declares (the flood always
+        // pushes into the outage at least from the source's component).
+        let edges = g.edge_vec();
+        let (u, v) = edges[edge_pick % edges.len()];
+        let faults = FaultPlan::default().with_link_outage(LinkOutage {
+            u,
+            v,
+            from_round: 0,
+            until_round: usize::MAX,
+        });
+        let cfg = SimConfig::default()
+            .with_seed(seed)
+            .with_bandwidth_coeff(16)
+            .with_faults(faults)
+            .with_max_rounds(5000);
+        let mut sim = Simulator::new(&g, cfg, |w| {
+            Reliable::new(Flood::new(w, 0)).with_failure_detection(threshold)
+        });
+        let stats = sim.run().unwrap();
+        prop_assert!(stats.dead_links_declared >= 1, "outage never declared");
+        prop_assert!(stats.undeliverable_messages >= 1);
+        // Declaration latency is bounded: threshold timeouts, each capped.
+        prop_assert!(stats.rounds < 5000);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_the_uninterrupted_run(
+        g in arb_connected_graph(),
+        seed in 0u64..30,
+        cut_after in 0usize..6,
+        threads in 1usize..5,
+        drop_p in 0.0f64..0.3,
+    ) {
+        // Checkpoint → kill → restore must replay the uninterrupted trace
+        // bit-identically, at any thread count, with fault RNG state and
+        // in-flight traffic carried across the boundary.
+        let faults = FaultPlan::default()
+            .with_drop_probability(drop_p)
+            .with_delay_probability(0.2);
+        let cfg = SimConfig::default()
+            .with_seed(seed)
+            .with_threads(threads)
+            .with_faults(faults);
+
+        let mut reference = Simulator::new(&g, cfg.clone(), |v| Flood::new(v, 0));
+        let ref_stats = reference.run().unwrap();
+        let ref_informed: Vec<_> =
+            reference.programs().iter().map(Flood::informed_at).collect();
+
+        let mut first = Simulator::new(&g, cfg.clone(), |v| Flood::new(v, 0));
+        let mut finished = false;
+        for _ in 0..cut_after {
+            if first.step().unwrap() {
+                finished = true;
+                break;
+            }
+        }
+        let image = first.checkpoint();
+        drop(first);
+
+        let mut resumed = Simulator::<Flood>::restore(&g, cfg, &image).unwrap();
+        let stats = if finished {
+            resumed.stats().clone()
+        } else {
+            resumed.run().unwrap()
+        };
+        let informed: Vec<_> = resumed.programs().iter().map(Flood::informed_at).collect();
+        prop_assert_eq!(stats, ref_stats);
+        prop_assert_eq!(informed, ref_informed);
     }
 }

@@ -1,7 +1,10 @@
 //! Integration tests for the reliable-delivery adapter.
 
 use congest_sim::algorithms::Flood;
-use congest_sim::{FaultPlan, LinkOutage, NodeProgram, Reliable, SimConfig, Simulator};
+use congest_sim::{
+    FaultPlan, LinkOutage, NodeProgram, Reliable, SimConfig, SimError, Simulator,
+    DEFAULT_DEATH_THRESHOLD,
+};
 use rwbc_graph::generators::{cycle, path, star};
 
 #[test]
@@ -90,6 +93,134 @@ fn reliable_star_hub_respects_window_and_budget() {
     assert!(sim.programs().iter().all(|p| p.inner().informed()));
     assert!(stats.congest_compliant(), "reliable layer blew the budget");
     assert_eq!(stats.max_messages_edge_round, 1);
+}
+
+/// A permanent outage on a path's last edge: without detection the sender
+/// retransmits forever; with detection it declares the channel dead, gives
+/// up on the buffered traffic, and the run terminates.
+fn permanent_last_edge_outage() -> FaultPlan {
+    FaultPlan::default().with_link_outage(LinkOutage {
+        u: 2,
+        v: 3,
+        from_round: 0,
+        until_round: usize::MAX,
+    })
+}
+
+#[test]
+fn permanent_outage_without_detection_hits_the_round_budget() {
+    let g = path(4).unwrap();
+    let cfg = SimConfig::default()
+        .with_faults(permanent_last_edge_outage())
+        .with_max_rounds(300);
+    let mut sim = Simulator::new(&g, cfg, |v| Reliable::new(Flood::new(v, 0)));
+    assert!(matches!(
+        sim.run(),
+        Err(SimError::RoundBudgetExceeded { limit: 300 })
+    ));
+}
+
+#[test]
+fn permanent_outage_is_declared_dead_instead_of_livelocking() {
+    let g = path(4).unwrap();
+    let cfg = SimConfig::default()
+        .with_faults(permanent_last_edge_outage())
+        .with_max_rounds(2000);
+    let mut sim = Simulator::new(&g, cfg, |v| {
+        Reliable::new(Flood::new(v, 0)).with_failure_detection(DEFAULT_DEATH_THRESHOLD)
+    });
+    let stats = sim.run().unwrap();
+    // Node 2 gave up on node 3: the channel is dead, the pulse it buffered
+    // is accounted as undeliverable, and the unreachable side stays
+    // uninformed while everything else completed.
+    assert_eq!(stats.dead_links_declared, 1);
+    assert!(stats.undeliverable_messages >= 1);
+    assert!(sim.program(2).inner().informed());
+    assert!(!sim.program(3).inner().informed());
+    assert_eq!(sim.program(2).dead_peers(), vec![3]);
+    assert!(sim.program(3).dead_peers().is_empty());
+}
+
+#[test]
+fn detection_declares_both_directions_on_a_cycle() {
+    // On a cycle the flood reaches both endpoints of the severed edge via
+    // the other arc, so both sides push into the outage and both declare.
+    let g = cycle(8).unwrap();
+    let faults = FaultPlan::default().with_link_outage(LinkOutage {
+        u: 3,
+        v: 4,
+        from_round: 0,
+        until_round: usize::MAX,
+    });
+    let cfg = SimConfig::default()
+        .with_faults(faults)
+        .with_max_rounds(2000);
+    let mut sim = Simulator::new(&g, cfg, |v| {
+        Reliable::new(Flood::new(v, 0)).with_failure_detection(4)
+    });
+    let stats = sim.run().unwrap();
+    assert_eq!(stats.dead_links_declared, 2);
+    assert!(
+        sim.programs().iter().all(|p| p.inner().informed()),
+        "a cycle minus one edge is still connected"
+    );
+}
+
+#[test]
+fn preseeded_dead_peers_are_not_counted_as_detections() {
+    let g = path(3).unwrap();
+    let cfg = SimConfig::default().with_max_rounds(500);
+    let mut sim = Simulator::new(&g, cfg, |v| {
+        // Both endpoints of edge {1, 2} believe the other is already dead
+        // (e.g. carried over from an earlier phase's detections).
+        let dead = match v {
+            1 => vec![2],
+            2 => vec![1],
+            _ => Vec::new(),
+        };
+        Reliable::new(Flood::new(v, 0))
+            .with_failure_detection(4)
+            .with_dead_peers(dead)
+    });
+    let stats = sim.run().unwrap();
+    assert_eq!(
+        stats.dead_links_declared, 0,
+        "pre-seeded peers are knowledge, not detections"
+    );
+    assert!(sim.program(1).inner().informed());
+    assert!(
+        !sim.program(2).inner().informed(),
+        "no traffic to a dead peer"
+    );
+}
+
+#[test]
+fn detection_is_inert_on_a_healthy_network() {
+    // Arming the detector must not change a fault-free run: no strikes
+    // accrue because every frame acks on schedule.
+    let g = star(10).unwrap();
+    let run = |detect: bool| {
+        let mut sim = Simulator::new(&g, SimConfig::default().with_seed(5), |v| {
+            let r = Reliable::new(Flood::new(v, 0));
+            if detect {
+                r.with_failure_detection(1)
+            } else {
+                r
+            }
+        });
+        let stats = sim.run().unwrap();
+        let informed: Vec<_> = sim
+            .programs()
+            .iter()
+            .map(|p| p.inner().informed())
+            .collect();
+        (stats, informed)
+    };
+    let (s_plain, i_plain) = run(false);
+    let (s_armed, i_armed) = run(true);
+    assert_eq!(s_plain, s_armed);
+    assert_eq!(i_plain, i_armed);
+    assert_eq!(s_armed.dead_links_declared, 0);
 }
 
 #[test]

@@ -49,6 +49,18 @@ pub struct CountProgram {
     /// Neighbor-count cells that never arrived (lockstep mode only; the
     /// cells keep their zero default — a graceful undercount).
     missing: u64,
+    /// Neighbors declared permanently dead (sorted); resolved to slot
+    /// positions lazily in `on_round`, where the neighbor list is known.
+    dead_peers: Vec<NodeId>,
+    /// Liveness per neighbor slot. A dead slot is excluded from the
+    /// strict-delivery completion check (its column stays zero and is
+    /// tallied in `missing`), so the phase terminates on the survivors.
+    live: Vec<bool>,
+    /// The node count the final normalization divides by. Defaults to `n`;
+    /// after a partition the driver sets it to the surviving component's
+    /// size so estimates stay comparable to an exact solve on the
+    /// survivor graph.
+    effective_n: usize,
     /// The locally computed betweenness, available once the phase is done.
     betweenness: Option<f64>,
 }
@@ -95,8 +107,30 @@ impl CountProgram {
             received_per_neighbor: vec![0; degree],
             strict_delivery: false,
             missing: 0,
+            dead_peers: Vec::new(),
+            live: vec![true; degree],
+            effective_n: n,
             betweenness: None,
         }
+    }
+
+    /// Pre-seeds the set of permanently dead neighbors; their columns are
+    /// written off immediately instead of being awaited. More deaths may
+    /// arrive at runtime via [`NodeProgram::on_neighbor_down`].
+    #[must_use]
+    pub fn with_dead_neighbors(mut self, mut peers: Vec<NodeId>) -> CountProgram {
+        peers.sort_unstable();
+        peers.dedup();
+        self.dead_peers = peers;
+        self
+    }
+
+    /// Overrides the node count used by the final normalization (clamped
+    /// to ≥ 2); see the `effective_n` field.
+    #[must_use]
+    pub fn with_effective_n(mut self, n_eff: usize) -> CountProgram {
+        self.effective_n = n_eff.max(2);
+        self
     }
 
     /// Switches to strict-delivery (position-indexed) mode; see
@@ -133,7 +167,14 @@ impl CountProgram {
 
     fn all_counts_received(&self) -> bool {
         if self.strict_delivery {
-            self.sent == self.n && self.received_per_neighbor.iter().all(|&r| r >= self.n)
+            // Only live slots owe a full column: a dead neighbor's column
+            // would otherwise be awaited forever.
+            self.sent == self.n
+                && self
+                    .received_per_neighbor
+                    .iter()
+                    .zip(&self.live)
+                    .all(|(&r, &alive)| !alive || r >= self.n)
         } else {
             self.received_rounds == self.n
         }
@@ -149,7 +190,7 @@ impl CountProgram {
                 &self.own,
                 self.neighbor_cols.iter().map(Vec::as_slice),
             );
-            let nf = self.n as f64;
+            let nf = self.effective_n as f64;
             self.betweenness = Some((inner + (nf - 1.0)) / (nf * (nf - 1.0) / 2.0));
             let _ = ctx; // ctx retained in the signature for symmetry
         }
@@ -164,6 +205,14 @@ impl NodeProgram for CountProgram {
     }
 
     fn on_round(&mut self, ctx: &mut Context<'_, CountMsg>, inbox: &[Incoming<CountMsg>]) {
+        if !self.dead_peers.is_empty() {
+            let neighbors: Vec<rwbc_graph::NodeId> = ctx.neighbors().collect();
+            for p in &self.dead_peers {
+                if let Ok(slot) = neighbors.binary_search(p) {
+                    self.live[slot] = false;
+                }
+            }
+        }
         if self.strict_delivery || self.received_rounds < self.n {
             let neighbors: Vec<rwbc_graph::NodeId> = ctx.neighbors().collect();
             let scale = f64::from(1u32 << self.fractional_bits);
@@ -200,6 +249,12 @@ impl NodeProgram for CountProgram {
 
     fn is_terminated(&self) -> bool {
         self.betweenness.is_some()
+    }
+
+    fn on_neighbor_down(&mut self, peer: rwbc_graph::NodeId) {
+        if let Err(pos) = self.dead_peers.binary_search(&peer) {
+            self.dead_peers.insert(pos, peer);
+        }
     }
 }
 

@@ -53,8 +53,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use congest_sim::{Reliable, RunStats, SimConfig, Simulator};
-use rwbc_graph::traversal::is_connected;
+use std::collections::BTreeSet;
+
+use congest_sim::{Reliable, RunStats, SimConfig, Simulator, DEFAULT_DEATH_THRESHOLD};
+use rwbc_graph::traversal::{connected_components, is_connected};
 use rwbc_graph::{Graph, NodeId};
 
 use crate::distributed::messages::{count_field_bits, len_field_bits};
@@ -105,6 +107,18 @@ pub struct DistributedConfig {
     /// tally short of `K`) relaunch the difference, up to this many times.
     /// Ignored when `reliable` is set (nothing is ever lost there).
     pub walk_retries: usize,
+    /// Tolerates **permanent** node and link failures. Both phases run
+    /// behind [`Reliable::with_failure_detection`]: dead channels are
+    /// declared instead of retried forever, surviving nodes patch their
+    /// live-neighbor sets, in-flight walks are re-sampled away from dead
+    /// links, and when the failures partition the graph the computation
+    /// restricts itself to the surviving giant component (re-drawing the
+    /// absorbing target there if it died). Takes precedence over
+    /// `reliable`; `walk_retries` bounds the relaunch sub-phases
+    /// (minimum 1).
+    ///
+    /// [`Reliable::with_failure_detection`]: congest_sim::Reliable::with_failure_detection
+    pub partition_tolerant: bool,
     /// Simulator settings (bandwidth coefficient, thread count, cut, ...).
     pub sim: SimConfig,
 }
@@ -126,6 +140,7 @@ impl DistributedConfig {
             fixed_point_bits: 16,
             reliable: false,
             walk_retries: 0,
+            partition_tolerant: false,
             sim: SimConfig::default(),
         })
     }
@@ -148,6 +163,7 @@ pub struct DistributedConfigBuilder {
     fixed_point_bits: Option<u8>,
     reliable: bool,
     walk_retries: usize,
+    partition_tolerant: bool,
     sim: Option<SimConfig>,
 }
 
@@ -215,6 +231,14 @@ impl DistributedConfigBuilder {
         self
     }
 
+    /// Tolerates permanent node/link failures (see
+    /// [`DistributedConfig::partition_tolerant`]).
+    #[must_use]
+    pub fn partition_tolerant(mut self, tolerant: bool) -> Self {
+        self.partition_tolerant = tolerant;
+        self
+    }
+
     /// Sets the simulator configuration.
     #[must_use]
     pub fn sim(mut self, sim: SimConfig) -> Self {
@@ -243,6 +267,7 @@ impl DistributedConfigBuilder {
             fixed_point_bits: self.fixed_point_bits.unwrap_or(16),
             reliable: self.reliable,
             walk_retries: self.walk_retries,
+            partition_tolerant: self.partition_tolerant,
             sim: self.sim.unwrap_or_default(),
         })
     }
@@ -265,14 +290,49 @@ pub struct DegradationReport {
     /// Phase-2 neighbor-count cells that never arrived and evaluated as
     /// zero.
     pub count_cells_missing: u64,
+    /// Links the failure detector declared permanently dead, as undirected
+    /// `(u, v)` pairs with `u < v`, sorted (partition-tolerant runs only).
+    pub dead_links_detected: Vec<(NodeId, NodeId)>,
+    /// Nodes every incident link of which was declared dead — the
+    /// detector's view of a permanently crashed node (sorted).
+    pub dead_nodes_detected: Vec<NodeId>,
+    /// Connected components of the survivor graph (the input graph minus
+    /// detected-dead links), with per-component walk coverage. A healthy
+    /// partition-tolerant run reports a single component covering
+    /// everything; other run modes leave this empty.
+    pub components: Vec<ComponentCoverage>,
+    /// Times the absorbing target was lost (crashed or cut off from the
+    /// giant component) and re-drawn among the survivors, restarting the
+    /// walk tally.
+    pub target_redraws: usize,
 }
 
 impl DegradationReport {
     /// Whether the run lost nothing (the estimate is exactly what a
     /// fault-free execution would have produced, modulo recovery noise).
     pub fn is_clean(&self) -> bool {
-        self.walks_lost == 0 && self.count_cells_missing == 0
+        self.walks_lost == 0
+            && self.count_cells_missing == 0
+            && self.dead_links_detected.is_empty()
+            && self.dead_nodes_detected.is_empty()
+            && self.target_redraws == 0
     }
+}
+
+/// Walk coverage of one connected component of the survivor graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentCoverage {
+    /// Nodes in the component.
+    pub nodes: usize,
+    /// Whether the (final) absorbing target lives here. The estimate is
+    /// only meaningful for the component that contains it.
+    pub contains_target: bool,
+    /// Walk tokens the component's sources were expected to complete
+    /// (`K` per non-target source).
+    pub walks_expected: u64,
+    /// Walk tokens of those sources that completed (absorbed or
+    /// truncated) across all sub-phases.
+    pub walks_completed: u64,
 }
 
 /// Result of a distributed approximation run.
@@ -358,6 +418,9 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
             }
         }
     };
+    if config.partition_tolerant {
+        return approximate_partition_tolerant(graph, config, target, election_stats, &mut seeder);
+    }
     let k = config.params.walks_per_node;
     let l = config.params.walk_length;
     let len_bits = len_field_bits(l);
@@ -520,6 +583,293 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
     })
 }
 
+/// Normalizes an undirected link for the detected-dead set.
+fn ordered_pair(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// The survivor-side recovery pipeline behind
+/// [`DistributedConfig::partition_tolerant`].
+///
+/// Both phases run behind [`Reliable::with_failure_detection`]. After each
+/// walk sub-phase the driver harvests every node's declared-dead channels,
+/// rebuilds the survivor topology, and restricts the computation to its
+/// largest connected component: sources cut off from the target abandon
+/// their walks (tallied as lost), surviving sources relaunch theirs with
+/// dead links excluded from the re-sampling, and a dead or separated
+/// target is re-drawn among the survivors (restarting the tally — visits
+/// toward different absorbing targets cannot be mixed). Phase 2 then runs
+/// with every known-dead channel pre-seeded and normalizes by the giant
+/// component's size, so the output is comparable to an exact solve on the
+/// survivor graph. Nodes outside the giant component report 0.
+fn approximate_partition_tolerant(
+    graph: &Graph,
+    config: &DistributedConfig,
+    mut target: NodeId,
+    election_stats: Option<RunStats>,
+    seeder: &mut StdRng,
+) -> Result<DistributedRun, RwbcError> {
+    let n = graph.node_count();
+    let k = config.params.walks_per_node;
+    let l = config.params.walk_length;
+    let len_bits = len_field_bits(l);
+    let mut degradation = DegradationReport::default();
+
+    let mut dead_links: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+    let mut counts = vec![vec![0u64; n]; n];
+    let mut outstanding: Vec<u64> = (0..n)
+        .map(|s| if s == target { 0 } else { k as u64 })
+        .collect();
+    let mut in_giant = vec![true; n];
+    let mut merged: Option<RunStats> = None;
+
+    // Phase 1 with detection, relaunch, and partition handling.
+    let phase1_seed = config.seed ^ 0x9E37_79B9;
+    for attempt in 0..=config.walk_retries.max(1) {
+        if attempt > 0 && (0..n).all(|s| !in_giant[s] || outstanding[s] == 0) {
+            break;
+        }
+        let mut cfg = config
+            .sim
+            .clone()
+            .with_seed(phase1_seed.wrapping_add(attempt as u64 * 0x5851_F42D));
+        if attempt > 0 {
+            // Scheduled transients already fired in the first sub-phase;
+            // only standing damage carries over into recovery.
+            cfg.faults = cfg.faults.collapse_permanent();
+            degradation.walks_relaunched += (0..n)
+                .filter(|&s| in_giant[s])
+                .map(|s| outstanding[s])
+                .sum::<u64>();
+        }
+        let mut sim1 = Simulator::new(graph, cfg, |v| {
+            let dead: Vec<NodeId> = graph
+                .neighbors(v)
+                .filter(|&u| dead_links.contains(&ordered_pair(v, u)))
+                .collect();
+            let prog = if attempt == 0 {
+                WalkProgram::new(v, n, target, k, l, len_bits, config.discipline)
+            } else {
+                let replay = if in_giant[v] {
+                    outstanding[v] as usize
+                } else {
+                    0
+                };
+                WalkProgram::resume(
+                    v,
+                    n,
+                    target,
+                    vec![l as u32; replay],
+                    len_bits,
+                    config.discipline,
+                )
+            };
+            Reliable::new(prog.with_dead_neighbors(dead.clone()))
+                .with_failure_detection(DEFAULT_DEATH_THRESHOLD)
+                .with_dead_peers(dead)
+        });
+        let stats = sim1.run()?;
+        degradation.walk_subphases += 1;
+        for (v, row) in counts.iter_mut().enumerate() {
+            let p = sim1.program(v).inner();
+            for s in 0..n {
+                row[s] += p.counts()[s];
+                outstanding[s] = outstanding[s].saturating_sub(p.deaths()[s]);
+            }
+            for peer in sim1.program(v).dead_peers() {
+                dead_links.insert(ordered_pair(v, peer));
+            }
+        }
+        match &mut merged {
+            None => merged = Some(stats),
+            Some(m) => merge_stats(m, &stats),
+        }
+
+        // Survivor topology: the graph minus every declared-dead link.
+        let survivor = survivor_graph(graph, &dead_links)?;
+        let (comp, ncomps) = connected_components(&survivor);
+        let mut sizes = vec![0usize; ncomps];
+        for &c in &comp {
+            sizes[c] += 1;
+        }
+        let giant_id = (0..ncomps)
+            .max_by_key(|&c| (sizes[c], std::cmp::Reverse(c)))
+            .expect("a non-empty graph has at least one component");
+        for v in 0..n {
+            in_giant[v] = comp[v] == giant_id;
+        }
+        if !in_giant[target] {
+            // The absorbing target crashed or was cut off: every visit
+            // tallied so far was toward a sink the survivors cannot reach.
+            // Re-draw it among the survivors and restart the tally.
+            let members: Vec<NodeId> = (0..n).filter(|&v| in_giant[v]).collect();
+            let old_target = target;
+            target = members[seeder.gen_range(0..members.len())];
+            degradation.target_redraws += 1;
+            for row in &mut counts {
+                row.iter_mut().for_each(|c| *c = 0);
+            }
+            for s in 0..n {
+                if in_giant[s] {
+                    // Giant sources restart from scratch; the new target
+                    // stops being a source.
+                    outstanding[s] = if s == target { 0 } else { k as u64 };
+                }
+                // Cut-off sources keep their stranded counts: those walks
+                // are lost and must be reported as such.
+            }
+            // The dethroned target is a source under the new sink but
+            // never launched a walk toward it.
+            if !in_giant[old_target] {
+                outstanding[old_target] = k as u64;
+            }
+        }
+    }
+    let walk_stats = merged.expect("at least one sub-phase ran");
+    degradation.walks_lost = outstanding.iter().sum();
+
+    // Fixed-point fit, reserving the delivery-layer header.
+    let header = Reliable::<CountProgram>::HEADER_BITS;
+    let budget = config.sim.budget_bits(n).saturating_sub(header);
+    let mut f = config.fixed_point_bits;
+    while f > 1 && count_field_bits(k, l, f) as usize > budget {
+        f -= 1;
+    }
+    if count_field_bits(k, l, f) as usize > budget {
+        return Err(RwbcError::InvalidParameter {
+            reason: format!(
+                "phase-2 counts cannot fit the {budget}-bit budget even with 1 fractional bit; \
+                 raise the bandwidth coefficient"
+            ),
+        });
+    }
+    let value_bits = count_field_bits(k, l, f);
+
+    // Phase 2 on the survivors: dead channels pre-seeded, detection armed
+    // for channels phase 1 never exercised, normalization by the giant
+    // component's size. Walk traffic may never have crossed some dead
+    // links, so phase 2 can be the first to *discover* failures — in that
+    // case the giant component (and with it the normalization) was stale,
+    // and the phase re-runs once with the updated knowledge.
+    let mut count_stats: Option<RunStats> = None;
+    let mut values = vec![0.0; n];
+    for _pass in 0..=config.walk_retries.max(1) {
+        // Refresh giant-component membership under the current dead set.
+        let survivor = survivor_graph(graph, &dead_links)?;
+        let (comp, ncomps) = connected_components(&survivor);
+        let mut sizes = vec![0usize; ncomps];
+        for &c in &comp {
+            sizes[c] += 1;
+        }
+        let giant_id = (0..ncomps)
+            .max_by_key(|&c| (sizes[c], std::cmp::Reverse(c)))
+            .expect("a non-empty graph has at least one component");
+        for v in 0..n {
+            in_giant[v] = comp[v] == giant_id;
+        }
+        let giant_size = sizes[giant_id];
+        let mut cfg2 = config.sim.clone().with_seed(config.seed ^ 0x7F4A_7C15);
+        cfg2.faults = cfg2.faults.collapse_permanent();
+        let mut sim2 = Simulator::new(graph, cfg2, |v| {
+            let dead: Vec<NodeId> = graph
+                .neighbors(v)
+                .filter(|&u| dead_links.contains(&ordered_pair(v, u)))
+                .collect();
+            Reliable::new(
+                CountProgram::new(v, n, graph.degree(v), counts[v].clone(), k, value_bits, f)
+                    .with_strict_delivery(true)
+                    .with_effective_n(if in_giant[v] { giant_size } else { 2 })
+                    .with_dead_neighbors(dead.clone()),
+            )
+            .with_failure_detection(DEFAULT_DEATH_THRESHOLD)
+            .with_dead_peers(dead)
+        });
+        let stats = sim2.run()?;
+        degradation.count_cells_missing = (0..n).map(|v| sim2.program(v).inner().missing()).sum();
+        let before = dead_links.len();
+        for v in 0..n {
+            for peer in sim2.program(v).dead_peers() {
+                dead_links.insert(ordered_pair(v, peer));
+            }
+        }
+        for (v, value) in values.iter_mut().enumerate() {
+            *value = if in_giant[v] {
+                sim2.program(v).inner().betweenness().unwrap_or(0.0)
+            } else {
+                0.0
+            };
+        }
+        match &mut count_stats {
+            None => count_stats = Some(stats),
+            Some(m) => merge_stats(m, &stats),
+        }
+        if dead_links.len() == before {
+            break;
+        }
+    }
+    let count_stats = count_stats.expect("at least one phase-2 pass ran");
+
+    // Final detected-failure report, including channels only phase 2
+    // exercised.
+    degradation.dead_links_detected = dead_links.iter().copied().collect();
+    degradation.dead_nodes_detected = (0..n)
+        .filter(|&v| {
+            graph.degree(v) > 0
+                && graph
+                    .neighbors(v)
+                    .all(|u| dead_links.contains(&ordered_pair(v, u)))
+        })
+        .collect();
+    let survivor = survivor_graph(graph, &dead_links)?;
+    let (comp, ncomps) = connected_components(&survivor);
+    degradation.components = (0..ncomps)
+        .map(|c| {
+            let members: Vec<NodeId> = (0..n).filter(|&v| comp[v] == c).collect();
+            let sources = members.iter().filter(|&&s| s != target).count() as u64;
+            let completed: u64 = members
+                .iter()
+                .filter(|&&s| s != target)
+                .map(|&s| (k as u64).saturating_sub(outstanding[s]))
+                .sum();
+            ComponentCoverage {
+                nodes: members.len(),
+                contains_target: members.binary_search(&target).is_ok(),
+                walks_expected: sources * k as u64,
+                walks_completed: completed,
+            }
+        })
+        .collect();
+
+    Ok(DistributedRun {
+        centrality: Centrality::from_values(values),
+        target,
+        election_stats,
+        walk_stats,
+        count_stats,
+        fixed_point_bits: f,
+        degradation,
+    })
+}
+
+/// The input graph minus every detected-dead link (node set unchanged;
+/// fully dead nodes become isolated).
+fn survivor_graph(
+    graph: &Graph,
+    dead_links: &BTreeSet<(NodeId, NodeId)>,
+) -> Result<Graph, RwbcError> {
+    Ok(Graph::from_edges(
+        graph.node_count(),
+        graph
+            .edges()
+            .filter(|e| !dead_links.contains(&ordered_pair(e.u, e.v)))
+            .map(|e| (e.u, e.v)),
+    )?)
+}
+
 /// Accumulates a recovery sub-phase's statistics into the phase total:
 /// additive counters add, per-round maxima take the max.
 fn merge_stats(acc: &mut RunStats, s: &RunStats) {
@@ -534,6 +884,8 @@ fn merge_stats(acc: &mut RunStats, s: &RunStats) {
     acc.delayed += s.delayed;
     acc.retransmissions += s.retransmissions;
     acc.duplicates_suppressed += s.duplicates_suppressed;
+    acc.dead_links_declared += s.dead_links_declared;
+    acc.undeliverable_messages += s.undeliverable_messages;
     acc.crashed_node_rounds += s.crashed_node_rounds;
     acc.delivery_overhead_rounds += s.delivery_overhead_rounds;
     acc.cut.messages += s.cut.messages;
@@ -698,6 +1050,141 @@ mod tests {
         // Output is still a sound estimate.
         let exact = newman(&g).unwrap();
         assert!(mean_relative_error(&run.centrality, &exact) < 0.15);
+    }
+
+    #[test]
+    fn partition_tolerant_clean_run_reports_one_full_component() {
+        use congest_sim::SimConfig;
+        let (g, _l) = fig1_graph(3).unwrap();
+        let mut cfg = DistributedConfig::builder()
+            .walks(60)
+            .length(40)
+            .seed(3)
+            .target(TargetStrategy::Fixed(0))
+            .partition_tolerant(true)
+            .build()
+            .unwrap();
+        cfg.sim = SimConfig::default().with_bandwidth_coeff(16);
+        let run = approximate(&g, &cfg).unwrap();
+        assert!(run.degradation.is_clean());
+        assert_eq!(run.degradation.components.len(), 1);
+        let c = &run.degradation.components[0];
+        assert_eq!(c.nodes, g.node_count());
+        assert!(c.contains_target);
+        assert_eq!(c.walks_expected, c.walks_completed);
+        assert!(c.walks_expected > 0);
+    }
+
+    #[test]
+    fn partition_tolerant_run_survives_a_permanent_crash() {
+        use congest_sim::{FaultPlan, NodeCrash, SimConfig};
+        let (g, l) = fig1_graph(3).unwrap();
+        // A clique member: the survivor graph minus it stays connected, so
+        // the giant component is everyone else.
+        let victim = l.left[1];
+        let mut cfg = DistributedConfig::builder()
+            .walks(150)
+            .length(60)
+            .seed(9)
+            .target(TargetStrategy::Fixed(0))
+            .partition_tolerant(true)
+            .build()
+            .unwrap();
+        cfg.walk_retries = 3;
+        cfg.sim = SimConfig::default().with_bandwidth_coeff(16).with_faults(
+            FaultPlan::default().with_node_crash(NodeCrash {
+                node: victim,
+                crash_round: 30,
+                recover_round: None,
+            }),
+        );
+        let run = approximate(&g, &cfg).unwrap();
+        assert_eq!(run.degradation.dead_nodes_detected, vec![victim]);
+        // Every incident channel of the victim was individually declared.
+        for u in g.neighbors(victim) {
+            assert!(
+                run.degradation
+                    .dead_links_detected
+                    .contains(&ordered_pair(victim, u)),
+                "link to {u} undeclared"
+            );
+        }
+        // Giant component (everyone else) + the isolated victim.
+        assert_eq!(run.degradation.components.len(), 2);
+        let giant = run
+            .degradation
+            .components
+            .iter()
+            .find(|c| c.contains_target)
+            .expect("target survives");
+        assert_eq!(giant.nodes, g.node_count() - 1);
+        assert_eq!(
+            giant.walks_completed, giant.walks_expected,
+            "survivor-side recovery must finish every giant-component walk"
+        );
+        assert_eq!(run.centrality[victim], 0.0);
+        assert_eq!(run.degradation.target_redraws, 0);
+    }
+
+    #[test]
+    fn killing_the_target_redraws_it_among_survivors() {
+        use congest_sim::{FaultPlan, NodeCrash, SimConfig};
+        let (g, _l) = fig1_graph(3).unwrap();
+        let mut cfg = DistributedConfig::builder()
+            .walks(100)
+            .length(50)
+            .seed(11)
+            .target(TargetStrategy::Fixed(0))
+            .partition_tolerant(true)
+            .build()
+            .unwrap();
+        cfg.walk_retries = 3;
+        cfg.sim = SimConfig::default().with_bandwidth_coeff(16).with_faults(
+            FaultPlan::default().with_node_crash(NodeCrash {
+                node: 0,
+                crash_round: 20,
+                recover_round: None,
+            }),
+        );
+        let run = approximate(&g, &cfg).unwrap();
+        assert!(run.degradation.target_redraws >= 1);
+        assert_ne!(run.target, 0, "the dead target must be replaced");
+        assert!(run.degradation.dead_nodes_detected.contains(&0));
+        assert_eq!(run.centrality[0], 0.0);
+    }
+
+    #[test]
+    fn severed_link_is_declared_without_partitioning() {
+        use congest_sim::{FaultPlan, LinkOutage, SimConfig};
+        let (g, l) = fig1_graph(3).unwrap();
+        // An in-clique edge: its loss never disconnects anything.
+        let (u, v) = (l.left[0], l.left[1]);
+        let mut cfg = DistributedConfig::builder()
+            .walks(150)
+            .length(60)
+            .seed(13)
+            .target(TargetStrategy::Fixed(0))
+            .partition_tolerant(true)
+            .build()
+            .unwrap();
+        cfg.walk_retries = 2;
+        cfg.sim = SimConfig::default().with_bandwidth_coeff(16).with_faults(
+            FaultPlan::default().with_link_outage(LinkOutage {
+                u,
+                v,
+                from_round: 0,
+                until_round: usize::MAX,
+            }),
+        );
+        let run = approximate(&g, &cfg).unwrap();
+        assert!(run
+            .degradation
+            .dead_links_detected
+            .contains(&ordered_pair(u, v)));
+        assert!(run.degradation.dead_nodes_detected.is_empty());
+        assert_eq!(run.degradation.components.len(), 1);
+        assert_eq!(run.degradation.components[0].nodes, g.node_count());
+        assert_eq!(run.degradation.target_redraws, 0);
     }
 
     #[test]

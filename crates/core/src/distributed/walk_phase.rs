@@ -37,6 +37,10 @@ pub struct WalkProgram {
     /// number of source-`s` tokens lost to faults — the signal behind the
     /// relaunch recovery loop.
     deaths: Vec<u64>,
+    /// Neighbors declared permanently dead (sorted). Tokens are re-sampled
+    /// among the survivors; with no survivors left, queued tokens are
+    /// truncated in place.
+    dead_neighbors: Vec<NodeId>,
     started: bool,
 }
 
@@ -100,6 +104,7 @@ impl WalkProgram {
             queue,
             counts,
             deaths,
+            dead_neighbors: Vec::new(),
             started: false,
         }
     }
@@ -140,8 +145,26 @@ impl WalkProgram {
             queue,
             counts: vec![0u64; n],
             deaths,
+            dead_neighbors: Vec::new(),
             started: false,
         }
+    }
+
+    /// Pre-seeds the set of permanently dead neighbors (e.g. links declared
+    /// dead in an earlier sub-phase): tokens are never routed toward them.
+    /// More deaths may arrive at runtime via
+    /// [`NodeProgram::on_neighbor_down`].
+    #[must_use]
+    pub fn with_dead_neighbors(mut self, mut peers: Vec<NodeId>) -> WalkProgram {
+        peers.sort_unstable();
+        peers.dedup();
+        self.dead_neighbors = peers;
+        self
+    }
+
+    /// Neighbors this program considers permanently dead (sorted).
+    pub fn dead_neighbors(&self) -> &[NodeId] {
+        &self.dead_neighbors
     }
 
     /// The visit counts `ξ_me^s` harvested after the phase completes.
@@ -178,10 +201,31 @@ impl WalkProgram {
         let deg = ctx.degree();
         debug_assert!(deg > 0, "connected graphs have no isolated nodes");
         // Pair each token with its chosen neighbor (paper line 6, first
-        // half: "choose a random neighbor v").
-        let choices: Vec<usize> = (0..self.queue.len())
-            .map(|_| ctx.rng().gen_range(0..deg))
-            .collect();
+        // half: "choose a random neighbor v"). With dead neighbors the walk
+        // re-samples uniformly among the survivors — the walk distribution
+        // of the *surviving* graph; without any, the original single-draw
+        // path is kept so fault-free traces replay bit-identically.
+        let choices: Vec<usize> = if self.dead_neighbors.is_empty() {
+            (0..self.queue.len())
+                .map(|_| ctx.rng().gen_range(0..deg))
+                .collect()
+        } else {
+            let live: Vec<usize> = (0..deg)
+                .filter(|&i| self.dead_neighbors.binary_search(&ctx.neighbor(i)).is_err())
+                .collect();
+            if live.is_empty() {
+                // Every neighbor is gone: the node is stranded and its
+                // walks can never move again. Truncate them in place so
+                // the death tally (and with it termination) stays exact.
+                for token in self.queue.drain(..) {
+                    self.deaths[token.source] += 1;
+                }
+                return;
+            }
+            (0..self.queue.len())
+                .map(|_| live[ctx.rng().gen_range(0..live.len())])
+                .collect()
+        };
         let max_per_edge = match self.discipline {
             CongestionDiscipline::HoldAndResend => 1,
             CongestionDiscipline::Batched => {
@@ -253,6 +297,12 @@ impl NodeProgram for WalkProgram {
 
     fn is_terminated(&self) -> bool {
         self.started && self.queue.is_empty()
+    }
+
+    fn on_neighbor_down(&mut self, peer: NodeId) {
+        if let Err(pos) = self.dead_neighbors.binary_search(&peer) {
+            self.dead_neighbors.insert(pos, peer);
+        }
     }
 }
 

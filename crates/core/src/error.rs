@@ -89,7 +89,7 @@ mod tests {
         assert!(g.source().is_some());
         let l: RwbcError = LinalgError::Singular { column: 0 }.into();
         assert!(matches!(l, RwbcError::Linalg(_)));
-        let s: RwbcError = SimError::RoundLimitExceeded { limit: 5 }.into();
+        let s: RwbcError = SimError::RoundBudgetExceeded { limit: 5 }.into();
         assert!(matches!(s, RwbcError::Sim(_)));
     }
 

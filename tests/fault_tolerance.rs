@@ -2,8 +2,9 @@
 //! pipeline: the chaos-engineering counterpart to the clean-model
 //! experiments (EXPERIMENTS.md E11).
 
-use rwbc_repro::congest::{FaultPlan, SimConfig};
+use rwbc_repro::congest::{FaultPlan, NodeCrash, SimConfig};
 use rwbc_repro::graph::generators::fig1_graph;
+use rwbc_repro::graph::{Graph, NodeId};
 use rwbc_repro::rwbc::accuracy::mean_relative_error;
 use rwbc_repro::rwbc::distributed::{approximate, collect_and_solve, DistributedConfig};
 use rwbc_repro::rwbc::exact::newman;
@@ -156,6 +157,158 @@ fn fault_free_runs_report_clean_degradation() {
     assert_eq!(run.degradation.walks_relaunched, 0);
     assert_eq!(run.walk_stats.dropped, 0);
     assert_eq!(run.walk_stats.retransmissions, 0);
+}
+
+/// Partition-tolerant config for the permanent-failure acceptance tests:
+/// small enough to keep CI fast, large enough that one kill is <= 5% of
+/// the network (fig1_graph(10) has n = 23).
+fn chaos_config(seed: u64, faults: FaultPlan) -> DistributedConfig {
+    let mut cfg = DistributedConfig::builder()
+        .walks(200)
+        .length(60)
+        .seed(seed)
+        .target(TargetStrategy::Fixed(0))
+        .partition_tolerant(true)
+        .build()
+        .unwrap();
+    cfg.walk_retries = 3;
+    cfg.sim = SimConfig::default()
+        .with_bandwidth_coeff(16)
+        .with_faults(faults);
+    cfg
+}
+
+/// Exact RWBC on the graph minus one node, mapped back to the original
+/// ids (the victim's slot reads 0.0).
+fn exact_without(g: &Graph, victim: NodeId) -> Vec<f64> {
+    let n = g.node_count();
+    let relabel: Vec<Option<NodeId>> = {
+        let mut next = 0;
+        (0..n)
+            .map(|v| {
+                if v == victim {
+                    None
+                } else {
+                    next += 1;
+                    Some(next - 1)
+                }
+            })
+            .collect()
+    };
+    let survivor = Graph::from_edges(
+        n - 1,
+        g.edges()
+            .filter_map(|e| Some((relabel[e.u]?, relabel[e.v]?))),
+    )
+    .unwrap();
+    let exact = newman(&survivor).unwrap();
+    (0..n)
+        .map(|v| relabel[v].map_or(0.0, |w| exact[w]))
+        .collect()
+}
+
+/// Acceptance: permanently killing <= 5% of the nodes mid-walk must leave
+/// a run that completes (no hang, no panic), declares the dead node and
+/// every one of its links, fully covers the surviving giant component,
+/// and stays within 2x the clean run's approximation error.
+#[test]
+fn permanent_kill_completes_declares_and_stays_accurate() {
+    let (g, labels) = fig1_graph(10).unwrap();
+    let n = g.node_count();
+    let victim = labels.right[2];
+
+    let clean = approximate(&g, &chaos_config(7, FaultPlan::default())).unwrap();
+    assert!(clean.degradation.is_clean());
+
+    let faults = FaultPlan::default().with_node_crash(NodeCrash {
+        node: victim,
+        crash_round: 40,
+        recover_round: None,
+    });
+    let chaos = approximate(&g, &chaos_config(7, faults)).unwrap();
+
+    // Every dead channel and the dead node itself are declared.
+    assert_eq!(chaos.degradation.dead_nodes_detected, vec![victim]);
+    assert_eq!(
+        chaos.degradation.dead_links_detected.len(),
+        g.degree(victim),
+        "all of the victim's links must be declared dead"
+    );
+
+    // The giant component is everyone else, and recovery finished every
+    // one of its walks.
+    let giant = chaos
+        .degradation
+        .components
+        .iter()
+        .find(|c| c.contains_target)
+        .expect("target component");
+    assert_eq!(giant.nodes, n - 1);
+    assert_eq!(giant.walks_completed, giant.walks_expected);
+    assert_eq!(chaos.centrality[victim], 0.0);
+
+    // Accuracy: each run against its own ground truth (the full graph for
+    // the clean run, the survivor graph for the chaos run); the chaos-side
+    // worst-case error must stay within 2x the clean run's.
+    let exact_full = newman(&g).unwrap();
+    let exact_surv = exact_without(&g, victim);
+    let max_err = |est: &dyn Fn(usize) -> f64, exact: &dyn Fn(usize) -> f64| {
+        (0..n)
+            .filter(|&v| v != victim)
+            .map(|v| (est(v) - exact(v)).abs() / exact(v))
+            .fold(0.0f64, f64::max)
+    };
+    let clean_err = max_err(&|v| clean.centrality[v], &|v| exact_full[v]);
+    let chaos_err = max_err(&|v| chaos.centrality[v], &|v| exact_surv[v]);
+    assert!(
+        chaos_err <= 2.0 * clean_err,
+        "chaos error {chaos_err} exceeds 2x clean error {clean_err}"
+    );
+}
+
+/// Killing bridge node A cuts the left community off from the rest of
+/// Fig. 1 (left members have no other outlet). The target sat in that
+/// clique, so the run must detect the partition, redraw the target inside
+/// the giant component, zero the cut-off side, and report per-component
+/// coverage honestly.
+#[test]
+fn partitioning_kill_redraws_target_and_zeroes_the_lost_side() {
+    let (g, labels) = fig1_graph(10).unwrap();
+    let faults = FaultPlan::default().with_node_crash(NodeCrash {
+        node: labels.a,
+        crash_round: 40,
+        recover_round: None,
+    });
+    let run = approximate(&g, &chaos_config(5, faults)).unwrap();
+
+    assert_eq!(run.degradation.dead_nodes_detected, vec![labels.a]);
+    // Left clique, the dead bridge itself, and right clique + B + C.
+    assert_eq!(run.degradation.components.len(), 3);
+    let giant = run
+        .degradation
+        .components
+        .iter()
+        .find(|c| c.contains_target)
+        .expect("target component");
+    assert_eq!(giant.nodes, labels.right.len() + 2);
+    assert_eq!(giant.walks_completed, giant.walks_expected);
+
+    // Target 0 was in the cut-off clique: it must have been redrawn among
+    // the giant's survivors, and the walks stranded on the lost side are
+    // reported, not invented.
+    assert!(run.degradation.target_redraws >= 1);
+    assert!(
+        labels.right.contains(&run.target) || run.target == labels.b || run.target == labels.c,
+        "redrawn target {} must be a giant-component node",
+        run.target
+    );
+    assert!(run.degradation.walks_lost > 0, "lost-side walks are gone");
+    for &v in labels.left.iter().chain([&labels.a]) {
+        assert_eq!(run.centrality[v], 0.0, "node {v} is cut off");
+    }
+    for &v in labels.right.iter().chain([&labels.b, &labels.c]) {
+        assert!(run.centrality[v] > 0.0, "node {v} is in the giant");
+    }
 }
 
 /// The collection baseline surfaces its own loss counter instead of

@@ -68,6 +68,24 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Snapshot of the raw xoshiro256\*\* state, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot. An
+        /// all-zero state is degenerate (the generator would emit zeros
+        /// forever) and is replaced by a fixed non-zero word, mirroring
+        /// the seeding path.
+        pub fn from_state(mut s: [u64; 4]) -> StdRng {
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let [mut s0, mut s1, mut s2, mut s3] = self.s;
