@@ -168,6 +168,19 @@ pub fn run(quick: bool) -> Vec<Table> {
             fmt2(r.overhead),
         ]);
     }
+    // The worst sweep cell in full: the derived retransmission and
+    // overhead rates put the table's "rounds/clean" column in context.
+    let worst_p = *rates.last().unwrap();
+    let worst = run_one(
+        &g,
+        1101,
+        true,
+        FaultPlan::default().with_drop_probability(worst_p),
+    );
+    drops.add_note(format!(
+        "walk-phase RunStats at drop p = {worst_p:.2}, reliable transport:\n{}",
+        worst.walk_stats.summary()
+    ));
 
     let victims: Vec<usize> = if quick {
         labels.left.iter().copied().take(1).collect()

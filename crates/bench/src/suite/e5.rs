@@ -101,6 +101,25 @@ pub fn run(quick: bool) -> Vec<Table> {
             ]);
         }
     }
+
+    // One representative run in full so the per-edge maxima above can be
+    // read against the complete derived-rate breakdown.
+    {
+        let n = *sizes.last().unwrap();
+        let g = cycle(n).unwrap();
+        let k = (n as f64).log2().ceil() as usize;
+        let cfg = DistributedConfig::builder()
+            .walks(k)
+            .length(n)
+            .seed(3000 + n as u64)
+            .build()
+            .expect("positive parameters");
+        let run = approximate(&g, &cfg).expect("strict CONGEST run must succeed");
+        t.add_note(format!(
+            "walk-phase RunStats, cycle n = {n}:\n{}",
+            run.walk_stats.summary()
+        ));
+    }
     vec![t]
 }
 

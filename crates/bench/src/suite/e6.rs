@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use congest_sim::SimConfig;
+use congest_sim::{RunStats, SimConfig};
 use rwbc::distributed::collect_and_solve;
 use rwbc::lower_bound::{verify_separation, LowerBoundInstance};
 
@@ -58,12 +58,13 @@ fn binomial(n: usize, k: usize) -> f64 {
     acc
 }
 
-/// Measures cut traffic for one `N`.
+/// Measures cut traffic for one `N`, also returning the full simulator
+/// stats of the collection run.
 ///
 /// # Panics
 ///
 /// Panics on simulation failure.
-pub fn cut_row(n_subsets: usize, seed: u64) -> CutRow {
+pub fn cut_run(n_subsets: usize, seed: u64) -> (CutRow, RunStats) {
     let m = m_for(n_subsets);
     let mut rng = StdRng::seed_from_u64(seed);
     let inst = LowerBoundInstance::random(m, n_subsets, &mut rng);
@@ -72,7 +73,7 @@ pub fn cut_row(n_subsets: usize, seed: u64) -> CutRow {
     let sim = SimConfig::default().with_seed(seed).with_cut(cut.clone());
     let run = collect_and_solve(&graph, labels.p, sim).expect("collection on gadget");
     let nf = n_subsets as f64;
-    CutRow {
+    let row = CutRow {
         n_subsets,
         m,
         nodes: graph.node_count(),
@@ -80,7 +81,17 @@ pub fn cut_row(n_subsets: usize, seed: u64) -> CutRow {
         cut_bits: run.stats.cut.bits,
         normalized: run.stats.cut.bits as f64 / (nf * nf.log2().max(1.0)),
         rounds: run.stats.rounds,
-    }
+    };
+    (row, run.stats)
+}
+
+/// Measures cut traffic for one `N`.
+///
+/// # Panics
+///
+/// Panics on simulation failure.
+pub fn cut_row(n_subsets: usize, seed: u64) -> CutRow {
+    cut_run(n_subsets, seed).0
 }
 
 /// Runs the full experiment.
@@ -155,8 +166,9 @@ pub fn run(quick: bool) -> Vec<Table> {
         ],
     );
     let ns: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8, 16, 32] };
+    let mut last_stats = None;
     for &n_subsets in ns {
-        let r = cut_row(n_subsets, 600 + n_subsets as u64);
+        let (r, stats) = cut_run(n_subsets, 600 + n_subsets as u64);
         t2.add_row([
             r.n_subsets.to_string(),
             r.m.to_string(),
@@ -166,6 +178,14 @@ pub fn run(quick: bool) -> Vec<Table> {
             fmt2(r.normalized),
             r.rounds.to_string(),
         ]);
+        last_stats = Some(stats);
+    }
+    if let Some(stats) = last_stats {
+        t2.add_note(format!(
+            "RunStats for the largest gadget (N = {}):\n{}",
+            ns.last().unwrap(),
+            stats.summary()
+        ));
     }
     vec![t1, t1b, t2]
 }

@@ -19,6 +19,7 @@ pub struct Table {
     title: String,
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+    notes: Vec<String>,
 }
 
 impl Table {
@@ -32,6 +33,7 @@ impl Table {
             title: title.to_string(),
             headers: headers.into_iter().map(Into::into).collect(),
             rows: Vec::new(),
+            notes: Vec::new(),
         }
     }
 
@@ -52,6 +54,14 @@ impl Table {
             "row width must match header width"
         );
         self.rows.push(row);
+        self
+    }
+
+    /// Appends a free-form note block rendered after the rows. Multi-line
+    /// notes (e.g. [`congest_sim::RunStats::summary`]) keep their internal
+    /// layout; every line is prefixed so the note reads as table commentary.
+    pub fn add_note(&mut self, note: impl Into<String>) -> &mut Table {
+        self.notes.push(note.into());
         self
     }
 
@@ -96,6 +106,11 @@ impl fmt::Display for Table {
         for row in &self.rows {
             line(f, row)?;
         }
+        for note in &self.notes {
+            for l in note.lines() {
+                writeln!(f, ">{}{}", if l.is_empty() { "" } else { " " }, l)?;
+            }
+        }
         Ok(())
     }
 }
@@ -130,6 +145,18 @@ mod tests {
     #[should_panic(expected = "row width")]
     fn rejects_ragged_rows() {
         Table::new("t", ["a", "b"]).add_row(["only one"]);
+    }
+
+    #[test]
+    fn renders_notes_after_rows() {
+        let mut t = Table::new("t", ["a"]);
+        t.add_row(["1"]);
+        t.add_note("first line\nsecond line");
+        let s = t.to_string();
+        let rows_at = s.find("| 1 |").unwrap();
+        let note_at = s.find("> first line").unwrap();
+        assert!(note_at > rows_at);
+        assert!(s.contains("> second line"));
     }
 
     #[test]

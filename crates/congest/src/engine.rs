@@ -8,6 +8,7 @@ use crate::config::ViolationPolicy;
 use crate::node::{Context, Incoming};
 use crate::rng::node_rng;
 use crate::stats::ordered;
+use crate::trace::{DropReason, TraceEvent, Tracer};
 use crate::wire::{BitReader, BitWriter, WireState};
 use crate::{Message, NodeProgram, RunStats, SimConfig, SimError};
 
@@ -16,8 +17,12 @@ use crate::{Message, NodeProgram, RunStats, SimConfig, SimError};
 type Outboxes<M> = Vec<Vec<(NodeId, M)>>;
 
 const CHECKPOINT_MAGIC: u64 = 0xC4EC_5A7E;
-/// Bumped whenever the checkpoint layout changes incompatibly.
-const CHECKPOINT_VERSION: u64 = 1;
+/// Bumped whenever the checkpoint layout changes incompatibly. Version
+/// 2 added [`RunStats::peak_edge`]; version-1 images still restore
+/// (their peak location decodes as `None`).
+const CHECKPOINT_VERSION: u64 = 2;
+/// Oldest checkpoint version [`Simulator::restore`] still accepts.
+const CHECKPOINT_MIN_VERSION: u64 = 1;
 
 /// Renders a worker panic payload for [`SimError::WorkerPanic`]. Panics
 /// raised via `panic!("..")` carry `&str` or `String`; anything else is
@@ -60,6 +65,18 @@ pub struct Simulator<'g, P: NodeProgram> {
     /// consulted when a probabilistic fault is enabled, so an empty
     /// [`FaultPlan`](crate::FaultPlan) replays fault-free traces exactly.
     fault_rng: StdRng,
+    /// Optional event sink. `None` (the default) keeps every tracing
+    /// hook behind a single branch, so untraced runs construct no
+    /// events at all and stay bit-identical to pre-tracing builds.
+    tracer: Option<&'g mut dyn Tracer>,
+    /// Per-node buffers for program-emitted events; drained in node
+    /// order each round so traces are thread-count independent. Empty
+    /// unless a tracer is attached.
+    node_trace: Vec<Vec<TraceEvent>>,
+    /// Last observed crash state per node, for emitting
+    /// [`TraceEvent::NodeDown`]/[`TraceEvent::NodeUp`] transitions.
+    /// Populated lazily and only when traced.
+    crashed_prev: Vec<bool>,
 }
 
 impl<'g, P> Simulator<'g, P>
@@ -93,7 +110,22 @@ where
             started: false,
             cut_set,
             fault_rng,
+            tracer: None,
+            node_trace: Vec::new(),
+            crashed_prev: Vec::new(),
         }
+    }
+
+    /// Attaches a [`Tracer`] that will receive the run's event stream.
+    /// The event sequence is deterministic at any thread count (see the
+    /// [`trace`](crate::trace) module docs); only wall-clock fields in
+    /// driver-emitted spans vary between replays. Tracing never alters
+    /// the simulation: statistics and checkpoints are bit-identical
+    /// with or without a tracer attached.
+    pub fn with_tracer(mut self, tracer: &'g mut dyn Tracer) -> Self {
+        self.node_trace = (0..self.graph.node_count()).map(|_| Vec::new()).collect();
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The simulated graph.
@@ -145,6 +177,7 @@ where
     pub fn step(&mut self) -> Result<bool, SimError> {
         if !self.started {
             self.started = true;
+            self.trace_crash_transitions(0);
             let mut outboxes: Outboxes<P::Msg> =
                 (0..self.graph.node_count()).map(|_| Vec::new()).collect();
             for (v, (outbox, rng)) in outboxes.iter_mut().zip(&mut self.rngs).enumerate() {
@@ -152,9 +185,11 @@ where
                     self.stats.crashed_node_rounds += 1;
                     continue;
                 }
-                let mut ctx = Context::new(v, self.graph, rng, 0, outbox);
+                let mut ctx = Context::new(v, self.graph, rng, 0, outbox)
+                    .with_trace(self.node_trace.get_mut(v));
                 self.programs[v].on_start(&mut ctx);
             }
+            self.drain_node_trace();
             self.commit(outboxes)?;
             if self.is_finished() {
                 return Ok(true);
@@ -167,6 +202,7 @@ where
         }
         self.round += 1;
         self.stats.rounds = self.round;
+        self.trace_crash_transitions(self.round);
 
         let n = self.graph.node_count();
         let mut inboxes: Vec<Vec<Incoming<P::Msg>>> =
@@ -183,6 +219,16 @@ where
             for (v, inbox) in inboxes.iter_mut().enumerate() {
                 if self.config.faults.node_crashed(v, self.round) && !inbox.is_empty() {
                     self.stats.dropped += inbox.len() as u64;
+                    if let Some(tr) = self.tracer.as_deref_mut() {
+                        for m in inbox.iter() {
+                            tr.record(&TraceEvent::Dropped {
+                                round: self.round,
+                                from: m.from,
+                                to: v,
+                                reason: DropReason::ReceiverCrashed,
+                            });
+                        }
+                    }
                     inbox.clear();
                 }
             }
@@ -204,8 +250,48 @@ where
         } else {
             self.run_round_parallel(&inboxes)?
         };
+        self.drain_node_trace();
         self.commit(outboxes)?;
         Ok(self.is_finished())
+    }
+
+    /// Forwards buffered program-emitted events to the tracer in
+    /// ascending node order — the step that makes node-originated
+    /// events independent of the worker-thread layout.
+    fn drain_node_trace(&mut self) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            for buf in &mut self.node_trace {
+                for ev in buf.drain(..) {
+                    tr.record(&ev);
+                }
+            }
+        }
+    }
+
+    /// Emits crash-state transitions for round `round`. Cheap no-op for
+    /// untraced runs and crash-free fault plans.
+    fn trace_crash_transitions(&mut self, round: usize) {
+        if self.tracer.is_none() || self.config.faults.crashes.is_empty() {
+            return;
+        }
+        let n = self.graph.node_count();
+        if self.crashed_prev.len() != n {
+            self.crashed_prev = vec![false; n];
+        }
+        for v in 0..n {
+            let now = self.config.faults.node_crashed(v, round);
+            if now != self.crashed_prev[v] {
+                self.crashed_prev[v] = now;
+                let event = if now {
+                    TraceEvent::NodeDown { round, node: v }
+                } else {
+                    TraceEvent::NodeUp { round, node: v }
+                };
+                if let Some(tr) = self.tracer.as_deref_mut() {
+                    tr.record(&event);
+                }
+            }
+        }
     }
 
     /// Runs rounds until global termination.
@@ -264,7 +350,8 @@ where
                 &mut self.rngs[v],
                 self.round,
                 &mut outboxes[v],
-            );
+            )
+            .with_trace(self.node_trace.get_mut(v));
             self.programs[v].on_round(&mut ctx, &inboxes[v]);
         }
         outboxes
@@ -284,6 +371,8 @@ where
         let programs = &mut self.programs;
         let rngs = &mut self.rngs;
         let faults = &self.config.faults;
+        let traced = !self.node_trace.is_empty();
+        let node_trace = &mut self.node_trace;
         // Every handle is joined explicitly so the whole pool drains even
         // when a worker panics; the first panic payload is captured and
         // surfaced as a structured error instead of aborting the process.
@@ -292,6 +381,7 @@ where
             let rng_chunks = rngs.chunks_mut(chunk);
             let out_chunks = outboxes.chunks_mut(chunk);
             let in_chunks = inboxes.chunks(chunk);
+            let mut trace_chunks = node_trace.chunks_mut(chunk);
             let mut handles = Vec::new();
             for (idx, (((progs, rngs), outs), ins)) in prog_chunks
                 .zip(rng_chunks)
@@ -300,6 +390,18 @@ where
                 .enumerate()
             {
                 let base = idx * chunk;
+                // Workers buffer events per node; the engine drains the
+                // buffers in node order afterwards, so the trace never
+                // observes the thread layout. (`&mut []` is promoted to
+                // 'static, covering the untraced case where
+                // `node_trace` has no chunks to hand out.)
+                let traces: &mut [Vec<TraceEvent>] = if traced {
+                    trace_chunks
+                        .next()
+                        .expect("trace chunks align with program chunks")
+                } else {
+                    &mut []
+                };
                 handles.push(scope.spawn(move |_| {
                     for (offset, prog) in progs.iter_mut().enumerate() {
                         let v = base + offset;
@@ -307,7 +409,8 @@ where
                             continue;
                         }
                         let mut ctx =
-                            Context::new(v, graph, &mut rngs[offset], round, &mut outs[offset]);
+                            Context::new(v, graph, &mut rngs[offset], round, &mut outs[offset])
+                                .with_trace(traces.get_mut(offset));
                         prog.on_round(&mut ctx, &ins[offset]);
                     }
                 }));
@@ -402,7 +505,8 @@ where
         if r.read_bits(64) != Some(CHECKPOINT_MAGIC) {
             return Err(corrupt("bad magic word"));
         }
-        if r.read_bits(64) != Some(CHECKPOINT_VERSION) {
+        let version = r.read_bits(64).ok_or_else(|| corrupt("truncated header"))?;
+        if !(CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION).contains(&version) {
             return Err(corrupt("unsupported checkpoint version"));
         }
         let n = usize::decode_state(&mut r).ok_or_else(|| corrupt("truncated header"))?;
@@ -415,7 +519,12 @@ where
         }
         let round = usize::decode_state(&mut r).ok_or_else(|| corrupt("truncated header"))?;
         let started = bool::decode_state(&mut r).ok_or_else(|| corrupt("truncated header"))?;
-        let stats = RunStats::decode_state(&mut r).ok_or_else(|| corrupt("truncated stats"))?;
+        let stats = if version == 1 {
+            RunStats::decode_state_v1(&mut r)
+        } else {
+            RunStats::decode_state(&mut r)
+        }
+        .ok_or_else(|| corrupt("truncated stats"))?;
         let read_rng = |r: &mut BitReader<'_>| -> Option<StdRng> {
             let mut words = [0u64; 4];
             for w in &mut words {
@@ -462,6 +571,9 @@ where
             started,
             cut_set,
             fault_rng,
+            tracer: None,
+            node_trace: Vec::new(),
+            crashed_prev: Vec::new(),
         })
     }
 
@@ -475,6 +587,14 @@ where
         let n = self.graph.node_count();
         let budget = self.stats.budget_bits;
         let send_round = self.round;
+        let edge_detail = self
+            .tracer
+            .as_deref()
+            .is_some_and(|t| t.wants_edge_traffic());
+        let mut round_messages = 0u64;
+        let mut round_bits = 0u64;
+        let mut round_cut_messages = 0u64;
+        let mut round_cut_bits = 0u64;
         for (from, mut outbox) in outboxes.into_iter().enumerate() {
             if outbox.is_empty() {
                 continue;
@@ -530,16 +650,50 @@ where
                 }
                 self.stats.total_messages += count as u64;
                 self.stats.total_bits += bits as u64;
-                self.stats.max_bits_edge_round = self.stats.max_bits_edge_round.max(bits);
+                // Strictly-greater keeps the *first* edge-round that set
+                // the record, so the peak location is deterministic.
+                if bits > self.stats.max_bits_edge_round {
+                    self.stats.max_bits_edge_round = bits;
+                    self.stats.peak_edge = Some((from, to, send_round));
+                }
                 self.stats.max_messages_edge_round = self.stats.max_messages_edge_round.max(count);
-                if self.cut_set.contains(&ordered(from, to)) {
+                let crosses_cut = self.cut_set.contains(&ordered(from, to));
+                if crosses_cut {
                     self.stats.cut.messages += count as u64;
                     self.stats.cut.bits += bits as u64;
+                }
+                round_messages += count as u64;
+                round_bits += bits as u64;
+                if crosses_cut {
+                    round_cut_messages += count as u64;
+                    round_cut_bits += bits as u64;
+                }
+                if edge_detail {
+                    if let Some(tr) = self.tracer.as_deref_mut() {
+                        tr.record(&TraceEvent::EdgeTraffic {
+                            round: send_round,
+                            from,
+                            to,
+                            messages: count,
+                            bits,
+                            cut: crosses_cut,
+                        });
+                    }
                 }
                 if self.config.faults.link_down(from, to, send_round) {
                     // The edge is out: everything sent over it this round
                     // is lost, with no randomness consumed.
                     self.stats.dropped += count as u64;
+                    if let Some(tr) = self.tracer.as_deref_mut() {
+                        for _ in 0..count {
+                            tr.record(&TraceEvent::Dropped {
+                                round: send_round,
+                                from,
+                                to,
+                                reason: DropReason::LinkDown,
+                            });
+                        }
+                    }
                     continue;
                 }
                 for msg in msgs {
@@ -552,6 +706,14 @@ where
                         && rand::Rng::gen_bool(&mut self.fault_rng, faults.drop_probability)
                     {
                         self.stats.dropped += 1;
+                        if let Some(tr) = self.tracer.as_deref_mut() {
+                            tr.record(&TraceEvent::Dropped {
+                                round: send_round,
+                                from,
+                                to,
+                                reason: DropReason::Fault,
+                            });
+                        }
                         continue;
                     }
                     let late = faults.delay_probability > 0.0
@@ -564,6 +726,13 @@ where
                         // arrives reordered across rounds.
                         self.stats.duplicated += 1;
                         self.in_flight += 1;
+                        if let Some(tr) = self.tracer.as_deref_mut() {
+                            tr.record(&TraceEvent::Duplicated {
+                                round: send_round,
+                                from,
+                                to,
+                            });
+                        }
                         self.pending[to].push(Incoming {
                             from,
                             msg: msg.clone(),
@@ -572,12 +741,28 @@ where
                     self.in_flight += 1;
                     if late {
                         self.stats.delayed += 1;
+                        if let Some(tr) = self.tracer.as_deref_mut() {
+                            tr.record(&TraceEvent::Delayed {
+                                round: send_round,
+                                from,
+                                to,
+                            });
+                        }
                         self.delayed[to].push(Incoming { from, msg });
                     } else {
                         self.pending[to].push(Incoming { from, msg });
                     }
                 }
             }
+        }
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.record(&TraceEvent::Round {
+                round: send_round,
+                messages: round_messages,
+                bits: round_bits,
+                cut_messages: round_cut_messages,
+                cut_bits: round_cut_bits,
+            });
         }
         Ok(())
     }

@@ -55,6 +55,7 @@ mod rng;
 mod stats;
 
 pub mod algorithms;
+pub mod trace;
 pub mod wire;
 
 pub use config::{SimConfig, ViolationPolicy};
@@ -66,3 +67,4 @@ pub use node::{Context, Incoming, NodeProgram};
 pub use reliable::{Reliable, ReliableMsg, DEFAULT_DEATH_THRESHOLD};
 pub use rng::node_rng;
 pub use stats::{CutMeter, ReliabilityStats, RunStats};
+pub use trace::{JsonlTracer, MemoryTracer, NoopTracer, TraceEvent, Tracer};

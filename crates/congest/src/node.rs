@@ -39,6 +39,10 @@ pub struct Context<'a, M> {
     rng: &'a mut StdRng,
     round: usize,
     outbox: &'a mut Vec<(NodeId, M)>,
+    /// Per-node event buffer when the run is traced. Buffers are
+    /// drained by the engine in ascending node order each round, so
+    /// program-emitted events stay deterministic at any thread count.
+    trace: Option<&'a mut Vec<crate::trace::TraceEvent>>,
 }
 
 impl<'a, M: Message> Context<'a, M> {
@@ -55,7 +59,40 @@ impl<'a, M: Message> Context<'a, M> {
             rng,
             round,
             outbox,
+            trace: None,
         }
+    }
+
+    /// Attaches a per-node trace buffer (engine-internal).
+    pub(crate) fn with_trace(
+        mut self,
+        trace: Option<&'a mut Vec<crate::trace::TraceEvent>>,
+    ) -> Context<'a, M> {
+        self.trace = trace;
+        self
+    }
+
+    /// Whether the run is being traced. Programs should gate event
+    /// construction on this so untraced runs pay nothing.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Emits a trace event attributed to this node. A no-op when the
+    /// run is untraced.
+    pub fn trace(&mut self, event: crate::trace::TraceEvent) {
+        if let Some(buf) = self.trace.as_deref_mut() {
+            buf.push(event);
+        }
+    }
+
+    /// Splits the context into its RNG and trace buffer, for adapters
+    /// that build a nested [`Context`] around an inner program while
+    /// forwarding the trace sink.
+    pub(crate) fn rng_and_trace(
+        &mut self,
+    ) -> (&mut StdRng, Option<&mut Vec<crate::trace::TraceEvent>>) {
+        (self.rng, self.trace.as_deref_mut())
     }
 
     /// This node's id.

@@ -80,6 +80,7 @@ use std::collections::VecDeque;
 
 use crate::node::{Context, Incoming};
 use crate::stats::ReliabilityStats;
+use crate::trace::TraceEvent;
 use crate::{Message, NodeProgram};
 
 use rwbc_graph::NodeId;
@@ -313,8 +314,15 @@ impl<P: NodeProgram> Reliable<P> {
 
     /// Kills channel `ch`: abandons its buffered traffic, marks it
     /// quiescent-forever, and notifies the wrapped program. Idempotent by
-    /// construction (callers check `dead` first).
-    fn declare_dead(&mut self, ch: usize, detected: bool) {
+    /// construction (callers check `dead` first). `ctx` is only used to
+    /// emit the trace event; the engine-driven `on_neighbor_down` path
+    /// has no context and passes `None`.
+    fn declare_dead(
+        &mut self,
+        ch: usize,
+        detected: bool,
+        ctx: Option<&mut Context<'_, ReliableMsg<P::Msg>>>,
+    ) {
         let mut drained: Vec<ReliableBuffered> = self.channels[ch]
             .unacked
             .drain(..)
@@ -333,6 +341,17 @@ impl<P: NodeProgram> Reliable<P> {
             self.dead_links_declared += 1;
         }
         let peer = self.channels[ch].peer;
+        if let Some(ctx) = ctx {
+            if ctx.tracing() {
+                let (round, node) = (ctx.round(), ctx.id());
+                ctx.trace(TraceEvent::DeadLinkDeclared {
+                    round,
+                    node,
+                    peer,
+                    detected,
+                });
+            }
+        }
         self.inner.on_neighbor_down(peer);
     }
 
@@ -359,13 +378,13 @@ impl<P: NodeProgram> Reliable<P> {
 
     /// Lazily builds per-neighbor channels (sorted by peer id), declaring
     /// any pre-seeded dead peers before the first frame moves.
-    fn ensure_channels(&mut self, ctx: &Context<'_, ReliableMsg<P::Msg>>) {
+    fn ensure_channels(&mut self, ctx: &mut Context<'_, ReliableMsg<P::Msg>>) {
         if self.channels.is_empty() {
             self.channels = ctx.neighbors().map(Channel::new).collect();
             for peer in std::mem::take(&mut self.preseed_dead) {
                 if let Ok(ch) = self.channels.binary_search_by_key(&peer, |c| c.peer) {
                     if !self.channels[ch].dead {
-                        self.declare_dead(ch, false);
+                        self.declare_dead(ch, false, Some(&mut *ctx));
                     }
                 }
             }
@@ -381,14 +400,15 @@ impl<P: NodeProgram> Reliable<P> {
     ) {
         let mut inner_outbox: Vec<(NodeId, P::Msg)> = Vec::new();
         let round = ctx.round();
+        let id = ctx.id();
+        let graph = ctx.graph_ref();
         {
-            let mut inner_ctx = Context::new(
-                ctx.id(),
-                ctx.graph_ref(),
-                ctx.rng(),
-                round,
-                &mut inner_outbox,
-            );
+            // The inner program shares the node's RNG *and* its trace
+            // buffer, so application-level events flow through the
+            // delivery layer unchanged.
+            let (rng, trace) = ctx.rng_and_trace();
+            let mut inner_ctx =
+                Context::new(id, graph, rng, round, &mut inner_outbox).with_trace(trace);
             if start {
                 self.inner.on_start(&mut inner_ctx);
             } else {
@@ -414,7 +434,11 @@ impl<P: NodeProgram> Reliable<P> {
     /// Processes one round's frames: acks advance the window, in-order
     /// payloads are collected for the inner program, everything else is
     /// suppressed. Returns the inner inbox.
-    fn absorb(&mut self, frames: &[Incoming<ReliableMsg<P::Msg>>]) -> Vec<Incoming<P::Msg>> {
+    fn absorb(
+        &mut self,
+        ctx: &mut Context<'_, ReliableMsg<P::Msg>>,
+        frames: &[Incoming<ReliableMsg<P::Msg>>],
+    ) -> Vec<Incoming<P::Msg>> {
         let mut delivered: Vec<Incoming<P::Msg>> = Vec::new();
         for frame in frames {
             let ch = self.channel_index(frame.from);
@@ -457,6 +481,14 @@ impl<P: NodeProgram> Reliable<P> {
                     // Behind the window: a retransmission of something
                     // already delivered (or a fault-injected duplicate).
                     self.duplicates_suppressed += 1;
+                    if ctx.tracing() {
+                        let (round, node) = (ctx.round(), ctx.id());
+                        ctx.trace(TraceEvent::DuplicateSuppressed {
+                            round,
+                            node,
+                            peer: frame.from,
+                        });
+                    }
                     self.channels[ch].owes_ack = true;
                 }
             }
@@ -485,7 +517,7 @@ impl<P: NodeProgram> Reliable<P> {
                 // instead of retried — retransmission is bounded.
                 if let Some(threshold) = self.detect_after {
                     if self.channels[ch].strikes >= threshold {
-                        self.declare_dead(ch, true);
+                        self.declare_dead(ch, true, Some(&mut *ctx));
                         continue;
                     }
                     self.channels[ch].strikes += 1;
@@ -494,6 +526,15 @@ impl<P: NodeProgram> Reliable<P> {
                 let (seq, slot) = *self.channels[ch].unacked.front().expect("checked nonempty");
                 let msg = self.slots[slot].clone().expect("slot held by unacked");
                 self.retransmissions += 1;
+                if ctx.tracing() {
+                    let (round, node) = (ctx.round(), ctx.id());
+                    ctx.trace(TraceEvent::Retransmission {
+                        round,
+                        node,
+                        peer,
+                        seq,
+                    });
+                }
                 self.channels[ch].idle_rounds = 0;
                 self.channels[ch].timeout = (self.channels[ch].timeout * 2).min(MAX_TIMEOUT);
                 self.channels[ch].owes_ack = false;
@@ -547,7 +588,7 @@ where
 
     fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[Incoming<Self::Msg>]) {
         self.ensure_channels(ctx);
-        let delivered = self.absorb(inbox);
+        let delivered = self.absorb(ctx, inbox);
         self.step_inner(ctx, &delivered, false);
         self.transmit(ctx);
     }
@@ -570,7 +611,7 @@ where
         // An outer layer (or a test harness) declared the peer dead for
         // us: kill the channel if it exists, else pre-seed for setup.
         match self.channels.binary_search_by_key(&peer, |c| c.peer) {
-            Ok(ch) if !self.channels[ch].dead => self.declare_dead(ch, false),
+            Ok(ch) if !self.channels[ch].dead => self.declare_dead(ch, false, None),
             Ok(_) => {}
             Err(_) if self.channels.is_empty() => self.preseed_dead.push(peer),
             Err(_) => {}

@@ -26,6 +26,10 @@ pub struct RunStats {
     pub total_bits: u64,
     /// Maximum bits observed on a single edge direction in a single round.
     pub max_bits_edge_round: usize,
+    /// Where [`RunStats::max_bits_edge_round`] was achieved, as
+    /// `(from, to, round)` for the first edge direction that reached the
+    /// maximum. `None` when nothing was sent.
+    pub peak_edge: Option<(NodeId, NodeId, usize)>,
     /// Maximum messages observed on a single edge direction in a single
     /// round.
     pub max_messages_edge_round: usize,
@@ -86,6 +90,123 @@ impl RunStats {
             self.total_bits as f64 / self.total_messages as f64
         }
     }
+
+    /// Retransmissions as a fraction of total messages (0 when nothing
+    /// was sent). Retransmitted frames are themselves counted in
+    /// `total_messages`, so the ratio is bounded by 1.
+    pub fn retransmission_ratio(&self) -> f64 {
+        if self.total_messages == 0 {
+            0.0
+        } else {
+            self.retransmissions as f64 / self.total_messages as f64
+        }
+    }
+
+    /// Delivery-overhead rounds as a fraction of all rounds (0 for an
+    /// empty run).
+    pub fn overhead_round_fraction(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.delivery_overhead_rounds as f64 / self.rounds as f64
+        }
+    }
+
+    /// A human-readable, aligned multi-line summary of the run with the
+    /// derived rates spelled out. Intended for CLI/experiment output;
+    /// the exact layout is not a stable API.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let mut line = |label: &str, value: String| {
+            out.push_str(&format!("  {label:<26} {value}\n"));
+        };
+        line("rounds", format!("{}", self.rounds));
+        let per_round = if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_messages as f64 / self.rounds as f64
+        };
+        line(
+            "messages",
+            format!("{:<12} ({per_round:.1} / round)", self.total_messages),
+        );
+        line(
+            "bits",
+            format!(
+                "{:<12} ({:.1} / message)",
+                self.total_bits,
+                self.mean_bits_per_message()
+            ),
+        );
+        let peak_at = match self.peak_edge {
+            Some((from, to, round)) => format!(" (edge {from} -> {to}, round {round})"),
+            None => String::new(),
+        };
+        line(
+            "peak edge-round bits",
+            format!(
+                "{} of {} budget{peak_at}",
+                self.max_bits_edge_round, self.budget_bits
+            ),
+        );
+        line(
+            "peak edge-round messages",
+            format!("{}", self.max_messages_edge_round),
+        );
+        line(
+            "congest compliant",
+            format!(
+                "{} ({} violations)",
+                if self.congest_compliant() {
+                    "yes"
+                } else {
+                    "no"
+                },
+                self.violations
+            ),
+        );
+        line(
+            "dropped / dup / delayed",
+            format!("{} / {} / {}", self.dropped, self.duplicated, self.delayed),
+        );
+        line(
+            "retransmissions",
+            format!(
+                "{:<12} ({:.4} of messages)",
+                self.retransmissions,
+                self.retransmission_ratio()
+            ),
+        );
+        line(
+            "duplicates suppressed",
+            format!("{}", self.duplicates_suppressed),
+        );
+        line(
+            "dead links declared",
+            format!("{}", self.dead_links_declared),
+        );
+        line(
+            "undeliverable messages",
+            format!("{}", self.undeliverable_messages),
+        );
+        line(
+            "crashed node-rounds",
+            format!("{}", self.crashed_node_rounds),
+        );
+        line(
+            "delivery overhead rounds",
+            format!(
+                "{:<12} ({:.4} of rounds)",
+                self.delivery_overhead_rounds,
+                self.overhead_round_fraction()
+            ),
+        );
+        line(
+            "cut traffic",
+            format!("{} msgs / {} bits", self.cut.messages, self.cut.bits),
+        );
+        out
+    }
 }
 
 impl crate::wire::WireState for CutMeter {
@@ -107,6 +228,7 @@ impl crate::wire::WireState for RunStats {
         self.total_messages.encode_state(w);
         self.total_bits.encode_state(w);
         self.max_bits_edge_round.encode_state(w);
+        self.peak_edge.encode_state(w);
         self.max_messages_edge_round.encode_state(w);
         self.budget_bits.encode_state(w);
         self.violations.encode_state(w);
@@ -127,6 +249,36 @@ impl crate::wire::WireState for RunStats {
             total_messages: u64::decode_state(r)?,
             total_bits: u64::decode_state(r)?,
             max_bits_edge_round: usize::decode_state(r)?,
+            peak_edge: Option::<(NodeId, NodeId, usize)>::decode_state(r)?,
+            max_messages_edge_round: usize::decode_state(r)?,
+            budget_bits: usize::decode_state(r)?,
+            violations: u64::decode_state(r)?,
+            dropped: u64::decode_state(r)?,
+            duplicated: u64::decode_state(r)?,
+            delayed: u64::decode_state(r)?,
+            retransmissions: u64::decode_state(r)?,
+            duplicates_suppressed: u64::decode_state(r)?,
+            dead_links_declared: u64::decode_state(r)?,
+            undeliverable_messages: u64::decode_state(r)?,
+            crashed_node_rounds: u64::decode_state(r)?,
+            delivery_overhead_rounds: u64::decode_state(r)?,
+            cut: CutMeter::decode_state(r)?,
+        })
+    }
+}
+
+impl RunStats {
+    /// Decodes the version-1 checkpoint layout, which predates
+    /// [`RunStats::peak_edge`]; the peak location is unrecoverable from
+    /// such images and decodes as `None`.
+    pub(crate) fn decode_state_v1(r: &mut crate::wire::BitReader<'_>) -> Option<RunStats> {
+        use crate::wire::WireState;
+        Some(RunStats {
+            rounds: usize::decode_state(r)?,
+            total_messages: u64::decode_state(r)?,
+            total_bits: u64::decode_state(r)?,
+            max_bits_edge_round: usize::decode_state(r)?,
+            peak_edge: None,
             max_messages_edge_round: usize::decode_state(r)?,
             budget_bits: usize::decode_state(r)?,
             violations: u64::decode_state(r)?,
@@ -209,5 +361,81 @@ mod tests {
         assert_eq!(ordered(3, 1), (1, 3));
         assert_eq!(ordered(1, 3), (1, 3));
         assert_eq!(ordered(2, 2), (2, 2));
+    }
+
+    #[test]
+    fn summary_reports_peak_edge_and_rates() {
+        let s = RunStats {
+            rounds: 100,
+            total_messages: 400,
+            total_bits: 9600,
+            max_bits_edge_round: 48,
+            peak_edge: Some((3, 7, 12)),
+            budget_bits: 64,
+            retransmissions: 4,
+            delivery_overhead_rounds: 10,
+            ..RunStats::default()
+        };
+        let text = s.summary();
+        assert!(text.contains("edge 3 -> 7, round 12"), "{text}");
+        assert!(text.contains("48 of 64 budget"), "{text}");
+        assert!(text.contains("0.0100 of messages"), "{text}");
+        assert!(text.contains("0.1000 of rounds"), "{text}");
+        assert!(text.contains("congest compliant"), "{text}");
+        // No peak location line when nothing was sent.
+        let empty = RunStats::default().summary();
+        assert!(!empty.contains("edge "), "{empty}");
+    }
+
+    #[test]
+    fn v1_stats_decode_drops_peak_edge() {
+        use crate::wire::{BitReader, BitWriter, WireState};
+        let s = RunStats {
+            rounds: 7,
+            total_messages: 9,
+            total_bits: 100,
+            max_bits_edge_round: 20,
+            peak_edge: Some((1, 2, 3)),
+            max_messages_edge_round: 2,
+            budget_bits: 32,
+            ..RunStats::default()
+        };
+        // Hand-build the legacy (pre-peak_edge) image: the v2 layout
+        // minus the Option field that sits after max_bits_edge_round.
+        let mut w = BitWriter::new();
+        s.rounds.encode_state(&mut w);
+        s.total_messages.encode_state(&mut w);
+        s.total_bits.encode_state(&mut w);
+        s.max_bits_edge_round.encode_state(&mut w);
+        s.max_messages_edge_round.encode_state(&mut w);
+        s.budget_bits.encode_state(&mut w);
+        s.violations.encode_state(&mut w);
+        s.dropped.encode_state(&mut w);
+        s.duplicated.encode_state(&mut w);
+        s.delayed.encode_state(&mut w);
+        s.retransmissions.encode_state(&mut w);
+        s.duplicates_suppressed.encode_state(&mut w);
+        s.dead_links_declared.encode_state(&mut w);
+        s.undeliverable_messages.encode_state(&mut w);
+        s.crashed_node_rounds.encode_state(&mut w);
+        s.delivery_overhead_rounds.encode_state(&mut w);
+        s.cut.encode_state(&mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let decoded = RunStats::decode_state_v1(&mut r).unwrap();
+        assert_eq!(decoded.peak_edge, None);
+        assert_eq!(
+            decoded,
+            RunStats {
+                peak_edge: None,
+                ..s.clone()
+            }
+        );
+        // And the current layout round-trips the peak.
+        let mut w = BitWriter::new();
+        s.encode_state(&mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(RunStats::decode_state(&mut r).unwrap(), s);
     }
 }

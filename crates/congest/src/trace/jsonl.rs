@@ -1,0 +1,506 @@
+//! Line-delimited JSON trace encoding.
+//!
+//! Every [`TraceEvent`] maps to one compact JSON object per line, with
+//! a stable field order, keyed by an `"ev"` type tag:
+//!
+//! | `ev` | event | fields |
+//! |------|-------|--------|
+//! | `meta` | [`TraceEvent::Meta`] | `schema` |
+//! | `phase_start` | [`TraceEvent::PhaseStart`] | `name` |
+//! | `phase_end` | [`TraceEvent::PhaseEnd`] | `name`, `rounds`, `elapsed_us` |
+//! | `round` | [`TraceEvent::Round`] | `round`, `messages`, `bits`, `cut_messages`, `cut_bits` |
+//! | `edge` | [`TraceEvent::EdgeTraffic`] | `round`, `from`, `to`, `messages`, `bits`, `cut` |
+//! | `drop` | [`TraceEvent::Dropped`] | `round`, `from`, `to`, `reason` |
+//! | `dup` | [`TraceEvent::Duplicated`] | `round`, `from`, `to` |
+//! | `delay` | [`TraceEvent::Delayed`] | `round`, `from`, `to` |
+//! | `node_down` | [`TraceEvent::NodeDown`] | `round`, `node` |
+//! | `node_up` | [`TraceEvent::NodeUp`] | `round`, `node` |
+//! | `retransmit` | [`TraceEvent::Retransmission`] | `round`, `node`, `peer`, `seq` |
+//! | `dup_suppressed` | [`TraceEvent::DuplicateSuppressed`] | `round`, `node`, `peer` |
+//! | `dead_link` | [`TraceEvent::DeadLinkDeclared`] | `round`, `node`, `peer`, `detected` |
+//! | `app` | [`TraceEvent::App`] | `round`, `node`, `key`, `value` |
+//!
+//! The encoding is canonical: `decode_event(encode_event(e)) == e` and
+//! re-encoding a decoded line reproduces it byte for byte, which is
+//! what the CLI `validate` subcommand checks.
+
+use std::fmt;
+use std::io::{self, Write};
+
+use super::json::Json;
+use super::{DropReason, TraceEvent, Tracer, TRACE_SCHEMA_VERSION};
+
+fn obj(tag: &str, fields: Vec<(&str, Json)>) -> Json {
+    let mut all = Vec::with_capacity(fields.len() + 1);
+    all.push(("ev".to_string(), Json::Str(tag.to_string())));
+    for (k, v) in fields {
+        all.push((k.to_string(), v));
+    }
+    Json::Obj(all)
+}
+
+fn int(v: impl TryInto<i64>) -> Json {
+    Json::Int(v.try_into().unwrap_or(i64::MAX))
+}
+
+/// Encodes one event as its canonical single-line JSON form (no
+/// trailing newline).
+pub fn encode_event(event: &TraceEvent) -> String {
+    let value = match event {
+        TraceEvent::Meta { schema } => obj("meta", vec![("schema", int(*schema))]),
+        TraceEvent::PhaseStart { name } => {
+            obj("phase_start", vec![("name", Json::Str(name.clone()))])
+        }
+        TraceEvent::PhaseEnd {
+            name,
+            rounds,
+            elapsed_us,
+        } => obj(
+            "phase_end",
+            vec![
+                ("name", Json::Str(name.clone())),
+                ("rounds", int(*rounds)),
+                ("elapsed_us", int(*elapsed_us)),
+            ],
+        ),
+        TraceEvent::Round {
+            round,
+            messages,
+            bits,
+            cut_messages,
+            cut_bits,
+        } => obj(
+            "round",
+            vec![
+                ("round", int(*round)),
+                ("messages", int(*messages)),
+                ("bits", int(*bits)),
+                ("cut_messages", int(*cut_messages)),
+                ("cut_bits", int(*cut_bits)),
+            ],
+        ),
+        TraceEvent::EdgeTraffic {
+            round,
+            from,
+            to,
+            messages,
+            bits,
+            cut,
+        } => obj(
+            "edge",
+            vec![
+                ("round", int(*round)),
+                ("from", int(*from)),
+                ("to", int(*to)),
+                ("messages", int(*messages)),
+                ("bits", int(*bits)),
+                ("cut", Json::Bool(*cut)),
+            ],
+        ),
+        TraceEvent::Dropped {
+            round,
+            from,
+            to,
+            reason,
+        } => obj(
+            "drop",
+            vec![
+                ("round", int(*round)),
+                ("from", int(*from)),
+                ("to", int(*to)),
+                ("reason", Json::Str(reason.as_str().to_string())),
+            ],
+        ),
+        TraceEvent::Duplicated { round, from, to } => obj(
+            "dup",
+            vec![
+                ("round", int(*round)),
+                ("from", int(*from)),
+                ("to", int(*to)),
+            ],
+        ),
+        TraceEvent::Delayed { round, from, to } => obj(
+            "delay",
+            vec![
+                ("round", int(*round)),
+                ("from", int(*from)),
+                ("to", int(*to)),
+            ],
+        ),
+        TraceEvent::NodeDown { round, node } => obj(
+            "node_down",
+            vec![("round", int(*round)), ("node", int(*node))],
+        ),
+        TraceEvent::NodeUp { round, node } => obj(
+            "node_up",
+            vec![("round", int(*round)), ("node", int(*node))],
+        ),
+        TraceEvent::Retransmission {
+            round,
+            node,
+            peer,
+            seq,
+        } => obj(
+            "retransmit",
+            vec![
+                ("round", int(*round)),
+                ("node", int(*node)),
+                ("peer", int(*peer)),
+                ("seq", int(*seq)),
+            ],
+        ),
+        TraceEvent::DuplicateSuppressed { round, node, peer } => obj(
+            "dup_suppressed",
+            vec![
+                ("round", int(*round)),
+                ("node", int(*node)),
+                ("peer", int(*peer)),
+            ],
+        ),
+        TraceEvent::DeadLinkDeclared {
+            round,
+            node,
+            peer,
+            detected,
+        } => obj(
+            "dead_link",
+            vec![
+                ("round", int(*round)),
+                ("node", int(*node)),
+                ("peer", int(*peer)),
+                ("detected", Json::Bool(*detected)),
+            ],
+        ),
+        TraceEvent::App {
+            round,
+            node,
+            key,
+            value,
+        } => obj(
+            "app",
+            vec![
+                ("round", int(*round)),
+                ("node", int(*node)),
+                ("key", Json::Str(key.clone())),
+                ("value", int(*value)),
+            ],
+        ),
+    };
+    value.to_json()
+}
+
+fn field<'j>(v: &'j Json, key: &str, tag: &str) -> Result<&'j Json, String> {
+    v.get(key)
+        .ok_or_else(|| format!("'{tag}' event is missing field '{key}'"))
+}
+
+fn get_usize(v: &Json, key: &str, tag: &str) -> Result<usize, String> {
+    field(v, key, tag)?
+        .as_usize()
+        .ok_or_else(|| format!("'{tag}.{key}' is not a non-negative integer"))
+}
+
+fn get_u64(v: &Json, key: &str, tag: &str) -> Result<u64, String> {
+    field(v, key, tag)?
+        .as_u64()
+        .ok_or_else(|| format!("'{tag}.{key}' is not a non-negative integer"))
+}
+
+fn get_str(v: &Json, key: &str, tag: &str) -> Result<String, String> {
+    Ok(field(v, key, tag)?
+        .as_str()
+        .ok_or_else(|| format!("'{tag}.{key}' is not a string"))?
+        .to_string())
+}
+
+fn get_bool(v: &Json, key: &str, tag: &str) -> Result<bool, String> {
+    field(v, key, tag)?
+        .as_bool()
+        .ok_or_else(|| format!("'{tag}.{key}' is not a boolean"))
+}
+
+/// Decodes one JSONL line back into a [`TraceEvent`].
+///
+/// # Errors
+///
+/// A human-readable description of the first schema violation (parse
+/// error, unknown tag, missing or mistyped field).
+pub fn decode_event(line: &str) -> Result<TraceEvent, String> {
+    let v = Json::parse(line)?;
+    let tag = v
+        .get("ev")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing 'ev' type tag".to_string())?
+        .to_string();
+    let t = tag.as_str();
+    match t {
+        "meta" => Ok(TraceEvent::Meta {
+            schema: get_u64(&v, "schema", t)?,
+        }),
+        "phase_start" => Ok(TraceEvent::PhaseStart {
+            name: get_str(&v, "name", t)?,
+        }),
+        "phase_end" => Ok(TraceEvent::PhaseEnd {
+            name: get_str(&v, "name", t)?,
+            rounds: get_usize(&v, "rounds", t)?,
+            elapsed_us: get_u64(&v, "elapsed_us", t)?,
+        }),
+        "round" => Ok(TraceEvent::Round {
+            round: get_usize(&v, "round", t)?,
+            messages: get_u64(&v, "messages", t)?,
+            bits: get_u64(&v, "bits", t)?,
+            cut_messages: get_u64(&v, "cut_messages", t)?,
+            cut_bits: get_u64(&v, "cut_bits", t)?,
+        }),
+        "edge" => Ok(TraceEvent::EdgeTraffic {
+            round: get_usize(&v, "round", t)?,
+            from: get_usize(&v, "from", t)?,
+            to: get_usize(&v, "to", t)?,
+            messages: get_usize(&v, "messages", t)?,
+            bits: get_usize(&v, "bits", t)?,
+            cut: get_bool(&v, "cut", t)?,
+        }),
+        "drop" => Ok(TraceEvent::Dropped {
+            round: get_usize(&v, "round", t)?,
+            from: get_usize(&v, "from", t)?,
+            to: get_usize(&v, "to", t)?,
+            reason: {
+                let r = get_str(&v, "reason", t)?;
+                DropReason::from_str_opt(&r).ok_or_else(|| format!("unknown drop reason '{r}'"))?
+            },
+        }),
+        "dup" => Ok(TraceEvent::Duplicated {
+            round: get_usize(&v, "round", t)?,
+            from: get_usize(&v, "from", t)?,
+            to: get_usize(&v, "to", t)?,
+        }),
+        "delay" => Ok(TraceEvent::Delayed {
+            round: get_usize(&v, "round", t)?,
+            from: get_usize(&v, "from", t)?,
+            to: get_usize(&v, "to", t)?,
+        }),
+        "node_down" => Ok(TraceEvent::NodeDown {
+            round: get_usize(&v, "round", t)?,
+            node: get_usize(&v, "node", t)?,
+        }),
+        "node_up" => Ok(TraceEvent::NodeUp {
+            round: get_usize(&v, "round", t)?,
+            node: get_usize(&v, "node", t)?,
+        }),
+        "retransmit" => Ok(TraceEvent::Retransmission {
+            round: get_usize(&v, "round", t)?,
+            node: get_usize(&v, "node", t)?,
+            peer: get_usize(&v, "peer", t)?,
+            seq: u8::try_from(get_u64(&v, "seq", t)?)
+                .map_err(|_| "'retransmit.seq' exceeds u8".to_string())?,
+        }),
+        "dup_suppressed" => Ok(TraceEvent::DuplicateSuppressed {
+            round: get_usize(&v, "round", t)?,
+            node: get_usize(&v, "node", t)?,
+            peer: get_usize(&v, "peer", t)?,
+        }),
+        "dead_link" => Ok(TraceEvent::DeadLinkDeclared {
+            round: get_usize(&v, "round", t)?,
+            node: get_usize(&v, "node", t)?,
+            peer: get_usize(&v, "peer", t)?,
+            detected: get_bool(&v, "detected", t)?,
+        }),
+        "app" => Ok(TraceEvent::App {
+            round: get_usize(&v, "round", t)?,
+            node: get_usize(&v, "node", t)?,
+            key: get_str(&v, "key", t)?,
+            value: get_u64(&v, "value", t)?,
+        }),
+        other => Err(format!("unknown event tag '{other}'")),
+    }
+}
+
+/// Decodes a whole JSONL document (e.g. a trace file read to a
+/// string), skipping blank lines.
+///
+/// # Errors
+///
+/// The 1-based line number and description of the first bad line.
+pub fn decode_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(decode_event(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+/// A [`Tracer`] that streams events to a writer as JSONL.
+///
+/// Opens the stream with a [`TraceEvent::Meta`] header line carrying
+/// [`TRACE_SCHEMA_VERSION`]. I/O errors are sticky: the first one is
+/// kept and subsequent writes are skipped; surface it with
+/// [`JsonlTracer::finish`].
+#[derive(Debug)]
+pub struct JsonlTracer<W: Write> {
+    out: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlTracer<W> {
+    /// Wraps `out`, immediately writing the schema header line.
+    pub fn new(mut out: W) -> JsonlTracer<W> {
+        let header = encode_event(&TraceEvent::Meta {
+            schema: TRACE_SCHEMA_VERSION,
+        });
+        let error = writeln!(out, "{header}").err();
+        JsonlTracer {
+            out,
+            lines: 1,
+            error,
+        }
+    }
+
+    /// Lines written so far (including the header).
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the writer, or the first I/O error hit
+    /// while recording.
+    ///
+    /// # Errors
+    ///
+    /// The sticky recording error, or the flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write + fmt::Debug> Tracer for JsonlTracer<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = encode_event(event);
+        match writeln!(self.out, "{line}") {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Meta { schema: 1 },
+            TraceEvent::PhaseStart {
+                name: "walk".to_string(),
+            },
+            TraceEvent::Round {
+                round: 3,
+                messages: 17,
+                bits: 412,
+                cut_messages: 2,
+                cut_bits: 48,
+            },
+            TraceEvent::EdgeTraffic {
+                round: 3,
+                from: 1,
+                to: 7,
+                messages: 1,
+                bits: 24,
+                cut: true,
+            },
+            TraceEvent::Dropped {
+                round: 4,
+                from: 0,
+                to: 2,
+                reason: DropReason::LinkDown,
+            },
+            TraceEvent::Duplicated {
+                round: 4,
+                from: 2,
+                to: 0,
+            },
+            TraceEvent::Delayed {
+                round: 5,
+                from: 2,
+                to: 3,
+            },
+            TraceEvent::NodeDown { round: 6, node: 4 },
+            TraceEvent::NodeUp { round: 9, node: 4 },
+            TraceEvent::Retransmission {
+                round: 7,
+                node: 1,
+                peer: 4,
+                seq: 3,
+            },
+            TraceEvent::DuplicateSuppressed {
+                round: 8,
+                node: 4,
+                peer: 1,
+            },
+            TraceEvent::DeadLinkDeclared {
+                round: 15,
+                node: 1,
+                peer: 4,
+                detected: true,
+            },
+            TraceEvent::App {
+                round: 12,
+                node: 9,
+                key: "absorbed".to_string(),
+                value: 5,
+            },
+            TraceEvent::PhaseEnd {
+                name: "walk".to_string(),
+                rounds: 15,
+                elapsed_us: 9001,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for event in sample_events() {
+            let line = encode_event(&event);
+            let back = decode_event(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, event, "round-trip mismatch for {line}");
+            // Canonical: re-encoding reproduces the line exactly.
+            assert_eq!(encode_event(&back), line);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_lines() {
+        assert!(decode_event("not json").is_err());
+        assert!(decode_event("{}").is_err());
+        assert!(decode_event(r#"{"ev":"warp"}"#).is_err());
+        assert!(decode_event(r#"{"ev":"round","round":1}"#).is_err());
+        assert!(
+            decode_event(r#"{"ev":"drop","round":1,"from":0,"to":1,"reason":"gremlin"}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn jsonl_tracer_streams_lines() {
+        let mut tracer = JsonlTracer::new(Vec::new());
+        for event in sample_events() {
+            tracer.record(&event);
+        }
+        let lines = tracer.lines();
+        let buf = tracer.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let decoded = decode_trace(&text).unwrap();
+        // Header + every sample event.
+        assert_eq!(decoded.len() as u64, lines);
+        assert_eq!(decoded[0], TraceEvent::Meta { schema: 1 });
+        assert_eq!(&decoded[1..], &sample_events()[..]);
+    }
+}

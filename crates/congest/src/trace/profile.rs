@@ -1,0 +1,497 @@
+//! In-memory aggregation of a trace into a round-level profile.
+//!
+//! [`TraceProfile::from_events`] folds an event stream (from a
+//! [`MemoryTracer`](super::MemoryTracer) or a decoded JSONL file) into
+//! the quantities the paper reasons about: per-round message/bit rows
+//! grouped by phase, log-bucketed per-round histograms, per-edge
+//! totals with a top-k "hottest edges" view, fault and reliability
+//! event tallies, and a per-phase timing breakdown.
+
+use std::collections::BTreeMap;
+
+use rwbc_graph::NodeId;
+
+use super::TraceEvent;
+
+/// A log-bucketed histogram over non-negative integer samples.
+///
+/// Bucket 0 holds the value `0`; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`. Sixty-five buckets cover the full `u64` range,
+/// which keeps the structure O(1)-sized no matter how long a run is.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    samples: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Bucket index for `value`.
+    fn bucket(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn add(&mut self, value: u64) {
+        let b = Self::bucket(value);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.samples += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Non-empty buckets as `(lo, hi_inclusive, count)` ranges, in
+    /// ascending value order.
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                if i == 0 {
+                    (0, 0, c)
+                } else {
+                    (1u64 << (i - 1), (1u64 << i) - 1, c)
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the histogram as `lo..=hi: count` lines with a
+    /// proportional bar, for CLI output.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        let peak = self.counts.iter().copied().max().unwrap_or(0);
+        for (lo, hi, count) in self.buckets() {
+            let bar_len = if peak == 0 {
+                0
+            } else {
+                ((count as f64 / peak as f64) * width as f64).ceil() as usize
+            };
+            let range = if lo == hi {
+                format!("{lo}")
+            } else {
+                format!("{lo}..{hi}")
+            };
+            out.push_str(&format!(
+                "  {range:>14}  {count:>8}  {}\n",
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+/// One phase occurrence (between a `PhaseStart` and its `PhaseEnd`),
+/// or the implicit `run` phase for events outside any span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// Phase name.
+    pub name: String,
+    /// Simulated rounds reported by the closing `PhaseEnd` (or rounds
+    /// observed, for an implicit/unterminated phase).
+    pub rounds: usize,
+    /// Wall-clock duration in microseconds (0 if never closed).
+    pub elapsed_us: u64,
+    /// Messages committed while the phase was open.
+    pub messages: u64,
+    /// Bits committed while the phase was open.
+    pub bits: u64,
+    /// Cut-crossing bits committed while the phase was open.
+    pub cut_bits: u64,
+}
+
+/// One round's aggregates, tagged with the phase it ran under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundSample {
+    /// Index into [`TraceProfile::phases`].
+    pub phase: usize,
+    /// Round number within the phase's simulator run.
+    pub round: usize,
+    /// Messages committed.
+    pub messages: u64,
+    /// Bits committed.
+    pub bits: u64,
+    /// Cut-crossing messages.
+    pub cut_messages: u64,
+    /// Cut-crossing bits.
+    pub cut_bits: u64,
+    /// Messages lost this round (all drop reasons).
+    pub dropped: u64,
+    /// Retransmissions sent this round.
+    pub retransmissions: u64,
+    /// Dead links declared this round.
+    pub dead_links: u64,
+}
+
+/// Lifetime totals for one edge direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EdgeTotal {
+    /// Total messages over the direction.
+    pub messages: u64,
+    /// Total bits over the direction.
+    pub bits: u64,
+    /// Largest single-round bit load observed.
+    pub max_bits_round: u64,
+    /// Whether the edge crosses the metered cut.
+    pub cut: bool,
+}
+
+/// Event-class tallies over the whole trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventTotals {
+    /// `Dropped` events.
+    pub dropped: u64,
+    /// `Duplicated` events.
+    pub duplicated: u64,
+    /// `Delayed` events.
+    pub delayed: u64,
+    /// `NodeDown` events.
+    pub node_down: u64,
+    /// `NodeUp` events.
+    pub node_up: u64,
+    /// `Retransmission` events.
+    pub retransmissions: u64,
+    /// `DuplicateSuppressed` events.
+    pub duplicates_suppressed: u64,
+    /// `DeadLinkDeclared` events.
+    pub dead_links: u64,
+}
+
+/// The aggregated view of one trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceProfile {
+    /// Schema version from the `meta` header (0 if absent).
+    pub schema: u64,
+    /// Phase occurrences in order of appearance.
+    pub phases: Vec<PhaseProfile>,
+    /// Per-round rows in emission order.
+    pub rounds: Vec<RoundSample>,
+    /// Per-edge-direction lifetime totals.
+    pub edges: BTreeMap<(NodeId, NodeId), EdgeTotal>,
+    /// Histogram of per-round bit totals.
+    pub bits_per_round: LogHistogram,
+    /// Histogram of per-round message totals.
+    pub messages_per_round: LogHistogram,
+    /// Whole-trace event tallies.
+    pub totals: EventTotals,
+    /// Total events folded (including `meta`).
+    pub events: u64,
+}
+
+impl TraceProfile {
+    /// Folds an event stream into a profile.
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> TraceProfile {
+        let mut p = TraceProfile::default();
+        // Events between a PhaseStart and its PhaseEnd belong to that
+        // occurrence; anything outside lands in an implicit "run"
+        // phase created on demand.
+        let mut open: Option<usize> = None;
+        let mut round_dropped = 0u64;
+        let mut round_retrans = 0u64;
+        let mut round_dead = 0u64;
+        for event in events {
+            p.events += 1;
+            match event {
+                TraceEvent::Meta { schema } => p.schema = *schema,
+                TraceEvent::PhaseStart { name } => {
+                    p.phases.push(PhaseProfile {
+                        name: name.clone(),
+                        rounds: 0,
+                        elapsed_us: 0,
+                        messages: 0,
+                        bits: 0,
+                        cut_bits: 0,
+                    });
+                    open = Some(p.phases.len() - 1);
+                }
+                TraceEvent::PhaseEnd {
+                    name,
+                    rounds,
+                    elapsed_us,
+                } => {
+                    if let Some(i) = open.take() {
+                        let phase = &mut p.phases[i];
+                        if phase.name == *name {
+                            phase.rounds = *rounds;
+                            phase.elapsed_us = *elapsed_us;
+                        }
+                    }
+                }
+                TraceEvent::Round {
+                    round,
+                    messages,
+                    bits,
+                    cut_messages,
+                    cut_bits,
+                } => {
+                    let phase = p.current_phase(&mut open);
+                    {
+                        let ph = &mut p.phases[phase];
+                        ph.messages += messages;
+                        ph.bits += bits;
+                        ph.cut_bits += cut_bits;
+                        ph.rounds = ph.rounds.max(*round);
+                    }
+                    p.bits_per_round.add(*bits);
+                    p.messages_per_round.add(*messages);
+                    p.rounds.push(RoundSample {
+                        phase,
+                        round: *round,
+                        messages: *messages,
+                        bits: *bits,
+                        cut_messages: *cut_messages,
+                        cut_bits: *cut_bits,
+                        dropped: round_dropped,
+                        retransmissions: round_retrans,
+                        dead_links: round_dead,
+                    });
+                    round_dropped = 0;
+                    round_retrans = 0;
+                    round_dead = 0;
+                }
+                TraceEvent::EdgeTraffic {
+                    from,
+                    to,
+                    messages,
+                    bits,
+                    cut,
+                    ..
+                } => {
+                    let entry = p.edges.entry((*from, *to)).or_default();
+                    entry.messages += *messages as u64;
+                    entry.bits += *bits as u64;
+                    entry.max_bits_round = entry.max_bits_round.max(*bits as u64);
+                    entry.cut = *cut;
+                }
+                TraceEvent::Dropped { .. } => {
+                    p.totals.dropped += 1;
+                    round_dropped += 1;
+                }
+                TraceEvent::Duplicated { .. } => p.totals.duplicated += 1,
+                TraceEvent::Delayed { .. } => p.totals.delayed += 1,
+                TraceEvent::NodeDown { .. } => p.totals.node_down += 1,
+                TraceEvent::NodeUp { .. } => p.totals.node_up += 1,
+                TraceEvent::Retransmission { .. } => {
+                    p.totals.retransmissions += 1;
+                    round_retrans += 1;
+                }
+                TraceEvent::DuplicateSuppressed { .. } => p.totals.duplicates_suppressed += 1,
+                TraceEvent::DeadLinkDeclared { .. } => {
+                    p.totals.dead_links += 1;
+                    round_dead += 1;
+                }
+                TraceEvent::App { .. } => {}
+            }
+        }
+        p
+    }
+
+    /// Index of the currently open phase, creating the implicit `run`
+    /// phase if no span is open.
+    fn current_phase(&mut self, open: &mut Option<usize>) -> usize {
+        match open {
+            Some(i) => *i,
+            None => {
+                self.phases.push(PhaseProfile {
+                    name: "run".to_string(),
+                    rounds: 0,
+                    elapsed_us: 0,
+                    messages: 0,
+                    bits: 0,
+                    cut_bits: 0,
+                });
+                let i = self.phases.len() - 1;
+                *open = Some(i);
+                i
+            }
+        }
+    }
+
+    /// Total messages across all phases.
+    pub fn total_messages(&self) -> u64 {
+        self.phases.iter().map(|p| p.messages).sum()
+    }
+
+    /// Total bits across all phases.
+    pub fn total_bits(&self) -> u64 {
+        self.phases.iter().map(|p| p.bits).sum()
+    }
+
+    /// The `k` edge directions carrying the most bits, descending.
+    /// Ties break toward the smaller `(from, to)` pair, so the ranking
+    /// is deterministic.
+    pub fn hottest_edges(&self, k: usize) -> Vec<((NodeId, NodeId), EdgeTotal)> {
+        let mut all: Vec<((NodeId, NodeId), EdgeTotal)> =
+            self.edges.iter().map(|(&e, &t)| (e, t)).collect();
+        all.sort_by(|a, b| b.1.bits.cmp(&a.1.bits).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Per-round `(phase name, round, cut_bits)` rows for phases that
+    /// metered a cut — the lower-bound "bits across the cut" curve.
+    pub fn cut_timeline(&self) -> Vec<(&str, usize, u64)> {
+        self.rounds
+            .iter()
+            .filter(|r| r.cut_bits > 0 || r.cut_messages > 0)
+            .map(|r| (self.phases[r.phase].name.as_str(), r.round, r.cut_bits))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.add(v);
+        }
+        assert_eq!(h.samples(), 8);
+        assert_eq!(h.max(), 1024);
+        let buckets = h.buckets();
+        assert_eq!(
+            buckets,
+            vec![
+                (0, 0, 1),
+                (1, 1, 1),
+                (2, 3, 2),
+                (4, 7, 2),
+                (8, 15, 1),
+                (1024, 2047, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn profile_groups_rounds_by_phase() {
+        let events = vec![
+            TraceEvent::Meta { schema: 1 },
+            TraceEvent::PhaseStart {
+                name: "walk".to_string(),
+            },
+            TraceEvent::Retransmission {
+                round: 1,
+                node: 0,
+                peer: 1,
+                seq: 0,
+            },
+            TraceEvent::Round {
+                round: 1,
+                messages: 4,
+                bits: 96,
+                cut_messages: 1,
+                cut_bits: 24,
+            },
+            TraceEvent::Round {
+                round: 2,
+                messages: 2,
+                bits: 48,
+                cut_messages: 0,
+                cut_bits: 0,
+            },
+            TraceEvent::PhaseEnd {
+                name: "walk".to_string(),
+                rounds: 2,
+                elapsed_us: 10,
+            },
+        ];
+        let p = TraceProfile::from_events(&events);
+        assert_eq!(p.schema, 1);
+        assert_eq!(p.phases.len(), 1);
+        assert_eq!(p.phases[0].name, "walk");
+        assert_eq!(p.phases[0].rounds, 2);
+        assert_eq!(p.phases[0].messages, 6);
+        assert_eq!(p.phases[0].bits, 144);
+        assert_eq!(p.rounds.len(), 2);
+        assert_eq!(p.rounds[0].retransmissions, 1);
+        assert_eq!(p.rounds[1].retransmissions, 0);
+        assert_eq!(p.cut_timeline(), vec![("walk", 1, 24)]);
+    }
+
+    #[test]
+    fn profile_invents_run_phase_for_bare_traces() {
+        let events = vec![TraceEvent::Round {
+            round: 1,
+            messages: 1,
+            bits: 8,
+            cut_messages: 0,
+            cut_bits: 0,
+        }];
+        let p = TraceProfile::from_events(&events);
+        assert_eq!(p.phases.len(), 1);
+        assert_eq!(p.phases[0].name, "run");
+        assert_eq!(p.total_bits(), 8);
+    }
+
+    #[test]
+    fn hottest_edges_rank_deterministically() {
+        let events = vec![
+            TraceEvent::EdgeTraffic {
+                round: 1,
+                from: 0,
+                to: 1,
+                messages: 1,
+                bits: 10,
+                cut: false,
+            },
+            TraceEvent::EdgeTraffic {
+                round: 2,
+                from: 2,
+                to: 3,
+                messages: 1,
+                bits: 10,
+                cut: false,
+            },
+            TraceEvent::EdgeTraffic {
+                round: 2,
+                from: 0,
+                to: 1,
+                messages: 1,
+                bits: 30,
+                cut: false,
+            },
+        ];
+        let p = TraceProfile::from_events(&events);
+        let top = p.hottest_edges(2);
+        assert_eq!(top[0].0, (0, 1));
+        assert_eq!(top[0].1.bits, 40);
+        assert_eq!(top[0].1.max_bits_round, 30);
+        assert_eq!(top[1].0, (2, 3));
+    }
+}

@@ -158,6 +158,21 @@ impl<A: WireState, B: WireState> WireState for (A, B) {
     }
 }
 
+impl<A: WireState, B: WireState, C: WireState> WireState for (A, B, C) {
+    fn encode_state(&self, w: &mut BitWriter) {
+        self.0.encode_state(w);
+        self.1.encode_state(w);
+        self.2.encode_state(w);
+    }
+    fn decode_state(r: &mut BitReader<'_>) -> Option<(A, B, C)> {
+        Some((
+            A::decode_state(r)?,
+            B::decode_state(r)?,
+            C::decode_state(r)?,
+        ))
+    }
+}
+
 /// Append-only bit-level writer backed by [`bytes::BytesMut`].
 #[derive(Debug, Default)]
 pub struct BitWriter {

@@ -1,0 +1,205 @@
+//! Property-based tests on the tracing layer: determinism across thread
+//! counts, zero observable effect of the no-op tracer, and JSONL schema
+//! round-tripping for every event an adversarial run can produce.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use congest_sim::algorithms::Flood;
+use congest_sim::trace::jsonl::{decode_event, encode_event};
+use congest_sim::{
+    FaultPlan, MemoryTracer, NodeCrash, NoopTracer, Reliable, SimConfig, Simulator, TraceEvent,
+};
+use rwbc_graph::generators::random_tree;
+use rwbc_graph::Graph;
+
+/// Strategy: a random connected graph big enough (n >= 64) that
+/// `threads > 1` actually takes the simulator's parallel path.
+fn arb_large_graph() -> impl Strategy<Value = Graph> {
+    (64usize..96, 0u64..200, 0usize..40).prop_map(|(n, seed, extra)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_tree(n, &mut rng).unwrap();
+        let mut edges = tree.edge_vec();
+        let mut tries = 0;
+        while edges.len() < tree.edge_count() + extra && tries < 256 {
+            tries += 1;
+            let u = rand::Rng::gen_range(&mut rng, 0..n);
+            let v = rand::Rng::gen_range(&mut rng, 0..n);
+            let key = if u < v { (u, v) } else { (v, u) };
+            if u != v && !edges.contains(&key) {
+                edges.push(key);
+            }
+        }
+        Graph::from_edges(n, edges).unwrap()
+    })
+}
+
+fn traced_run(g: &Graph, cfg: SimConfig) -> (congest_sim::RunStats, Vec<TraceEvent>) {
+    let mut tracer = MemoryTracer::new();
+    let mut sim = Simulator::new(g, cfg, |v| Flood::new(v, 0)).with_tracer(&mut tracer);
+    let stats = sim.run().unwrap();
+    drop(sim);
+    let mut events = tracer.into_events();
+    for e in &mut events {
+        e.strip_wall_clock();
+    }
+    (stats, events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn trace_content_is_identical_at_any_thread_count(
+        g in arb_large_graph(),
+        seed in 0u64..50,
+        drop_p in 0.0f64..0.3,
+        dup_p in 0.0f64..0.2,
+    ) {
+        // Events are collected per worker chunk and spliced back in node
+        // order, so a fixed (graph, seed, plan) must yield the same event
+        // sequence — not just the same aggregate stats — at 1 and 8 threads.
+        let faults = FaultPlan::default()
+            .with_drop_probability(drop_p)
+            .with_duplicate_probability(dup_p);
+        let run = |threads: usize| {
+            traced_run(
+                &g,
+                SimConfig::default()
+                    .with_seed(seed)
+                    .with_threads(threads)
+                    .with_faults(faults.clone()),
+            )
+        };
+        let (s1, e1) = run(1);
+        let (s8, e8) = run(8);
+        prop_assert_eq!(s1, s8);
+        prop_assert_eq!(e1.len(), e8.len());
+        for (i, (a, b)) in e1.iter().zip(&e8).enumerate() {
+            prop_assert_eq!(a, b, "event {} diverges", i);
+        }
+    }
+
+    #[test]
+    fn noop_tracer_leaves_stats_and_checkpoints_byte_identical(
+        g in arb_large_graph(),
+        seed in 0u64..50,
+        drop_p in 0.0f64..0.3,
+        cut_after in 0usize..6,
+    ) {
+        // The no-op tracer must not perturb anything observable: run stats,
+        // per-node outcomes, and the serialized checkpoint image must all be
+        // byte-identical to an untraced run cut at the same round.
+        let cfg = SimConfig::default()
+            .with_seed(seed)
+            .with_faults(FaultPlan::default().with_drop_probability(drop_p));
+        let run = |tracer: Option<&mut NoopTracer>| {
+            let mut sim = Simulator::new(&g, cfg.clone(), |v| Flood::new(v, 0));
+            if let Some(tr) = tracer {
+                sim = sim.with_tracer(tr);
+            }
+            for _ in 0..cut_after {
+                if sim.step().unwrap() {
+                    break;
+                }
+            }
+            let image = sim.checkpoint();
+            let stats = sim.run().unwrap();
+            let informed: Vec<_> = sim.programs().iter().map(Flood::informed_at).collect();
+            (image, stats, informed)
+        };
+        let (img_plain, stats_plain, informed_plain) = run(None);
+        let mut noop = NoopTracer;
+        let (img_traced, stats_traced, informed_traced) = run(Some(&mut noop));
+        prop_assert_eq!(img_plain, img_traced, "checkpoint bytes diverge");
+        prop_assert_eq!(stats_plain, stats_traced);
+        prop_assert_eq!(informed_plain, informed_traced);
+    }
+
+    #[test]
+    fn memory_tracer_does_not_change_the_run_it_observes(
+        g in arb_large_graph(),
+        seed in 0u64..50,
+        threads in 1usize..5,
+    ) {
+        let cfg = SimConfig::default().with_seed(seed).with_threads(threads);
+        let mut plain = Simulator::new(&g, cfg.clone(), |v| Flood::new(v, 0));
+        let stats_plain = plain.run().unwrap();
+        let (stats_traced, _) = traced_run(&g, cfg);
+        prop_assert_eq!(stats_plain, stats_traced);
+    }
+
+    #[test]
+    fn every_event_of_a_chaotic_run_round_trips_through_jsonl(
+        g in arb_large_graph(),
+        seed in 0u64..30,
+        drop_p in 0.05f64..0.3,
+    ) {
+        // Reliable transport over a lossy link with a mid-run crash
+        // produces the full event menagerie: drops, retransmissions,
+        // suppressed duplicates, node-down/up transitions. All of it must
+        // survive encode -> decode exactly.
+        let n = g.node_count();
+        let faults = FaultPlan::default()
+            .with_drop_probability(drop_p)
+            .with_node_crash(NodeCrash {
+                node: n - 1,
+                crash_round: 3,
+                recover_round: Some(10),
+            });
+        let cfg = SimConfig::default()
+            .with_seed(seed)
+            .with_bandwidth_coeff(16)
+            .with_faults(faults)
+            .with_max_rounds(20_000);
+        let mut tracer = MemoryTracer::new();
+        let mut sim =
+            Simulator::new(&g, cfg, |v| Reliable::new(Flood::new(v, 0))).with_tracer(&mut tracer);
+        sim.run().unwrap();
+        drop(sim);
+        for event in tracer.into_events() {
+            let line = encode_event(&event);
+            let back = decode_event(&line).unwrap();
+            prop_assert_eq!(back, event, "line {}", line);
+        }
+    }
+}
+
+#[test]
+fn round_aggregates_match_edge_samples() {
+    // Within each round the Round event must be the sum of that round's
+    // EdgeTraffic samples — the aggregation the CLI timeline relies on.
+    let mut rng = StdRng::seed_from_u64(7);
+    let tree = random_tree(80, &mut rng).unwrap();
+    let (_, events) = traced_run(&tree, SimConfig::default().with_seed(7));
+    let mut per_round: std::collections::BTreeMap<usize, (u64, u64)> = Default::default();
+    for e in &events {
+        if let TraceEvent::EdgeTraffic {
+            round,
+            messages,
+            bits,
+            ..
+        } = e
+        {
+            let slot = per_round.entry(*round).or_default();
+            slot.0 += *messages as u64;
+            slot.1 += *bits as u64;
+        }
+    }
+    let mut checked = 0;
+    for e in &events {
+        if let TraceEvent::Round {
+            round,
+            messages,
+            bits,
+            ..
+        } = e
+        {
+            let (m, b) = per_round.get(round).copied().unwrap_or_default();
+            assert_eq!((*messages, *bits), (m, b), "round {round}");
+            checked += 1;
+        }
+    }
+    assert!(checked > 0);
+}

@@ -13,7 +13,8 @@
 use std::collections::VecDeque;
 
 use congest_sim::{
-    bits_for_node_id, Context, Incoming, Message, NodeProgram, SimConfig, Simulator,
+    bits_for_node_id, Context, Incoming, Message, NodeProgram, SimConfig, Simulator, TraceEvent,
+    Tracer,
 };
 use rwbc_graph::traversal::is_connected;
 use rwbc_graph::{Graph, NodeId};
@@ -125,6 +126,7 @@ impl NodeProgram for CollectProgram {
     }
 
     fn on_round(&mut self, ctx: &mut Context<'_, CollectMsg>, inbox: &[Incoming<CollectMsg>]) {
+        let mut edges_in = 0u64;
         for m in inbox {
             match m.msg {
                 CollectMsg::Announce => {
@@ -141,11 +143,20 @@ impl NodeProgram for CollectProgram {
                 CollectMsg::Edge(u, v) => {
                     if self.me == self.root {
                         self.collected.push((u, v));
+                        edges_in += 1;
                     } else if !self.orphaned {
                         self.outqueue.push_back((u, v));
                     }
                 }
             }
+        }
+        if edges_in > 0 && ctx.tracing() {
+            ctx.trace(TraceEvent::App {
+                round: ctx.round(),
+                node: self.me,
+                key: "edges_received".to_string(),
+                value: edges_in,
+            });
         }
         if self.parent.is_some() && !self.announced {
             // The announcement occupies this round's message slot on every
@@ -222,6 +233,33 @@ pub fn collect_and_solve(
     root: NodeId,
     sim: SimConfig,
 ) -> Result<CollectRun, RwbcError> {
+    collect_inner(graph, root, sim, None)
+}
+
+/// Runs [`collect_and_solve`] with a [`Tracer`] attached, bracketed by a
+/// driver-side `collect` span. The root additionally publishes an
+/// `edges_received` application counter per round — the per-round view of
+/// how the topology funnels toward it (the signal the cut experiment E6
+/// meters). The returned [`CollectRun`] is identical to the untraced one.
+///
+/// # Errors
+///
+/// Same conditions as [`collect_and_solve`].
+pub fn collect_and_solve_traced(
+    graph: &Graph,
+    root: NodeId,
+    sim: SimConfig,
+    tracer: &mut dyn Tracer,
+) -> Result<CollectRun, RwbcError> {
+    collect_inner(graph, root, sim, Some(tracer))
+}
+
+fn collect_inner(
+    graph: &Graph,
+    root: NodeId,
+    sim: SimConfig,
+    mut tracer: Option<&mut (dyn Tracer + '_)>,
+) -> Result<CollectRun, RwbcError> {
     let n = graph.node_count();
     if n < 2 {
         return Err(RwbcError::TooSmall { n });
@@ -234,7 +272,11 @@ pub fn collect_and_solve(
     if !is_connected(graph) {
         return Err(RwbcError::Disconnected);
     }
+    let t0 = super::span_start(tracer.as_deref_mut(), "collect");
     let mut simulator = Simulator::new(graph, sim, |v| CollectProgram::new(v, root));
+    if let Some(tr) = tracer.as_deref_mut() {
+        simulator = simulator.with_tracer(tr);
+    }
     let stats = simulator.run()?;
     // Fault injection can duplicate records (harmless — dedup) or lose
     // them (surfaced as `edges_missing`; the solve proceeds on what
@@ -244,6 +286,7 @@ pub fn collect_and_solve(
     edges.dedup();
     let edges_missing = graph.edge_count().saturating_sub(edges.len());
     let nodes_orphaned = (0..n).filter(|&v| simulator.program(v).orphaned()).count();
+    super::span_end(tracer, "collect", stats.rounds, t0);
     let rebuilt = Graph::from_edges(n, edges.iter().copied())?;
     let centrality = newman(&rebuilt)?;
     Ok(CollectRun {

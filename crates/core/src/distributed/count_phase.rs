@@ -14,7 +14,7 @@
 //! `≤ 2^{−F−1}` per count and is measured in experiment E7 (design
 //! decision D5).
 
-use congest_sim::{Context, Incoming, NodeProgram};
+use congest_sim::{Context, Incoming, NodeProgram, TraceEvent};
 use rwbc_graph::NodeId;
 
 use crate::distributed::messages::CountMsg;
@@ -180,7 +180,7 @@ impl CountProgram {
         }
     }
 
-    fn finish_if_done(&mut self, ctx: &Context<'_, CountMsg>) {
+    fn finish_if_done(&mut self, ctx: &mut Context<'_, CountMsg>) {
         if self.all_counts_received() && self.betweenness.is_none() {
             let expected = (self.neighbor_cols.len() * self.n) as u64;
             let received: u64 = self.received_per_neighbor.iter().map(|&r| r as u64).sum();
@@ -192,7 +192,16 @@ impl CountProgram {
             );
             let nf = self.effective_n as f64;
             self.betweenness = Some((inner + (nf - 1.0)) / (nf * (nf - 1.0) / 2.0));
-            let _ = ctx; // ctx retained in the signature for symmetry
+            if ctx.tracing() {
+                // The value doubles as a per-node completion marker: the
+                // event's round is when this node finished evaluating.
+                ctx.trace(TraceEvent::App {
+                    round: ctx.round(),
+                    node: self.me,
+                    key: "count_missing".to_string(),
+                    value: self.missing,
+                });
+            }
         }
     }
 }

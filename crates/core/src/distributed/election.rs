@@ -17,7 +17,7 @@
 
 use rand::Rng;
 
-use congest_sim::{bits_for_node_id, Context, Incoming, Message, NodeProgram};
+use congest_sim::{bits_for_node_id, Context, Incoming, Message, NodeProgram, TraceEvent};
 use rwbc_graph::NodeId;
 
 /// Election-phase messages.
@@ -119,6 +119,14 @@ impl NodeProgram for ElectTargetProgram {
         if ctx.round() == self.n && self.best == self.me && self.target.is_none() {
             let t = ctx.rng().gen_range(0..self.n);
             self.target = Some(t);
+            if ctx.tracing() {
+                ctx.trace(TraceEvent::App {
+                    round: ctx.round(),
+                    node: self.me,
+                    key: "elected_target".to_string(),
+                    value: t as u64,
+                });
+            }
         }
         if let Some(t) = self.target {
             if !self.announced_target {

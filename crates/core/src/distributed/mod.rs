@@ -44,7 +44,7 @@ mod election;
 pub mod messages;
 mod walk_phase;
 
-pub use collect::{collect_and_solve, CollectRun};
+pub use collect::{collect_and_solve, collect_and_solve_traced, CollectRun};
 pub use count_phase::CountProgram;
 pub use election::{ElectMsg, ElectTargetProgram};
 pub use walk_phase::WalkProgram;
@@ -54,8 +54,11 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
-use congest_sim::{Reliable, RunStats, SimConfig, Simulator, DEFAULT_DEATH_THRESHOLD};
+use congest_sim::{
+    Reliable, RunStats, SimConfig, Simulator, TraceEvent, Tracer, DEFAULT_DEATH_THRESHOLD,
+};
 use rwbc_graph::traversal::{connected_components, is_connected};
 use rwbc_graph::{Graph, NodeId};
 
@@ -387,6 +390,61 @@ impl DistributedRun {
 /// * [`RwbcError::Sim`] on CONGEST violations (which would indicate a bug —
 ///   the algorithm is designed to comply).
 pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<DistributedRun, RwbcError> {
+    approximate_inner(graph, config, None)
+}
+
+/// Runs [`approximate`] with a [`Tracer`] attached to every simulator
+/// phase, bracketed by driver-side spans (`election`, `walk`,
+/// `walk-retry-N`, `count`, `count-pass-N`) carrying simulated-round and
+/// wall-clock timings.
+///
+/// Tracing is observational: the returned [`DistributedRun`] is identical
+/// to what [`approximate`] produces for the same inputs. The plain entry
+/// point never attaches a tracer, so untraced runs construct no events at
+/// all.
+///
+/// # Errors
+///
+/// Same conditions as [`approximate`].
+pub fn approximate_traced(
+    graph: &Graph,
+    config: &DistributedConfig,
+    tracer: &mut dyn Tracer,
+) -> Result<DistributedRun, RwbcError> {
+    approximate_inner(graph, config, Some(tracer))
+}
+
+/// Opens a driver-side phase span and starts its wall clock.
+pub(crate) fn span_start(tracer: Option<&mut (dyn Tracer + '_)>, name: &str) -> Instant {
+    if let Some(tr) = tracer {
+        tr.record(&TraceEvent::PhaseStart {
+            name: name.to_string(),
+        });
+    }
+    Instant::now()
+}
+
+/// Closes a driver-side phase span with its round count and elapsed time.
+pub(crate) fn span_end(
+    tracer: Option<&mut (dyn Tracer + '_)>,
+    name: &str,
+    rounds: usize,
+    t0: Instant,
+) {
+    if let Some(tr) = tracer {
+        tr.record(&TraceEvent::PhaseEnd {
+            name: name.to_string(),
+            rounds,
+            elapsed_us: t0.elapsed().as_micros() as u64,
+        });
+    }
+}
+
+fn approximate_inner(
+    graph: &Graph,
+    config: &DistributedConfig,
+    mut tracer: Option<&mut (dyn Tracer + '_)>,
+) -> Result<DistributedRun, RwbcError> {
     let n = graph.node_count();
     if n < 2 {
         return Err(RwbcError::TooSmall { n });
@@ -398,13 +456,18 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
     let mut election_stats = None;
     let target = if config.elect_target {
         // Phase 0: fully distributed election (leader draws the target).
+        let t0 = span_start(tracer.as_deref_mut(), "election");
         let cfg0 = config.sim.clone().with_seed(config.seed ^ 0xE1EC);
         let mut sim0 = Simulator::new(graph, cfg0, |v| ElectTargetProgram::new(v, n));
+        if let Some(tr) = tracer.as_deref_mut() {
+            sim0 = sim0.with_tracer(tr);
+        }
         let stats = sim0.run()?;
         let t = sim0
             .program(0)
             .target()
             .expect("election terminated, every node knows the target");
+        span_end(tracer.as_deref_mut(), "election", stats.rounds, t0);
         election_stats = Some(stats);
         t
     } else {
@@ -419,7 +482,14 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
         }
     };
     if config.partition_tolerant {
-        return approximate_partition_tolerant(graph, config, target, election_stats, &mut seeder);
+        return approximate_partition_tolerant(
+            graph,
+            config,
+            target,
+            election_stats,
+            &mut seeder,
+            tracer,
+        );
     }
     let k = config.params.walks_per_node;
     let l = config.params.walk_length;
@@ -432,6 +502,7 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
         // Reliable transport: no token can be lost, so one sub-phase
         // always accounts for every walk.
         degradation.walk_subphases = 1;
+        let t0 = span_start(tracer.as_deref_mut(), "walk");
         let phase1_cfg = config.sim.clone().with_seed(phase1_seed);
         let mut sim1 = Simulator::new(graph, phase1_cfg, |v| {
             Reliable::new(WalkProgram::new(
@@ -444,6 +515,9 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
                 config.discipline,
             ))
         });
+        if let Some(tr) = tracer.as_deref_mut() {
+            sim1 = sim1.with_tracer(tr);
+        }
         let stats = sim1.run()?;
         let counts: Vec<Vec<u64>> = (0..n)
             .map(|v| sim1.program(v).inner().counts().to_vec())
@@ -457,6 +531,7 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
             let deaths: u64 = (0..n).map(|v| sim1.program(v).inner().deaths()[s]).sum();
             degradation.walks_lost += (k as u64).saturating_sub(deaths);
         }
+        span_end(tracer.as_deref_mut(), "walk", stats.rounds, t0);
         (counts, stats)
     } else {
         // Raw transport with relaunch recovery: after the network drains,
@@ -477,6 +552,12 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
             if attempt > 0 && outstanding.iter().all(|&o| o == 0) {
                 break;
             }
+            let name = if attempt == 0 {
+                "walk".to_string()
+            } else {
+                format!("walk-retry-{attempt}")
+            };
+            let t0 = span_start(tracer.as_deref_mut(), &name);
             let cfg = config
                 .sim
                 .clone()
@@ -498,6 +579,9 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
                     )
                 })
             };
+            if let Some(tr) = tracer.as_deref_mut() {
+                sim1 = sim1.with_tracer(tr);
+            }
             let stats = sim1.run()?;
             degradation.walk_subphases += 1;
             for (v, row) in counts.iter_mut().enumerate() {
@@ -507,6 +591,7 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
                     outstanding[s] = outstanding[s].saturating_sub(p.deaths()[s]);
                 }
             }
+            span_end(tracer.as_deref_mut(), &name, stats.rounds, t0);
             match &mut merged {
                 None => merged = Some(stats),
                 Some(m) => merge_stats(m, &stats),
@@ -539,6 +624,7 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
     let value_bits = count_field_bits(k, l, f);
 
     // Phase 2: computing (Algorithm 2).
+    let t2 = span_start(tracer.as_deref_mut(), "count");
     let phase2_cfg = config.sim.clone().with_seed(config.seed ^ 0x7F4A_7C15);
     let (values, count_stats) = if config.reliable {
         let mut sim2 = Simulator::new(graph, phase2_cfg, |v| {
@@ -547,6 +633,9 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
                     .with_strict_delivery(true),
             )
         });
+        if let Some(tr) = tracer.as_deref_mut() {
+            sim2 = sim2.with_tracer(tr);
+        }
         let stats = sim2.run()?;
         let values: Vec<f64> = (0..n)
             .map(|v| {
@@ -561,6 +650,9 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
         let mut sim2 = Simulator::new(graph, phase2_cfg, |v| {
             CountProgram::new(v, n, graph.degree(v), counts[v].clone(), k, value_bits, f)
         });
+        if let Some(tr) = tracer.as_deref_mut() {
+            sim2 = sim2.with_tracer(tr);
+        }
         let stats = sim2.run()?;
         degradation.count_cells_missing = (0..n).map(|v| sim2.program(v).missing()).sum();
         let values: Vec<f64> = (0..n)
@@ -572,6 +664,7 @@ pub fn approximate(graph: &Graph, config: &DistributedConfig) -> Result<Distribu
             .collect();
         (values, stats)
     };
+    span_end(tracer, "count", count_stats.rounds, t2);
     Ok(DistributedRun {
         centrality: Centrality::from_values(values),
         target,
@@ -612,6 +705,7 @@ fn approximate_partition_tolerant(
     mut target: NodeId,
     election_stats: Option<RunStats>,
     seeder: &mut StdRng,
+    mut tracer: Option<&mut (dyn Tracer + '_)>,
 ) -> Result<DistributedRun, RwbcError> {
     let n = graph.node_count();
     let k = config.params.walks_per_node;
@@ -633,6 +727,12 @@ fn approximate_partition_tolerant(
         if attempt > 0 && (0..n).all(|s| !in_giant[s] || outstanding[s] == 0) {
             break;
         }
+        let name = if attempt == 0 {
+            "walk".to_string()
+        } else {
+            format!("walk-retry-{attempt}")
+        };
+        let t0 = span_start(tracer.as_deref_mut(), &name);
         let mut cfg = config
             .sim
             .clone()
@@ -672,6 +772,9 @@ fn approximate_partition_tolerant(
                 .with_failure_detection(DEFAULT_DEATH_THRESHOLD)
                 .with_dead_peers(dead)
         });
+        if let Some(tr) = tracer.as_deref_mut() {
+            sim1 = sim1.with_tracer(tr);
+        }
         let stats = sim1.run()?;
         degradation.walk_subphases += 1;
         for (v, row) in counts.iter_mut().enumerate() {
@@ -684,6 +787,7 @@ fn approximate_partition_tolerant(
                 dead_links.insert(ordered_pair(v, peer));
             }
         }
+        span_end(tracer.as_deref_mut(), &name, stats.rounds, t0);
         match &mut merged {
             None => merged = Some(stats),
             Some(m) => merge_stats(m, &stats),
@@ -757,7 +861,13 @@ fn approximate_partition_tolerant(
     // and the phase re-runs once with the updated knowledge.
     let mut count_stats: Option<RunStats> = None;
     let mut values = vec![0.0; n];
-    for _pass in 0..=config.walk_retries.max(1) {
+    for pass in 0..=config.walk_retries.max(1) {
+        let name = if pass == 0 {
+            "count".to_string()
+        } else {
+            format!("count-pass-{pass}")
+        };
+        let t0 = span_start(tracer.as_deref_mut(), &name);
         // Refresh giant-component membership under the current dead set.
         let survivor = survivor_graph(graph, &dead_links)?;
         let (comp, ncomps) = connected_components(&survivor);
@@ -788,6 +898,9 @@ fn approximate_partition_tolerant(
             .with_failure_detection(DEFAULT_DEATH_THRESHOLD)
             .with_dead_peers(dead)
         });
+        if let Some(tr) = tracer.as_deref_mut() {
+            sim2 = sim2.with_tracer(tr);
+        }
         let stats = sim2.run()?;
         degradation.count_cells_missing = (0..n).map(|v| sim2.program(v).inner().missing()).sum();
         let before = dead_links.len();
@@ -803,6 +916,7 @@ fn approximate_partition_tolerant(
                 0.0
             };
         }
+        span_end(tracer.as_deref_mut(), &name, stats.rounds, t0);
         match &mut count_stats {
             None => count_stats = Some(stats),
             Some(m) => merge_stats(m, &stats),
@@ -876,7 +990,12 @@ fn merge_stats(acc: &mut RunStats, s: &RunStats) {
     acc.rounds += s.rounds;
     acc.total_messages += s.total_messages;
     acc.total_bits += s.total_bits;
-    acc.max_bits_edge_round = acc.max_bits_edge_round.max(s.max_bits_edge_round);
+    // The peak-edge location travels with the maximum it belongs to
+    // (strictly greater: on a tie the earlier sub-phase keeps the record).
+    if s.max_bits_edge_round > acc.max_bits_edge_round {
+        acc.max_bits_edge_round = s.max_bits_edge_round;
+        acc.peak_edge = s.peak_edge;
+    }
     acc.max_messages_edge_round = acc.max_messages_edge_round.max(s.max_messages_edge_round);
     acc.violations += s.violations;
     acc.dropped += s.dropped;

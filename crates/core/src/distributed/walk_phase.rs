@@ -4,7 +4,7 @@
 
 use rand::Rng;
 
-use congest_sim::{Context, Incoming, NodeProgram};
+use congest_sim::{Context, Incoming, NodeProgram, TraceEvent};
 use rwbc_graph::NodeId;
 
 use crate::distributed::messages::{WalkBatch, WalkToken};
@@ -271,6 +271,8 @@ impl NodeProgram for WalkProgram {
     }
 
     fn on_round(&mut self, ctx: &mut Context<'_, WalkBatch>, inbox: &[Incoming<WalkBatch>]) {
+        let mut absorbed = 0u64;
+        let mut truncated = 0u64;
         for batch in inbox {
             for token in &batch.msg.tokens {
                 // Paper lines 7-16: absorb at the target, otherwise count
@@ -278,6 +280,7 @@ impl NodeProgram for WalkProgram {
                 // left.
                 if self.me == self.target {
                     self.deaths[token.source] += 1;
+                    absorbed += 1;
                     continue; // absorbed
                 }
                 self.counts[token.source] += 1;
@@ -289,7 +292,26 @@ impl NodeProgram for WalkProgram {
                 } else {
                     // Truncated here: this walk has completed its budget.
                     self.deaths[token.source] += 1;
+                    truncated += 1;
                 }
+            }
+        }
+        if ctx.tracing() {
+            if absorbed > 0 {
+                ctx.trace(TraceEvent::App {
+                    round: ctx.round(),
+                    node: self.me,
+                    key: "absorbed".to_string(),
+                    value: absorbed,
+                });
+            }
+            if truncated > 0 {
+                ctx.trace(TraceEvent::App {
+                    round: ctx.round(),
+                    node: self.me,
+                    key: "truncated".to_string(),
+                    value: truncated,
+                });
             }
         }
         self.forward(ctx);

@@ -9,10 +9,13 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use rwbc_repro::congest::{SimConfig, Simulator};
+use rwbc_repro::congest::trace::TraceProfile;
+use rwbc_repro::congest::{MemoryTracer, SimConfig, Simulator};
 use rwbc_repro::graph::generators::watts_strogatz;
 use rwbc_repro::graph::traversal::diameter;
-use rwbc_repro::rwbc::distributed::{approximate, CongestionDiscipline, DistributedConfig};
+use rwbc_repro::rwbc::distributed::{
+    approximate, approximate_traced, CongestionDiscipline, DistributedConfig,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(11);
@@ -53,18 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()?;
         let run = approximate(&g, &cfg)?;
         println!("\n{discipline:?}: K = {k}, l = {n}",);
-        println!(
-            "  phase 1 (counting):  {:>5} rounds, {:>8} msgs, max {:>2} bits/edge/round",
-            run.walk_stats.rounds,
-            run.walk_stats.total_messages,
-            run.walk_stats.max_bits_edge_round
-        );
-        println!(
-            "  phase 2 (computing): {:>5} rounds, {:>8} msgs, max {:>2} bits/edge/round",
-            run.count_stats.rounds,
-            run.count_stats.total_messages,
-            run.count_stats.max_bits_edge_round
-        );
+        println!("  phase 1 (counting):");
+        print!("{}", run.walk_stats.summary());
+        println!("  phase 2 (computing):");
+        print!("{}", run.count_stats.summary());
         println!(
             "  total {} rounds (n log2 n = {:.0}); compliant = {}",
             run.total_rounds(),
@@ -72,6 +67,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run.congest_compliant()
         );
         println!("  most central node: {:?}", run.centrality.argmax());
+    }
+
+    // Finally, the same pipeline under the tracer: every round boundary,
+    // phase span, and per-edge congestion sample lands in memory, and the
+    // profile aggregation answers "where did the bits go?".
+    let k = (n as f64).log2().ceil() as usize;
+    let cfg = DistributedConfig::builder()
+        .walks(k)
+        .length(n)
+        .seed(3)
+        .build()?;
+    let mut tracer = MemoryTracer::new();
+    approximate_traced(&g, &cfg, &mut tracer)?;
+    let events = tracer.into_events();
+    let profile = TraceProfile::from_events(&events);
+    println!("\ntraced re-run: {} events captured", profile.events);
+    for ph in &profile.phases {
+        println!(
+            "  phase {:<10} {:>5} rounds, {:>8} msgs, {:>10} bits",
+            ph.name, ph.rounds, ph.messages, ph.bits
+        );
+    }
+    println!("  hottest edges by total bits:");
+    for ((from, to), e) in profile.hottest_edges(3) {
+        println!(
+            "    {from:>3} -> {to:<3} {:>8} bits over {} messages (peak {} bits in one round)",
+            e.bits, e.messages, e.max_bits_round
+        );
     }
     Ok(())
 }
