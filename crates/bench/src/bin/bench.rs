@@ -1,0 +1,239 @@
+//! `rwbc-bench` — end-to-end perf scenarios with JSON output.
+//!
+//! ```text
+//! rwbc-bench [--list] [--smoke] [--scenario NAME]... [--trials T]
+//!            [--warmup W] [--out-dir DIR] [--tag TAG]
+//! rwbc-bench --validate FILE...
+//! rwbc-bench --compare BASELINE.json CURRENT.json
+//! ```
+//!
+//! Each selected scenario is run with warmup + timed trials and its
+//! result is written to `<out-dir>/BENCH_[<tag>-]<scenario>.json` (see
+//! `rwbc_bench::perf` for the schema). `--validate` checks existing
+//! files against the schema and exits non-zero on the first failure;
+//! `--compare` prints the median-wall-clock speedup of the second file
+//! relative to the first.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use congest_sim::trace::json::Json;
+use rwbc_bench::perf::{
+    bench_filename, default_matrix, run_scenario, smoke_matrix, validate_bench_json, Scenario,
+};
+
+struct Options {
+    list: bool,
+    smoke: bool,
+    scenarios: Vec<String>,
+    trials: Option<usize>,
+    warmup: usize,
+    out_dir: PathBuf,
+    tag: String,
+    validate: Vec<PathBuf>,
+    compare: Option<(PathBuf, PathBuf)>,
+}
+
+fn usage() -> &'static str {
+    "usage: rwbc-bench [--list] [--smoke] [--scenario NAME]... [--trials T] \
+     [--warmup W] [--out-dir DIR] [--tag TAG]\n       rwbc-bench --validate FILE...\n       \
+     rwbc-bench --compare BASELINE.json CURRENT.json"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        list: false,
+        smoke: false,
+        scenarios: Vec::new(),
+        trials: None,
+        warmup: 1,
+        out_dir: PathBuf::from("."),
+        tag: String::new(),
+        validate: Vec::new(),
+        compare: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        match arg.as_str() {
+            "--list" => opts.list = true,
+            "--smoke" => opts.smoke = true,
+            "--scenario" => opts.scenarios.push(value("--scenario")?),
+            "--trials" => {
+                opts.trials = Some(
+                    value("--trials")?
+                        .parse()
+                        .map_err(|_| "--trials expects a positive integer".to_string())?,
+                );
+            }
+            "--warmup" => {
+                opts.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|_| "--warmup expects a non-negative integer".to_string())?;
+            }
+            "--out-dir" => opts.out_dir = PathBuf::from(value("--out-dir")?),
+            "--tag" => opts.tag = value("--tag")?,
+            "--validate" => {
+                opts.validate.extend(args.by_ref().map(PathBuf::from));
+                if opts.validate.is_empty() {
+                    return Err("--validate expects at least one file".into());
+                }
+            }
+            "--compare" => {
+                let a = PathBuf::from(value("--compare")?);
+                let b = args
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--compare expects two files")?;
+                opts.compare = Some((a, b));
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_json(path: &PathBuf) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn median_of(doc: &Json, path: &PathBuf) -> Result<f64, String> {
+    match doc.get("wall_clock_ms").and_then(|w| w.get("median")) {
+        Some(Json::Float(f)) => Ok(*f),
+        Some(Json::Int(i)) => Ok(*i as f64),
+        _ => Err(format!("{}: missing wall_clock_ms.median", path.display())),
+    }
+}
+
+fn run_compare(baseline: &PathBuf, current: &PathBuf) -> Result<(), String> {
+    let (base_doc, cur_doc) = (load_json(baseline)?, load_json(current)?);
+    validate_bench_json(&base_doc).map_err(|e| format!("{}: {e}", baseline.display()))?;
+    validate_bench_json(&cur_doc).map_err(|e| format!("{}: {e}", current.display()))?;
+    let (base, cur) = (
+        median_of(&base_doc, baseline)?,
+        median_of(&cur_doc, current)?,
+    );
+    let speedup = base / cur.max(f64::MIN_POSITIVE);
+    println!(
+        "baseline {:>10.2} ms  current {:>10.2} ms  speedup {speedup:.2}x",
+        base, cur
+    );
+    Ok(())
+}
+
+fn select(opts: &Options) -> Result<Vec<Scenario>, String> {
+    let threads_n = std::thread::available_parallelism().map_or(1, |p| p.get().min(8));
+    let matrix = if opts.smoke {
+        smoke_matrix()
+    } else {
+        default_matrix(threads_n)
+    };
+    if opts.scenarios.is_empty() {
+        return Ok(matrix);
+    }
+    let mut picked = Vec::new();
+    for want in &opts.scenarios {
+        let found = matrix
+            .iter()
+            .find(|s| &s.name() == want)
+            .ok_or_else(|| format!("unknown scenario `{want}` (try --list)"))?;
+        picked.push(found.clone());
+    }
+    Ok(picked)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !opts.validate.is_empty() {
+        for path in &opts.validate {
+            match load_json(path).and_then(|doc| {
+                validate_bench_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+            }) {
+                Ok(()) => println!("{}: ok", path.display()),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some((baseline, current)) = &opts.compare {
+        return match run_compare(baseline, current) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let scenarios = match select(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.list {
+        for s in &scenarios {
+            println!("{}", s.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("error: creating {}: {e}", opts.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let (warmup, smoke) = if opts.smoke {
+        (0, true)
+    } else {
+        (opts.warmup, false)
+    };
+    for scenario in &scenarios {
+        let trials = opts
+            .trials
+            .unwrap_or_else(|| if smoke { 1 } else { scenario.default_trials() });
+        let result = run_scenario(scenario, warmup, trials);
+        let path = opts
+            .out_dir
+            .join(bench_filename(&opts.tag, &scenario.name()));
+        let doc = result.to_json();
+        if let Err(e) = validate_bench_json(&doc) {
+            eprintln!("error: emitted JSON failed self-validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        let mut text = doc.to_json();
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "{:<24} median {:>9.2} ms  p95 {:>9.2} ms  rounds {:>6}  msgs {:>12}  -> {}",
+            scenario.name(),
+            result.median_ms(),
+            result.p95_ms(),
+            result.rounds,
+            result.total_messages,
+            path.display()
+        );
+    }
+    ExitCode::SUCCESS
+}

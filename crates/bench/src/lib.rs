@@ -26,6 +26,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+//! End-to-end perf scenarios live in [`perf`] behind the `rwbc-bench`
+//! binary (`cargo run --release -p rwbc-bench --bin rwbc-bench`), which
+//! writes machine-readable `BENCH_<scenario>.json` files.
+
+pub mod perf;
 pub mod suite;
 pub mod table;
 

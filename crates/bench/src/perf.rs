@@ -1,0 +1,594 @@
+//! Perf-scenario harness behind the `rwbc-bench` binary.
+//!
+//! The criterion micro-benches under `benches/` answer "which variant of
+//! one kernel is faster"; this module answers "how fast is the whole
+//! two-phase RWBC pipeline, end to end, on a named scenario" — and
+//! records the answer as a machine-readable `BENCH_<scenario>.json`
+//! file so the engine's perf trajectory is tracked in-repo, PR over PR.
+//!
+//! A scenario is `(mode, topology, n, threads)`:
+//!
+//! * **mode** — `clean` (fault-free CONGEST), `reliable` (Bernoulli
+//!   drops repaired by the [`Reliable`](congest_sim::Reliable) ARQ
+//!   adapter), or `chaos` (drops + duplicates + delays on the raw
+//!   transport, exercising graceful degradation).
+//! * **topology** — `er` (connected G(n,p), expected degree
+//!   max(6, 1.5·ln n)), `ba` (Barabási–Albert, m = 3), or `torus`
+//!   (2-D torus).
+//! * **n** — node count; the default matrix uses 256/1024/4096.
+//! * **threads** — engine worker threads (results are identical at any
+//!   thread count; only wall-clock moves).
+//!
+//! Each scenario runs `warmup` untimed trials then `trials` timed
+//! trials of [`rwbc::distributed::approximate`] on the same graph and
+//! config. Round/message/bit counts are asserted identical across
+//! trials (the engine is deterministic — a mismatch is a bug, and the
+//! harness panics so CI smoke runs fail loudly). Wall-clock is the only
+//! quantity allowed to vary, and it is reported as median/p95/min/max
+//! over the timed trials.
+
+use std::time::Instant;
+
+use congest_sim::trace::json::Json;
+use congest_sim::{FaultPlan, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rwbc::distributed::{approximate, DistributedConfig};
+use rwbc::monte_carlo::TargetStrategy;
+use rwbc_graph::generators::{barabasi_albert, connected_gnp, torus_2d};
+use rwbc_graph::Graph;
+
+/// Version stamp written into every emitted JSON file; bump on any
+/// field change so downstream tooling can reject files it cannot read.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// Fault regime of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Fault-free CONGEST — the paper's model.
+    Clean,
+    /// Bernoulli drops repaired by the reliable-delivery adapter.
+    Reliable,
+    /// Drops + duplicates + delays on the raw transport.
+    Chaos,
+}
+
+impl Mode {
+    /// The scenario-name fragment (`clean` / `reliable` / `chaos`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Clean => "clean",
+            Mode::Reliable => "reliable",
+            Mode::Chaos => "chaos",
+        }
+    }
+}
+
+/// Graph family of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Connected Erdős–Rényi G(n,p), expected degree max(6, 1.5·ln n).
+    Er,
+    /// Barabási–Albert preferential attachment, m = 3.
+    Ba,
+    /// 2-D torus (rows × cols = n, rows as square as n allows).
+    Torus,
+}
+
+impl Topology {
+    /// The scenario-name fragment (`er` / `ba` / `torus`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Topology::Er => "er",
+            Topology::Ba => "ba",
+            Topology::Torus => "torus",
+        }
+    }
+}
+
+/// One named benchmark scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Fault regime.
+    pub mode: Mode,
+    /// Graph family.
+    pub topology: Topology,
+    /// Node count.
+    pub n: usize,
+    /// Engine worker threads.
+    pub threads: usize,
+    /// Walks per node (Algorithm 1's K).
+    pub walks: usize,
+    /// Walk truncation length (Algorithm 1's l).
+    pub length: usize,
+    /// Master seed (graph generation and the simulator both derive
+    /// from it, so a scenario is fully reproducible from its JSON).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with the default workload (K = 4, l = 64, seed 42).
+    pub fn new(mode: Mode, topology: Topology, n: usize, threads: usize) -> Scenario {
+        Scenario {
+            mode,
+            topology,
+            n,
+            threads,
+            walks: 4,
+            length: 64,
+            seed: 42,
+        }
+    }
+
+    /// The canonical name, e.g. `clean-er-n4096-t1`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}-{}-n{}-t{}",
+            self.mode.as_str(),
+            self.topology.as_str(),
+            self.n,
+            self.threads
+        )
+    }
+
+    /// Builds the scenario's graph deterministically from its seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator fails (e.g. G(n,p) never connects within
+    /// the attempt budget) — scenario parameters are chosen so it
+    /// cannot on the default matrix.
+    pub fn build_graph(&self) -> Graph {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9E37_79B9_7F4A_7C15);
+        match self.topology {
+            Topology::Er => {
+                // Expected degree max(6, 1.5·ln n): comfortably above
+                // the ln n connectivity threshold at every size, so the
+                // rejection sampler converges fast.
+                let deg = (1.5 * (self.n as f64).ln()).max(6.0);
+                let p = deg / (self.n as f64 - 1.0);
+                connected_gnp(self.n, p, 200, &mut rng).expect("connected G(n,p)")
+            }
+            Topology::Ba => barabasi_albert(self.n, 3, &mut rng).expect("BA graph"),
+            Topology::Torus => {
+                let (rows, cols) = torus_dims(self.n);
+                torus_2d(rows, cols).expect("torus graph")
+            }
+        }
+    }
+
+    /// Builds the pipeline config for this scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the walk parameters are rejected (they never are for
+    /// the default matrix).
+    pub fn build_config(&self) -> DistributedConfig {
+        let mut cfg = DistributedConfig::builder()
+            .walks(self.walks)
+            .length(self.length)
+            .seed(self.seed)
+            .target(TargetStrategy::Fixed(0))
+            .reliable(self.mode == Mode::Reliable)
+            .build()
+            .expect("scenario params");
+        let sim = SimConfig::default().with_threads(self.threads);
+        cfg.sim = match self.mode {
+            Mode::Clean => sim,
+            // The constant-size reliable header needs budget headroom;
+            // chaos uses the same coefficient so the two faulty modes
+            // are comparable against each other.
+            Mode::Reliable => sim
+                .with_bandwidth_coeff(16)
+                .with_faults(FaultPlan::default().with_drop_probability(0.02)),
+            Mode::Chaos => sim.with_bandwidth_coeff(16).with_faults(
+                FaultPlan::default()
+                    .with_drop_probability(0.03)
+                    .with_duplicate_probability(0.01)
+                    .with_delay_probability(0.02),
+            ),
+        };
+        cfg
+    }
+
+    /// Default timed-trial count: fewer at the largest size so a full
+    /// matrix run stays in single-digit minutes.
+    pub fn default_trials(&self) -> usize {
+        if self.n >= 4096 {
+            3
+        } else {
+            5
+        }
+    }
+}
+
+/// Rows × cols for an n-node torus: the most square factorization with
+/// both sides ≥ 3.
+fn torus_dims(n: usize) -> (usize, usize) {
+    let mut rows = (n as f64).sqrt() as usize;
+    while rows >= 3 {
+        if n % rows == 0 && n / rows >= 3 {
+            return (rows, n / rows);
+        }
+        rows -= 1;
+    }
+    panic!("no torus factorization for n={n}");
+}
+
+/// The default scenario matrix: clean ER at all three sizes (plus the
+/// largest one multi-threaded), clean BA and torus at the middle size,
+/// and the two faulty modes at the small size.
+pub fn default_matrix(threads_n: usize) -> Vec<Scenario> {
+    let mut m = vec![
+        Scenario::new(Mode::Clean, Topology::Er, 256, 1),
+        Scenario::new(Mode::Clean, Topology::Er, 1024, 1),
+        Scenario::new(Mode::Clean, Topology::Er, 4096, 1),
+    ];
+    if threads_n > 1 {
+        m.push(Scenario::new(Mode::Clean, Topology::Er, 4096, threads_n));
+    }
+    m.push(Scenario::new(Mode::Clean, Topology::Ba, 1024, 1));
+    m.push(Scenario::new(Mode::Clean, Topology::Torus, 1024, 1));
+    m.push(Scenario::new(Mode::Reliable, Topology::Er, 256, 1));
+    m.push(Scenario::new(Mode::Chaos, Topology::Er, 256, 1));
+    m
+}
+
+/// The CI smoke matrix: one tiny clean scenario (n = 128).
+pub fn smoke_matrix() -> Vec<Scenario> {
+    vec![Scenario::new(Mode::Clean, Topology::Er, 128, 1)]
+}
+
+/// Measured result of one scenario.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// Untimed warmup trials that preceded the samples.
+    pub warmup: usize,
+    /// Per-trial wall-clock, milliseconds, in run order.
+    pub samples_ms: Vec<f64>,
+    /// Total rounds across all phases (identical for every trial).
+    pub rounds: usize,
+    /// Total messages delivered across all phases.
+    pub total_messages: u64,
+    /// Total bits delivered across all phases.
+    pub total_bits: u64,
+    /// Process peak RSS in bytes after the run (`VmHWM`), when the
+    /// platform exposes it. This is a process-wide high-water mark, so
+    /// in a multi-scenario run it reflects the largest scenario so far.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// Runs one scenario: `warmup` untimed trials, then `trials` timed
+/// ones, asserting the round/message/bit counts replay identically.
+///
+/// # Panics
+///
+/// Panics if a trial fails or if two trials disagree on any
+/// deterministic counter (an engine-determinism regression).
+pub fn run_scenario(scenario: &Scenario, warmup: usize, trials: usize) -> BenchResult {
+    assert!(trials > 0, "need at least one timed trial");
+    let graph = scenario.build_graph();
+    let config = scenario.build_config();
+    let mut samples_ms = Vec::with_capacity(trials);
+    let mut fingerprint: Option<(usize, u64, u64)> = None;
+    for trial in 0..warmup + trials {
+        let start = Instant::now();
+        let run = approximate(&graph, &config).expect("scenario run");
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        let election = run.election_stats.as_ref();
+        let rounds = run.total_rounds();
+        let messages = run.walk_stats.total_messages
+            + run.count_stats.total_messages
+            + election.map_or(0, |s| s.total_messages);
+        let bits = run.walk_stats.total_bits
+            + run.count_stats.total_bits
+            + election.map_or(0, |s| s.total_bits);
+        let fp = (rounds, messages, bits);
+        match fingerprint {
+            None => fingerprint = Some(fp),
+            Some(expected) => assert_eq!(
+                fp,
+                expected,
+                "determinism violation in scenario {}",
+                scenario.name()
+            ),
+        }
+        if trial >= warmup {
+            samples_ms.push(elapsed_ms);
+        }
+    }
+    let (rounds, total_messages, total_bits) = fingerprint.expect("at least one trial ran");
+    BenchResult {
+        scenario: scenario.clone(),
+        warmup,
+        samples_ms,
+        rounds,
+        total_messages,
+        total_bits,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+impl BenchResult {
+    /// Median wall-clock over the timed trials, milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        let sorted = self.sorted_samples();
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    }
+
+    /// Nearest-rank p95 wall-clock, milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        let sorted = self.sorted_samples();
+        let rank = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    fn sorted_samples(&self) -> Vec<f64> {
+        let mut s = self.samples_ms.clone();
+        s.sort_by(f64::total_cmp);
+        s
+    }
+
+    /// Serializes the result to the `BENCH_*.json` schema.
+    pub fn to_json(&self) -> Json {
+        let sorted = self.sorted_samples();
+        let min = sorted.first().copied().unwrap_or(0.0);
+        let max = sorted.last().copied().unwrap_or(0.0);
+        let sc = &self.scenario;
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Int(SCHEMA_VERSION)),
+            ("scenario".into(), Json::Str(sc.name())),
+            ("mode".into(), Json::Str(sc.mode.as_str().into())),
+            ("topology".into(), Json::Str(sc.topology.as_str().into())),
+            ("n".into(), Json::Int(sc.n as i64)),
+            ("threads".into(), Json::Int(sc.threads as i64)),
+            (
+                "params".into(),
+                Json::Obj(vec![
+                    ("walks".into(), Json::Int(sc.walks as i64)),
+                    ("length".into(), Json::Int(sc.length as i64)),
+                    ("seed".into(), Json::Int(sc.seed as i64)),
+                ]),
+            ),
+            ("warmup".into(), Json::Int(self.warmup as i64)),
+            ("trials".into(), Json::Int(self.samples_ms.len() as i64)),
+            (
+                "wall_clock_ms".into(),
+                Json::Obj(vec![
+                    ("median".into(), Json::Float(self.median_ms())),
+                    ("p95".into(), Json::Float(self.p95_ms())),
+                    ("min".into(), Json::Float(min)),
+                    ("max".into(), Json::Float(max)),
+                    (
+                        "samples".into(),
+                        Json::Arr(self.samples_ms.iter().map(|&s| Json::Float(s)).collect()),
+                    ),
+                ]),
+            ),
+            ("rounds".into(), Json::Int(self.rounds as i64)),
+            (
+                "total_messages".into(),
+                Json::Int(self.total_messages as i64),
+            ),
+            ("total_bits".into(), Json::Int(self.total_bits as i64)),
+            (
+                "peak_rss_bytes".into(),
+                match self.peak_rss_bytes {
+                    Some(b) => Json::Int(b as i64),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// The `BENCH_*.json` file name for a scenario, with an optional tag
+/// (e.g. `baseline`) spliced in front of the scenario name.
+pub fn bench_filename(tag: &str, scenario_name: &str) -> String {
+    if tag.is_empty() {
+        format!("BENCH_{scenario_name}.json")
+    } else {
+        format!("BENCH_{tag}-{scenario_name}.json")
+    }
+}
+
+/// Validates a parsed `BENCH_*.json` document against the schema this
+/// module emits.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated constraint.
+pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
+    fn req<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+        doc.get(key).ok_or_else(|| format!("missing field `{key}`"))
+    }
+    fn num(v: &Json, key: &str) -> Result<f64, String> {
+        match v {
+            Json::Int(i) => Ok(*i as f64),
+            Json::Float(f) => Ok(*f),
+            _ => Err(format!("field `{key}` is not a number")),
+        }
+    }
+    let version = req(doc, "schema_version")?
+        .as_u64()
+        .ok_or("`schema_version` is not an integer")?;
+    if version != SCHEMA_VERSION as u64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    req(doc, "scenario")?
+        .as_str()
+        .ok_or("`scenario` is not a string")?;
+    let mode = req(doc, "mode")?.as_str().ok_or("`mode` is not a string")?;
+    if !matches!(mode, "clean" | "reliable" | "chaos") {
+        return Err(format!("unknown mode `{mode}`"));
+    }
+    let topo = req(doc, "topology")?
+        .as_str()
+        .ok_or("`topology` is not a string")?;
+    if !matches!(topo, "er" | "ba" | "torus") {
+        return Err(format!("unknown topology `{topo}`"));
+    }
+    for key in [
+        "n",
+        "threads",
+        "warmup",
+        "trials",
+        "rounds",
+        "total_messages",
+        "total_bits",
+    ] {
+        req(doc, key)?
+            .as_u64()
+            .ok_or_else(|| format!("`{key}` is not a non-negative integer"))?;
+    }
+    if req(doc, "n")?.as_u64() == Some(0) || req(doc, "threads")?.as_u64() == Some(0) {
+        return Err("`n` and `threads` must be positive".into());
+    }
+    let params = req(doc, "params")?;
+    for key in ["walks", "length", "seed"] {
+        params
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("`params.{key}` is not a non-negative integer"))?;
+    }
+    let wall = req(doc, "wall_clock_ms")?;
+    for key in ["median", "p95", "min", "max"] {
+        let v = wall
+            .get(key)
+            .ok_or_else(|| format!("missing field `wall_clock_ms.{key}`"))?;
+        let ms = num(v, key)?;
+        if !ms.is_finite() || ms < 0.0 {
+            return Err(format!(
+                "`wall_clock_ms.{key}` is not a finite non-negative number"
+            ));
+        }
+    }
+    let samples = match wall.get("samples") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err("`wall_clock_ms.samples` is not an array".into()),
+    };
+    let trials = req(doc, "trials")?.as_usize().unwrap_or(0);
+    if samples.len() != trials {
+        return Err(format!(
+            "`wall_clock_ms.samples` has {} entries but `trials` is {trials}",
+            samples.len()
+        ));
+    }
+    for (i, s) in samples.iter().enumerate() {
+        let ms = num(s, "samples[i]")?;
+        if !ms.is_finite() || ms < 0.0 {
+            return Err(format!("sample {i} is not a finite non-negative number"));
+        }
+    }
+    match req(doc, "peak_rss_bytes")? {
+        Json::Null | Json::Int(_) => {}
+        _ => return Err("`peak_rss_bytes` is not an integer or null".into()),
+    }
+    Ok(())
+}
+
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`); `None` where the proc filesystem is absent.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_are_stable() {
+        let s = Scenario::new(Mode::Clean, Topology::Er, 4096, 1);
+        assert_eq!(s.name(), "clean-er-n4096-t1");
+        let s = Scenario::new(Mode::Chaos, Topology::Torus, 256, 4);
+        assert_eq!(s.name(), "chaos-torus-n256-t4");
+    }
+
+    #[test]
+    fn torus_dims_factorize() {
+        assert_eq!(torus_dims(256), (16, 16));
+        assert_eq!(torus_dims(1024), (32, 32));
+        assert_eq!(torus_dims(4096), (64, 64));
+        assert_eq!(torus_dims(128), (8, 16));
+    }
+
+    #[test]
+    fn smoke_scenario_emits_valid_schema() {
+        let scenario = &smoke_matrix()[0];
+        let result = run_scenario(scenario, 0, 2);
+        assert_eq!(result.samples_ms.len(), 2);
+        assert!(result.rounds > 0);
+        assert!(result.total_messages > 0);
+        let doc = result.to_json();
+        validate_bench_json(&doc).expect("schema self-consistency");
+        // Round-trips through the parser unchanged.
+        let reparsed = Json::parse(&doc.to_json()).expect("parse");
+        validate_bench_json(&reparsed).expect("schema after round-trip");
+    }
+
+    #[test]
+    fn validator_rejects_missing_and_malformed_fields() {
+        let scenario = Scenario::new(Mode::Clean, Topology::Torus, 9, 1);
+        let mut result = run_scenario(&scenario, 0, 1);
+        validate_bench_json(&result.to_json()).expect("valid before mutation");
+
+        // Trial-count / sample-length mismatch.
+        result.samples_ms.push(1.0);
+        let doc = result.to_json();
+        let broken = match doc {
+            Json::Obj(mut fields) => {
+                for (k, v) in &mut fields {
+                    if k == "trials" {
+                        *v = Json::Int(1);
+                    }
+                }
+                Json::Obj(fields)
+            }
+            _ => unreachable!(),
+        };
+        assert!(validate_bench_json(&broken).is_err());
+
+        // Missing top-level field.
+        let doc = Json::parse(r#"{"schema_version":1}"#).unwrap();
+        assert!(validate_bench_json(&doc).is_err());
+
+        // Unknown mode string.
+        let mut fields = match result.to_json() {
+            Json::Obj(f) => f,
+            _ => unreachable!(),
+        };
+        for (k, v) in &mut fields {
+            if k == "mode" {
+                *v = Json::Str("frenzied".into());
+            }
+        }
+        assert!(validate_bench_json(&Json::Obj(fields)).is_err());
+    }
+
+    #[test]
+    fn bench_filenames_include_tag() {
+        assert_eq!(
+            bench_filename("", "clean-er-n128-t1"),
+            "BENCH_clean-er-n128-t1.json"
+        );
+        assert_eq!(
+            bench_filename("baseline", "clean-er-n128-t1"),
+            "BENCH_baseline-clean-er-n128-t1.json"
+        );
+    }
+}

@@ -56,6 +56,21 @@ pub struct Simulator<'g, P: NodeProgram> {
     /// Messages held back one round by fault-injected delay; they join
     /// `pending` at the next step and are delivered the round after.
     delayed: Vec<Vec<Incoming<P::Msg>>>,
+    /// Double buffer for `pending`: each step swaps the two, delivers
+    /// from this side, and clears it (keeping capacity), so steady-state
+    /// rounds allocate no inbox storage at all. Always empty between
+    /// steps — checkpoints never see it.
+    inboxes: Vec<Vec<Incoming<P::Msg>>>,
+    /// Persistent per-node outgoing buffers, drained by `commit` each
+    /// round and reused. Always empty between steps.
+    outboxes: Outboxes<P::Msg>,
+    /// Commit scratch: one `(destination, count, bits)` entry per
+    /// per-edge-direction message group of the sender being committed.
+    group_scratch: Vec<(NodeId, usize, usize)>,
+    /// Route delivery through the pre-optimization reference
+    /// implementation (testing only; see
+    /// [`Simulator::with_reference_delivery`]).
+    reference_delivery: bool,
     in_flight: usize,
     stats: RunStats,
     round: usize,
@@ -104,6 +119,10 @@ where
             rngs,
             pending: (0..n).map(|_| Vec::new()).collect(),
             delayed: (0..n).map(|_| Vec::new()).collect(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            outboxes: (0..n).map(|_| Vec::new()).collect(),
+            group_scratch: Vec::new(),
+            reference_delivery: false,
             in_flight: 0,
             stats,
             round: 0,
@@ -114,6 +133,18 @@ where
             node_trace: Vec::new(),
             crashed_prev: Vec::new(),
         }
+    }
+
+    /// Routes delivery through the pre-optimization reference
+    /// implementation (per-group allocation, no buffer reuse). The
+    /// observable execution — stats, traces, checkpoints, RNG streams —
+    /// is identical to the fast path; only allocation behavior differs.
+    /// Exists so the test suite can A/B the two paths; not useful
+    /// otherwise.
+    #[doc(hidden)]
+    pub fn with_reference_delivery(mut self, reference: bool) -> Self {
+        self.reference_delivery = reference;
+        self
     }
 
     /// Attaches a [`Tracer`] that will receive the run's event stream.
@@ -178,8 +209,7 @@ where
         if !self.started {
             self.started = true;
             self.trace_crash_transitions(0);
-            let mut outboxes: Outboxes<P::Msg> =
-                (0..self.graph.node_count()).map(|_| Vec::new()).collect();
+            let mut outboxes = std::mem::take(&mut self.outboxes);
             for (v, (outbox, rng)) in outboxes.iter_mut().zip(&mut self.rngs).enumerate() {
                 if self.config.faults.node_crashed(v, 0) {
                     self.stats.crashed_node_rounds += 1;
@@ -190,7 +220,9 @@ where
                 self.programs[v].on_start(&mut ctx);
             }
             self.drain_node_trace();
-            self.commit(outboxes)?;
+            let committed = self.commit(&mut outboxes);
+            self.outboxes = outboxes;
+            committed?;
             if self.is_finished() {
                 return Ok(true);
             }
@@ -205,8 +237,11 @@ where
         self.trace_crash_transitions(self.round);
 
         let n = self.graph.node_count();
-        let mut inboxes: Vec<Vec<Incoming<P::Msg>>> =
-            std::mem::replace(&mut self.pending, (0..n).map(|_| Vec::new()).collect());
+        // Swap in the double buffer: this round delivers out of
+        // `inboxes` (last round's `pending`), while `pending` becomes
+        // the emptied buffers from two rounds ago — capacity intact, so
+        // a steady-state round allocates no inbox storage.
+        std::mem::swap(&mut self.pending, &mut self.inboxes);
         // Delayed traffic joins the next delivery wave; everything still
         // undelivered after this swap is exactly the delayed backlog.
         self.in_flight = 0;
@@ -216,7 +251,7 @@ where
         }
         // A crashed receiver loses everything delivered while it is down.
         if !self.config.faults.crashes.is_empty() {
-            for (v, inbox) in inboxes.iter_mut().enumerate() {
+            for (v, inbox) in self.inboxes.iter_mut().enumerate() {
                 if self.config.faults.node_crashed(v, self.round) && !inbox.is_empty() {
                     self.stats.dropped += inbox.len() as u64;
                     if let Some(tr) = self.tracer.as_deref_mut() {
@@ -233,8 +268,14 @@ where
                 }
             }
         }
-        for inbox in &mut inboxes {
-            inbox.sort_by_key(|m| m.from);
+        for inbox in &mut self.inboxes {
+            // Delivery order must be by ascending sender. Clean commits
+            // already fill inboxes in that order (senders are committed
+            // 0..n); only delayed arrivals break it, so the (allocating,
+            // stable) sort usually short-circuits here.
+            if !inbox.windows(2).all(|w| w[0].from <= w[1].from) {
+                inbox.sort_by_key(|m| m.from);
+            }
         }
 
         if !self.config.faults.crashes.is_empty() {
@@ -245,13 +286,30 @@ where
             }
         }
 
-        let outboxes = if self.config.threads <= 1 || n < 64 {
-            self.run_round_sequential(&inboxes)
+        // Both buffer sets are moved out for the duration of the round
+        // (the borrow checker cannot see that `programs`/`stats` and the
+        // buffers are disjoint fields) and moved back — empty but with
+        // their capacity — before returning, so every round reuses them.
+        let inboxes = std::mem::take(&mut self.inboxes);
+        let mut outboxes = std::mem::take(&mut self.outboxes);
+        let ran = if self.config.threads <= 1 || n < 64 {
+            self.run_round_sequential(&inboxes, &mut outboxes);
+            Ok(())
         } else {
-            self.run_round_parallel(&inboxes)?
+            self.run_round_parallel(&inboxes, &mut outboxes)
         };
-        self.drain_node_trace();
-        self.commit(outboxes)?;
+        let committed = ran.and_then(|()| {
+            self.drain_node_trace();
+            self.commit(&mut outboxes)
+        });
+        self.inboxes = inboxes;
+        for inbox in &mut self.inboxes {
+            let used = inbox.len();
+            inbox.clear();
+            shrink_after_burst(inbox, used);
+        }
+        self.outboxes = outboxes;
+        committed?;
         Ok(self.is_finished())
     }
 
@@ -303,6 +361,9 @@ where
         loop {
             if self.step()? {
                 self.fold_reliability_stats();
+                // The engine's only stats clone: once per *run*, at
+                // termination. All per-round paths mutate `self.stats`
+                // in place.
                 return Ok(self.stats.clone());
             }
         }
@@ -337,9 +398,12 @@ where
         }
     }
 
-    fn run_round_sequential(&mut self, inboxes: &[Vec<Incoming<P::Msg>>]) -> Outboxes<P::Msg> {
+    fn run_round_sequential(
+        &mut self,
+        inboxes: &[Vec<Incoming<P::Msg>>],
+        outboxes: &mut Outboxes<P::Msg>,
+    ) {
         let n = self.graph.node_count();
-        let mut outboxes: Outboxes<P::Msg> = (0..n).map(|_| Vec::new()).collect();
         for v in 0..n {
             if self.config.faults.node_crashed(v, self.round) {
                 continue;
@@ -354,19 +418,18 @@ where
             .with_trace(self.node_trace.get_mut(v));
             self.programs[v].on_round(&mut ctx, &inboxes[v]);
         }
-        outboxes
     }
 
     fn run_round_parallel(
         &mut self,
         inboxes: &[Vec<Incoming<P::Msg>>],
-    ) -> Result<Outboxes<P::Msg>, SimError> {
+        outboxes: &mut Outboxes<P::Msg>,
+    ) -> Result<(), SimError> {
         let n = self.graph.node_count();
         let threads = self.config.threads;
         let chunk = n.div_ceil(threads);
         let graph = self.graph;
         let round = self.round;
-        let mut outboxes: Outboxes<P::Msg> = (0..n).map(|_| Vec::new()).collect();
 
         let programs = &mut self.programs;
         let rngs = &mut self.rngs;
@@ -424,7 +487,7 @@ where
             first
         });
         match panicked {
-            Ok(None) => Ok(outboxes),
+            Ok(None) => Ok(()),
             // `&*payload` reborrows the boxed payload itself; a plain
             // `&payload` would unsize the `Box` into a fresh trait object
             // and every downcast would miss.
@@ -565,6 +628,10 @@ where
             rngs,
             pending,
             delayed,
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            outboxes: (0..n).map(|_| Vec::new()).collect(),
+            group_scratch: Vec::new(),
+            reference_delivery: false,
             in_flight,
             stats,
             round,
@@ -578,192 +645,381 @@ where
     }
 
     /// Validates and books one round's worth of outgoing traffic, moving it
-    /// into `pending` (or `delayed`) for later delivery.
+    /// into `pending` (or `delayed`) for later delivery. Every outbox is
+    /// left drained (empty, capacity retained) on success.
     ///
     /// Runs single-threaded, and every fault decision is made here in
     /// deterministic `(from, to, send order)` order — the thread count can
     /// never change which messages a fault plan affects.
-    fn commit(&mut self, outboxes: Outboxes<P::Msg>) -> Result<(), SimError> {
+    fn commit(&mut self, outboxes: &mut Outboxes<P::Msg>) -> Result<(), SimError> {
+        let result = if self.reference_delivery {
+            self.commit_reference(outboxes)
+        } else {
+            self.commit_fast(outboxes)
+        };
+        if result.is_err() {
+            // Terminal error: discard whatever was left undrained so a
+            // caller that keeps the simulator alive can never re-commit
+            // stale sends (the pre-refactor path consumed the buffers
+            // by value, dropping them on error).
+            for outbox in outboxes.iter_mut() {
+                outbox.clear();
+            }
+        }
+        result
+    }
+
+    /// Fast-path delivery: destination groups are located by index in a
+    /// single scan, their accounting reads messages in place, and one
+    /// forward `drain` then routes them out — no per-group buffer, no
+    /// outbox reallocation. Event order, fault-RNG draw order, stats,
+    /// and delivery order are identical to [`Simulator::commit_reference`]
+    /// (property-tested in `tests/engine_fast_path.rs`).
+    fn commit_fast(&mut self, outboxes: &mut Outboxes<P::Msg>) -> Result<(), SimError> {
+        let mut groups = std::mem::take(&mut self.group_scratch);
+        let result = self.commit_fast_inner(outboxes, &mut groups);
+        groups.clear();
+        self.group_scratch = groups;
+        result
+    }
+
+    fn commit_fast_inner(
+        &mut self,
+        outboxes: &mut Outboxes<P::Msg>,
+        groups: &mut Vec<(NodeId, usize, usize)>,
+    ) -> Result<(), SimError> {
         let n = self.graph.node_count();
-        let budget = self.stats.budget_bits;
         let send_round = self.round;
         let edge_detail = self
             .tracer
             .as_deref()
             .is_some_and(|t| t.wants_edge_traffic());
-        let mut round_messages = 0u64;
-        let mut round_bits = 0u64;
-        let mut round_cut_messages = 0u64;
-        let mut round_cut_bits = 0u64;
-        for (from, mut outbox) in outboxes.into_iter().enumerate() {
+        let mut counters = RoundCounters::default();
+        for (from, outbox) in outboxes.iter_mut().enumerate() {
             if outbox.is_empty() {
                 continue;
             }
             // Group by destination to charge per-edge-direction budgets.
-            // The sort is stable, preserving each destination's send order;
-            // grouping consecutive runs afterwards keeps commit at
-            // O(d log d) per sender instead of the quadratic scan a
-            // per-message destination lookup would cost on high-degree hubs.
-            outbox.sort_by_key(|(to, _)| *to);
-            let mut queue = outbox.into_iter().peekable();
-            while let Some((to, first)) = queue.next() {
-                if !self.graph.has_edge(from, to) {
+            // The sort is stable, preserving each destination's send
+            // order — and is skipped entirely when the program already
+            // sent in ascending-destination order (the common case:
+            // programs iterate their neighbor lists), since a stable
+            // sort allocates.
+            if !outbox.windows(2).all(|w| w[0].0 <= w[1].0) {
+                outbox.sort_by_key(|(to, _)| *to);
+            }
+            // Pass 1, by reference: destination-group boundaries and bit
+            // totals into the reusable scratch.
+            groups.clear();
+            let mut i = 0;
+            while i < outbox.len() {
+                let to = outbox[i].0;
+                let start = i;
+                let mut bits = 0usize;
+                while i < outbox.len() && outbox[i].0 == to {
+                    bits += outbox[i].1.bit_size(n);
+                    i += 1;
+                }
+                groups.push((to, i - start, bits));
+            }
+            // Pass 2: one forward drain. Each group's accounting runs
+            // immediately before its messages are consumed, preserving
+            // the reference path's exact event and fault-draw order.
+            // Neighbor validation merge-walks the sorted neighbor slice
+            // against the (sorted) groups: O(deg + groups) per sender
+            // instead of a `has_edge` binary search per group — which a
+            // broadcast-heavy round pays per *message*.
+            let neigh: &[NodeId] = self.graph.neighbor_slice(from);
+            let mut ni = 0usize;
+            let used = outbox.len();
+            let mut queue = outbox.drain(..);
+            for &(to, count, bits) in groups.iter() {
+                while ni < neigh.len() && neigh[ni] < to {
+                    ni += 1;
+                }
+                if ni >= neigh.len() || neigh[ni] != to {
                     return Err(SimError::NotNeighbor { from, to });
                 }
+                let deliver = self.account_group(
+                    from,
+                    to,
+                    count,
+                    bits,
+                    send_round,
+                    edge_detail,
+                    &mut counters,
+                )?;
+                if deliver {
+                    for _ in 0..count {
+                        let (_, msg) = queue.next().expect("group sizes cover the outbox");
+                        self.route_one(from, to, send_round, msg);
+                    }
+                } else {
+                    // Link down: the whole group is lost (already
+                    // accounted); skip its messages.
+                    for _ in 0..count {
+                        queue.next();
+                    }
+                }
+            }
+            drop(queue);
+            shrink_after_burst(outbox, used);
+        }
+        self.emit_round_event(send_round, &counters);
+        Ok(())
+    }
+
+    /// The pre-optimization delivery path: rebuilds each sender's outbox
+    /// by value and allocates a fresh `Vec` per destination group, as the
+    /// engine did before the fast path landed. Kept (in release builds
+    /// too) purely so the test suite can A/B the two implementations —
+    /// see [`Simulator::with_reference_delivery`].
+    fn commit_reference(&mut self, outboxes: &mut Outboxes<P::Msg>) -> Result<(), SimError> {
+        let n = self.graph.node_count();
+        let send_round = self.round;
+        let edge_detail = self
+            .tracer
+            .as_deref()
+            .is_some_and(|t| t.wants_edge_traffic());
+        let mut counters = RoundCounters::default();
+        for (from, outbox) in outboxes.iter_mut().enumerate() {
+            if outbox.is_empty() {
+                continue;
+            }
+            let mut drained = std::mem::take(outbox);
+            drained.sort_by_key(|(to, _)| *to);
+            let mut queue = drained.into_iter().peekable();
+            while let Some((to, first)) = queue.next() {
                 let mut msgs = vec![first];
                 while queue.peek().is_some_and(|(d, _)| *d == to) {
                     msgs.push(queue.next().expect("peeked element exists").1);
                 }
                 let count = msgs.len();
                 let bits: usize = msgs.iter().map(|m| m.bit_size(n)).sum();
-                let mut violated = false;
-                if count > self.config.messages_per_edge {
-                    match self.config.violation_policy {
-                        ViolationPolicy::Strict => {
-                            return Err(SimError::TooManyMessages {
-                                from,
-                                to,
-                                round: self.round,
-                                count,
-                                limit: self.config.messages_per_edge,
-                            })
-                        }
-                        ViolationPolicy::Record => violated = true,
-                    }
+                if !self.graph.has_edge(from, to) {
+                    return Err(SimError::NotNeighbor { from, to });
                 }
-                if bits > budget {
-                    match self.config.violation_policy {
-                        ViolationPolicy::Strict => {
-                            return Err(SimError::BandwidthExceeded {
-                                from,
-                                to,
-                                round: self.round,
-                                bits,
-                                budget,
-                            })
-                        }
-                        ViolationPolicy::Record => violated = true,
-                    }
-                }
-                if violated {
-                    self.stats.violations += 1;
-                }
-                self.stats.total_messages += count as u64;
-                self.stats.total_bits += bits as u64;
-                // Strictly-greater keeps the *first* edge-round that set
-                // the record, so the peak location is deterministic.
-                if bits > self.stats.max_bits_edge_round {
-                    self.stats.max_bits_edge_round = bits;
-                    self.stats.peak_edge = Some((from, to, send_round));
-                }
-                self.stats.max_messages_edge_round = self.stats.max_messages_edge_round.max(count);
-                let crosses_cut = self.cut_set.contains(&ordered(from, to));
-                if crosses_cut {
-                    self.stats.cut.messages += count as u64;
-                    self.stats.cut.bits += bits as u64;
-                }
-                round_messages += count as u64;
-                round_bits += bits as u64;
-                if crosses_cut {
-                    round_cut_messages += count as u64;
-                    round_cut_bits += bits as u64;
-                }
-                if edge_detail {
-                    if let Some(tr) = self.tracer.as_deref_mut() {
-                        tr.record(&TraceEvent::EdgeTraffic {
-                            round: send_round,
-                            from,
-                            to,
-                            messages: count,
-                            bits,
-                            cut: crosses_cut,
-                        });
-                    }
-                }
-                if self.config.faults.link_down(from, to, send_round) {
-                    // The edge is out: everything sent over it this round
-                    // is lost, with no randomness consumed.
-                    self.stats.dropped += count as u64;
-                    if let Some(tr) = self.tracer.as_deref_mut() {
-                        for _ in 0..count {
-                            tr.record(&TraceEvent::Dropped {
-                                round: send_round,
-                                from,
-                                to,
-                                reason: DropReason::LinkDown,
-                            });
-                        }
-                    }
-                    continue;
-                }
-                for msg in msgs {
-                    // Each probabilistic fault draws from the dedicated
-                    // fault RNG only when enabled, in a fixed order per
-                    // message (drop, then delay, then duplicate), so a
-                    // given plan replays identically.
-                    let faults = &self.config.faults;
-                    if faults.drop_probability > 0.0
-                        && rand::Rng::gen_bool(&mut self.fault_rng, faults.drop_probability)
-                    {
-                        self.stats.dropped += 1;
-                        if let Some(tr) = self.tracer.as_deref_mut() {
-                            tr.record(&TraceEvent::Dropped {
-                                round: send_round,
-                                from,
-                                to,
-                                reason: DropReason::Fault,
-                            });
-                        }
-                        continue;
-                    }
-                    let late = faults.delay_probability > 0.0
-                        && rand::Rng::gen_bool(&mut self.fault_rng, faults.delay_probability);
-                    let duplicated = faults.duplicate_probability > 0.0
-                        && rand::Rng::gen_bool(&mut self.fault_rng, faults.duplicate_probability);
-                    if duplicated {
-                        // The extra copy always takes the fast path; if the
-                        // original is simultaneously delayed, the pair
-                        // arrives reordered across rounds.
-                        self.stats.duplicated += 1;
-                        self.in_flight += 1;
-                        if let Some(tr) = self.tracer.as_deref_mut() {
-                            tr.record(&TraceEvent::Duplicated {
-                                round: send_round,
-                                from,
-                                to,
-                            });
-                        }
-                        self.pending[to].push(Incoming {
-                            from,
-                            msg: msg.clone(),
-                        });
-                    }
-                    self.in_flight += 1;
-                    if late {
-                        self.stats.delayed += 1;
-                        if let Some(tr) = self.tracer.as_deref_mut() {
-                            tr.record(&TraceEvent::Delayed {
-                                round: send_round,
-                                from,
-                                to,
-                            });
-                        }
-                        self.delayed[to].push(Incoming { from, msg });
-                    } else {
-                        self.pending[to].push(Incoming { from, msg });
+                let deliver = self.account_group(
+                    from,
+                    to,
+                    count,
+                    bits,
+                    send_round,
+                    edge_detail,
+                    &mut counters,
+                )?;
+                if deliver {
+                    for msg in msgs {
+                        self.route_one(from, to, send_round, msg);
                     }
                 }
             }
         }
+        self.emit_round_event(send_round, &counters);
+        Ok(())
+    }
+
+    /// Books one `(from → to)` message group: the message-count and
+    /// bit-budget checks, statistics, cut metering, and the
+    /// `EdgeTraffic`/link-down events. Returns whether the group's
+    /// messages should be routed (`false`: the link is out and the whole
+    /// group was dropped, with no randomness consumed).
+    ///
+    /// The caller has already validated that `(from, to)` is an edge —
+    /// the reference path with a per-group `has_edge`, the fast path by
+    /// merge-walking the sorted neighbor slice alongside the sorted
+    /// destination groups.
+    #[allow(clippy::too_many_arguments)]
+    fn account_group(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        count: usize,
+        bits: usize,
+        send_round: usize,
+        edge_detail: bool,
+        counters: &mut RoundCounters,
+    ) -> Result<bool, SimError> {
+        let budget = self.stats.budget_bits;
+        let mut violated = false;
+        if count > self.config.messages_per_edge {
+            match self.config.violation_policy {
+                ViolationPolicy::Strict => {
+                    return Err(SimError::TooManyMessages {
+                        from,
+                        to,
+                        round: self.round,
+                        count,
+                        limit: self.config.messages_per_edge,
+                    })
+                }
+                ViolationPolicy::Record => violated = true,
+            }
+        }
+        if bits > budget {
+            match self.config.violation_policy {
+                ViolationPolicy::Strict => {
+                    return Err(SimError::BandwidthExceeded {
+                        from,
+                        to,
+                        round: self.round,
+                        bits,
+                        budget,
+                    })
+                }
+                ViolationPolicy::Record => violated = true,
+            }
+        }
+        if violated {
+            self.stats.violations += 1;
+        }
+        self.stats.total_messages += count as u64;
+        self.stats.total_bits += bits as u64;
+        // Strictly-greater keeps the *first* edge-round that set
+        // the record, so the peak location is deterministic.
+        if bits > self.stats.max_bits_edge_round {
+            self.stats.max_bits_edge_round = bits;
+            self.stats.peak_edge = Some((from, to, send_round));
+        }
+        self.stats.max_messages_edge_round = self.stats.max_messages_edge_round.max(count);
+        // Gating on emptiness skips the hash-and-probe per group in the
+        // (typical) meterless configuration; the result is unchanged.
+        let crosses_cut = !self.cut_set.is_empty() && self.cut_set.contains(&ordered(from, to));
+        if crosses_cut {
+            self.stats.cut.messages += count as u64;
+            self.stats.cut.bits += bits as u64;
+        }
+        counters.messages += count as u64;
+        counters.bits += bits as u64;
+        if crosses_cut {
+            counters.cut_messages += count as u64;
+            counters.cut_bits += bits as u64;
+        }
+        if edge_detail {
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                tr.record(&TraceEvent::EdgeTraffic {
+                    round: send_round,
+                    from,
+                    to,
+                    messages: count,
+                    bits,
+                    cut: crosses_cut,
+                });
+            }
+        }
+        if self.config.faults.link_down(from, to, send_round) {
+            // The edge is out: everything sent over it this round
+            // is lost, with no randomness consumed.
+            self.stats.dropped += count as u64;
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                for _ in 0..count {
+                    tr.record(&TraceEvent::Dropped {
+                        round: send_round,
+                        from,
+                        to,
+                        reason: DropReason::LinkDown,
+                    });
+                }
+            }
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Routes one already-accounted message through fault injection into
+    /// `pending` or `delayed`. Each probabilistic fault draws from the
+    /// dedicated fault RNG only when enabled, in a fixed order per
+    /// message (drop, then delay, then duplicate), so a given plan
+    /// replays identically.
+    fn route_one(&mut self, from: NodeId, to: NodeId, send_round: usize, msg: P::Msg) {
+        let faults = &self.config.faults;
+        if faults.drop_probability > 0.0
+            && rand::Rng::gen_bool(&mut self.fault_rng, faults.drop_probability)
+        {
+            self.stats.dropped += 1;
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                tr.record(&TraceEvent::Dropped {
+                    round: send_round,
+                    from,
+                    to,
+                    reason: DropReason::Fault,
+                });
+            }
+            return;
+        }
+        let faults = &self.config.faults;
+        let late = faults.delay_probability > 0.0
+            && rand::Rng::gen_bool(&mut self.fault_rng, faults.delay_probability);
+        let duplicated = faults.duplicate_probability > 0.0
+            && rand::Rng::gen_bool(&mut self.fault_rng, faults.duplicate_probability);
+        if duplicated {
+            // The extra copy always takes the fast path; if the
+            // original is simultaneously delayed, the pair
+            // arrives reordered across rounds. This clone is the one
+            // delivery-path clone left: two independent copies genuinely
+            // enter the network, and the branch is fault-only and rare,
+            // so it never taxes the clean path.
+            self.stats.duplicated += 1;
+            self.in_flight += 1;
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                tr.record(&TraceEvent::Duplicated {
+                    round: send_round,
+                    from,
+                    to,
+                });
+            }
+            self.pending[to].push(Incoming {
+                from,
+                msg: msg.clone(),
+            });
+        }
+        self.in_flight += 1;
+        if late {
+            self.stats.delayed += 1;
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                tr.record(&TraceEvent::Delayed {
+                    round: send_round,
+                    from,
+                    to,
+                });
+            }
+            self.delayed[to].push(Incoming { from, msg });
+        } else {
+            self.pending[to].push(Incoming { from, msg });
+        }
+    }
+
+    /// Emits the per-round summary trace event.
+    fn emit_round_event(&mut self, send_round: usize, counters: &RoundCounters) {
         if let Some(tr) = self.tracer.as_deref_mut() {
             tr.record(&TraceEvent::Round {
                 round: send_round,
-                messages: round_messages,
-                bits: round_bits,
-                cut_messages: round_cut_messages,
-                cut_bits: round_cut_bits,
+                messages: counters.messages,
+                bits: counters.bits,
+                cut_messages: counters.cut_messages,
+                cut_bits: counters.cut_bits,
             });
         }
-        Ok(())
+    }
+}
+
+/// Whole-round traffic totals for the `Round` trace event.
+#[derive(Debug, Default)]
+struct RoundCounters {
+    messages: u64,
+    bits: u64,
+    cut_messages: u64,
+    cut_bits: u64,
+}
+
+/// Reclaims burst growth in a reused buffer: once a round used less than
+/// a quarter of the buffer's capacity, halve the capacity. Repeated
+/// quiet rounds decay a chaos-inflated buffer geometrically instead of
+/// pinning its high-water mark forever; the floor leaves steady-state
+/// buffers alone.
+fn shrink_after_burst<T>(buf: &mut Vec<T>, used: usize) {
+    let cap = buf.capacity();
+    if cap > 64 && used < cap / 4 {
+        buf.shrink_to(cap / 2);
     }
 }

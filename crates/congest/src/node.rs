@@ -160,9 +160,11 @@ impl<'a, M: Message> Context<'a, M> {
     where
         M: Clone,
     {
-        let neighbors: Vec<NodeId> = self.neighbors().collect();
-        for v in neighbors {
-            self.send(v, msg.clone());
+        // Push straight from the neighbor iterator: `graph` and `outbox`
+        // are disjoint fields, so no intermediate `Vec<NodeId>` is needed
+        // to appease the borrow checker.
+        for v in self.graph.neighbors(self.node) {
+            self.outbox.push((v, msg.clone()));
         }
     }
 }

@@ -224,6 +224,14 @@ pub struct Reliable<P: NodeProgram> {
     preseed_dead: Vec<NodeId>,
     dead_links_declared: u64,
     undeliverable: u64,
+    /// Reused buffer for the inner program's outbox, taken/restored around
+    /// each [`Reliable::step_inner`] call so steady-state rounds allocate
+    /// nothing. Always empty between rounds.
+    outbox_scratch: Vec<(NodeId, P::Msg)>,
+    /// Reused buffer for in-order deliveries, taken in
+    /// [`Reliable::absorb`] and restored after the inner program consumed
+    /// the slice. Always empty between rounds.
+    delivered_scratch: Vec<Incoming<P::Msg>>,
 }
 
 impl<P: NodeProgram> Reliable<P> {
@@ -247,6 +255,8 @@ impl<P: NodeProgram> Reliable<P> {
             preseed_dead: Vec::new(),
             dead_links_declared: 0,
             undeliverable: 0,
+            outbox_scratch: Vec::new(),
+            delivered_scratch: Vec::new(),
         }
     }
 
@@ -398,7 +408,8 @@ impl<P: NodeProgram> Reliable<P> {
         inbox: &[Incoming<P::Msg>],
         start: bool,
     ) {
-        let mut inner_outbox: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut inner_outbox = std::mem::take(&mut self.outbox_scratch);
+        debug_assert!(inner_outbox.is_empty());
         let round = ctx.round();
         let id = ctx.id();
         let graph = ctx.graph_ref();
@@ -418,7 +429,7 @@ impl<P: NodeProgram> Reliable<P> {
         if !inbox.is_empty() || !inner_outbox.is_empty() {
             self.inner_last_active_round = Some(round);
         }
-        for (to, msg) in inner_outbox {
+        for (to, msg) in inner_outbox.drain(..) {
             let ch = self.channel_index(to);
             if self.channels[ch].dead {
                 // The inner program addressed a declared-dead peer; the
@@ -429,17 +440,20 @@ impl<P: NodeProgram> Reliable<P> {
             let slot = self.store(msg);
             self.channels[ch].backlog.push_back(slot);
         }
+        self.outbox_scratch = inner_outbox;
     }
 
     /// Processes one round's frames: acks advance the window, in-order
     /// payloads are collected for the inner program, everything else is
-    /// suppressed. Returns the inner inbox.
+    /// suppressed. Returns the inner inbox (the caller hands the buffer
+    /// back to `delivered_scratch` once the inner program has run).
     fn absorb(
         &mut self,
         ctx: &mut Context<'_, ReliableMsg<P::Msg>>,
         frames: &[Incoming<ReliableMsg<P::Msg>>],
     ) -> Vec<Incoming<P::Msg>> {
-        let mut delivered: Vec<Incoming<P::Msg>> = Vec::new();
+        let mut delivered = std::mem::take(&mut self.delivered_scratch);
+        debug_assert!(delivered.is_empty());
         for frame in frames {
             let ch = self.channel_index(frame.from);
             if self.channels[ch].dead {
@@ -588,8 +602,10 @@ where
 
     fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[Incoming<Self::Msg>]) {
         self.ensure_channels(ctx);
-        let delivered = self.absorb(ctx, inbox);
+        let mut delivered = self.absorb(ctx, inbox);
         self.step_inner(ctx, &delivered, false);
+        delivered.clear();
+        self.delivered_scratch = delivered;
         self.transmit(ctx);
     }
 

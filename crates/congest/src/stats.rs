@@ -82,6 +82,36 @@ impl RunStats {
         self.violations == 0 && self.max_bits_edge_round <= self.budget_bits
     }
 
+    /// Accumulates another run's statistics into this one: additive
+    /// counters add, per-round maxima take the max, and the peak-edge
+    /// location travels with the maximum it belongs to (strictly greater:
+    /// on a tie the earlier run keeps the record). `budget_bits` is left
+    /// untouched — callers accumulate runs charged against the same
+    /// budget. Used by multi-sub-phase drivers (e.g. fault recovery) to
+    /// report one total.
+    pub fn absorb(&mut self, s: &RunStats) {
+        self.rounds += s.rounds;
+        self.total_messages += s.total_messages;
+        self.total_bits += s.total_bits;
+        if s.max_bits_edge_round > self.max_bits_edge_round {
+            self.max_bits_edge_round = s.max_bits_edge_round;
+            self.peak_edge = s.peak_edge;
+        }
+        self.max_messages_edge_round = self.max_messages_edge_round.max(s.max_messages_edge_round);
+        self.violations += s.violations;
+        self.dropped += s.dropped;
+        self.duplicated += s.duplicated;
+        self.delayed += s.delayed;
+        self.retransmissions += s.retransmissions;
+        self.duplicates_suppressed += s.duplicates_suppressed;
+        self.dead_links_declared += s.dead_links_declared;
+        self.undeliverable_messages += s.undeliverable_messages;
+        self.crashed_node_rounds += s.crashed_node_rounds;
+        self.delivery_overhead_rounds += s.delivery_overhead_rounds;
+        self.cut.messages += s.cut.messages;
+        self.cut.bits += s.cut.bits;
+    }
+
     /// Average bits per delivered message, or 0 when nothing was sent.
     pub fn mean_bits_per_message(&self) -> f64 {
         if self.total_messages == 0 {

@@ -110,6 +110,13 @@ impl CollectProgram {
         }
         if let (Some(parent), Some((u, v))) = (self.parent, self.outqueue.pop_front()) {
             ctx.send(parent, CollectMsg::Edge(u, v));
+            // Fault bursts (duplication storms) can balloon the relay
+            // queue; give the capacity back once the backlog drains so a
+            // burst doesn't pin memory for the rest of the run.
+            let cap = self.outqueue.capacity();
+            if cap > 64 && self.outqueue.len() < cap / 4 {
+                self.outqueue.shrink_to(cap / 2);
+            }
         }
     }
 }

@@ -18,7 +18,7 @@ use congest_sim::{Context, Incoming, NodeProgram, TraceEvent};
 use rwbc_graph::NodeId;
 
 use crate::distributed::messages::CountMsg;
-use crate::flow_sum::node_net_flow_sorted;
+use crate::flow_sum::node_net_flow_sorted_strided;
 
 /// Node program for the computing phase.
 #[derive(Debug, Clone)]
@@ -29,8 +29,14 @@ pub struct CountProgram {
     own: Vec<f64>,
     /// Fixed-point image of `own` that actually travels.
     own_scaled: Vec<u64>,
-    /// Per-neighbor columns received so far, indexed by neighbor position.
-    neighbor_cols: Vec<Vec<f64>>,
+    /// Received neighbor counts, flattened row-major as
+    /// `cols[source * degree + slot]`. One lockstep round fills one *row*
+    /// (every neighbor's count for the same source), so row-major keeps
+    /// the per-round writes on adjacent cache lines; a column layout
+    /// strides them `8n` bytes apart, which at `n = 4096` turns every
+    /// message into a cache miss.
+    cols: Vec<f64>,
+    degree: usize,
     value_bits: u8,
     fractional_bits: u8,
     k: usize,
@@ -63,6 +69,10 @@ pub struct CountProgram {
     effective_n: usize,
     /// The locally computed betweenness, available once the phase is done.
     betweenness: Option<f64>,
+    /// Cached neighbor ids (ascending), filled on first use. The topology
+    /// is static, so collecting the iterator once replaces the per-round
+    /// `Vec<NodeId>` allocations the slot lookups used to pay.
+    neighbor_ids: Vec<NodeId>,
 }
 
 impl CountProgram {
@@ -98,7 +108,8 @@ impl CountProgram {
             n,
             own,
             own_scaled,
-            neighbor_cols: vec![vec![0.0; n]; degree],
+            cols: vec![0.0; n * degree],
+            degree,
             value_bits,
             fractional_bits,
             k: walks_per_node,
@@ -111,6 +122,7 @@ impl CountProgram {
             live: vec![true; degree],
             effective_n: n,
             betweenness: None,
+            neighbor_ids: Vec::new(),
         }
     }
 
@@ -182,14 +194,10 @@ impl CountProgram {
 
     fn finish_if_done(&mut self, ctx: &mut Context<'_, CountMsg>) {
         if self.all_counts_received() && self.betweenness.is_none() {
-            let expected = (self.neighbor_cols.len() * self.n) as u64;
+            let expected = (self.degree * self.n) as u64;
             let received: u64 = self.received_per_neighbor.iter().map(|&r| r as u64).sum();
             self.missing = expected.saturating_sub(received);
-            let inner = node_net_flow_sorted(
-                self.me,
-                &self.own,
-                self.neighbor_cols.iter().map(Vec::as_slice),
-            );
+            let inner = node_net_flow_sorted_strided(self.me, &self.own, &self.cols, self.degree);
             let nf = self.effective_n as f64;
             self.betweenness = Some((inner + (nf - 1.0)) / (nf * (nf - 1.0) / 2.0));
             if ctx.tracing() {
@@ -214,21 +222,37 @@ impl NodeProgram for CountProgram {
     }
 
     fn on_round(&mut self, ctx: &mut Context<'_, CountMsg>, inbox: &[Incoming<CountMsg>]) {
+        if self.neighbor_ids.len() != ctx.degree() {
+            self.neighbor_ids.clear();
+            self.neighbor_ids.extend(ctx.neighbors());
+        }
         if !self.dead_peers.is_empty() {
-            let neighbors: Vec<rwbc_graph::NodeId> = ctx.neighbors().collect();
             for p in &self.dead_peers {
-                if let Ok(slot) = neighbors.binary_search(p) {
+                if let Ok(slot) = self.neighbor_ids.binary_search(p) {
                     self.live[slot] = false;
                 }
             }
         }
         if self.strict_delivery || self.received_rounds < self.n {
-            let neighbors: Vec<rwbc_graph::NodeId> = ctx.neighbors().collect();
-            let scale = f64::from(1u32 << self.fractional_bits);
+            // `* inv_scale` is bit-identical to `/ scale` (both exact:
+            // power-of-two scaling), so hoisting it out of the loop trades
+            // one of the two per-message divisions for a multiply without
+            // perturbing a single result.
+            let inv_scale = 1.0 / f64::from(1u32 << self.fractional_bits);
+            let k_f = self.k as f64;
+            // In a clean lockstep round the inbox is exactly the (sorted)
+            // neighbor list, so a cursor resolves every slot in O(1); the
+            // binary search only runs when faults thin or reorder arrivals.
+            let mut cursor = 0usize;
             for m in inbox {
-                let slot = neighbors
-                    .binary_search(&m.from)
-                    .expect("messages only arrive from neighbors");
+                let slot = if cursor < self.degree && self.neighbor_ids[cursor] == m.from {
+                    cursor
+                } else {
+                    self.neighbor_ids
+                        .binary_search(&m.from)
+                        .expect("messages only arrive from neighbors")
+                };
+                cursor = slot + 1;
                 // Lockstep: the inbox of round r carries the neighbors'
                 // counts for source r − 1 (the source id travels for free
                 // in the round number). Strict delivery: an in-order
@@ -244,7 +268,7 @@ impl NodeProgram for CountProgram {
                     self.received_rounds
                 };
                 if source < self.n {
-                    self.neighbor_cols[slot][source] = m.msg.scaled as f64 / scale / self.k as f64;
+                    self.cols[source * self.degree + slot] = m.msg.scaled as f64 * inv_scale / k_f;
                     self.received_per_neighbor[slot] += 1;
                 }
             }

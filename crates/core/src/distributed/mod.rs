@@ -425,12 +425,22 @@ pub(crate) fn span_start(tracer: Option<&mut (dyn Tracer + '_)>, name: &str) -> 
 }
 
 /// Closes a driver-side phase span with its round count and elapsed time.
+///
+/// Setting `RWBC_PHASE_TIMING=1` prints each span to stderr as it
+/// closes — a zero-setup way to see where a run's wall clock goes
+/// without attaching a tracer.
 pub(crate) fn span_end(
     tracer: Option<&mut (dyn Tracer + '_)>,
     name: &str,
     rounds: usize,
     t0: Instant,
 ) {
+    if std::env::var_os("RWBC_PHASE_TIMING").is_some() {
+        eprintln!(
+            "[phase] {name}: {rounds} rounds, {:.1} ms",
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+    }
     if let Some(tr) = tracer {
         tr.record(&TraceEvent::PhaseEnd {
             name: name.to_string(),
@@ -594,7 +604,7 @@ fn approximate_inner(
             span_end(tracer.as_deref_mut(), &name, stats.rounds, t0);
             match &mut merged {
                 None => merged = Some(stats),
-                Some(m) => merge_stats(m, &stats),
+                Some(m) => m.absorb(&stats),
             }
         }
         degradation.walks_lost = outstanding.iter().sum();
@@ -790,7 +800,7 @@ fn approximate_partition_tolerant(
         span_end(tracer.as_deref_mut(), &name, stats.rounds, t0);
         match &mut merged {
             None => merged = Some(stats),
-            Some(m) => merge_stats(m, &stats),
+            Some(m) => m.absorb(&stats),
         }
 
         // Survivor topology: the graph minus every declared-dead link.
@@ -919,7 +929,7 @@ fn approximate_partition_tolerant(
         span_end(tracer.as_deref_mut(), &name, stats.rounds, t0);
         match &mut count_stats {
             None => count_stats = Some(stats),
-            Some(m) => merge_stats(m, &stats),
+            Some(m) => m.absorb(&stats),
         }
         if dead_links.len() == before {
             break;
@@ -982,33 +992,6 @@ fn survivor_graph(
             .filter(|e| !dead_links.contains(&ordered_pair(e.u, e.v)))
             .map(|e| (e.u, e.v)),
     )?)
-}
-
-/// Accumulates a recovery sub-phase's statistics into the phase total:
-/// additive counters add, per-round maxima take the max.
-fn merge_stats(acc: &mut RunStats, s: &RunStats) {
-    acc.rounds += s.rounds;
-    acc.total_messages += s.total_messages;
-    acc.total_bits += s.total_bits;
-    // The peak-edge location travels with the maximum it belongs to
-    // (strictly greater: on a tie the earlier sub-phase keeps the record).
-    if s.max_bits_edge_round > acc.max_bits_edge_round {
-        acc.max_bits_edge_round = s.max_bits_edge_round;
-        acc.peak_edge = s.peak_edge;
-    }
-    acc.max_messages_edge_round = acc.max_messages_edge_round.max(s.max_messages_edge_round);
-    acc.violations += s.violations;
-    acc.dropped += s.dropped;
-    acc.duplicated += s.duplicated;
-    acc.delayed += s.delayed;
-    acc.retransmissions += s.retransmissions;
-    acc.duplicates_suppressed += s.duplicates_suppressed;
-    acc.dead_links_declared += s.dead_links_declared;
-    acc.undeliverable_messages += s.undeliverable_messages;
-    acc.crashed_node_rounds += s.crashed_node_rounds;
-    acc.delivery_overhead_rounds += s.delivery_overhead_rounds;
-    acc.cut.messages += s.cut.messages;
-    acc.cut.bits += s.cut.bits;
 }
 
 #[cfg(test)]

@@ -42,6 +42,25 @@ pub struct WalkProgram {
     /// truncated in place.
     dead_neighbors: Vec<NodeId>,
     started: bool,
+    /// Node-owned forwarding buffers, reused round over round.
+    scratch: ForwardScratch,
+}
+
+/// Reusable buffers for [`WalkProgram::forward`], so the per-round
+/// distribution step allocates nothing in steady state. Never part of
+/// the protocol state: empty between rounds, excluded from equality.
+#[derive(Debug, Clone, Default)]
+struct ForwardScratch {
+    /// One bucket per neighbor index; each bucket's `Vec` is moved into
+    /// the outgoing [`WalkBatch`] (the message owns its tokens), but the
+    /// outer `Vec` persists.
+    per_neighbor: Vec<Vec<WalkToken>>,
+    /// Tokens held back by the congestion discipline this round; swapped
+    /// with `queue` at the end of the distribution, so both buffers keep
+    /// their capacity.
+    keep: Vec<WalkToken>,
+    /// Live-neighbor indices when some neighbors are dead.
+    live: Vec<usize>,
 }
 
 impl WalkProgram {
@@ -106,6 +125,7 @@ impl WalkProgram {
             deaths,
             dead_neighbors: Vec::new(),
             started: false,
+            scratch: ForwardScratch::default(),
         }
     }
 
@@ -147,6 +167,7 @@ impl WalkProgram {
             deaths,
             dead_neighbors: Vec::new(),
             started: false,
+            scratch: ForwardScratch::default(),
         }
     }
 
@@ -200,19 +221,16 @@ impl WalkProgram {
         }
         let deg = ctx.degree();
         debug_assert!(deg > 0, "connected graphs have no isolated nodes");
-        // Pair each token with its chosen neighbor (paper line 6, first
-        // half: "choose a random neighbor v"). With dead neighbors the walk
-        // re-samples uniformly among the survivors — the walk distribution
-        // of the *surviving* graph; without any, the original single-draw
-        // path is kept so fault-free traces replay bit-identically.
-        let choices: Vec<usize> = if self.dead_neighbors.is_empty() {
-            (0..self.queue.len())
-                .map(|_| ctx.rng().gen_range(0..deg))
-                .collect()
-        } else {
-            let live: Vec<usize> = (0..deg)
-                .filter(|&i| self.dead_neighbors.binary_search(&ctx.neighbor(i)).is_err())
-                .collect();
+        // With dead neighbors the walk re-samples uniformly among the
+        // survivors — the walk distribution of the *surviving* graph;
+        // without any, the original single-draw path is kept so fault-free
+        // traces replay bit-identically.
+        if !self.dead_neighbors.is_empty() {
+            let live = &mut self.scratch.live;
+            live.clear();
+            live.extend(
+                (0..deg).filter(|&i| self.dead_neighbors.binary_search(&ctx.neighbor(i)).is_err()),
+            );
             if live.is_empty() {
                 // Every neighbor is gone: the node is stranded and its
                 // walks can never move again. Truncate them in place so
@@ -222,10 +240,7 @@ impl WalkProgram {
                 }
                 return;
             }
-            (0..self.queue.len())
-                .map(|_| live[ctx.rng().gen_range(0..live.len())])
-                .collect()
-        };
+        }
         let max_per_edge = match self.discipline {
             CongestionDiscipline::HoldAndResend => 1,
             CongestionDiscipline::Batched => {
@@ -234,22 +249,39 @@ impl WalkProgram {
                 ((budget.saturating_sub(4)) / token).max(1)
             }
         };
-        // For each neighbor, take up to `max_per_edge` tokens; the rest
-        // wait (paper line 6, second half).
-        let mut keep: Vec<WalkToken> = Vec::new();
-        let mut per_neighbor: Vec<Vec<WalkToken>> = vec![Vec::new(); deg];
-        for (token, choice) in self.queue.drain(..).zip(choices) {
-            if per_neighbor[choice].len() < max_per_edge {
-                per_neighbor[choice].push(token);
+        if self.scratch.per_neighbor.len() < deg {
+            self.scratch.per_neighbor.resize_with(deg, Vec::new);
+        }
+        debug_assert!(self.scratch.per_neighbor.iter().all(Vec::is_empty));
+        debug_assert!(self.scratch.keep.is_empty());
+        // Roll a neighbor for each token (paper line 6, first half: "choose
+        // a random neighbor v") and bucket it, taking up to `max_per_edge`
+        // per neighbor; the rest wait (line 6, second half). One RNG draw
+        // per token in queue order — the same draw sequence as sampling all
+        // choices up front, so pre-arena traces replay bit-identically.
+        for token in self.queue.drain(..) {
+            let choice = if self.dead_neighbors.is_empty() {
+                ctx.rng().gen_range(0..deg)
             } else {
-                keep.push(token);
+                self.scratch.live[ctx.rng().gen_range(0..self.scratch.live.len())]
+            };
+            let bucket = &mut self.scratch.per_neighbor[choice];
+            if bucket.len() < max_per_edge {
+                bucket.push(token);
+            } else {
+                self.scratch.keep.push(token);
             }
         }
-        self.queue = keep;
-        for (i, tokens) in per_neighbor.into_iter().enumerate() {
-            if tokens.is_empty() {
+        // `queue` was fully drained, so after the swap it holds the kept
+        // tokens and `scratch.keep` is the (empty) old queue buffer.
+        std::mem::swap(&mut self.queue, &mut self.scratch.keep);
+        for i in 0..deg {
+            if self.scratch.per_neighbor[i].is_empty() {
                 continue;
             }
+            // The bucket's `Vec` moves into the message (the batch owns its
+            // tokens); only the outer arena is retained.
+            let tokens = std::mem::take(&mut self.scratch.per_neighbor[i]);
             let to = ctx.neighbor(i);
             ctx.send(
                 to,

@@ -93,6 +93,29 @@ pub(crate) fn node_net_flow_sorted<'a>(
     acc / 2.0
 }
 
+/// [`node_net_flow_sorted`] over columns stored row-major: neighbor
+/// `slot`'s column lives at `flat[s * deg + slot]` for `s = 0..n`. Same
+/// arithmetic in the same order — results are bit-identical; only the
+/// storage walk differs.
+pub(crate) fn node_net_flow_sorted_strided(
+    me: usize,
+    own: &[f64],
+    flat: &[f64],
+    deg: usize,
+) -> f64 {
+    debug_assert_eq!(flat.len(), own.len() * deg);
+    let mut acc = 0.0;
+    let mut z = vec![0.0; own.len()];
+    for slot in 0..deg {
+        for (s, (zs, o)) in z.iter_mut().zip(own).enumerate() {
+            *zs = o - flat[s * deg + slot];
+        }
+        let col = SortedColumn::new(&z);
+        acc += col.pair_sum() - col.abs_sum_around(z[me]);
+    }
+    acc / 2.0
+}
+
 /// Net-flow sum of node `me` over pairs excluding `me` — the literal Eq. 6
 /// double loop. `Θ(n²)` per neighbor.
 pub(crate) fn node_net_flow_direct<'a>(

@@ -40,7 +40,8 @@ pub struct CgResult {
     pub x: Vec<f64>,
     /// Iterations performed.
     pub iterations: usize,
-    /// Final residual 2-norm (absolute).
+    /// Final **true** residual `‖b − A x‖₂` (recomputed from `x`, not
+    /// the recurrence value, which drifts as rounding accumulates).
     pub residual: f64,
 }
 
@@ -121,6 +122,15 @@ pub fn conjugate_gradient(
     }
     let target = options.tolerance * b_norm;
 
+    // The true residual b − A x, recomputed from scratch. The recurrence
+    // residual inside the loop drifts away from this as rounding
+    // accumulates, so convergence is only *accepted* against this value
+    // and it is what `CgResult::residual` reports.
+    let true_residual = |x: &[f64]| -> Result<Vec<f64>, LinalgError> {
+        let ax = a.matvec(x)?;
+        Ok(b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect())
+    };
+
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
     let mut z = apply_m(&r);
@@ -130,16 +140,30 @@ pub fn conjugate_gradient(
     for iter in 0..options.max_iterations {
         let res = norm2(&r);
         if res <= target {
-            return Ok(CgResult {
-                x,
-                iterations: iter,
-                residual: res,
-            });
+            // The recurrence thinks we converged; trust but verify.
+            let tr = true_residual(&x)?;
+            let true_res = norm2(&tr);
+            if true_res <= target {
+                return Ok(CgResult {
+                    x,
+                    iterations: iter,
+                    residual: true_res,
+                });
+            }
+            // Drift: restart the recurrence from the true residual and
+            // keep iterating toward the real target.
+            r = tr;
+            z = apply_m(&r);
+            p = z.clone();
+            rz = dot(&r, &z);
         }
         let ap = a.matvec(&p)?;
         let pap = dot(&p, &ap);
-        if pap <= 0.0 {
-            // Matrix is not positive definite along p; bail out.
+        if !pap.is_finite() || pap <= 0.0 {
+            // Breakdown: the matrix is not positive definite along p
+            // (zero/negative curvature, e.g. an ungrounded Laplacian's
+            // null space) or the iteration produced a non-finite value.
+            // Bail out before alpha = rz/pap poisons x.
             return Err(LinalgError::NoConvergence {
                 iterations: iter,
                 residual: res,
@@ -156,7 +180,8 @@ pub fn conjugate_gradient(
             *pi = zi + beta * *pi;
         }
     }
-    let res = norm2(&r);
+    let tr = true_residual(&x)?;
+    let res = norm2(&tr);
     if res <= target {
         Ok(CgResult {
             x,
@@ -262,6 +287,76 @@ mod tests {
             err,
             LinalgError::NoConvergence { iterations: 1, .. }
         ));
+    }
+
+    #[test]
+    fn semi_definite_ungrounded_laplacian_breaks_down() {
+        // The *ungrounded* Laplacian of the path 0-1 is only positive
+        // SEMI-definite: its null space is spanned by the all-ones
+        // vector. Driving CG with b in that null-space direction makes
+        // p'Ap hit exactly zero on the first step; the guard must turn
+        // that into a typed error instead of x = 0/0 everywhere.
+        let a = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 1.0)],
+        )
+        .unwrap();
+        let opts = CgOptions {
+            preconditioner: Preconditioner::None,
+            ..CgOptions::default()
+        };
+        let err = conjugate_gradient(&a, &[1.0, 1.0], &opts).unwrap_err();
+        assert!(
+            matches!(err, LinalgError::NoConvergence { iterations: 0, .. }),
+            "expected first-iteration breakdown, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn non_finite_curvature_breaks_down() {
+        // Entries near f64::MAX make p'Ap overflow to +inf (and further
+        // arithmetic would turn x into NaN soup). The old `pap <= 0`
+        // guard waved non-finite values through, since NaN/inf
+        // comparisons are false; the guard must catch them.
+        let a = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[
+                (0, 0, f64::MAX),
+                (0, 1, f64::MAX),
+                (1, 0, f64::MAX),
+                (1, 1, f64::MAX),
+            ],
+        )
+        .unwrap();
+        let opts = CgOptions {
+            preconditioner: Preconditioner::None,
+            ..CgOptions::default()
+        };
+        let err = conjugate_gradient(&a, &[1.0, 1.0], &opts).unwrap_err();
+        assert!(matches!(err, LinalgError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn reported_residual_is_the_true_residual() {
+        let a = spd_example();
+        let b = vec![1.0, 2.0, 3.0];
+        let result = conjugate_gradient(&a, &b, &CgOptions::default()).unwrap();
+        let ax = a.matvec(&result.x).unwrap();
+        let true_res = norm2(
+            &b.iter()
+                .zip(&ax)
+                .map(|(bi, axi)| bi - axi)
+                .collect::<Vec<_>>(),
+        );
+        assert!(
+            (result.residual - true_res).abs() <= 1e-15 + 1e-12 * true_res,
+            "reported {} vs recomputed {}",
+            result.residual,
+            true_res
+        );
+        assert!(true_res <= CgOptions::default().tolerance * norm2(&b));
     }
 
     #[test]
