@@ -17,6 +17,7 @@
 //! | E10 | Section II-D, ref. \[15\] (the random walk problem) | [`suite::e10`] |
 //! | E11 | extension: chaos sweep (faults + reliable delivery) | [`suite::e11`] |
 //! | E12 | extension: permanent kills (detector + partition tolerance) | [`suite::e12`] |
+//! | E13 | extension: corruption sweep (checksummed frames + quarantine) | [`suite::e13`] |
 //!
 //! Run them with `cargo run --release -p rwbc-bench --bin experiments --
 //! all` (add `--quick` for a fast smoke pass). Each module exposes a
@@ -30,6 +31,10 @@
 //! binary (`cargo run --release -p rwbc-bench --bin rwbc-bench`), which
 //! writes machine-readable `BENCH_<scenario>.json` files.
 
+//! Data-integrity tooling (decode fuzzer + fault-plan shrinker) lives in
+//! [`chaos`] behind the `rwbc-chaos` binary.
+
+pub mod chaos;
 pub mod perf;
 pub mod suite;
 pub mod table;

@@ -10,8 +10,10 @@
 //!
 //! * **mode** — `clean` (fault-free CONGEST), `reliable` (Bernoulli
 //!   drops repaired by the [`Reliable`](congest_sim::Reliable) ARQ
-//!   adapter), or `chaos` (drops + duplicates + delays on the raw
-//!   transport, exercising graceful degradation).
+//!   adapter), `chaos` (drops + duplicates + delays on the raw
+//!   transport, exercising graceful degradation), or `corrupt`
+//!   (payload corruption repaired by the checksummed reliable
+//!   adapter — the price of the integrity layer).
 //! * **topology** — `er` (connected G(n,p), expected degree
 //!   max(6, 1.5·ln n)), `ba` (Barabási–Albert, m = 3), or `torus`
 //!   (2-D torus).
@@ -51,15 +53,20 @@ pub enum Mode {
     Reliable,
     /// Drops + duplicates + delays on the raw transport.
     Chaos,
+    /// Payload corruption (plus light drops) repaired by the
+    /// checksummed reliable adapter — what the integrity layer costs.
+    Corrupt,
 }
 
 impl Mode {
-    /// The scenario-name fragment (`clean` / `reliable` / `chaos`).
+    /// The scenario-name fragment (`clean` / `reliable` / `chaos` /
+    /// `corrupt`).
     pub fn as_str(self) -> &'static str {
         match self {
             Mode::Clean => "clean",
             Mode::Reliable => "reliable",
             Mode::Chaos => "chaos",
+            Mode::Corrupt => "corrupt",
         }
     }
 }
@@ -169,7 +176,8 @@ impl Scenario {
             .length(self.length)
             .seed(self.seed)
             .target(TargetStrategy::Fixed(0))
-            .reliable(self.mode == Mode::Reliable)
+            .reliable(matches!(self.mode, Mode::Reliable | Mode::Corrupt))
+            .checksums(self.mode == Mode::Corrupt)
             .build()
             .expect("scenario params");
         let sim = SimConfig::default().with_threads(self.threads);
@@ -186,6 +194,13 @@ impl Scenario {
                     .with_drop_probability(0.03)
                     .with_duplicate_probability(0.01)
                     .with_delay_probability(0.02),
+            ),
+            // The 32-bit seal needs additional headroom on top of the
+            // reliable header.
+            Mode::Corrupt => sim.with_bandwidth_coeff(24).with_faults(
+                FaultPlan::default()
+                    .with_corrupt_probability(0.02)
+                    .with_drop_probability(0.01),
             ),
         };
         cfg
@@ -217,7 +232,7 @@ fn torus_dims(n: usize) -> (usize, usize) {
 
 /// The default scenario matrix: clean ER at all three sizes (plus the
 /// largest one multi-threaded), clean BA and torus at the middle size,
-/// and the two faulty modes at the small size.
+/// and the three faulty modes at the small size.
 pub fn default_matrix(threads_n: usize) -> Vec<Scenario> {
     let mut m = vec![
         Scenario::new(Mode::Clean, Topology::Er, 256, 1),
@@ -231,6 +246,7 @@ pub fn default_matrix(threads_n: usize) -> Vec<Scenario> {
     m.push(Scenario::new(Mode::Clean, Topology::Torus, 1024, 1));
     m.push(Scenario::new(Mode::Reliable, Topology::Er, 256, 1));
     m.push(Scenario::new(Mode::Chaos, Topology::Er, 256, 1));
+    m.push(Scenario::new(Mode::Corrupt, Topology::Er, 256, 1));
     m
 }
 
@@ -426,7 +442,7 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
         .as_str()
         .ok_or("`scenario` is not a string")?;
     let mode = req(doc, "mode")?.as_str().ok_or("`mode` is not a string")?;
-    if !matches!(mode, "clean" | "reliable" | "chaos") {
+    if !matches!(mode, "clean" | "reliable" | "chaos" | "corrupt") {
         return Err(format!("unknown mode `{mode}`"));
     }
     let topo = req(doc, "topology")?

@@ -4,6 +4,7 @@ pub mod e1;
 pub mod e10;
 pub mod e11;
 pub mod e12;
+pub mod e13;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -31,11 +32,12 @@ pub fn run_by_id(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e10" => Some(e10::run(quick)),
         "e11" => Some(e11::run(quick)),
         "e12" => Some(e12::run(quick)),
+        "e13" => Some(e13::run(quick)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+pub const ALL_IDS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];

@@ -5,11 +5,12 @@ use rand::rngs::StdRng;
 use rwbc_graph::{Graph, NodeId};
 
 use crate::config::ViolationPolicy;
+use crate::fault::CorruptionKind;
 use crate::node::{Context, Incoming};
 use crate::rng::node_rng;
 use crate::stats::ordered;
 use crate::trace::{DropReason, TraceEvent, Tracer};
-use crate::wire::{BitReader, BitWriter, WireState};
+use crate::wire::{crc32, BitReader, BitWriter, WireState};
 use crate::{Message, NodeProgram, RunStats, SimConfig, SimError};
 
 /// Magic word opening every checkpoint image.
@@ -18,11 +19,15 @@ type Outboxes<M> = Vec<Vec<(NodeId, M)>>;
 
 const CHECKPOINT_MAGIC: u64 = 0xC4EC_5A7E;
 /// Bumped whenever the checkpoint layout changes incompatibly. Version
-/// 2 added [`RunStats::peak_edge`]; version-1 images still restore
-/// (their peak location decodes as `None`).
-const CHECKPOINT_VERSION: u64 = 2;
+/// 2 added [`RunStats::peak_edge`]; version 3 added the corruption
+/// counters and reframed the body into CRC-guarded sections (see
+/// [`Simulator::checkpoint`]). Version-1 and version-2 images still
+/// restore through dedicated legacy decode paths.
+const CHECKPOINT_VERSION: u64 = 3;
 /// Oldest checkpoint version [`Simulator::restore`] still accepts.
 const CHECKPOINT_MIN_VERSION: u64 = 1;
+/// First checkpoint version with CRC-guarded sections.
+const CHECKPOINT_SECTIONED_VERSION: u64 = 3;
 
 /// Renders a worker panic payload for [`SimError::WorkerPanic`]. Panics
 /// raised via `panic!("..")` carry `&str` or `String`; anything else is
@@ -379,6 +384,7 @@ where
         self.stats.duplicates_suppressed = 0;
         self.stats.dead_links_declared = 0;
         self.stats.undeliverable_messages = 0;
+        self.stats.corrupt_frames_detected = 0;
         let mut last_active = 0usize;
         let mut all_reported = true;
         for p in &self.programs {
@@ -388,6 +394,7 @@ where
                     self.stats.duplicates_suppressed += rs.duplicates_suppressed;
                     self.stats.dead_links_declared += rs.dead_links_declared;
                     self.stats.undeliverable_messages += rs.undeliverable_messages;
+                    self.stats.corrupt_frames_detected += rs.corrupt_frames_detected;
                     last_active = last_active.max(rs.inner_last_active_round.unwrap_or(0));
                 }
                 None => all_reported = false,
@@ -510,6 +517,14 @@ where
     /// budget — and [`Simulator::restore`] resumes it bit-identically:
     /// checkpoint → kill → restore → run produces exactly the trace of the
     /// uninterrupted run, at any thread count.
+    ///
+    /// Layout (version 3): an unframed header (magic, version, node count,
+    /// seed, round, started flag) followed by five CRC-guarded sections —
+    /// `stats`, `rngs`, `programs`, `pending`, `delayed` — each framed as
+    /// `u64 byte length + u32 CRC-32 + payload bytes`. A flipped bit
+    /// anywhere in a section fails that section's checksum on restore
+    /// with a [`SimError::CorruptCheckpoint`] naming the section, instead
+    /// of silently resuming from mangled state.
     pub fn checkpoint(&self) -> bytes::Bytes
     where
         P: WireState,
@@ -522,24 +537,32 @@ where
         self.config.seed.encode_state(&mut w);
         self.round.encode_state(&mut w);
         self.started.encode_state(&mut w);
-        self.stats.encode_state(&mut w);
-        for rng in &self.rngs {
-            for word in rng.state() {
-                word.encode_state(&mut w);
+        write_section(&mut w, |sw| self.stats.encode_state(sw));
+        write_section(&mut w, |sw| {
+            for rng in &self.rngs {
+                for word in rng.state() {
+                    word.encode_state(sw);
+                }
             }
-        }
-        for word in self.fault_rng.state() {
-            word.encode_state(&mut w);
-        }
-        for prog in &self.programs {
-            prog.encode_state(&mut w);
-        }
-        for inbox in &self.pending {
-            inbox.encode_state(&mut w);
-        }
-        for inbox in &self.delayed {
-            inbox.encode_state(&mut w);
-        }
+            for word in self.fault_rng.state() {
+                word.encode_state(sw);
+            }
+        });
+        write_section(&mut w, |sw| {
+            for prog in &self.programs {
+                prog.encode_state(sw);
+            }
+        });
+        write_section(&mut w, |sw| {
+            for inbox in &self.pending {
+                inbox.encode_state(sw);
+            }
+        });
+        write_section(&mut w, |sw| {
+            for inbox in &self.delayed {
+                inbox.encode_state(sw);
+            }
+        });
         w.finish()
     }
 
@@ -553,7 +576,10 @@ where
     /// # Errors
     ///
     /// [`SimError::CorruptCheckpoint`] when the image is truncated, has the
-    /// wrong magic/version, or disagrees with `graph`/`config`.
+    /// wrong magic/version, fails a section checksum, or disagrees with
+    /// `graph`/`config`. The reason names the offending section, so a
+    /// flipped bit in (say) the RNG block reports `rngs section failed
+    /// its checksum` rather than a downstream decode artifact.
     pub fn restore(graph: &'g Graph, config: SimConfig, data: &[u8]) -> Result<Self, SimError>
     where
         P: WireState,
@@ -582,12 +608,13 @@ where
         }
         let round = usize::decode_state(&mut r).ok_or_else(|| corrupt("truncated header"))?;
         let started = bool::decode_state(&mut r).ok_or_else(|| corrupt("truncated header"))?;
-        let stats = if version == 1 {
-            RunStats::decode_state_v1(&mut r)
-        } else {
-            RunStats::decode_state(&mut r)
-        }
-        .ok_or_else(|| corrupt("truncated stats"))?;
+        // Shared decoders, used both on the legacy inline stream (v1/v2)
+        // and on the checksummed section payloads (v3+).
+        let decode_stats = |r: &mut BitReader<'_>| match version {
+            1 => RunStats::decode_state_v1(r),
+            2 => RunStats::decode_state_v2(r),
+            _ => RunStats::decode_state(r),
+        };
         let read_rng = |r: &mut BitReader<'_>| -> Option<StdRng> {
             let mut words = [0u64; 4];
             for w in &mut words {
@@ -595,15 +622,21 @@ where
             }
             Some(StdRng::from_state(words))
         };
-        let mut rngs = Vec::with_capacity(n);
-        for _ in 0..n {
-            rngs.push(read_rng(&mut r).ok_or_else(|| corrupt("truncated rng state"))?);
-        }
-        let fault_rng = read_rng(&mut r).ok_or_else(|| corrupt("truncated fault rng state"))?;
-        let mut programs = Vec::with_capacity(n);
-        for _ in 0..n {
-            programs.push(P::decode_state(&mut r).ok_or_else(|| corrupt("truncated program"))?);
-        }
+        let decode_rngs = |r: &mut BitReader<'_>| -> Result<(Vec<StdRng>, StdRng), SimError> {
+            let mut rngs = Vec::with_capacity(n);
+            for _ in 0..n {
+                rngs.push(read_rng(r).ok_or_else(|| corrupt("truncated rng state"))?);
+            }
+            let fault_rng = read_rng(r).ok_or_else(|| corrupt("truncated fault rng state"))?;
+            Ok((rngs, fault_rng))
+        };
+        let decode_programs = |r: &mut BitReader<'_>| -> Result<Vec<P>, SimError> {
+            let mut programs = Vec::with_capacity(n);
+            for _ in 0..n {
+                programs.push(P::decode_state(r).ok_or_else(|| corrupt("truncated program"))?);
+            }
+            Ok(programs)
+        };
         let read_boxes =
             |r: &mut BitReader<'_>, what: &str| -> Result<Vec<Vec<Incoming<P::Msg>>>, SimError> {
                 let mut boxes = Vec::with_capacity(n);
@@ -615,8 +648,51 @@ where
                 }
                 Ok(boxes)
             };
-        let pending = read_boxes(&mut r, "pending")?;
-        let delayed = read_boxes(&mut r, "delayed")?;
+        let (stats, (rngs, fault_rng), programs, pending, delayed) = if version
+            >= CHECKPOINT_SECTIONED_VERSION
+        {
+            // v3+: each section is length-framed and CRC-guarded; the
+            // checksum is verified before any decoding touches the
+            // payload, so a flipped bit is caught at its section.
+            let read_section = |r: &mut BitReader<'_>, what: &str| -> Result<Vec<u8>, SimError> {
+                let len = r
+                    .read_bits(64)
+                    .ok_or_else(|| corrupt(&format!("truncated {what} section header")))?;
+                let len = usize::try_from(len)
+                    .map_err(|_| corrupt(&format!("oversized {what} section length")))?;
+                let sum = r
+                    .read_bits(32)
+                    .ok_or_else(|| corrupt(&format!("truncated {what} section header")))?
+                    as u32;
+                let bytes = r
+                    .read_bytes(len)
+                    .ok_or_else(|| corrupt(&format!("truncated {what} section")))?;
+                if crc32(&bytes) != sum {
+                    return Err(corrupt(&format!("{what} section failed its checksum")));
+                }
+                Ok(bytes)
+            };
+            let stats_bytes = read_section(&mut r, "stats")?;
+            let stats = decode_stats(&mut BitReader::new(&stats_bytes))
+                .ok_or_else(|| corrupt("truncated stats"))?;
+            let rng_bytes = read_section(&mut r, "rngs")?;
+            let rng_state = decode_rngs(&mut BitReader::new(&rng_bytes))?;
+            let prog_bytes = read_section(&mut r, "programs")?;
+            let programs = decode_programs(&mut BitReader::new(&prog_bytes))?;
+            let pending_bytes = read_section(&mut r, "pending")?;
+            let pending = read_boxes(&mut BitReader::new(&pending_bytes), "pending")?;
+            let delayed_bytes = read_section(&mut r, "delayed")?;
+            let delayed = read_boxes(&mut BitReader::new(&delayed_bytes), "delayed")?;
+            (stats, rng_state, programs, pending, delayed)
+        } else {
+            // v1/v2: one continuous unframed stream.
+            let stats = decode_stats(&mut r).ok_or_else(|| corrupt("truncated stats"))?;
+            let rng_state = decode_rngs(&mut r)?;
+            let programs = decode_programs(&mut r)?;
+            let pending = read_boxes(&mut r, "pending")?;
+            let delayed = read_boxes(&mut r, "delayed")?;
+            (stats, rng_state, programs, pending, delayed)
+        };
         let in_flight = pending.iter().map(Vec::len).sum::<usize>()
             + delayed.iter().map(Vec::len).sum::<usize>();
         let cut_set: HashSet<(NodeId, NodeId)> =
@@ -929,8 +1005,8 @@ where
     /// Routes one already-accounted message through fault injection into
     /// `pending` or `delayed`. Each probabilistic fault draws from the
     /// dedicated fault RNG only when enabled, in a fixed order per
-    /// message (drop, then delay, then duplicate), so a given plan
-    /// replays identically.
+    /// message (drop, then corrupt, then delay, then duplicate), so a
+    /// given plan replays identically.
     fn route_one(&mut self, from: NodeId, to: NodeId, send_round: usize, msg: P::Msg) {
         let faults = &self.config.faults;
         if faults.drop_probability > 0.0
@@ -947,6 +1023,51 @@ where
             }
             return;
         }
+        // Corruption: a probabilistic hit or a scheduled corrupting link
+        // mangles the message in flight. The *whether* may come from the
+        // deterministic link schedule, but the *how* (kind and mutation)
+        // always draws from the fault RNG — the one documented case where
+        // a schedule-driven fault consumes randomness (see
+        // [`FaultPlan::uses_rng`](crate::FaultPlan::uses_rng)).
+        let corrupt_p = self.config.faults.corrupt_probability;
+        let hit = (corrupt_p > 0.0 && rand::Rng::gen_bool(&mut self.fault_rng, corrupt_p))
+            || self.config.faults.link_corrupts(from, to, send_round);
+        let msg = if hit {
+            let idx = rand::Rng::gen_range(&mut self.fault_rng, 0..CorruptionKind::ALL.len());
+            let kind = CorruptionKind::ALL[idx];
+            let n = self.graph.node_count();
+            self.stats.corrupted += 1;
+            match msg.corrupted(kind, n, &mut self.fault_rng) {
+                Some(mangled) => {
+                    if let Some(tr) = self.tracer.as_deref_mut() {
+                        tr.record(&TraceEvent::Corrupted {
+                            round: send_round,
+                            from,
+                            to,
+                            kind,
+                        });
+                    }
+                    mangled
+                }
+                // Nothing parseable remains: to the receiver an
+                // undecodable frame and a lost frame are the same event,
+                // so it is booked as corrupted *and* dropped.
+                None => {
+                    self.stats.dropped += 1;
+                    if let Some(tr) = self.tracer.as_deref_mut() {
+                        tr.record(&TraceEvent::Dropped {
+                            round: send_round,
+                            from,
+                            to,
+                            reason: DropReason::Corrupt,
+                        });
+                    }
+                    return;
+                }
+            }
+        } else {
+            msg
+        };
         let faults = &self.config.faults;
         let late = faults.delay_probability > 0.0
             && rand::Rng::gen_bool(&mut self.fault_rng, faults.delay_probability);
@@ -1001,6 +1122,18 @@ where
             });
         }
     }
+}
+
+/// Frames one checkpoint section: the body is encoded into its own
+/// [`BitWriter`], then embedded as `u64 byte length + u32 CRC-32 +
+/// payload bytes`. Restore verifies the checksum before decoding.
+fn write_section(w: &mut BitWriter, body: impl FnOnce(&mut BitWriter)) {
+    let mut sw = BitWriter::new();
+    body(&mut sw);
+    let bytes = sw.finish();
+    w.write_bits(bytes.len() as u64, 64);
+    w.write_bits(u64::from(crc32(&bytes)), 32);
+    w.write_bytes(&bytes);
 }
 
 /// Whole-round traffic totals for the `Round` trace event.

@@ -9,8 +9,15 @@
 //!   twice with [`FaultPlan::duplicate_probability`];
 //! * **delay** — each delivered message is independently held back one
 //!   round with [`FaultPlan::delay_probability`];
+//! * **corruption** — each delivered message is independently mangled in
+//!   flight with [`FaultPlan::corrupt_probability`]: a bit flip, a
+//!   truncation, or wholesale garbage substitution ([`CorruptionKind`]),
+//!   drawn uniformly per event;
 //! * **link outages** — scheduled intervals during which an edge silently
 //!   discards everything sent over it ([`LinkOutage`]);
+//! * **persistent link corruption** — scheduled intervals during which an
+//!   edge mangles *every* message crossing it ([`LinkCorruption`]) — the
+//!   fault a checksummed transport escalates to quarantine;
 //! * **node crashes** — scheduled intervals during which a node's program
 //!   is not stepped and all traffic addressed to it is discarded
 //!   ([`NodeCrash`]).
@@ -22,6 +29,10 @@
 //! RNG, which is why an empty plan reproduces a fault-free trace exactly.
 //!
 //! Schedule-driven faults (outages, crashes) consume no randomness at all.
+//! The one exception is [`LinkCorruption`]: the schedule decides *whether*
+//! a message is mangled, but the mangling itself (which kind, which bit)
+//! still draws from the fault RNG — corruption without randomness would
+//! always flip the same bit.
 
 use serde::{Deserialize, Serialize};
 
@@ -52,6 +63,83 @@ impl LinkOutage {
         ordered(self.u, self.v) == ordered(a, b)
             && round >= self.from_round
             && round < self.until_round
+    }
+}
+
+/// How a corruption event mangles a message in flight.
+///
+/// The kind is drawn uniformly from the fault RNG per corruption event;
+/// what each kind does to a concrete payload is decided by the message
+/// type's [`Message::corrupted`](crate::Message::corrupted) hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorruptionKind {
+    /// One bit of the encoded frame is inverted.
+    BitFlip,
+    /// The tail of the encoded frame is cut off.
+    Truncate,
+    /// The frame content is replaced with random bytes.
+    Garbage,
+}
+
+impl CorruptionKind {
+    /// All kinds, in draw order (index 0, 1, 2).
+    pub const ALL: [CorruptionKind; 3] = [
+        CorruptionKind::BitFlip,
+        CorruptionKind::Truncate,
+        CorruptionKind::Garbage,
+    ];
+
+    /// Stable schema name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CorruptionKind::BitFlip => "bit_flip",
+            CorruptionKind::Truncate => "truncate",
+            CorruptionKind::Garbage => "garbage",
+        }
+    }
+
+    /// Parses a schema name back into a kind.
+    pub fn from_str_opt(s: &str) -> Option<CorruptionKind> {
+        match s {
+            "bit_flip" => Some(CorruptionKind::BitFlip),
+            "truncate" => Some(CorruptionKind::Truncate),
+            "garbage" => Some(CorruptionKind::Garbage),
+            _ => None,
+        }
+    }
+}
+
+/// A scheduled interval of persistent corruption on one edge.
+///
+/// Every message sent over `{u, v}` (either direction) in a round of
+/// `[from_round, until_round)` is mangled with a [`CorruptionKind`] drawn
+/// from the fault RNG. Unlike an outage the bits still flow — which is
+/// worse: an unprotected receiver decodes garbage silently, and only a
+/// checksummed transport can detect the pattern and quarantine the link.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkCorruption {
+    /// One endpoint of the corrupting edge.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// First send round of the corruption window (inclusive).
+    pub from_round: usize,
+    /// End of the window (exclusive). Use `usize::MAX` for a permanently
+    /// corrupting link.
+    pub until_round: usize,
+}
+
+impl LinkCorruption {
+    /// Whether this window covers edge `{a, b}` at `round`.
+    pub fn covers(&self, a: NodeId, b: NodeId, round: usize) -> bool {
+        ordered(self.u, self.v) == ordered(a, b)
+            && round >= self.from_round
+            && round < self.until_round
+    }
+
+    /// Whether this window never closes.
+    pub fn is_permanent(&self) -> bool {
+        self.until_round == usize::MAX
     }
 }
 
@@ -117,8 +205,14 @@ pub struct FaultPlan {
     /// Independent per-message probability of arriving one round late
     /// (0 disables, NaN is treated as 0).
     pub delay_probability: f64,
+    /// Independent per-message probability of being mangled in flight
+    /// (0 disables, NaN is treated as 0). The [`CorruptionKind`] is drawn
+    /// uniformly per event.
+    pub corrupt_probability: f64,
     /// Scheduled link failures.
     pub outages: Vec<LinkOutage>,
+    /// Scheduled persistent-corruption windows.
+    pub corruptions: Vec<LinkCorruption>,
     /// Scheduled node crashes.
     pub crashes: Vec<NodeCrash>,
 }
@@ -158,10 +252,25 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the per-message corruption probability (builder style).
+    /// Clamped to `[0, 1]`; NaN becomes 0.
+    #[must_use]
+    pub fn with_corrupt_probability(mut self, p: f64) -> FaultPlan {
+        self.corrupt_probability = sanitize_probability(p);
+        self
+    }
+
     /// Adds a scheduled link outage (builder style).
     #[must_use]
     pub fn with_link_outage(mut self, outage: LinkOutage) -> FaultPlan {
         self.outages.push(outage);
+        self
+    }
+
+    /// Adds a scheduled persistent-corruption window (builder style).
+    #[must_use]
+    pub fn with_link_corruption(mut self, corruption: LinkCorruption) -> FaultPlan {
+        self.corruptions.push(corruption);
         self
     }
 
@@ -177,21 +286,32 @@ impl FaultPlan {
         self.drop_probability <= 0.0
             && self.duplicate_probability <= 0.0
             && self.delay_probability <= 0.0
+            && self.corrupt_probability <= 0.0
             && self.outages.is_empty()
+            && self.corruptions.is_empty()
             && self.crashes.is_empty()
     }
 
     /// Whether any probabilistic fault is enabled (and hence the fault RNG
-    /// will be consulted).
+    /// will be consulted). Persistent link corruption counts: its schedule
+    /// decides whether a message is mangled, but the mangling itself draws
+    /// from the RNG.
     pub fn uses_rng(&self) -> bool {
         self.drop_probability > 0.0
             || self.duplicate_probability > 0.0
             || self.delay_probability > 0.0
+            || self.corrupt_probability > 0.0
+            || !self.corruptions.is_empty()
     }
 
     /// Whether edge `{u, v}` is down at send round `round`.
     pub fn link_down(&self, u: NodeId, v: NodeId, round: usize) -> bool {
         self.outages.iter().any(|o| o.covers(u, v, round))
+    }
+
+    /// Whether edge `{u, v}` persistently corrupts at send round `round`.
+    pub fn link_corrupts(&self, u: NodeId, v: NodeId, round: usize) -> bool {
+        self.corruptions.iter().any(|c| c.covers(u, v, round))
     }
 
     /// Whether `node` is down at `round`.
@@ -211,6 +331,7 @@ impl FaultPlan {
             drop_probability: self.drop_probability,
             duplicate_probability: self.duplicate_probability,
             delay_probability: self.delay_probability,
+            corrupt_probability: self.corrupt_probability,
             outages: self
                 .outages
                 .iter()
@@ -218,6 +339,17 @@ impl FaultPlan {
                 .map(|o| LinkOutage {
                     u: o.u,
                     v: o.v,
+                    from_round: 0,
+                    until_round: usize::MAX,
+                })
+                .collect(),
+            corruptions: self
+                .corruptions
+                .iter()
+                .filter(|c| c.is_permanent())
+                .map(|c| LinkCorruption {
+                    u: c.u,
+                    v: c.v,
                     from_round: 0,
                     until_round: usize::MAX,
                 })
@@ -263,13 +395,95 @@ mod tests {
         let plan = FaultPlan::default()
             .with_drop_probability(7.5)
             .with_duplicate_probability(-2.0)
-            .with_delay_probability(f64::NAN);
+            .with_delay_probability(f64::NAN)
+            .with_corrupt_probability(f64::INFINITY);
         assert_eq!(plan.drop_probability, 1.0);
         assert_eq!(plan.duplicate_probability, 0.0);
         assert_eq!(plan.delay_probability, 0.0);
+        assert_eq!(plan.corrupt_probability, 1.0);
         let nan_drop = FaultPlan::default().with_drop_probability(f64::NAN);
         assert_eq!(nan_drop.drop_probability, 0.0);
         assert!(nan_drop.is_empty());
+    }
+
+    #[test]
+    fn every_setter_rejects_every_garbage_edge() {
+        // NaN, ±∞, and out-of-range values must all land back in [0, 1]
+        // (a NaN fed to `Rng::gen_bool` would panic mid-run).
+        let edges = [
+            (f64::NAN, 0.0),
+            (f64::INFINITY, 1.0),
+            (f64::NEG_INFINITY, 0.0),
+            (-0.5, 0.0),
+            (1.5, 1.0),
+            (0.25, 0.25),
+            (0.0, 0.0),
+            (1.0, 1.0),
+        ];
+        for (input, want) in edges {
+            let plan = FaultPlan::default()
+                .with_drop_probability(input)
+                .with_duplicate_probability(input)
+                .with_delay_probability(input)
+                .with_corrupt_probability(input);
+            assert_eq!(plan.drop_probability, want, "drop({input})");
+            assert_eq!(plan.duplicate_probability, want, "dup({input})");
+            assert_eq!(plan.delay_probability, want, "delay({input})");
+            assert_eq!(plan.corrupt_probability, want, "corrupt({input})");
+        }
+    }
+
+    #[test]
+    fn corruption_windows_cover_and_count_as_rng_users() {
+        let plan = FaultPlan::default().with_link_corruption(LinkCorruption {
+            u: 4,
+            v: 2,
+            from_round: 3,
+            until_round: 8,
+        });
+        assert!(!plan.is_empty());
+        // Schedule-driven corruption still draws the mangling from the RNG.
+        assert!(plan.uses_rng());
+        assert!(plan.link_corrupts(2, 4, 3));
+        assert!(plan.link_corrupts(4, 2, 7));
+        assert!(!plan.link_corrupts(2, 4, 8));
+        assert!(!plan.link_corrupts(2, 4, 2));
+        assert!(!plan.link_corrupts(2, 3, 5));
+        assert!(!plan.link_down(2, 4, 5), "corruption is not an outage");
+
+        let p = FaultPlan::default().with_corrupt_probability(0.3);
+        assert!(!p.is_empty());
+        assert!(p.uses_rng());
+    }
+
+    #[test]
+    fn corruption_kind_names_round_trip() {
+        for kind in CorruptionKind::ALL {
+            assert_eq!(CorruptionKind::from_str_opt(kind.as_str()), Some(kind));
+        }
+        assert_eq!(CorruptionKind::from_str_opt("melted"), None);
+    }
+
+    #[test]
+    fn collapse_permanent_keeps_standing_corruption() {
+        let plan = FaultPlan::default()
+            .with_corrupt_probability(0.05)
+            .with_link_corruption(LinkCorruption {
+                u: 0,
+                v: 1,
+                from_round: 9,
+                until_round: usize::MAX,
+            })
+            .with_link_corruption(LinkCorruption {
+                u: 2,
+                v: 3,
+                from_round: 1,
+                until_round: 4,
+            });
+        let sub = plan.collapse_permanent();
+        assert_eq!(sub.corrupt_probability, 0.05);
+        assert!(sub.link_corrupts(0, 1, 0));
+        assert!(!sub.link_corrupts(2, 3, 2), "transient window dropped");
     }
 
     #[test]

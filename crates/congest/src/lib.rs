@@ -61,10 +61,10 @@ pub mod wire;
 pub use config::{SimConfig, ViolationPolicy};
 pub use engine::Simulator;
 pub use error::SimError;
-pub use fault::{FaultPlan, LinkOutage, NodeCrash};
+pub use fault::{CorruptionKind, FaultPlan, LinkCorruption, LinkOutage, NodeCrash};
 pub use message::{bits_for_count, bits_for_node_id, Message};
 pub use node::{Context, Incoming, NodeProgram};
-pub use reliable::{Reliable, ReliableMsg, DEFAULT_DEATH_THRESHOLD};
+pub use reliable::{Reliable, ReliableMsg, DEFAULT_DEATH_THRESHOLD, FRAME_CHECKSUM_BITS};
 pub use rng::node_rng;
 pub use stats::{CutMeter, ReliabilityStats, RunStats};
 pub use trace::{JsonlTracer, MemoryTracer, NoopTracer, TraceEvent, Tracer};

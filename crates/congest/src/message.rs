@@ -1,3 +1,9 @@
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::fault::CorruptionKind;
+use crate::wire::Crc32;
+
 /// A message that can travel over a CONGEST edge.
 ///
 /// Implementors declare how many bits they occupy on the wire; the
@@ -16,6 +22,36 @@ pub trait Message: Clone + Send + Sync + 'static {
     /// Number of bits this message occupies on an edge of a network with
     /// `n` nodes.
     fn bit_size(&self, n: usize) -> usize;
+
+    /// Feeds this message's wire content into an integrity checksum.
+    ///
+    /// Used by checksummed delivery layers
+    /// ([`Reliable::with_checksums`](crate::Reliable::with_checksums)) to
+    /// seal and verify frames. The default digests only the declared bit
+    /// size, which catches size-changing corruption (truncation, garbage
+    /// of a different length) but **not** in-place value flips — any type
+    /// that overrides [`Message::corrupted`] to mutate values in place
+    /// must override this too, covering every bit the mutation can touch.
+    fn digest(&self, n: usize, crc: &mut Crc32) {
+        crc.update_u64(self.bit_size(n) as u64);
+    }
+
+    /// Returns a fault-mangled variant of this message, or `None` when
+    /// the damage leaves nothing a receiver could parse (the engine then
+    /// counts the message as corrupted *and* dropped — undecodable bytes
+    /// and lost bytes are indistinguishable to the receiver).
+    ///
+    /// The default destroys the frame for every [`CorruptionKind`]. Types
+    /// with a real wire encoding should override this with a
+    /// structure-aware mutation (encode, mangle, re-decode) so corruption
+    /// exercises the receiver's decode path instead of vanishing.
+    ///
+    /// Determinism contract: implementations draw only from `rng`, which
+    /// the engine advances in deterministic message order.
+    fn corrupted(&self, kind: CorruptionKind, n: usize, rng: &mut StdRng) -> Option<Self> {
+        let _ = (kind, n, rng);
+        None
+    }
 }
 
 /// Bits needed to address a node in a network of `n` nodes: `⌈log₂ n⌉`
@@ -56,6 +92,39 @@ impl Message for u64 {
     fn bit_size(&self, _n: usize) -> usize {
         bits_for_count(*self)
     }
+
+    fn digest(&self, _n: usize, crc: &mut Crc32) {
+        crc.update_u64(*self);
+    }
+
+    fn corrupted(&self, kind: CorruptionKind, _n: usize, rng: &mut StdRng) -> Option<u64> {
+        let width = bits_for_count(*self);
+        match kind {
+            // Invert one bit within the value's wire width.
+            CorruptionKind::BitFlip => Some(*self ^ (1 << rng.gen_range(0..width))),
+            // A truncated frame keeps only a prefix of the MSB-first
+            // encoding: the low-order tail is lost.
+            CorruptionKind::Truncate => {
+                let keep = rng.gen_range(0..width);
+                Some(if keep == 0 {
+                    0
+                } else {
+                    *self >> (width - keep)
+                })
+            }
+            // Garbage of the same width.
+            CorruptionKind::Garbage => Some(rng.gen_range(0..u64::MAX) & mask(width)),
+        }
+    }
+}
+
+/// Low `width` bits set (width in `1..=64`).
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
 }
 
 impl Message for () {
@@ -63,6 +132,12 @@ impl Message for () {
     fn bit_size(&self, _n: usize) -> usize {
         1
     }
+
+    fn digest(&self, _n: usize, crc: &mut Crc32) {
+        crc.update_bits(1, 1);
+    }
+
+    // A mangled 1-bit pulse is unparseable; the default (destroy) applies.
 }
 
 #[cfg(test)]
@@ -90,5 +165,48 @@ mod tests {
     fn primitive_impls() {
         assert_eq!(Message::bit_size(&(), 100), 1);
         assert_eq!(Message::bit_size(&42u64, 100), 6);
+    }
+
+    #[test]
+    fn default_corruption_destroys_the_frame() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        for kind in CorruptionKind::ALL {
+            assert_eq!(Message::corrupted(&(), kind, 16, &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn u64_corruption_stays_within_the_wire_width() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let value = 42u64; // 6 wire bits
+        for _ in 0..200 {
+            for kind in CorruptionKind::ALL {
+                let mangled = Message::corrupted(&value, kind, 16, &mut rng)
+                    .expect("u64 corruption always parses");
+                assert!(mangled < 64, "{kind:?} escaped the 6-bit width: {mangled}");
+                if kind == CorruptionKind::BitFlip {
+                    assert_ne!(mangled, value, "a bit flip must change the value");
+                }
+            }
+        }
+        // Full-width values do not overflow the mask/shift arithmetic.
+        for _ in 0..50 {
+            for kind in CorruptionKind::ALL {
+                Message::corrupted(&u64::MAX, kind, 16, &mut rng).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn digests_separate_different_values() {
+        let d = |v: u64| {
+            let mut crc = Crc32::new();
+            v.digest(100, &mut crc);
+            crc.finish()
+        };
+        assert_ne!(d(42), d(43));
+        assert_eq!(d(42), d(42));
     }
 }

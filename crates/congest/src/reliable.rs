@@ -75,12 +75,49 @@
 //!
 //! Bounded outages and crash–recover schedules shorter than the declaration
 //! window are still repaired transparently, exactly as without detection.
+//!
+//! # Integrity: checksummed frames
+//!
+//! Loss is not the only way a link misbehaves —
+//! [`FaultPlan`](crate::FaultPlan) can also *corrupt* frames in flight
+//! (bit flips, truncation, garbage). A plain adapter has no way to tell a
+//! mangled frame from a genuine one: a flipped payload bit is delivered
+//! as data, a flipped sequence number desynchronizes the window.
+//! [`Reliable::with_checksums`] closes the gap: every outgoing frame is
+//! sealed with a CRC-32 over its content
+//!
+//! ```text
+//! | 1 bit payload? | 4b seq | payload digest | 4b ack | 32-bit CRC |
+//! ```
+//!
+//! and every incoming frame is verified before *any* of it is trusted —
+//! a frame that fails its checksum is discarded whole (no ack
+//! processing, no delivery, no window movement), counted in
+//! [`RunStats::corrupt_frames_detected`](crate::RunStats::corrupt_frames_detected),
+//! and repaired by the ordinary timeout/retransmission machinery exactly
+//! as if it had been dropped. The seal costs a constant
+//! [`FRAME_CHECKSUM_BITS`] per frame, so an `O(log n)`-bit protocol
+//! stays `O(log n)` (callers reserve `HEADER_BITS + CHECKSUM_BITS` off
+//! the budget they size payloads against).
+//!
+//! A link that corrupts *persistently* would otherwise retransmit
+//! forever; when the failure detector is armed
+//! ([`Reliable::with_failure_detection`]), consecutive corrupt frames
+//! from a peer accrue strikes just like no-progress retransmissions, and
+//! reaching the threshold **quarantines** the channel through the same
+//! dead-link declaration path — bounded damage instead of an unbounded
+//! retry loop. Any valid frame from the peer resets its strikes.
 
 use std::collections::VecDeque;
 
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::fault::CorruptionKind;
 use crate::node::{Context, Incoming};
 use crate::stats::ReliabilityStats;
 use crate::trace::TraceEvent;
+use crate::wire::Crc32;
 use crate::{Message, NodeProgram};
 
 use rwbc_graph::NodeId;
@@ -106,8 +143,14 @@ pub(crate) const MAX_TIMEOUT: usize = 32;
 /// 5% loss rate the false-positive odds per window are below 1e-8.
 pub const DEFAULT_DEATH_THRESHOLD: usize = 8;
 
+/// Bits a [`Reliable::with_checksums`] seal adds to every frame: one
+/// CRC-32 word.
+pub const FRAME_CHECKSUM_BITS: usize = 32;
+
 /// A delivery-layer frame: an optional sequenced payload plus a cumulative
 /// acknowledgment. Every frame acks; payload-free frames are "pure acks".
+/// Under [`Reliable::with_checksums`] the frame additionally carries a
+/// CRC-32 seal over its content.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReliableMsg<M> {
     /// Sequenced payload, absent for a pure ack.
@@ -115,14 +158,108 @@ pub struct ReliableMsg<M> {
     /// Cumulative ack: the next sequence number this node expects from the
     /// destination (everything before it has been delivered in order).
     ack: u8,
+    /// CRC-32 seal over the frame content; `None` in plain (unsealed)
+    /// mode, which keeps the wire accounting bit-identical to the
+    /// pre-checksum adapter.
+    crc: Option<u32>,
+}
+
+impl<M: Message> ReliableMsg<M> {
+    /// CRC-32 over the frame's content bits — everything *except* the
+    /// seal itself, mirroring the wire layout: payload-presence flag,
+    /// sequence number and payload digest (when present), cumulative ack.
+    fn content_crc(&self, n: usize) -> u32 {
+        let mut crc = Crc32::new();
+        match &self.payload {
+            Some((seq, m)) => {
+                crc.update_bits(1, 1);
+                crc.update_bits(u64::from(*seq), SEQ_BITS);
+                m.digest(n, &mut crc);
+            }
+            None => crc.update_bits(0, 1),
+        }
+        crc.update_bits(u64::from(self.ack), SEQ_BITS);
+        crc.finish()
+    }
 }
 
 impl<M: Message> Message for ReliableMsg<M> {
     fn bit_size(&self, n: usize) -> usize {
+        let seal = if self.crc.is_some() {
+            FRAME_CHECKSUM_BITS
+        } else {
+            0
+        };
         match &self.payload {
-            Some((_, m)) => 2 + SEQ_BITS + SEQ_BITS + m.bit_size(n),
-            None => 2 + SEQ_BITS,
+            Some((_, m)) => 2 + SEQ_BITS + SEQ_BITS + m.bit_size(n) + seal,
+            None => 2 + SEQ_BITS + seal,
         }
+    }
+
+    fn digest(&self, n: usize, crc: &mut Crc32) {
+        // Unlike `content_crc`, an *outer* digest covers the seal too —
+        // a nested checksummed layer must see every mutable bit.
+        match &self.payload {
+            Some((seq, m)) => {
+                crc.update_bits(1, 1);
+                crc.update_bits(u64::from(*seq), SEQ_BITS);
+                m.digest(n, crc);
+            }
+            None => crc.update_bits(0, 1),
+        }
+        crc.update_bits(u64::from(self.ack), SEQ_BITS);
+        match self.crc {
+            Some(seal) => {
+                crc.update_bits(1, 1);
+                crc.update_bits(u64::from(seal), FRAME_CHECKSUM_BITS);
+            }
+            None => crc.update_bits(0, 1),
+        }
+    }
+
+    /// Structure-aware corruption: the damage lands on one of the frame's
+    /// fields (ack, sequence number, or the payload via `M::corrupted`).
+    /// The seal is deliberately *not* recomputed — a mangled sealed frame
+    /// carries a stale CRC, which is exactly what a checksummed receiver
+    /// detects.
+    fn corrupted(&self, kind: CorruptionKind, n: usize, rng: &mut StdRng) -> Option<Self> {
+        fn mangle_seq(v: u8, kind: CorruptionKind, rng: &mut StdRng) -> u8 {
+            match kind {
+                CorruptionKind::BitFlip => v ^ (1 << rng.gen_range(0..SEQ_BITS)),
+                _ => rng.gen_range(0..u64::from(SEQ_MOD)) as u8,
+            }
+        }
+        let mut m = self.clone();
+        match kind {
+            // Truncation chops the frame's tail — the payload. A pure ack
+            // loses its only content and becomes unparseable.
+            CorruptionKind::Truncate => match m.payload.take() {
+                Some((seq, p)) => match p.corrupted(CorruptionKind::Truncate, n, rng) {
+                    Some(tp) => m.payload = Some((seq, tp)),
+                    None => return None,
+                },
+                None => return None,
+            },
+            CorruptionKind::BitFlip | CorruptionKind::Garbage => {
+                // Pick a field, weighted over the frame layout; header
+                // damage falls back to the ack when there is no payload.
+                match rng.gen_range(0..3usize) {
+                    0 => m.ack = mangle_seq(m.ack, kind, rng),
+                    1 => match &mut m.payload {
+                        Some((seq, _)) => *seq = mangle_seq(*seq, kind, rng),
+                        None => m.ack = mangle_seq(m.ack, kind, rng),
+                    },
+                    _ => match m.payload.take() {
+                        Some((seq, p)) => match p.corrupted(kind, n, rng) {
+                            Some(mp) => m.payload = Some((seq, mp)),
+                            None => return None,
+                        },
+                        None => m.ack = mangle_seq(m.ack, kind, rng),
+                    },
+                }
+            }
+        }
+        Some(m)
     }
 }
 
@@ -154,6 +291,10 @@ struct Channel {
     /// Timeout-driven retransmissions since the last ack progress; feeds
     /// the failure detector when one is enabled.
     strikes: usize,
+    /// Consecutive checksum failures from this peer; any valid frame
+    /// resets it. Feeds the quarantine escalation when the failure
+    /// detector is armed under [`Reliable::with_checksums`].
+    corrupt_strikes: usize,
     /// Whether this channel has been declared permanently dead. Dead
     /// channels send nothing, accept nothing, and count as quiescent.
     dead: bool,
@@ -175,6 +316,7 @@ impl Channel {
             idle_rounds: 0,
             timeout: BASE_TIMEOUT,
             strikes: 0,
+            corrupt_strikes: 0,
             dead: false,
         }
     }
@@ -216,6 +358,11 @@ pub struct Reliable<P: NodeProgram> {
     retransmissions: u64,
     duplicates_suppressed: u64,
     inner_last_active_round: Option<usize>,
+    /// Whether outgoing frames are sealed with a CRC-32 and incoming
+    /// frames verified against theirs (see the module docs).
+    checksums: bool,
+    /// Incoming frames discarded because they failed their checksum.
+    corrupt_frames_detected: u64,
     /// Strike threshold of the failure detector; `None` disables
     /// detection entirely (the original retransmit-forever behavior).
     detect_after: Option<usize>,
@@ -239,6 +386,8 @@ impl<P: NodeProgram> Reliable<P> {
     pub const HEADER_BITS: usize = 2 + SEQ_BITS + SEQ_BITS;
     /// Size of a payload-free (pure ack) frame.
     pub const ACK_BITS: usize = 2 + SEQ_BITS;
+    /// Extra bits per frame under [`Reliable::with_checksums`].
+    pub const CHECKSUM_BITS: usize = FRAME_CHECKSUM_BITS;
 
     /// Wraps `inner` in the reliable-delivery layer (no failure detection:
     /// a permanently dead link retransmits until the round budget fires).
@@ -251,6 +400,8 @@ impl<P: NodeProgram> Reliable<P> {
             retransmissions: 0,
             duplicates_suppressed: 0,
             inner_last_active_round: None,
+            checksums: false,
+            corrupt_frames_detected: 0,
             detect_after: None,
             preseed_dead: Vec::new(),
             dead_links_declared: 0,
@@ -268,6 +419,18 @@ impl<P: NodeProgram> Reliable<P> {
     #[must_use]
     pub fn with_failure_detection(mut self, threshold: usize) -> Reliable<P> {
         self.detect_after = Some(threshold.max(1));
+        self
+    }
+
+    /// Seals every outgoing frame with a CRC-32 and verifies every
+    /// incoming one (see the module docs). A frame that fails its
+    /// checksum is discarded whole and repaired by retransmission; with
+    /// [`Reliable::with_failure_detection`] also armed, a peer whose
+    /// frames fail persistently is quarantined through the dead-link
+    /// path. Costs [`Reliable::CHECKSUM_BITS`] extra bits per frame.
+    #[must_use]
+    pub fn with_checksums(mut self) -> Reliable<P> {
+        self.checksums = true;
         self
     }
 
@@ -320,6 +483,21 @@ impl<P: NodeProgram> Reliable<P> {
     /// Payloads abandoned because their channel died.
     pub fn undeliverable(&self) -> u64 {
         self.undeliverable
+    }
+
+    /// Incoming frames discarded because they failed their checksum
+    /// (always 0 without [`Reliable::with_checksums`]).
+    pub fn corrupt_frames_detected(&self) -> u64 {
+        self.corrupt_frames_detected
+    }
+
+    /// Applies the CRC-32 seal to an outgoing frame when checksums are
+    /// enabled; the identity otherwise.
+    fn sealed(&self, mut frame: ReliableMsg<P::Msg>, n: usize) -> ReliableMsg<P::Msg> {
+        if self.checksums {
+            frame.crc = Some(frame.content_crc(n));
+        }
+        frame
     }
 
     /// Kills channel `ch`: abandons its buffered traffic, marks it
@@ -454,12 +632,40 @@ impl<P: NodeProgram> Reliable<P> {
     ) -> Vec<Incoming<P::Msg>> {
         let mut delivered = std::mem::take(&mut self.delivered_scratch);
         debug_assert!(delivered.is_empty());
+        let n = ctx.graph_ref().node_count();
         for frame in frames {
             let ch = self.channel_index(frame.from);
             if self.channels[ch].dead {
                 // Irrevocable declaration: late frames from a declared-dead
                 // peer are dropped without acknowledgment.
                 continue;
+            }
+            // Integrity gate: a sealed frame is verified before *any* of
+            // it is trusted. A mismatch (or a missing seal) discards the
+            // whole frame — no ack processing, no delivery, no window
+            // movement — and the ordinary retransmission machinery
+            // repairs the loss. Persistent failures accrue strikes
+            // toward quarantine when the detector is armed.
+            if self.checksums {
+                if frame.msg.crc != Some(frame.msg.content_crc(n)) {
+                    self.corrupt_frames_detected += 1;
+                    if ctx.tracing() {
+                        let (round, node) = (ctx.round(), ctx.id());
+                        ctx.trace(TraceEvent::CorruptFrameDetected {
+                            round,
+                            node,
+                            peer: frame.from,
+                        });
+                    }
+                    self.channels[ch].corrupt_strikes += 1;
+                    if let Some(threshold) = self.detect_after {
+                        if self.channels[ch].corrupt_strikes >= threshold {
+                            self.declare_dead(ch, true, Some(&mut *ctx));
+                        }
+                    }
+                    continue;
+                }
+                self.channels[ch].corrupt_strikes = 0;
             }
             // Cumulative ack: release every frame it covers.
             let mut progressed = false;
@@ -512,7 +718,9 @@ impl<P: NodeProgram> Reliable<P> {
 
     /// Emits at most one frame per neighbor: a timed-out retransmission,
     /// else the next fresh payload, else a pure ack if one is owed.
+    /// Every frame is sealed on its way out when checksums are enabled.
     fn transmit(&mut self, ctx: &mut Context<'_, ReliableMsg<P::Msg>>) {
+        let n = ctx.graph_ref().node_count();
         for ch in 0..self.channels.len() {
             if self.channels[ch].dead {
                 continue;
@@ -552,13 +760,15 @@ impl<P: NodeProgram> Reliable<P> {
                 self.channels[ch].idle_rounds = 0;
                 self.channels[ch].timeout = (self.channels[ch].timeout * 2).min(MAX_TIMEOUT);
                 self.channels[ch].owes_ack = false;
-                ctx.send(
-                    peer,
+                let frame = self.sealed(
                     ReliableMsg {
                         payload: Some((seq, msg)),
                         ack,
+                        crc: None,
                     },
+                    n,
                 );
+                ctx.send(peer, frame);
             } else if !self.channels[ch].backlog.is_empty()
                 && (self.channels[ch].unacked.len() as u8) < WINDOW
             {
@@ -572,16 +782,26 @@ impl<P: NodeProgram> Reliable<P> {
                 self.channels[ch].idle_rounds = 0;
                 self.channels[ch].owes_ack = false;
                 let msg = self.slots[slot].clone().expect("slot held by backlog");
-                ctx.send(
-                    peer,
+                let frame = self.sealed(
                     ReliableMsg {
                         payload: Some((seq, msg)),
                         ack,
+                        crc: None,
                     },
+                    n,
                 );
+                ctx.send(peer, frame);
             } else if self.channels[ch].owes_ack {
                 self.channels[ch].owes_ack = false;
-                ctx.send(peer, ReliableMsg { payload: None, ack });
+                let frame = self.sealed(
+                    ReliableMsg {
+                        payload: None,
+                        ack,
+                        crc: None,
+                    },
+                    n,
+                );
+                ctx.send(peer, frame);
             }
         }
     }
@@ -617,6 +837,7 @@ where
         Some(ReliabilityStats {
             retransmissions: self.retransmissions,
             duplicates_suppressed: self.duplicates_suppressed,
+            corrupt_frames_detected: self.corrupt_frames_detected,
             dead_links_declared: self.dead_links_declared,
             undeliverable_messages: self.undeliverable,
             inner_last_active_round: self.inner_last_active_round,
@@ -653,13 +874,84 @@ mod tests {
         let with_payload: ReliableMsg<u64> = ReliableMsg {
             payload: Some((3, 5u64)),
             ack: 1,
+            crc: None,
         };
         let pure_ack: ReliableMsg<u64> = ReliableMsg {
             payload: None,
             ack: 1,
+            crc: None,
         };
         // u64's bit_size of 5 is 3 bits.
         assert_eq!(with_payload.bit_size(64), 2 + 4 + 4 + 3);
         assert_eq!(pure_ack.bit_size(64), 2 + 4);
+        // A seal adds exactly the checksum word and nothing else.
+        let sealed = ReliableMsg {
+            crc: Some(with_payload.content_crc(64)),
+            ..with_payload.clone()
+        };
+        assert_eq!(sealed.bit_size(64), with_payload.bit_size(64) + 32);
+    }
+
+    #[test]
+    fn seal_verifies_and_catches_field_damage() {
+        let frame: ReliableMsg<u64> = ReliableMsg {
+            payload: Some((3, 5u64)),
+            ack: 1,
+            crc: None,
+        };
+        let seal = frame.content_crc(64);
+        // Any single-field change invalidates the seal.
+        let ack_flip = ReliableMsg {
+            ack: 2,
+            ..frame.clone()
+        };
+        let seq_flip = ReliableMsg {
+            payload: Some((4, 5u64)),
+            ..frame.clone()
+        };
+        let payload_flip = ReliableMsg {
+            payload: Some((3, 7u64)),
+            ..frame.clone()
+        };
+        assert_eq!(frame.content_crc(64), seal);
+        assert_ne!(ack_flip.content_crc(64), seal);
+        assert_ne!(seq_flip.content_crc(64), seal);
+        assert_ne!(payload_flip.content_crc(64), seal);
+    }
+
+    #[test]
+    fn corruption_leaves_a_stale_seal_behind() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        let frame: ReliableMsg<u64> = ReliableMsg {
+            payload: Some((3, 42u64)),
+            ack: 1,
+            crc: Some(0),
+        };
+        let sealed = ReliableMsg {
+            crc: Some(frame.content_crc(64)),
+            ..frame
+        };
+        let mut survived = 0usize;
+        for _ in 0..100 {
+            for kind in CorruptionKind::ALL {
+                if let Some(mangled) = sealed.corrupted(kind, 64, &mut rng) {
+                    if mangled == sealed {
+                        // A garbage draw can redraw the original value;
+                        // an unchanged frame rightly still verifies.
+                        continue;
+                    }
+                    survived += 1;
+                    // The mangled frame never passes verification: its
+                    // content changed but its seal did not.
+                    assert_ne!(
+                        mangled.crc,
+                        Some(mangled.content_crc(64)),
+                        "{kind:?} slipped past the seal: {mangled:?}"
+                    );
+                }
+            }
+        }
+        assert!(survived > 0, "every corruption destroyed the frame");
     }
 }

@@ -47,6 +47,17 @@ pub struct RunStats {
     pub duplicated: u64,
     /// Messages that arrived one round late due to fault-injected delay.
     pub delayed: u64,
+    /// Messages mangled in flight by corruption fault injection. Counts
+    /// every corruption event; the subset destroyed beyond parsing is
+    /// *also* counted in [`RunStats::dropped`] (with trace reason
+    /// `corrupt`), since the receiver never sees it.
+    pub corrupted: u64,
+    /// Corrupt frames detected and discarded by a checksummed delivery
+    /// layer (folded from [`NodeProgram::reliability_stats`]); each one is
+    /// repaired by retransmission.
+    ///
+    /// [`NodeProgram::reliability_stats`]: crate::NodeProgram::reliability_stats
+    pub corrupt_frames_detected: u64,
     /// Retransmissions performed by the reliable-delivery layer (folded
     /// from [`NodeProgram::reliability_stats`] at the end of a run).
     ///
@@ -102,6 +113,8 @@ impl RunStats {
         self.dropped += s.dropped;
         self.duplicated += s.duplicated;
         self.delayed += s.delayed;
+        self.corrupted += s.corrupted;
+        self.corrupt_frames_detected += s.corrupt_frames_detected;
         self.retransmissions += s.retransmissions;
         self.duplicates_suppressed += s.duplicates_suppressed;
         self.dead_links_declared += s.dead_links_declared;
@@ -200,6 +213,10 @@ impl RunStats {
             format!("{} / {} / {}", self.dropped, self.duplicated, self.delayed),
         );
         line(
+            "corrupted (detected)",
+            format!("{} ({})", self.corrupted, self.corrupt_frames_detected),
+        );
+        line(
             "retransmissions",
             format!(
                 "{:<12} ({:.4} of messages)",
@@ -265,6 +282,8 @@ impl crate::wire::WireState for RunStats {
         self.dropped.encode_state(w);
         self.duplicated.encode_state(w);
         self.delayed.encode_state(w);
+        self.corrupted.encode_state(w);
+        self.corrupt_frames_detected.encode_state(w);
         self.retransmissions.encode_state(w);
         self.duplicates_suppressed.encode_state(w);
         self.dead_links_declared.encode_state(w);
@@ -286,6 +305,8 @@ impl crate::wire::WireState for RunStats {
             dropped: u64::decode_state(r)?,
             duplicated: u64::decode_state(r)?,
             delayed: u64::decode_state(r)?,
+            corrupted: u64::decode_state(r)?,
+            corrupt_frames_detected: u64::decode_state(r)?,
             retransmissions: u64::decode_state(r)?,
             duplicates_suppressed: u64::decode_state(r)?,
             dead_links_declared: u64::decode_state(r)?,
@@ -309,6 +330,37 @@ impl RunStats {
             total_bits: u64::decode_state(r)?,
             max_bits_edge_round: usize::decode_state(r)?,
             peak_edge: None,
+            corrupted: 0,
+            corrupt_frames_detected: 0,
+            max_messages_edge_round: usize::decode_state(r)?,
+            budget_bits: usize::decode_state(r)?,
+            violations: u64::decode_state(r)?,
+            dropped: u64::decode_state(r)?,
+            duplicated: u64::decode_state(r)?,
+            delayed: u64::decode_state(r)?,
+            retransmissions: u64::decode_state(r)?,
+            duplicates_suppressed: u64::decode_state(r)?,
+            dead_links_declared: u64::decode_state(r)?,
+            undeliverable_messages: u64::decode_state(r)?,
+            crashed_node_rounds: u64::decode_state(r)?,
+            delivery_overhead_rounds: u64::decode_state(r)?,
+            cut: CutMeter::decode_state(r)?,
+        })
+    }
+
+    /// Decodes the version-2 checkpoint layout, which has
+    /// [`RunStats::peak_edge`] but predates the corruption counters
+    /// (which decode as zero).
+    pub(crate) fn decode_state_v2(r: &mut crate::wire::BitReader<'_>) -> Option<RunStats> {
+        use crate::wire::WireState;
+        Some(RunStats {
+            rounds: usize::decode_state(r)?,
+            total_messages: u64::decode_state(r)?,
+            total_bits: u64::decode_state(r)?,
+            max_bits_edge_round: usize::decode_state(r)?,
+            peak_edge: Option::<(NodeId, NodeId, usize)>::decode_state(r)?,
+            corrupted: 0,
+            corrupt_frames_detected: 0,
             max_messages_edge_round: usize::decode_state(r)?,
             budget_bits: usize::decode_state(r)?,
             violations: u64::decode_state(r)?,
@@ -336,6 +388,9 @@ pub struct ReliabilityStats {
     pub retransmissions: u64,
     /// Duplicate deliveries this node suppressed.
     pub duplicates_suppressed: u64,
+    /// Corrupt frames this node detected (checksum mismatch) and
+    /// discarded for retransmission to repair.
+    pub corrupt_frames_detected: u64,
     /// Channels this node declared dead (failure detection only).
     pub dead_links_declared: u64,
     /// Payloads this node abandoned on dead channels.

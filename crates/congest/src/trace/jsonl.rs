@@ -11,6 +11,8 @@
 //! | `round` | [`TraceEvent::Round`] | `round`, `messages`, `bits`, `cut_messages`, `cut_bits` |
 //! | `edge` | [`TraceEvent::EdgeTraffic`] | `round`, `from`, `to`, `messages`, `bits`, `cut` |
 //! | `drop` | [`TraceEvent::Dropped`] | `round`, `from`, `to`, `reason` |
+//! | `corrupt` | [`TraceEvent::Corrupted`] | `round`, `from`, `to`, `kind` |
+//! | `corrupt_frame` | [`TraceEvent::CorruptFrameDetected`] | `round`, `node`, `peer` |
 //! | `dup` | [`TraceEvent::Duplicated`] | `round`, `from`, `to` |
 //! | `delay` | [`TraceEvent::Delayed`] | `round`, `from`, `to` |
 //! | `node_down` | [`TraceEvent::NodeDown`] | `round`, `node` |
@@ -109,6 +111,28 @@ pub fn encode_event(event: &TraceEvent) -> String {
                 ("from", int(*from)),
                 ("to", int(*to)),
                 ("reason", Json::Str(reason.as_str().to_string())),
+            ],
+        ),
+        TraceEvent::Corrupted {
+            round,
+            from,
+            to,
+            kind,
+        } => obj(
+            "corrupt",
+            vec![
+                ("round", int(*round)),
+                ("from", int(*from)),
+                ("to", int(*to)),
+                ("kind", Json::Str(kind.as_str().to_string())),
+            ],
+        ),
+        TraceEvent::CorruptFrameDetected { round, node, peer } => obj(
+            "corrupt_frame",
+            vec![
+                ("round", int(*round)),
+                ("node", int(*node)),
+                ("peer", int(*peer)),
             ],
         ),
         TraceEvent::Duplicated { round, from, to } => obj(
@@ -269,6 +293,21 @@ pub fn decode_event(line: &str) -> Result<TraceEvent, String> {
                 DropReason::from_str_opt(&r).ok_or_else(|| format!("unknown drop reason '{r}'"))?
             },
         }),
+        "corrupt" => Ok(TraceEvent::Corrupted {
+            round: get_usize(&v, "round", t)?,
+            from: get_usize(&v, "from", t)?,
+            to: get_usize(&v, "to", t)?,
+            kind: {
+                let k = get_str(&v, "kind", t)?;
+                crate::fault::CorruptionKind::from_str_opt(&k)
+                    .ok_or_else(|| format!("unknown corruption kind '{k}'"))?
+            },
+        }),
+        "corrupt_frame" => Ok(TraceEvent::CorruptFrameDetected {
+            round: get_usize(&v, "round", t)?,
+            node: get_usize(&v, "node", t)?,
+            peer: get_usize(&v, "peer", t)?,
+        }),
         "dup" => Ok(TraceEvent::Duplicated {
             round: get_usize(&v, "round", t)?,
             from: get_usize(&v, "from", t)?,
@@ -423,6 +462,29 @@ mod tests {
                 to: 2,
                 reason: DropReason::LinkDown,
             },
+            TraceEvent::Dropped {
+                round: 5,
+                from: 3,
+                to: 1,
+                reason: DropReason::Corrupt,
+            },
+            TraceEvent::Corrupted {
+                round: 4,
+                from: 1,
+                to: 3,
+                kind: crate::fault::CorruptionKind::BitFlip,
+            },
+            TraceEvent::Corrupted {
+                round: 5,
+                from: 3,
+                to: 1,
+                kind: crate::fault::CorruptionKind::Garbage,
+            },
+            TraceEvent::CorruptFrameDetected {
+                round: 6,
+                node: 3,
+                peer: 1,
+            },
             TraceEvent::Duplicated {
                 round: 4,
                 from: 2,
@@ -486,6 +548,10 @@ mod tests {
         assert!(
             decode_event(r#"{"ev":"drop","round":1,"from":0,"to":1,"reason":"gremlin"}"#).is_err()
         );
+        assert!(
+            decode_event(r#"{"ev":"corrupt","round":1,"from":0,"to":1,"kind":"melted"}"#).is_err()
+        );
+        assert!(decode_event(r#"{"ev":"corrupt_frame","round":1,"node":0}"#).is_err());
     }
 
     #[test]

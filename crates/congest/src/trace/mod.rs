@@ -6,9 +6,10 @@
 //!
 //! * round boundaries with per-round message/bit aggregates,
 //! * per-edge congestion samples,
-//! * fault-injection outcomes (drops, duplicates, delays, crashes),
+//! * fault-injection outcomes (drops, duplicates, delays, corruption,
+//!   crashes),
 //! * reliable-delivery activity (retransmissions, suppressed
-//!   duplicates, dead-link declarations),
+//!   duplicates, detected corrupt frames, dead-link declarations),
 //! * driver-side phase spans with wall-clock timing,
 //! * application-level counters published by node programs.
 //!
@@ -57,6 +58,9 @@ pub enum DropReason {
     LinkDown,
     /// Delivered while the receiver was crashed.
     ReceiverCrashed,
+    /// Mangled beyond parsing by corruption fault injection (the receiver
+    /// cannot distinguish undecodable bytes from no bytes).
+    Corrupt,
 }
 
 impl DropReason {
@@ -66,6 +70,7 @@ impl DropReason {
             DropReason::Fault => "fault",
             DropReason::LinkDown => "link_down",
             DropReason::ReceiverCrashed => "crashed",
+            DropReason::Corrupt => "corrupt",
         }
     }
 
@@ -75,6 +80,7 @@ impl DropReason {
             "fault" => Some(DropReason::Fault),
             "link_down" => Some(DropReason::LinkDown),
             "crashed" => Some(DropReason::ReceiverCrashed),
+            "corrupt" => Some(DropReason::Corrupt),
             _ => None,
         }
     }
@@ -154,6 +160,30 @@ pub enum TraceEvent {
         to: NodeId,
         /// Why it was lost.
         reason: DropReason,
+    },
+    /// A committed message was mangled in flight by corruption fault
+    /// injection but still parsed at the receiver (a destroyed frame is
+    /// reported as [`TraceEvent::Dropped`] with [`DropReason::Corrupt`]
+    /// instead).
+    Corrupted {
+        /// Round it was sent in.
+        round: usize,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// How the frame was mangled.
+        kind: crate::fault::CorruptionKind,
+    },
+    /// A checksummed delivery layer detected and discarded a corrupt
+    /// frame (the sender's retransmission machinery repairs the loss).
+    CorruptFrameDetected {
+        /// Round the frame arrived in.
+        round: usize,
+        /// Receiving node.
+        node: NodeId,
+        /// Peer whose frame failed verification.
+        peer: NodeId,
     },
     /// A committed message was duplicated by fault injection.
     Duplicated {

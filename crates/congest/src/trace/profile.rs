@@ -188,6 +188,11 @@ pub struct EventTotals {
     pub duplicates_suppressed: u64,
     /// `DeadLinkDeclared` events.
     pub dead_links: u64,
+    /// `Corrupted` events (messages mangled in flight but delivered).
+    pub corrupted: u64,
+    /// `CorruptFrameDetected` events (checksummed frames caught and
+    /// discarded by the delivery layer).
+    pub corrupt_frames_detected: u64,
 }
 
 /// The aggregated view of one trace.
@@ -313,6 +318,8 @@ impl TraceProfile {
                     p.totals.dead_links += 1;
                     round_dead += 1;
                 }
+                TraceEvent::Corrupted { .. } => p.totals.corrupted += 1,
+                TraceEvent::CorruptFrameDetected { .. } => p.totals.corrupt_frames_detected += 1,
                 TraceEvent::App { .. } => {}
             }
         }

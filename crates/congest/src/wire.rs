@@ -213,6 +213,13 @@ impl BitWriter {
         }
     }
 
+    /// Writes a whole byte slice (each byte as 8 bits, in order).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_bits(u64::from(b), 8);
+        }
+    }
+
     /// Total bits written so far.
     pub fn bit_len(&self) -> usize {
         self.bit_len
@@ -261,6 +268,18 @@ impl<'a> BitReader<'a> {
         Some(value)
     }
 
+    /// Reads `len` whole bytes; `None` when the input is exhausted.
+    pub fn read_bytes(&mut self, len: usize) -> Option<Vec<u8>> {
+        if len.checked_mul(8)? > self.remaining_bits() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.read_bits(8)? as u8);
+        }
+        Some(out)
+    }
+
     /// Bits consumed so far.
     pub fn position(&self) -> usize {
         self.cursor
@@ -270,6 +289,120 @@ impl<'a> BitReader<'a> {
     pub fn remaining_bits(&self) -> usize {
         (self.data.len() * 8).saturating_sub(self.cursor)
     }
+}
+
+/// Lookup table for the IEEE 802.3 CRC-32 (reflected polynomial
+/// `0xEDB88320`), built at compile time — the workspace is offline, so
+/// the checksum is hand-rolled here rather than pulled from a crate.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC-32 (IEEE) over bit-granular content.
+///
+/// Bits are accumulated most-significant first and flushed to the
+/// polynomial byte-wise, exactly mirroring [`BitWriter`]: feeding a field
+/// sequence through [`Crc32::update_bits`] yields the same checksum as
+/// byte-hashing the [`BitWriter::finish`] output of that sequence
+/// (including the zero padding of the final partial byte). That makes the
+/// checksum of a frame well-defined without ever materializing its bytes.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+    pending: u8,
+    pending_bits: u8,
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh checksum (standard init value).
+    pub fn new() -> Crc32 {
+        Crc32 {
+            state: 0xFFFF_FFFF,
+            pending: 0,
+            pending_bits: 0,
+        }
+    }
+
+    fn update_byte(&mut self, byte: u8) {
+        let idx = (self.state ^ u32::from(byte)) & 0xFF;
+        self.state = CRC32_TABLE[idx as usize] ^ (self.state >> 8);
+    }
+
+    /// Feeds the `width` low bits of `value`, most-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or `value` does not fit in `width` bits
+    /// (same contract as [`BitWriter::write_bits`]).
+    pub fn update_bits(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "width {width} exceeds 64 bits");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            self.pending = (self.pending << 1) | bit;
+            self.pending_bits += 1;
+            if self.pending_bits == 8 {
+                let byte = self.pending;
+                self.update_byte(byte);
+                self.pending = 0;
+                self.pending_bits = 0;
+            }
+        }
+    }
+
+    /// Feeds a full `u64`.
+    pub fn update_u64(&mut self, value: u64) {
+        self.update_bits(value, 64);
+    }
+
+    /// Feeds whole bytes.
+    pub fn update_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.update_bits(u64::from(b), 8);
+        }
+    }
+
+    /// Flushes the partial byte (zero-padded, like [`BitWriter::finish`])
+    /// and returns the checksum.
+    pub fn finish(mut self) -> u32 {
+        if self.pending_bits > 0 {
+            let byte = self.pending << (8 - self.pending_bits);
+            self.update_byte(byte);
+        }
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 (IEEE) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update_bytes(data);
+    crc.finish()
 }
 
 #[cfg(test)]
@@ -320,5 +453,37 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn overflow_value_panics() {
         BitWriter::new().write_bits(4, 2);
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn bit_granular_crc_equals_byte_crc_of_the_encoding() {
+        let fields = [(1u64, 1usize), (300, 9), (0, 0), (u64::MAX, 64), (5, 3)];
+        let mut w = BitWriter::new();
+        let mut c = Crc32::new();
+        for &(v, width) in &fields {
+            w.write_bits(v, width);
+            c.update_bits(v, width);
+        }
+        assert_eq!(c.finish(), crc32(&w.finish()));
+    }
+
+    #[test]
+    fn byte_helpers_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 3); // unaligned prefix
+        w.write_bytes(&[0xDE, 0xAD, 0xBE]);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(1));
+        assert_eq!(r.read_bytes(3), Some(vec![0xDE, 0xAD, 0xBE]));
+        assert_eq!(r.read_bytes(1), None, "past the end");
+        assert_eq!(r.read_bytes(usize::MAX), None, "len overflow is caught");
     }
 }

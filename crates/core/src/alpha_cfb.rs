@@ -193,6 +193,7 @@ pub fn distributed(
             len_bits,
             CongestionDiscipline::HoldAndResend,
         )
+        .with_draw_seed(config.seed ^ 0xCFB)
     });
     let walk_stats = simulator.run()?;
     let counts: Vec<Vec<u64>> = (0..n)

@@ -12,8 +12,10 @@
 //! actually achievable encodings, so the paper's Theorem 4 ("each message
 //! contains `O(log n)` bits") holds mechanically, not just by assertion.
 
-use congest_sim::wire::{BitReader, BitWriter};
-use congest_sim::{bits_for_count, bits_for_node_id, Message};
+use congest_sim::wire::{BitReader, BitWriter, Crc32};
+use congest_sim::{bits_for_count, bits_for_node_id, CorruptionKind, Message};
+use rand::rngs::StdRng;
+use rand::Rng;
 use rwbc_graph::NodeId;
 
 /// A random-walk token: the unit of the paper's Algorithm 1. Carries its
@@ -64,12 +66,20 @@ impl WalkBatch {
     }
 
     /// Decodes from bytes produced by [`WalkBatch::encode`].
+    ///
+    /// Total over malformed input: a truncated stream or a source id
+    /// outside `0..n` (the id field can physically encode up to
+    /// `2^⌈log₂ n⌉ - 1`) yields `None`, never a panic or an out-of-range
+    /// token handed to the walk logic.
     pub fn decode(data: &[u8], n: usize, len_bits: u8) -> Option<WalkBatch> {
         let mut r = BitReader::new(data);
         let count = r.read_bits(BATCH_HEADER_BITS)?;
         let mut tokens = Vec::with_capacity(count as usize);
         for _ in 0..count {
             let source = r.read_bits(bits_for_node_id(n))? as NodeId;
+            if source >= n {
+                return None;
+            }
             let remaining = r.read_bits(len_bits as usize)? as u32;
             tokens.push(WalkToken { source, remaining });
         }
@@ -80,6 +90,42 @@ impl WalkBatch {
 impl Message for WalkBatch {
     fn bit_size(&self, n: usize) -> usize {
         BATCH_HEADER_BITS + self.tokens.len() * WalkBatch::token_bits(n, self.len_bits)
+    }
+
+    fn digest(&self, n: usize, crc: &mut Crc32) {
+        crc.update_bits(self.tokens.len() as u64, BATCH_HEADER_BITS);
+        for t in &self.tokens {
+            crc.update_bits(t.source as u64, bits_for_node_id(n));
+            crc.update_bits(u64::from(t.remaining), self.len_bits as usize);
+        }
+    }
+
+    /// Structure-aware corruption: the batch is encoded to its real wire
+    /// bytes, mangled there, and re-decoded, so the damage exercises the
+    /// receiver's actual decode path. Truncation can silently shorten the
+    /// batch (fewer tokens that still parse) — precisely the failure mode
+    /// only a frame checksum catches.
+    fn corrupted(&self, kind: CorruptionKind, n: usize, rng: &mut StdRng) -> Option<Self> {
+        let bytes = self.encode(n);
+        match kind {
+            CorruptionKind::BitFlip => {
+                let mut buf = bytes.to_vec();
+                let bit = rng.gen_range(0..self.bit_size(n));
+                // MSB-first, matching the BitWriter layout.
+                buf[bit / 8] ^= 0x80 >> (bit % 8);
+                WalkBatch::decode(&buf, n, self.len_bits)
+            }
+            CorruptionKind::Truncate => {
+                let keep = rng.gen_range(0..bytes.len());
+                WalkBatch::decode(&bytes[..keep], n, self.len_bits)
+            }
+            CorruptionKind::Garbage => {
+                let buf: Vec<u8> = (0..bytes.len())
+                    .map(|_| rng.gen_range(0..256u64) as u8)
+                    .collect();
+                WalkBatch::decode(&buf, n, self.len_bits)
+            }
+        }
     }
 }
 
@@ -115,6 +161,39 @@ impl CountMsg {
 impl Message for CountMsg {
     fn bit_size(&self, _n: usize) -> usize {
         self.value_bits as usize
+    }
+
+    fn digest(&self, _n: usize, crc: &mut Crc32) {
+        crc.update_bits(self.scaled, self.value_bits as usize);
+    }
+
+    /// Mangles the scaled count within its fixed field width; every
+    /// mutation still parses (the field is a bare integer), so corruption
+    /// of an unchecksummed count silently skews the centrality sum —
+    /// the distortion E13 measures.
+    fn corrupted(&self, kind: CorruptionKind, _n: usize, rng: &mut StdRng) -> Option<Self> {
+        let width = self.value_bits as usize;
+        let mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let scaled = match kind {
+            CorruptionKind::BitFlip => self.scaled ^ (1 << rng.gen_range(0..width)),
+            CorruptionKind::Truncate => {
+                let keep = rng.gen_range(0..width);
+                if keep == 0 {
+                    0
+                } else {
+                    self.scaled >> (width - keep)
+                }
+            }
+            CorruptionKind::Garbage => rng.gen_range(0..u64::MAX) & mask,
+        };
+        Some(CountMsg {
+            scaled,
+            value_bits: self.value_bits,
+        })
     }
 }
 
@@ -181,6 +260,102 @@ mod tests {
         assert_eq!(len_field_bits(256), 9);
         // K = 8, l = 100, F = 12: max count 8 * 101 = 808 -> 10 bits + 12.
         assert_eq!(count_field_bits(8, 100, 12), 22);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_sources() {
+        // n = 300 → 9-bit ids, so ids 300..511 are physically encodable
+        // but invalid; decode must reject them rather than hand the walk
+        // logic an out-of-range node.
+        let n = 300;
+        let len_bits = len_field_bits(500);
+        let mut w = BitWriter::new();
+        w.write_bits(1, 4); // one token
+        w.write_bits(450, bits_for_node_id(n)); // invalid source
+        w.write_bits(3, len_bits as usize);
+        assert_eq!(WalkBatch::decode(&w.finish(), n, len_bits), None);
+    }
+
+    #[test]
+    fn corruption_exercises_the_real_codec() {
+        use rand::SeedableRng;
+        let n = 300;
+        let len_bits = len_field_bits(500);
+        let batch = WalkBatch {
+            tokens: vec![
+                WalkToken {
+                    source: 7,
+                    remaining: 499,
+                },
+                WalkToken {
+                    source: 299,
+                    remaining: 1,
+                },
+            ],
+            len_bits,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut survived = 0usize;
+        let mut destroyed = 0usize;
+        for _ in 0..200 {
+            for kind in CorruptionKind::ALL {
+                match batch.corrupted(kind, n, &mut rng) {
+                    Some(m) => {
+                        survived += 1;
+                        // Whatever survives decodes cleanly: in-range
+                        // sources, same field widths.
+                        assert!(m.tokens.iter().all(|t| t.source < n));
+                        assert_eq!(m.len_bits, len_bits);
+                    }
+                    None => destroyed += 1,
+                }
+            }
+        }
+        // Both outcomes must occur: some damage parses (and would be
+        // silently accepted without checksums), some destroys the frame.
+        assert!(survived > 0, "no corruption ever parsed");
+        assert!(destroyed > 0, "no corruption ever destroyed the frame");
+    }
+
+    #[test]
+    fn count_corruption_stays_in_field_width() {
+        use rand::SeedableRng;
+        let m = CountMsg {
+            scaled: 123_456,
+            value_bits: 20,
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            for kind in CorruptionKind::ALL {
+                let c = m.corrupted(kind, 300, &mut rng).unwrap();
+                assert!(c.scaled < (1 << 20), "{kind:?} escaped the field");
+                assert_eq!(c.value_bits, 20);
+            }
+        }
+    }
+
+    #[test]
+    fn digests_cover_token_content() {
+        let n = 300;
+        let len_bits = len_field_bits(500);
+        let d = |batch: &WalkBatch| {
+            let mut crc = Crc32::new();
+            batch.digest(n, &mut crc);
+            crc.finish()
+        };
+        let a = WalkBatch {
+            tokens: vec![WalkToken {
+                source: 7,
+                remaining: 9,
+            }],
+            len_bits,
+        };
+        let mut b = a.clone();
+        b.tokens[0].remaining = 8;
+        assert_ne!(d(&a), d(&b));
+        // The digest hashes exactly the encoded bits: byte-hashing the
+        // real encoding gives the same checksum.
+        assert_eq!(d(&a), congest_sim::wire::crc32(&a.encode(n)));
     }
 
     #[test]

@@ -105,6 +105,18 @@ pub struct DistributedConfig {
     /// per-message header bits. Phase 2 then uses strict-delivery
     /// (position-indexed) count attribution.
     pub reliable: bool,
+    /// When `true` (requires `reliable`), the delivery adapter seals every
+    /// frame with a CRC-32 ([`Reliable::with_checksums`]) and arms the
+    /// failure detector: frames corrupted in flight by the
+    /// [`FaultPlan`](congest_sim::FaultPlan) are detected and discarded
+    /// (then repaired by retransmission) instead of silently skewing the
+    /// estimate, and links that corrupt persistently are quarantined. The
+    /// seal costs [`Reliable::CHECKSUM_BITS`] extra bits per frame, which
+    /// the phase-2 fixed-point fitting reserves off the budget.
+    ///
+    /// [`Reliable::with_checksums`]: congest_sim::Reliable::with_checksums
+    /// [`Reliable::CHECKSUM_BITS`]: congest_sim::Reliable#associatedconstant.CHECKSUM_BITS
+    pub checksums: bool,
     /// Recovery sub-phases for the *unreliable* walk phase: after the
     /// network drains, sources whose tokens went missing (per-source death
     /// tally short of `K`) relaunch the difference, up to this many times.
@@ -142,6 +154,7 @@ impl DistributedConfig {
             discipline: CongestionDiscipline::default(),
             fixed_point_bits: 16,
             reliable: false,
+            checksums: false,
             walk_retries: 0,
             partition_tolerant: false,
             sim: SimConfig::default(),
@@ -165,6 +178,7 @@ pub struct DistributedConfigBuilder {
     discipline: CongestionDiscipline,
     fixed_point_bits: Option<u8>,
     reliable: bool,
+    checksums: bool,
     walk_retries: usize,
     partition_tolerant: bool,
     sim: Option<SimConfig>,
@@ -227,6 +241,15 @@ impl DistributedConfigBuilder {
         self
     }
 
+    /// Seals delivery-layer frames with CRC-32 checksums (see
+    /// [`DistributedConfig::checksums`]). Implies nothing without
+    /// `reliable(true)`.
+    #[must_use]
+    pub fn checksums(mut self, checksums: bool) -> Self {
+        self.checksums = checksums;
+        self
+    }
+
     /// Sets the number of walk-relaunch recovery sub-phases.
     #[must_use]
     pub fn walk_retries(mut self, retries: usize) -> Self {
@@ -269,6 +292,7 @@ impl DistributedConfigBuilder {
             discipline: self.discipline,
             fixed_point_bits: self.fixed_point_bits.unwrap_or(16),
             reliable: self.reliable,
+            checksums: self.checksums,
             walk_retries: self.walk_retries,
             partition_tolerant: self.partition_tolerant,
             sim: self.sim.unwrap_or_default(),
@@ -308,17 +332,32 @@ pub struct DegradationReport {
     /// giant component) and re-drawn among the survivors, restarting the
     /// walk tally.
     pub target_redraws: usize,
+    /// Frames the checksummed delivery layer caught and discarded
+    /// (requires [`DistributedConfig::checksums`]). Detected corruption
+    /// is *repaired* by retransmission, so this counter measures faults
+    /// survived, not damage suffered — it does not disqualify a run from
+    /// [`DegradationReport::is_clean`].
+    pub corrupt_frames_detected: u64,
+    /// Links the delivery layer declared dead during a checksummed
+    /// reliable run — persistently corrupting (or persistently lossy)
+    /// channels quarantined by the failure detector. Traffic toward a
+    /// quarantined link is abandoned, so a nonzero count degrades the
+    /// estimate.
+    pub links_quarantined: u64,
 }
 
 impl DegradationReport {
     /// Whether the run lost nothing (the estimate is exactly what a
     /// fault-free execution would have produced, modulo recovery noise).
+    /// Detected-and-repaired corrupt frames don't count against this;
+    /// quarantined links do.
     pub fn is_clean(&self) -> bool {
         self.walks_lost == 0
             && self.count_cells_missing == 0
             && self.dead_links_detected.is_empty()
             && self.dead_nodes_detected.is_empty()
             && self.target_redraws == 0
+            && self.links_quarantined == 0
     }
 }
 
@@ -515,15 +554,19 @@ fn approximate_inner(
         let t0 = span_start(tracer.as_deref_mut(), "walk");
         let phase1_cfg = config.sim.clone().with_seed(phase1_seed);
         let mut sim1 = Simulator::new(graph, phase1_cfg, |v| {
-            Reliable::new(WalkProgram::new(
-                v,
-                n,
-                target,
-                k,
-                l,
-                len_bits,
-                config.discipline,
-            ))
+            let r = Reliable::new(
+                WalkProgram::new(v, n, target, k, l, len_bits, config.discipline)
+                    .with_draw_seed(phase1_seed),
+            );
+            if config.checksums {
+                // Sealed frames + armed detector: corruption is detected
+                // and repaired; persistently corrupting links are
+                // quarantined instead of retried forever.
+                r.with_checksums()
+                    .with_failure_detection(DEFAULT_DEATH_THRESHOLD)
+            } else {
+                r
+            }
         });
         if let Some(tr) = tracer.as_deref_mut() {
             sim1 = sim1.with_tracer(tr);
@@ -568,13 +611,15 @@ fn approximate_inner(
                 format!("walk-retry-{attempt}")
             };
             let t0 = span_start(tracer.as_deref_mut(), &name);
-            let cfg = config
-                .sim
-                .clone()
-                .with_seed(phase1_seed.wrapping_add(attempt as u64 * 0x5851_F42D));
+            // Per-sub-phase seed: keeps the engine's fault draws *and* the
+            // walk draw streams independent across recovery attempts, so
+            // replacement walks never retrace the originals.
+            let sub_seed = phase1_seed.wrapping_add(attempt as u64 * 0x5851_F42D);
+            let cfg = config.sim.clone().with_seed(sub_seed);
             let mut sim1 = if attempt == 0 {
                 Simulator::new(graph, cfg, |v| {
                     WalkProgram::new(v, n, target, k, l, len_bits, config.discipline)
+                        .with_draw_seed(sub_seed)
                 })
             } else {
                 degradation.walks_relaunched += outstanding.iter().sum::<u64>();
@@ -587,6 +632,7 @@ fn approximate_inner(
                         len_bits,
                         config.discipline,
                     )
+                    .with_draw_seed(sub_seed)
                 })
             };
             if let Some(tr) = tracer.as_deref_mut() {
@@ -612,9 +658,15 @@ fn approximate_inner(
     };
 
     // Fit the fixed-point width under the phase-2 budget (reserving the
-    // delivery-layer header when the transport is reliable).
+    // delivery-layer header — and the frame seal, when checksummed — when
+    // the transport is reliable).
     let header = if config.reliable {
         Reliable::<CountProgram>::HEADER_BITS
+            + if config.checksums {
+                Reliable::<CountProgram>::CHECKSUM_BITS
+            } else {
+                0
+            }
     } else {
         0
     };
@@ -638,10 +690,16 @@ fn approximate_inner(
     let phase2_cfg = config.sim.clone().with_seed(config.seed ^ 0x7F4A_7C15);
     let (values, count_stats) = if config.reliable {
         let mut sim2 = Simulator::new(graph, phase2_cfg, |v| {
-            Reliable::new(
+            let r = Reliable::new(
                 CountProgram::new(v, n, graph.degree(v), counts[v].clone(), k, value_bits, f)
                     .with_strict_delivery(true),
-            )
+            );
+            if config.checksums {
+                r.with_checksums()
+                    .with_failure_detection(DEFAULT_DEATH_THRESHOLD)
+            } else {
+                r
+            }
         });
         if let Some(tr) = tracer.as_deref_mut() {
             sim2 = sim2.with_tracer(tr);
@@ -675,6 +733,10 @@ fn approximate_inner(
         (values, stats)
     };
     span_end(tracer, "count", count_stats.rounds, t2);
+    degradation.corrupt_frames_detected =
+        walk_stats.corrupt_frames_detected + count_stats.corrupt_frames_detected;
+    degradation.links_quarantined =
+        walk_stats.dead_links_declared + count_stats.dead_links_declared;
     Ok(DistributedRun {
         centrality: Centrality::from_values(values),
         target,
@@ -743,10 +805,8 @@ fn approximate_partition_tolerant(
             format!("walk-retry-{attempt}")
         };
         let t0 = span_start(tracer.as_deref_mut(), &name);
-        let mut cfg = config
-            .sim
-            .clone()
-            .with_seed(phase1_seed.wrapping_add(attempt as u64 * 0x5851_F42D));
+        let sub_seed = phase1_seed.wrapping_add(attempt as u64 * 0x5851_F42D);
+        let mut cfg = config.sim.clone().with_seed(sub_seed);
         if attempt > 0 {
             // Scheduled transients already fired in the first sub-phase;
             // only standing damage carries over into recovery.
@@ -763,6 +823,7 @@ fn approximate_partition_tolerant(
                 .collect();
             let prog = if attempt == 0 {
                 WalkProgram::new(v, n, target, k, l, len_bits, config.discipline)
+                    .with_draw_seed(sub_seed)
             } else {
                 let replay = if in_giant[v] {
                     outstanding[v] as usize
@@ -777,6 +838,7 @@ fn approximate_partition_tolerant(
                     len_bits,
                     config.discipline,
                 )
+                .with_draw_seed(sub_seed)
             };
             Reliable::new(prog.with_dead_neighbors(dead.clone()))
                 .with_failure_detection(DEFAULT_DEATH_THRESHOLD)
@@ -1287,6 +1349,58 @@ mod tests {
         assert_eq!(run.degradation.components.len(), 1);
         assert_eq!(run.degradation.components[0].nodes, g.node_count());
         assert_eq!(run.degradation.target_redraws, 0);
+    }
+
+    #[test]
+    fn corrupt_run_with_checksums_matches_the_clean_fingerprint() {
+        use congest_sim::{FaultPlan, LinkCorruption, SimConfig};
+        let (g, l) = fig1_graph(3).unwrap();
+        let build = |plan: FaultPlan, threads: usize| {
+            let mut cfg = DistributedConfig::builder()
+                .walks(60)
+                .length(40)
+                .seed(21)
+                .target(TargetStrategy::Fixed(0))
+                .reliable(true)
+                .checksums(true)
+                .build()
+                .unwrap();
+            cfg.sim = SimConfig::default()
+                .with_bandwidth_coeff(16)
+                .with_threads(threads)
+                .with_faults(plan);
+            cfg
+        };
+        let clean = approximate(&g, &build(FaultPlan::default(), 1)).unwrap();
+        assert!(clean.degradation.is_clean());
+        assert_eq!(clean.degradation.corrupt_frames_detected, 0);
+        // Random per-message mangling plus one window of persistent
+        // corruption on a clique edge.
+        let plan = FaultPlan::default()
+            .with_corrupt_probability(0.05)
+            .with_link_corruption(LinkCorruption {
+                u: l.left[0],
+                v: l.left[1],
+                from_round: 5,
+                until_round: 15,
+            });
+        for threads in [1, 4] {
+            let run = approximate(&g, &build(plan.clone(), threads)).unwrap();
+            assert!(
+                run.walk_stats.corrupted + run.count_stats.corrupted > 0,
+                "the corruption plan must actually fire (threads={threads})"
+            );
+            assert!(
+                run.degradation.corrupt_frames_detected > 0,
+                "checksums must catch the mangled frames (threads={threads})"
+            );
+            assert!(run.degradation.is_clean(), "threads={threads}");
+            assert_eq!(
+                run.centrality, clean.centrality,
+                "repaired run must reproduce the clean fingerprint (threads={threads})"
+            );
+            assert_eq!(run.target, clean.target);
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! absorbing random walks and every node counts the visits it receives,
 //! per source.
 
-use rand::Rng;
+use std::collections::HashMap;
 
 use congest_sim::{Context, Incoming, NodeProgram, TraceEvent};
 use rwbc_graph::NodeId;
@@ -17,9 +17,34 @@ use crate::distributed::CongestionDiscipline;
 /// the estimator targets, `(I − M_t)^{-1}`, includes the `r = 0` term —
 /// see `DESIGN.md` §5. Line 6's congestion rule ("if more than one random
 /// walk needs the same edge, send one") is implemented as hold-and-resend:
-/// losers stay queued and re-roll a neighbor next round. The batched
-/// variant (ablation D3) instead packs as many tokens per message as the
-/// bit budget allows.
+/// losers stay queued and keep their rolled neighbor for the next round.
+/// The batched variant (ablation D3) instead packs as many tokens per
+/// message as the bit budget allows.
+///
+/// # Schedule-invariant randomness
+///
+/// Next-hop draws do **not** come from the engine's per-node RNG stream
+/// (which is consumed in arrival order and therefore sensitive to message
+/// *timing*). Instead, every draw is taken from a stream keyed by the walk
+/// state `(node, source, remaining)` plus a per-state ticket counter, and a
+/// token held back by congestion keeps its drawn neighbor, so each token
+/// consumes exactly one draw per state it visits. Tokens at the same state
+/// are exchangeable — their futures depend only on the state and the
+/// draw streams — so the multiset of visit counts `ξ_v^s` is a function of
+/// the seed alone, invariant under delivery timing. Consequences:
+///
+/// * the final fingerprint is identical across thread counts **and**
+///   across any fault schedule the reliable layer fully repairs (drops,
+///   duplicates, delays, detected corruption) — the acceptance property
+///   behind the chaos tests;
+/// * recovery sub-phases salt the stream with the attempt number (via
+///   [`WalkProgram::with_draw_seed`]), so replacement walks are
+///   independent of the originals rather than retracing them.
+///
+/// The invariance claim is void once links are *quarantined* mid-phase
+/// (dead-neighbor re-sampling changes the walk distribution itself);
+/// [`DegradationReport`](crate::distributed::DegradationReport) reports
+/// such runs as not clean.
 #[derive(Debug, Clone)]
 pub struct WalkProgram {
     me: NodeId,
@@ -27,8 +52,12 @@ pub struct WalkProgram {
     k: usize,
     len_bits: u8,
     discipline: CongestionDiscipline,
+    /// Seed of the schedule-invariant draw streams (see [`Self::roll`]).
+    draw_seed: u64,
+    /// Tickets issued per walk state `(source, remaining)` at this node.
+    tickets: HashMap<(NodeId, u32), u32>,
     /// Tokens currently parked at this node, waiting to move.
-    queue: Vec<WalkToken>,
+    queue: Vec<Queued>,
     /// `ξ_me^s` for every source `s`.
     counts: Vec<u64>,
     /// Walk completions observed *at this node*, per source: absorptions
@@ -46,6 +75,25 @@ pub struct WalkProgram {
     scratch: ForwardScratch,
 }
 
+/// A parked token plus the neighbor index it has already rolled. The
+/// choice survives congestion hold-back rounds so each token consumes
+/// exactly one draw per state — the invariance hinge; see the
+/// [`WalkProgram`] docs.
+#[derive(Debug, Clone)]
+struct Queued {
+    token: WalkToken,
+    choice: Option<u32>,
+}
+
+impl Queued {
+    fn fresh(token: WalkToken) -> Queued {
+        Queued {
+            token,
+            choice: None,
+        }
+    }
+}
+
 /// Reusable buffers for [`WalkProgram::forward`], so the per-round
 /// distribution step allocates nothing in steady state. Never part of
 /// the protocol state: empty between rounds, excluded from equality.
@@ -58,9 +106,17 @@ struct ForwardScratch {
     /// Tokens held back by the congestion discipline this round; swapped
     /// with `queue` at the end of the distribution, so both buffers keep
     /// their capacity.
-    keep: Vec<WalkToken>,
+    keep: Vec<Queued>,
     /// Live-neighbor indices when some neighbors are dead.
     live: Vec<usize>,
+}
+
+/// SplitMix64 finalizer — the avalanche stage behind the draw streams.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl WalkProgram {
@@ -104,10 +160,10 @@ impl WalkProgram {
             counts[me] += k as u64;
             for l in lengths {
                 if l > 0 {
-                    queue.push(WalkToken {
+                    queue.push(Queued::fresh(WalkToken {
                         source: me,
                         remaining: l,
-                    });
+                    }));
                 } else {
                     // A zero-length walk completes at birth.
                     deaths[me] += 1;
@@ -120,6 +176,8 @@ impl WalkProgram {
             k,
             len_bits,
             discipline,
+            draw_seed: 0,
+            tickets: HashMap::new(),
             queue,
             counts,
             deaths,
@@ -147,10 +205,10 @@ impl WalkProgram {
         if me != target {
             for l in lengths {
                 if l > 0 {
-                    queue.push(WalkToken {
+                    queue.push(Queued::fresh(WalkToken {
                         source: me,
                         remaining: l,
-                    });
+                    }));
                 } else {
                     deaths[me] += 1;
                 }
@@ -162,6 +220,8 @@ impl WalkProgram {
             k: 0,
             len_bits,
             discipline,
+            draw_seed: 0,
+            tickets: HashMap::new(),
             queue,
             counts: vec![0u64; n],
             deaths,
@@ -169,6 +229,17 @@ impl WalkProgram {
             started: false,
             scratch: ForwardScratch::default(),
         }
+    }
+
+    /// Seeds the schedule-invariant draw streams. Every run (and every
+    /// recovery sub-phase) should use a distinct value — the driver passes
+    /// its per-sub-phase simulator seed — so that draws are independent
+    /// across phases while staying a pure function of `(seed, node,
+    /// source, remaining, ticket)` within one.
+    #[must_use]
+    pub fn with_draw_seed(mut self, seed: u64) -> WalkProgram {
+        self.draw_seed = seed;
+        self
     }
 
     /// Pre-seeds the set of permanently dead neighbors (e.g. links declared
@@ -213,6 +284,31 @@ impl WalkProgram {
         }
     }
 
+    /// One draw from the stream keyed by the walk state `(me, source,
+    /// remaining)`: the `i`-th token processed at that state gets ticket
+    /// `i`, and the value is a pure function of `(draw_seed, me, source,
+    /// remaining, i)`. Tokens at the same state are exchangeable, so which
+    /// of them gets which ticket never changes the visit-count multiset —
+    /// the schedule-invariance property in the type docs.
+    fn roll(&mut self, source: NodeId, remaining: u32, bound: usize) -> usize {
+        let t = self.tickets.entry((source, remaining)).or_insert(0);
+        let ticket = *t;
+        *t += 1;
+        let mut h = self.draw_seed;
+        for w in [
+            self.me as u64,
+            source as u64,
+            u64::from(remaining),
+            u64::from(ticket),
+        ] {
+            h = splitmix64(h ^ w);
+        }
+        // Multiply-shift maps the 64-bit hash uniformly onto `0..bound`
+        // (bias ≤ bound/2^64 — unmeasurable at graph degrees) without
+        // paying an RNG key setup per draw on the hot path.
+        ((u128::from(h) * bound as u128) >> 64) as usize
+    }
+
     /// Rolls a neighbor for every queued token and ships what the
     /// congestion discipline allows; the rest stay queued.
     fn forward(&mut self, ctx: &mut Context<'_, WalkBatch>) {
@@ -222,9 +318,7 @@ impl WalkProgram {
         let deg = ctx.degree();
         debug_assert!(deg > 0, "connected graphs have no isolated nodes");
         // With dead neighbors the walk re-samples uniformly among the
-        // survivors — the walk distribution of the *surviving* graph;
-        // without any, the original single-draw path is kept so fault-free
-        // traces replay bit-identically.
+        // survivors — the walk distribution of the *surviving* graph.
         if !self.dead_neighbors.is_empty() {
             let live = &mut self.scratch.live;
             live.clear();
@@ -235,12 +329,13 @@ impl WalkProgram {
                 // Every neighbor is gone: the node is stranded and its
                 // walks can never move again. Truncate them in place so
                 // the death tally (and with it termination) stays exact.
-                for token in self.queue.drain(..) {
-                    self.deaths[token.source] += 1;
+                for q in self.queue.drain(..) {
+                    self.deaths[q.token.source] += 1;
                 }
                 return;
             }
         }
+        let live_len = self.scratch.live.len();
         let max_per_edge = match self.discipline {
             CongestionDiscipline::HoldAndResend => 1,
             CongestionDiscipline::Batched => {
@@ -254,27 +349,37 @@ impl WalkProgram {
         }
         debug_assert!(self.scratch.per_neighbor.iter().all(Vec::is_empty));
         debug_assert!(self.scratch.keep.is_empty());
-        // Roll a neighbor for each token (paper line 6, first half: "choose
-        // a random neighbor v") and bucket it, taking up to `max_per_edge`
-        // per neighbor; the rest wait (line 6, second half). One RNG draw
-        // per token in queue order — the same draw sequence as sampling all
-        // choices up front, so pre-arena traces replay bit-identically.
-        for token in self.queue.drain(..) {
-            let choice = if self.dead_neighbors.is_empty() {
-                ctx.rng().gen_range(0..deg)
-            } else {
-                self.scratch.live[ctx.rng().gen_range(0..self.scratch.live.len())]
+        // Roll a neighbor for each token that doesn't have one yet (paper
+        // line 6, first half: "choose a random neighbor v") and bucket it,
+        // taking up to `max_per_edge` per neighbor; the rest wait (line 6,
+        // second half) and keep their roll, so congestion never costs a
+        // state a second draw.
+        let mut queue = std::mem::take(&mut self.queue);
+        for q in queue.drain(..) {
+            let choice = match q.choice {
+                Some(c) => c as usize,
+                None if self.dead_neighbors.is_empty() => {
+                    self.roll(q.token.source, q.token.remaining, deg)
+                }
+                None => {
+                    let j = self.roll(q.token.source, q.token.remaining, live_len);
+                    self.scratch.live[j]
+                }
             };
             let bucket = &mut self.scratch.per_neighbor[choice];
             if bucket.len() < max_per_edge {
-                bucket.push(token);
+                bucket.push(q.token);
             } else {
-                self.scratch.keep.push(token);
+                self.scratch.keep.push(Queued {
+                    token: q.token,
+                    choice: Some(choice as u32),
+                });
             }
         }
-        // `queue` was fully drained, so after the swap it holds the kept
+        // `queue` was fully drained; after the swap it holds the kept
         // tokens and `scratch.keep` is the (empty) old queue buffer.
-        std::mem::swap(&mut self.queue, &mut self.scratch.keep);
+        std::mem::swap(&mut queue, &mut self.scratch.keep);
+        self.queue = queue;
         for i in 0..deg {
             if self.scratch.per_neighbor[i].is_empty() {
                 continue;
@@ -317,10 +422,10 @@ impl NodeProgram for WalkProgram {
                 }
                 self.counts[token.source] += 1;
                 if token.remaining > 1 {
-                    self.queue.push(WalkToken {
+                    self.queue.push(Queued::fresh(WalkToken {
                         source: token.source,
                         remaining: token.remaining - 1,
-                    });
+                    }));
                 } else {
                     // Truncated here: this walk has completed its budget.
                     self.deaths[token.source] += 1;
@@ -356,6 +461,12 @@ impl NodeProgram for WalkProgram {
     fn on_neighbor_down(&mut self, peer: NodeId) {
         if let Err(pos) = self.dead_neighbors.binary_search(&peer) {
             self.dead_neighbors.insert(pos, peer);
+            // Stored rolls may point at the dead neighbor (and the
+            // live-index mapping just changed); force a re-draw among the
+            // survivors for everything still parked here.
+            for q in &mut self.queue {
+                q.choice = None;
+            }
         }
     }
 }
@@ -377,7 +488,7 @@ mod tests {
         let n = g.node_count();
         let len_bits = crate::distributed::messages::len_field_bits(l);
         let mut sim = Simulator::new(g, SimConfig::default().with_seed(seed), |v| {
-            WalkProgram::new(v, n, target, k, l, len_bits, discipline)
+            WalkProgram::new(v, n, target, k, l, len_bits, discipline).with_draw_seed(seed)
         });
         let stats = sim.run().unwrap();
         let counts = (0..n).map(|v| sim.program(v).counts().to_vec()).collect();
@@ -432,6 +543,7 @@ mod tests {
                 len_bits,
                 CongestionDiscipline::HoldAndResend,
             )
+            .with_draw_seed(3)
         });
         sim.run().unwrap();
         for v in 0..n {
