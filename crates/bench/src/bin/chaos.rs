@@ -59,7 +59,7 @@ fn parse_args() -> Result<Options, String> {
         property: ChaosProperty::WalksLost,
         reliable: false,
         n: None,
-        seed: 0xC4A0_5,
+        seed: 0x000C_4A05,
         budget: 400,
         max_tests: 600,
         out: None,

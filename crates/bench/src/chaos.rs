@@ -5,7 +5,9 @@
 //!
 //! Every byte the repo decodes — JSONL trace lines, JSON documents,
 //! `BENCH_*.json` schemas, walk/count message payloads, checkpoint
-//! images — must yield a typed error on malformed input, never a panic.
+//! images, `rwbc-serve` request/response frames and mid-solve
+//! `StepSolver` images — must yield a typed error on malformed input,
+//! never a panic.
 //! [`fuzz_all_codecs`] checks exactly that: it builds a *valid* corpus
 //! for each codec (structure-aware, so mutations land near real field
 //! boundaries instead of dying in framing), applies seeded byte/bit
@@ -40,6 +42,11 @@ use rwbc::distributed::{approximate, DistributedConfig};
 use rwbc::monte_carlo::TargetStrategy;
 use rwbc_graph::generators::connected_gnp;
 use rwbc_graph::Graph;
+use rwbc_serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    DaemonState, HealthReport, Request as ServeRequest, RequestEnvelope, Response as ServeResponse,
+    SloFlags,
+};
 
 use crate::perf::validate_bench_json;
 
@@ -51,7 +58,8 @@ use crate::perf::validate_bench_json;
 #[derive(Debug, Clone)]
 pub struct CodecReport {
     /// Codec name (`jsonl`, `json`, `bench-json`, `walk-batch`,
-    /// `count-msg`, `checkpoint`).
+    /// `count-msg`, `checkpoint`, `serve-request`, `serve-response`,
+    /// `serve-frame`, `serve-step-checkpoint`).
     pub name: &'static str,
     /// Mutated inputs fed to the decoder.
     pub cases: usize,
@@ -225,7 +233,7 @@ fn corpus_run(seed: u64) -> (Vec<Vec<u8>>, Vec<u8>, Graph, SimConfig) {
 /// deterministically from `seed`. Zero panics is the acceptance bar;
 /// accept/reject splits are informational.
 pub fn fuzz_all_codecs(seed: u64, budget: usize) -> FuzzReport {
-    let (jsonl_lines, image, corpus_graph, corpus_cfg) = corpus_run(seed ^ 0xC0FF_EE);
+    let (jsonl_lines, image, corpus_graph, corpus_cfg) = corpus_run(seed ^ 0x00C0_FFEE);
     let mut rng = StdRng::seed_from_u64(seed);
     // Quiet the panic hook: a caught decoder panic is *reported*, not
     // printed mid-run.
@@ -321,6 +329,120 @@ pub fn fuzz_all_codecs(seed: u64, budget: usize) -> FuzzReport {
         budget,
         &mut rng,
         |b| Simulator::<Flood>::restore(&corpus_graph, corpus_cfg.clone(), b).is_ok(),
+    ));
+
+    // --- rwbc-serve wire surfaces -----------------------------------
+
+    let request_corpus: Vec<Vec<u8>> = [
+        RequestEnvelope {
+            deadline_ms: 250,
+            request: ServeRequest::Centrality { node: 17 },
+        },
+        RequestEnvelope {
+            deadline_ms: 0,
+            request: ServeRequest::TopK { k: 8 },
+        },
+        RequestEnvelope {
+            deadline_ms: 1000,
+            request: ServeRequest::Stats,
+        },
+        RequestEnvelope {
+            deadline_ms: 0,
+            request: ServeRequest::Drain,
+        },
+    ]
+    .iter()
+    .map(encode_request)
+    .collect();
+    codecs.push(fuzz_codec(
+        "serve-request",
+        &request_corpus,
+        budget,
+        &mut rng,
+        |b| decode_request(b).is_ok(),
+    ));
+
+    let response_corpus: Vec<Vec<u8>> = [
+        ServeResponse::Value {
+            node: 17,
+            value: 0.125,
+            slo: SloFlags {
+                degraded: true,
+                resumed: true,
+                walks_lost: 3,
+                count_cells_missing: 1,
+            },
+        },
+        ServeResponse::Ranking {
+            top: vec![(4, 0.9), (2, 0.5), (0, 0.25)],
+            slo: SloFlags::default(),
+        },
+        ServeResponse::Health(HealthReport {
+            state: DaemonState::Serving,
+            ready: true,
+            phase: 2,
+            rounds_completed: 321,
+            slo: SloFlags::default(),
+        }),
+        ServeResponse::Overloaded { retry_after_ms: 10 },
+        ServeResponse::Error {
+            reason: "node 999 out of range (n=64)".to_string(),
+        },
+    ]
+    .iter()
+    .map(encode_response)
+    .collect();
+    codecs.push(fuzz_codec(
+        "serve-response",
+        &response_corpus,
+        budget,
+        &mut rng,
+        |b| decode_response(b).is_ok(),
+    ));
+
+    // The framing layer itself: length prefix + CRC + payload, mutated
+    // whole. `read_frame` must reject torn/oversized/mismatched frames
+    // typed, never panic or over-allocate.
+    let framed_corpus: Vec<Vec<u8>> = request_corpus
+        .iter()
+        .map(|payload| {
+            let mut framed = Vec::new();
+            write_frame(&mut framed, payload).expect("framing into a Vec");
+            framed
+        })
+        .collect();
+    codecs.push(fuzz_codec(
+        "serve-frame",
+        &framed_corpus,
+        budget,
+        &mut rng,
+        |b| read_frame(&mut &b[..]).is_ok(),
+    ));
+
+    // A mid-solve StepSolver image — the daemon's crash-recovery
+    // surface. Any mutation must yield a typed error, never a panic or
+    // a silently-different resume.
+    let step_cfg = DistributedConfig::builder()
+        .walks(2)
+        .length(16)
+        .seed(seed ^ 0x51E9)
+        .target(TargetStrategy::Fixed(0))
+        .build()
+        .expect("step corpus params");
+    let mut step_solver =
+        rwbc::distributed::StepSolver::new(&corpus_graph, step_cfg.clone()).expect("step solver");
+    for _ in 0..3 {
+        if step_solver.step().expect("step corpus run") {
+            break;
+        }
+    }
+    let step_corpus = vec![step_solver.checkpoint().expect("step corpus image")];
+    codecs.push(fuzz_codec(
+        "serve-step-checkpoint",
+        &step_corpus,
+        budget,
+        &mut rng,
+        |b| rwbc::distributed::StepSolver::restore(&corpus_graph, step_cfg.clone(), b).is_ok(),
     ));
 
     std::panic::set_hook(hook);
@@ -655,11 +777,14 @@ pub struct ShrinkOutcome {
     pub tests: usize,
 }
 
+/// Rebuilds a plan with one Bernoulli probability replaced.
+type ProbSetter = fn(FaultPlan, f64) -> FaultPlan;
+
 /// Candidate simplifications of `plan`, most aggressive first. Each is
 /// strictly simpler, so the greedy loop terminates.
 fn candidates(plan: &FaultPlan) -> Vec<(String, FaultPlan)> {
     let mut out = Vec::new();
-    let probs: [(&str, f64, fn(FaultPlan, f64) -> FaultPlan); 4] = [
+    let probs: [(&str, f64, ProbSetter); 4] = [
         ("drop", plan.drop_probability, |p, v| {
             p.with_drop_probability(v)
         }),
@@ -768,7 +893,7 @@ mod tests {
     #[test]
     fn fuzzing_every_codec_panics_nowhere() {
         let report = fuzz_all_codecs(0xF422, 60);
-        assert_eq!(report.codecs.len(), 7);
+        assert_eq!(report.codecs.len(), 11);
         for codec in &report.codecs {
             assert!(
                 codec.panics.is_empty(),
@@ -781,7 +906,7 @@ mod tests {
             assert!(codec.rejected > 0, "codec {} rejected nothing", codec.name);
         }
         assert!(report.is_clean());
-        assert_eq!(report.total_cases(), 7 * 60);
+        assert_eq!(report.total_cases(), 11 * 60);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | E11 | extension: chaos sweep (faults + reliable delivery) | [`suite::e11`] |
 //! | E12 | extension: permanent kills (detector + partition tolerance) | [`suite::e12`] |
 //! | E13 | extension: corruption sweep (checksummed frames + quarantine) | [`suite::e13`] |
+//! | E14 | extension: serving centrality under load (rwbc-serve) | [`suite::e14`] |
 //!
 //! Run them with `cargo run --release -p rwbc-bench --bin experiments --
 //! all` (add `--quick` for a fast smoke pass). Each module exposes a
@@ -34,8 +35,13 @@
 //! Data-integrity tooling (decode fuzzer + fault-plan shrinker) lives in
 //! [`chaos`] behind the `rwbc-chaos` binary.
 
+//! Service-level load replay for the `rwbc-serve` daemon lives in
+//! [`serve_load`] behind the `rwbc-replay` binary, which writes
+//! `BENCH_serve-*.json` throughput/latency artifacts.
+
 pub mod chaos;
 pub mod perf;
+pub mod serve_load;
 pub mod suite;
 pub mod table;
 

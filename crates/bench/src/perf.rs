@@ -222,7 +222,7 @@ impl Scenario {
 fn torus_dims(n: usize) -> (usize, usize) {
     let mut rows = (n as f64).sqrt() as usize;
     while rows >= 3 {
-        if n % rows == 0 && n / rows >= 3 {
+        if n.is_multiple_of(rows) && n / rows >= 3 {
             return (rows, n / rows);
         }
         rows -= 1;

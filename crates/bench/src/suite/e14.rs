@@ -1,0 +1,222 @@
+//! **E14 (extension) — serving centrality under load.** The paper ends
+//! where the solve ends; this experiment measures the system that has
+//! to *answer queries about* the solve: the `rwbc-serve` daemon. Four
+//! scenarios on one self-hosted daemon workload: closed-loop capacity,
+//! open-loop pacing, forced overload (queue depth 1 against a slow
+//! worker — every excess request must come back as a typed
+//! `Overloaded`, never buffered), and forced deadline expiry (a
+//! deadline far below the worker's service time — typed `Timeout`).
+//! The robustness claim the table checks: under every load shape, each
+//! request gets exactly one typed answer; nothing hangs, nothing is
+//! silently dropped, and the error mass moves between `Overloaded` and
+//! `Timeout` as the bottleneck moves between admission and service.
+
+use std::time::Duration;
+
+use rwbc_serve::{Daemon, ServeConfig, SolverConfig};
+
+use crate::serve_load::{run_replay, OutcomeCounts, ReplayConfig, ReplayMode};
+use crate::table::Table;
+
+/// Typed result for one serving scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Traffic shape (`closed` / `open`).
+    pub mode: &'static str,
+    /// Concurrent replay clients.
+    pub clients: usize,
+    /// Typed outcome tallies.
+    pub outcomes: OutcomeCounts,
+    /// Served-request throughput, requests per second.
+    pub throughput_rps: f64,
+    /// Exact p50 latency over served requests, microseconds.
+    pub p50_us: u64,
+    /// Exact p99 latency over served requests, microseconds.
+    pub p99_us: u64,
+}
+
+fn wait_ready(daemon: &Daemon) {
+    let client = rwbc_serve::Client::new(daemon.local_addr().to_string()).with_max_attempts(120);
+    match client.centrality(0, 5000) {
+        Ok(rwbc_serve::Response::Value { .. }) => {}
+        other => panic!("daemon never became ready: {other:?}"),
+    }
+}
+
+fn replay_row(
+    scenario: &str,
+    daemon: &Daemon,
+    n: usize,
+    mode: ReplayMode,
+    clients: usize,
+    duration: Duration,
+    deadline_ms: u32,
+) -> ServeRow {
+    let report = run_replay(&ReplayConfig {
+        addr: daemon.local_addr().to_string(),
+        mode,
+        clients,
+        duration,
+        deadline_ms,
+        seed: 42,
+        n,
+    });
+    ServeRow {
+        scenario: scenario.to_string(),
+        mode: mode.as_str(),
+        clients,
+        outcomes: report.outcomes,
+        throughput_rps: report.throughput_rps(),
+        p50_us: report.p50_us(),
+        p99_us: report.p99_us(),
+    }
+}
+
+/// Runs the four serving scenarios against self-hosted daemons.
+///
+/// # Panics
+///
+/// Panics if a daemon fails to bind or never becomes ready.
+pub fn serving_sweep(n: usize, seed: u64, quick: bool) -> Vec<ServeRow> {
+    let duration = Duration::from_millis(if quick { 250 } else { 1000 });
+    let mut rows = Vec::new();
+
+    // Scenarios 1 + 2: a healthy daemon, closed then open loop.
+    {
+        let daemon = Daemon::start(ServeConfig::new(SolverConfig::new(n, seed))).expect("bind");
+        wait_ready(&daemon);
+        rows.push(replay_row(
+            "healthy, closed loop",
+            &daemon,
+            n,
+            ReplayMode::Closed,
+            4,
+            duration,
+            1000,
+        ));
+        rows.push(replay_row(
+            "healthy, open loop @100/s",
+            &daemon,
+            n,
+            ReplayMode::Open { rate_hz: 100.0 },
+            2,
+            duration,
+            1000,
+        ));
+        daemon.drain();
+        daemon.wait();
+    }
+
+    // Scenario 3: admission bottleneck — queue depth 1 in front of one
+    // deliberately slow worker. Excess load must shed typed.
+    {
+        let mut config = ServeConfig::new(SolverConfig::new(n, seed));
+        config.queue_depth = 1;
+        config.workers = 1;
+        config.work_delay_ms = 30;
+        let daemon = Daemon::start(config).expect("bind");
+        wait_ready(&daemon);
+        rows.push(replay_row(
+            "overloaded (queue=1, slow worker)",
+            &daemon,
+            n,
+            ReplayMode::Closed,
+            8,
+            duration,
+            1000,
+        ));
+        daemon.drain();
+        daemon.wait();
+    }
+
+    // Scenario 4: service bottleneck — a deadline far below the
+    // worker's service time. Expiry must be typed, at the deadline.
+    {
+        let mut config = ServeConfig::new(SolverConfig::new(n, seed));
+        config.workers = 2;
+        config.work_delay_ms = 80;
+        let daemon = Daemon::start(config).expect("bind");
+        wait_ready(&daemon);
+        rows.push(replay_row(
+            "deadline 10ms vs 80ms worker",
+            &daemon,
+            n,
+            ReplayMode::Closed,
+            4,
+            duration,
+            10,
+        ));
+        daemon.drain();
+        daemon.wait();
+    }
+
+    rows
+}
+
+/// Runs the full experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 48 } else { 128 };
+    let mut table = Table::new(
+        "E14 (extension): serving centrality under load — typed outcomes per \
+         traffic shape (self-hosted rwbc-serve daemon, ER graph)",
+        [
+            "scenario",
+            "mode",
+            "clients",
+            "served",
+            "overloaded",
+            "timed out",
+            "not ready",
+            "io errs",
+            "req/s",
+            "p50 us",
+            "p99 us",
+        ],
+    );
+    for r in serving_sweep(n, 42, quick) {
+        table.add_row([
+            r.scenario.clone(),
+            r.mode.to_string(),
+            r.clients.to_string(),
+            r.outcomes.served.to_string(),
+            r.outcomes.overloaded.to_string(),
+            r.outcomes.timed_out.to_string(),
+            r.outcomes.not_ready.to_string(),
+            r.outcomes.io_errors.to_string(),
+            format!("{:.1}", r.throughput_rps),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_load_shape_yields_typed_outcomes() {
+        let rows = serving_sweep(32, 7, true);
+        assert_eq!(rows.len(), 4);
+        // Healthy closed loop: real throughput, no sheds.
+        let healthy = &rows[0];
+        assert!(healthy.outcomes.served > 0);
+        assert_eq!(healthy.outcomes.overloaded, 0);
+        assert!(healthy.p50_us <= healthy.p99_us);
+        // Overload scenario: typed sheds, and every request accounted.
+        let overloaded = &rows[2];
+        assert!(
+            overloaded.outcomes.overloaded > 0,
+            "queue=1 under 8 clients must shed: {overloaded:?}"
+        );
+        // Deadline scenario: typed timeouts dominate.
+        let deadline = &rows[3];
+        assert!(
+            deadline.outcomes.timed_out > 0,
+            "10ms deadline vs 80ms worker must expire: {deadline:?}"
+        );
+    }
+}

@@ -162,6 +162,6 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt4(0.123456), "0.1235");
-        assert_eq!(fmt2(3.14159), "3.14");
+        assert_eq!(fmt2(2.34159), "2.34");
     }
 }

@@ -272,6 +272,57 @@ proptest! {
     }
 
     #[test]
+    fn checkpoint_restores_bit_identically_across_thread_counts(
+        g in arb_connected_graph(),
+        seed in 0u64..30,
+        cut_after in 0usize..6,
+        save_threads in 1usize..5,
+        load_threads in 1usize..5,
+    ) {
+        // A daemon may be restarted with a different worker pool than the
+        // process that wrote the image — thread count is an execution
+        // detail, not part of the trace — so a checkpoint captured at one
+        // thread count must resume bit-identically at any other.
+        let faults = FaultPlan::default()
+            .with_drop_probability(0.15)
+            .with_delay_probability(0.2);
+        let cfg_save = SimConfig::default()
+            .with_seed(seed)
+            .with_threads(save_threads)
+            .with_faults(faults.clone());
+        let cfg_load = SimConfig::default()
+            .with_seed(seed)
+            .with_threads(load_threads)
+            .with_faults(faults);
+
+        let mut reference = Simulator::new(&g, cfg_save.clone(), |v| Flood::new(v, 0));
+        let ref_stats = reference.run().unwrap();
+        let ref_informed: Vec<_> =
+            reference.programs().iter().map(Flood::informed_at).collect();
+
+        let mut first = Simulator::new(&g, cfg_save, |v| Flood::new(v, 0));
+        let mut finished = false;
+        for _ in 0..cut_after {
+            if first.step().unwrap() {
+                finished = true;
+                break;
+            }
+        }
+        let image = first.checkpoint();
+        drop(first);
+
+        let mut resumed = Simulator::<Flood>::restore(&g, cfg_load, &image).unwrap();
+        let stats = if finished {
+            resumed.stats().clone()
+        } else {
+            resumed.run().unwrap()
+        };
+        let informed: Vec<_> = resumed.programs().iter().map(Flood::informed_at).collect();
+        prop_assert_eq!(stats, ref_stats);
+        prop_assert_eq!(informed, ref_informed);
+    }
+
+    #[test]
     fn bit_writer_reader_round_trips_at_any_widths(
         fields in proptest::collection::vec((any::<u64>(), 0usize..=64), 0..40),
     ) {

@@ -214,6 +214,57 @@ impl CountProgram {
     }
 }
 
+// Checkpoint encoding: everything but `neighbor_ids`, a lazily-filled
+// topology cache that `on_round` rebuilds on first use after a restore —
+// excluding it keeps the bytes of a restored-and-resumed run identical to
+// an uninterrupted one.
+impl congest_sim::wire::WireState for CountProgram {
+    fn encode_state(&self, w: &mut congest_sim::wire::BitWriter) {
+        self.me.encode_state(w);
+        self.n.encode_state(w);
+        self.own.encode_state(w);
+        self.own_scaled.encode_state(w);
+        self.cols.encode_state(w);
+        self.degree.encode_state(w);
+        self.value_bits.encode_state(w);
+        self.fractional_bits.encode_state(w);
+        self.k.encode_state(w);
+        self.sent.encode_state(w);
+        self.received_rounds.encode_state(w);
+        self.received_per_neighbor.encode_state(w);
+        self.strict_delivery.encode_state(w);
+        self.missing.encode_state(w);
+        self.dead_peers.encode_state(w);
+        self.live.encode_state(w);
+        self.effective_n.encode_state(w);
+        self.betweenness.encode_state(w);
+    }
+
+    fn decode_state(r: &mut congest_sim::wire::BitReader<'_>) -> Option<CountProgram> {
+        Some(CountProgram {
+            me: usize::decode_state(r)?,
+            n: usize::decode_state(r)?,
+            own: Vec::decode_state(r)?,
+            own_scaled: Vec::decode_state(r)?,
+            cols: Vec::decode_state(r)?,
+            degree: usize::decode_state(r)?,
+            value_bits: u8::decode_state(r)?,
+            fractional_bits: u8::decode_state(r)?,
+            k: usize::decode_state(r)?,
+            sent: usize::decode_state(r)?,
+            received_rounds: usize::decode_state(r)?,
+            received_per_neighbor: Vec::decode_state(r)?,
+            strict_delivery: bool::decode_state(r)?,
+            missing: u64::decode_state(r)?,
+            dead_peers: Vec::decode_state(r)?,
+            live: Vec::decode_state(r)?,
+            effective_n: usize::decode_state(r)?,
+            betweenness: Option::decode_state(r)?,
+            neighbor_ids: Vec::new(),
+        })
+    }
+}
+
 impl NodeProgram for CountProgram {
     type Msg = CountMsg;
 

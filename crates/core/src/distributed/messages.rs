@@ -12,7 +12,7 @@
 //! actually achievable encodings, so the paper's Theorem 4 ("each message
 //! contains `O(log n)` bits") holds mechanically, not just by assertion.
 
-use congest_sim::wire::{BitReader, BitWriter, Crc32};
+use congest_sim::wire::{BitReader, BitWriter, Crc32, WireState};
 use congest_sim::{bits_for_count, bits_for_node_id, CorruptionKind, Message};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -129,6 +129,34 @@ impl Message for WalkBatch {
     }
 }
 
+impl WireState for WalkToken {
+    fn encode_state(&self, w: &mut BitWriter) {
+        self.source.encode_state(w);
+        self.remaining.encode_state(w);
+    }
+    fn decode_state(r: &mut BitReader<'_>) -> Option<WalkToken> {
+        Some(WalkToken {
+            source: usize::decode_state(r)?,
+            remaining: u32::decode_state(r)?,
+        })
+    }
+}
+
+// Host-side checkpoint encoding (full-width fields; the budget-charged
+// on-wire form stays `WalkBatch::encode`/`decode`).
+impl WireState for WalkBatch {
+    fn encode_state(&self, w: &mut BitWriter) {
+        self.tokens.encode_state(w);
+        self.len_bits.encode_state(w);
+    }
+    fn decode_state(r: &mut BitReader<'_>) -> Option<WalkBatch> {
+        Some(WalkBatch {
+            tokens: Vec::decode_state(r)?,
+            len_bits: u8::decode_state(r)?,
+        })
+    }
+}
+
 /// One phase-2 message: the fixed-point scaled count for the source whose
 /// index equals the current phase-2 round (so the source id travels for
 /// free in the round number — the pipelining that gives Lemma 3's `O(n)`).
@@ -154,6 +182,19 @@ impl CountMsg {
         Some(CountMsg {
             scaled: r.read_bits(value_bits as usize)?,
             value_bits,
+        })
+    }
+}
+
+impl WireState for CountMsg {
+    fn encode_state(&self, w: &mut BitWriter) {
+        self.scaled.encode_state(w);
+        self.value_bits.encode_state(w);
+    }
+    fn decode_state(r: &mut BitReader<'_>) -> Option<CountMsg> {
+        Some(CountMsg {
+            scaled: u64::decode_state(r)?,
+            value_bits: u8::decode_state(r)?,
         })
     }
 }

@@ -42,11 +42,13 @@ mod collect;
 mod count_phase;
 mod election;
 pub mod messages;
+mod stepwise;
 mod walk_phase;
 
 pub use collect::{collect_and_solve, collect_and_solve_traced, CollectRun};
 pub use count_phase::CountProgram;
 pub use election::{ElectMsg, ElectTargetProgram};
+pub use stepwise::{SolvePhase, StepSolver, STEP_CHECKPOINT_MAGIC, STEP_CHECKPOINT_VERSION};
 pub use walk_phase::WalkProgram;
 
 use rand::rngs::StdRng;

@@ -399,6 +399,66 @@ impl WalkProgram {
     }
 }
 
+// Checkpoint encoding (see `congest_sim::wire::WireState`): everything
+// but `scratch`, which is empty at every round boundary by construction.
+// The ticket map is written in sorted key order so two equal programs
+// always produce identical bytes — the hinge of the daemon's
+// checkpoint-resume bit-identity guarantee.
+impl congest_sim::wire::WireState for WalkProgram {
+    fn encode_state(&self, w: &mut congest_sim::wire::BitWriter) {
+        self.me.encode_state(w);
+        self.target.encode_state(w);
+        self.k.encode_state(w);
+        self.len_bits.encode_state(w);
+        matches!(self.discipline, CongestionDiscipline::Batched).encode_state(w);
+        self.draw_seed.encode_state(w);
+        let mut tickets: Vec<((NodeId, u32), u32)> =
+            self.tickets.iter().map(|(&k, &v)| (k, v)).collect();
+        tickets.sort_unstable();
+        tickets.encode_state(w);
+        let queue: Vec<(WalkToken, Option<u32>)> =
+            self.queue.iter().map(|q| (q.token, q.choice)).collect();
+        queue.encode_state(w);
+        self.counts.encode_state(w);
+        self.deaths.encode_state(w);
+        self.dead_neighbors.encode_state(w);
+        self.started.encode_state(w);
+    }
+
+    fn decode_state(r: &mut congest_sim::wire::BitReader<'_>) -> Option<WalkProgram> {
+        let me = usize::decode_state(r)?;
+        let target = usize::decode_state(r)?;
+        let k = usize::decode_state(r)?;
+        let len_bits = u8::decode_state(r)?;
+        let discipline = if bool::decode_state(r)? {
+            CongestionDiscipline::Batched
+        } else {
+            CongestionDiscipline::HoldAndResend
+        };
+        let draw_seed = u64::decode_state(r)?;
+        let tickets: Vec<((NodeId, u32), u32)> = Vec::decode_state(r)?;
+        let queue: Vec<(WalkToken, Option<u32>)> = Vec::decode_state(r)?;
+        Some(WalkProgram {
+            me,
+            target,
+            k,
+            len_bits,
+            discipline,
+            draw_seed,
+            tickets: tickets.into_iter().collect(),
+            queue: queue
+                .into_iter()
+                .map(|(token, choice)| Queued { token, choice })
+                .collect(),
+            counts: Vec::decode_state(r)?,
+            deaths: Vec::decode_state(r)?,
+            dead_neighbors: Vec::decode_state(r)?,
+            started: bool::decode_state(r)?,
+            scratch: ForwardScratch::default(),
+        })
+    }
+}
+
 impl NodeProgram for WalkProgram {
     type Msg = WalkBatch;
 

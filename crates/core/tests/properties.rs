@@ -4,8 +4,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use congest_sim::SimConfig;
 use rwbc::accuracy::{kendall_tau, spearman_rho};
 use rwbc::brandes::betweenness;
+use rwbc::distributed::{DistributedConfig, StepSolver};
 use rwbc::exact::{newman, newman_with, ExactOptions, PairSum, Solver};
 use rwbc::monte_carlo::{estimate, McConfig, TargetStrategy};
 use rwbc::Centrality;
@@ -150,6 +152,50 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn midsolve_checkpoints_restore_bit_identically_at_any_thread_count(
+        g in arb_connected_graph(),
+        seed in 0u64..40,
+        cut_after in 0usize..12,
+    ) {
+        // The daemon's crash story, as a property: a checkpoint written at
+        // an *arbitrary* round boundary, handed to a fresh StepSolver in a
+        // fresh process (here: a fresh solver, worker pools of 1 and 4),
+        // must finish with a result and message fingerprint bit-identical
+        // to the run that was never interrupted.
+        let make_cfg = |threads: usize| {
+            DistributedConfig::builder()
+                .walks(6)
+                .length(2 * g.node_count())
+                .seed(seed)
+                .target(TargetStrategy::Fixed(0))
+                .sim(SimConfig::default().with_threads(threads))
+                .build()
+                .unwrap()
+        };
+
+        let mut reference = StepSolver::new(&g, make_cfg(1)).unwrap();
+        let expected = reference.run_to_completion().unwrap().clone();
+        let expected_fp = reference.fingerprint();
+
+        let mut first = StepSolver::new(&g, make_cfg(1)).unwrap();
+        for _ in 0..cut_after {
+            if first.step().unwrap() {
+                break;
+            }
+        }
+        let image = first.checkpoint().unwrap();
+        drop(first);
+
+        for restore_threads in [1usize, 4] {
+            let mut resumed =
+                StepSolver::restore(&g, make_cfg(restore_threads), &image).unwrap();
+            let run = resumed.run_to_completion().unwrap().clone();
+            prop_assert_eq!(&run, &expected, "threads {}", restore_threads);
+            prop_assert_eq!(resumed.fingerprint(), expected_fp);
+        }
+    }
 
     #[test]
     fn max_flow_equals_min_cut_on_small_graphs(g in arb_connected_graph()) {

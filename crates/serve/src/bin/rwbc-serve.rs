@@ -1,0 +1,296 @@
+//! `rwbc-serve` — run and poke the centrality daemon.
+//!
+//! ```text
+//! rwbc-serve run    [--addr A] [--n N] [--seed S] [--walks K] [--length L]
+//!                   [--threads T] [--checkpoint FILE] [--checkpoint-every R]
+//!                   [--trace FILE] [--queue-depth D] [--workers W]
+//!                   [--deadline-ms MS] [--retry-after-ms MS]
+//!                   [--slow-ms MS] [--work-delay-ms MS]
+//! rwbc-serve query  --addr A (--node V | --topk K | --stats)
+//!                   [--deadline-ms MS] [--attempts N]
+//! rwbc-serve health --addr A
+//! rwbc-serve drain  --addr A
+//! rwbc-serve check  --checkpoint FILE --n N --seed S [--walks K] [--length L]
+//! ```
+//!
+//! `run` prints `rwbc-serve listening on ADDR` once the socket is bound
+//! (so harnesses binding port 0 can discover the port) and blocks until
+//! an admin drain. `check` restores a checkpoint image offline and
+//! reports its phase/round — the CI gate for "the final checkpoint is
+//! valid".
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rwbc::distributed::StepSolver;
+use rwbc_serve::protocol::Request;
+use rwbc_serve::{Client, Daemon, RequestEnvelope, Response, ServeConfig, SolverConfig};
+
+struct Options {
+    command: String,
+    addr: Option<String>,
+    n: usize,
+    seed: u64,
+    walks: usize,
+    length: usize,
+    threads: usize,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    trace: Option<PathBuf>,
+    queue_depth: usize,
+    workers: usize,
+    deadline_ms: u32,
+    retry_after_ms: u32,
+    slow_ms: u64,
+    work_delay_ms: u64,
+    node: Option<usize>,
+    topk: Option<usize>,
+    stats: bool,
+    attempts: u32,
+}
+
+fn usage() -> &'static str {
+    "usage: rwbc-serve run    [--addr A] [--n N] [--seed S] [--walks K] [--length L]\n       \
+     \t[--threads T] [--checkpoint FILE] [--checkpoint-every R] [--trace FILE]\n       \
+     \t[--queue-depth D] [--workers W] [--deadline-ms MS] [--retry-after-ms MS]\n       \
+     \t[--slow-ms MS] [--work-delay-ms MS]\n       \
+     rwbc-serve query  --addr A (--node V | --topk K | --stats) [--deadline-ms MS] [--attempts N]\n       \
+     rwbc-serve health --addr A\n       \
+     rwbc-serve drain  --addr A\n       \
+     rwbc-serve check  --checkpoint FILE --n N --seed S [--walks K] [--length L]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(|| usage().to_string())?;
+    let mut opts = Options {
+        command,
+        addr: None,
+        n: 256,
+        seed: 42,
+        walks: 4,
+        length: 64,
+        threads: 1,
+        checkpoint: None,
+        checkpoint_every: 64,
+        trace: None,
+        queue_depth: 64,
+        workers: 2,
+        deadline_ms: 1000,
+        retry_after_ms: 10,
+        slow_ms: 0,
+        work_delay_ms: 0,
+        node: None,
+        topk: None,
+        stats: false,
+        attempts: 6,
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        fn num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+            raw.parse()
+                .map_err(|_| format!("{flag}: bad value `{raw}`"))
+        }
+        match arg.as_str() {
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--n" => opts.n = num("--n", &value("--n")?)?,
+            "--seed" => opts.seed = num("--seed", &value("--seed")?)?,
+            "--walks" => opts.walks = num("--walks", &value("--walks")?)?,
+            "--length" => opts.length = num("--length", &value("--length")?)?,
+            "--threads" => opts.threads = num("--threads", &value("--threads")?)?,
+            "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = num("--checkpoint-every", &value("--checkpoint-every")?)?;
+            }
+            "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
+            "--queue-depth" => opts.queue_depth = num("--queue-depth", &value("--queue-depth")?)?,
+            "--workers" => opts.workers = num("--workers", &value("--workers")?)?,
+            "--deadline-ms" => opts.deadline_ms = num("--deadline-ms", &value("--deadline-ms")?)?,
+            "--retry-after-ms" => {
+                opts.retry_after_ms = num("--retry-after-ms", &value("--retry-after-ms")?)?;
+            }
+            "--slow-ms" => opts.slow_ms = num("--slow-ms", &value("--slow-ms")?)?,
+            "--work-delay-ms" => {
+                opts.work_delay_ms = num("--work-delay-ms", &value("--work-delay-ms")?)?;
+            }
+            "--node" => opts.node = Some(num("--node", &value("--node")?)?),
+            "--topk" => opts.topk = Some(num("--topk", &value("--topk")?)?),
+            "--stats" => opts.stats = true,
+            "--attempts" => opts.attempts = num("--attempts", &value("--attempts")?)?,
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn solver_config(opts: &Options) -> SolverConfig {
+    let mut config = SolverConfig::new(opts.n, opts.seed);
+    config.walks = opts.walks;
+    config.length = opts.length;
+    config.threads = opts.threads;
+    config.checkpoint_path = opts.checkpoint.clone();
+    config.checkpoint_every_rounds = opts.checkpoint_every;
+    config.trace_path = opts.trace.clone();
+    config.slow_ms = opts.slow_ms;
+    config
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let mut config = ServeConfig::new(solver_config(opts));
+    if let Some(addr) = &opts.addr {
+        config.addr = addr.clone();
+    }
+    config.queue_depth = opts.queue_depth;
+    config.workers = opts.workers;
+    config.default_deadline_ms = opts.deadline_ms;
+    config.retry_after_ms = opts.retry_after_ms;
+    config.work_delay_ms = opts.work_delay_ms;
+    let daemon = Daemon::start(config).map_err(|e| format!("bind failed: {e}"))?;
+    // A supervisor may close our stdout after reading the banner; a
+    // daemon must not die over it, so ignore write failures here.
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(stdout, "rwbc-serve listening on {}", daemon.local_addr());
+    let _ = stdout.flush();
+    daemon.wait();
+    let _ = writeln!(stdout, "rwbc-serve drained cleanly");
+    Ok(())
+}
+
+fn describe(response: &Response) -> String {
+    match response {
+        Response::Value { node, value, slo } => {
+            format!(
+                "node {node}: {value:.6}{}",
+                if slo.degraded {
+                    format!(
+                        "  [DEGRADED walks_lost={} cells_missing={}]",
+                        slo.walks_lost, slo.count_cells_missing
+                    )
+                } else {
+                    String::new()
+                }
+            )
+        }
+        Response::Ranking { top, slo } => {
+            let mut out = String::new();
+            for (rank, (node, value)) in top.iter().enumerate() {
+                out.push_str(&format!("{:>3}. node {node}: {value:.6}\n", rank + 1));
+            }
+            if slo.degraded {
+                out.push_str("[DEGRADED]\n");
+            }
+            out.trim_end().to_string()
+        }
+        Response::Stats(s) => format!(
+            "served={} overloaded={} timed_out={} rounds={} checkpoints={} \
+             checkpoint_overhead_us={} uptime_ms={}",
+            s.requests_served,
+            s.requests_overloaded,
+            s.requests_timed_out,
+            s.solve_rounds,
+            s.checkpoints_written,
+            s.checkpoint_overhead_us,
+            s.uptime_ms
+        ),
+        Response::Health(h) => format!(
+            "state={} ready={} phase={} rounds={} resumed={} degraded={}",
+            h.state.as_str(),
+            h.ready,
+            h.phase,
+            h.rounds_completed,
+            h.slo.resumed,
+            h.slo.degraded
+        ),
+        other => format!("{other:?}"),
+    }
+}
+
+fn cmd_query(opts: &Options) -> Result<(), String> {
+    let addr = opts.addr.as_ref().ok_or("query needs --addr")?;
+    let client = Client::new(addr.clone()).with_max_attempts(opts.attempts);
+    let request = if let Some(node) = opts.node {
+        Request::Centrality { node }
+    } else if let Some(k) = opts.topk {
+        Request::TopK { k }
+    } else if opts.stats {
+        Request::Stats
+    } else {
+        return Err("query needs one of --node, --topk, --stats".to_string());
+    };
+    let response = client
+        .request(&RequestEnvelope {
+            deadline_ms: opts.deadline_ms,
+            request,
+        })
+        .map_err(|e| e.to_string())?;
+    println!("{}", describe(&response));
+    match response {
+        Response::Error { .. } | Response::Timeout { .. } => Err("request failed".to_string()),
+        _ => Ok(()),
+    }
+}
+
+fn cmd_health(opts: &Options) -> Result<(), String> {
+    let addr = opts.addr.as_ref().ok_or("health needs --addr")?;
+    let response = Client::new(addr.clone())
+        .health()
+        .map_err(|e| e.to_string())?;
+    println!("{}", describe(&response));
+    Ok(())
+}
+
+fn cmd_drain(opts: &Options) -> Result<(), String> {
+    let addr = opts.addr.as_ref().ok_or("drain needs --addr")?;
+    let response = Client::new(addr.clone())
+        .drain()
+        .map_err(|e| e.to_string())?;
+    match response {
+        Response::AdminOk => {
+            println!("drain acknowledged");
+            Ok(())
+        }
+        other => Err(format!("unexpected drain response: {other:?}")),
+    }
+}
+
+fn cmd_check(opts: &Options) -> Result<(), String> {
+    let path = opts.checkpoint.as_ref().ok_or("check needs --checkpoint")?;
+    let image = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let config = solver_config(opts);
+    let graph = config.graph.build();
+    let solver = StepSolver::restore(&graph, config.distributed_config(), &image)
+        .map_err(|e| format!("invalid checkpoint: {e}"))?;
+    println!(
+        "checkpoint ok: phase={:?} rounds={} bytes={}",
+        solver.phase(),
+        solver.rounds_completed(),
+        image.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match opts.command.as_str() {
+        "run" => cmd_run(&opts),
+        "query" => cmd_query(&opts),
+        "health" => cmd_health(&opts),
+        "drain" => cmd_drain(&opts),
+        "check" => cmd_check(&opts),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! The daemon: a TCP accept loop in front of a bounded admission queue
+//! and a small worker pool, reading results from the background solve.
+//!
+//! Robustness invariants:
+//!
+//! * **Bounded memory.** The admission queue is a fixed-depth
+//!   `sync_channel`; when it is full the connection thread answers
+//!   [`Response::Overloaded`] with a retry-after hint instead of
+//!   buffering. Frames are length-capped before they are buffered.
+//! * **Deadlines.** Every admitted request carries its client deadline;
+//!   the connection thread waits at most that long for the worker and
+//!   then answers a typed [`Response::Timeout`]. Workers drop requests
+//!   whose deadline already expired in the queue.
+//! * **No silent staleness.** Every served value carries
+//!   [`SloFlags`](crate::protocol::SloFlags) derived from the solve's
+//!   `DegradationReport` plus the resumed-from-checkpoint bit.
+//! * **Clean drain.** `Drain`/`Shutdown` stop admission, flush a final
+//!   solve checkpoint, close the JSONL trace, and unblock the accept
+//!   loop so the process exits.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, DaemonState, HealthReport,
+    ProtocolError, Request, RequestEnvelope, Response, ServeStats, SloFlags,
+};
+use crate::solver::{BackgroundSolver, SolveSnapshot, SolverConfig};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Admission-queue depth — the load-shedding knob.
+    pub queue_depth: usize,
+    /// Worker threads answering admitted queries.
+    pub workers: usize,
+    /// Deadline applied when a request asks for none (0 on the wire).
+    pub default_deadline_ms: u32,
+    /// Retry-after hint attached to `Overloaded` / `NotReady`.
+    pub retry_after_ms: u32,
+    /// Test hook: each worker sleeps this long per request, so overload
+    /// and deadline paths can be exercised deterministically.
+    pub work_delay_ms: u64,
+    /// The background solve.
+    pub solver: SolverConfig,
+}
+
+impl ServeConfig {
+    /// Loopback defaults around the given solve.
+    pub fn new(solver: SolverConfig) -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_depth: 64,
+            workers: 2,
+            default_deadline_ms: 1000,
+            retry_after_ms: 10,
+            work_delay_ms: 0,
+            solver,
+        }
+    }
+}
+
+struct Counters {
+    served: AtomicU64,
+    overloaded: AtomicU64,
+    timed_out: AtomicU64,
+}
+
+struct Shared {
+    config: ServeConfig,
+    counters: Counters,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    started: Instant,
+    solver: Mutex<BackgroundSolver>,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn snapshot(&self) -> SolveSnapshot {
+        self.solver.lock().expect("solver handle lock").snapshot()
+    }
+
+    fn slo_flags(snapshot: &SolveSnapshot) -> SloFlags {
+        match &snapshot.result {
+            Some(run) => SloFlags {
+                degraded: !run.degradation.is_clean(),
+                resumed: snapshot.resumed,
+                walks_lost: run.degradation.walks_lost,
+                count_cells_missing: run.degradation.count_cells_missing,
+            },
+            None => SloFlags {
+                resumed: snapshot.resumed,
+                ..SloFlags::default()
+            },
+        }
+    }
+
+    fn health(&self) -> HealthReport {
+        let snapshot = self.snapshot();
+        let state = if self.draining.load(Ordering::SeqCst) {
+            DaemonState::Draining
+        } else if snapshot.result.is_some() {
+            DaemonState::Serving
+        } else {
+            DaemonState::Solving
+        };
+        HealthReport {
+            state,
+            ready: snapshot.result.is_some() && !self.draining.load(Ordering::SeqCst),
+            phase: snapshot.phase,
+            rounds_completed: snapshot.rounds_completed,
+            slo: Shared::slo_flags(&snapshot),
+        }
+    }
+
+    fn stats(&self) -> ServeStats {
+        let snapshot = self.snapshot();
+        ServeStats {
+            requests_served: self.counters.served.load(Ordering::Relaxed),
+            requests_overloaded: self.counters.overloaded.load(Ordering::Relaxed),
+            requests_timed_out: self.counters.timed_out.load(Ordering::Relaxed),
+            solve_rounds: snapshot.rounds_completed,
+            checkpoints_written: snapshot.checkpoints_written,
+            checkpoint_overhead_us: snapshot.checkpoint_overhead_us,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Answers an admitted query from the published solve snapshot.
+    fn answer(&self, request: &Request) -> Response {
+        let snapshot = self.snapshot();
+        // Service counters are answerable in every state — they are how
+        // an operator watches the solve make progress.
+        if matches!(request, Request::Stats) {
+            return Response::Stats(self.stats());
+        }
+        if let Some(e) = &snapshot.error {
+            return Response::Error {
+                reason: format!("solve failed: {e}"),
+            };
+        }
+        let slo = Shared::slo_flags(&snapshot);
+        let Some(run) = &snapshot.result else {
+            return Response::NotReady {
+                retry_after_ms: self.config.retry_after_ms,
+            };
+        };
+        match request {
+            Request::Centrality { node } => {
+                if *node >= run.centrality.len() {
+                    Response::Error {
+                        reason: format!("node {node} out of range (n={})", run.centrality.len()),
+                    }
+                } else {
+                    Response::Value {
+                        node: *node,
+                        value: run.centrality[*node],
+                        slo,
+                    }
+                }
+            }
+            Request::TopK { k } => {
+                let nodes = run.centrality.top_k((*k).min(run.centrality.len()));
+                let top = nodes.into_iter().map(|v| (v, run.centrality[v])).collect();
+                Response::Ranking { top, slo }
+            }
+            // Stats answered above; health and admin never reach the
+            // queue.
+            _ => Response::Error {
+                reason: "request not answerable by a worker".to_string(),
+            },
+        }
+    }
+}
+
+struct Job {
+    env: RequestEnvelope,
+    admitted: Instant,
+    reply: SyncSender<Response>,
+}
+
+/// A running daemon.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the listener, spawns the solver, the workers, and the
+    /// accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServeConfig) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let solver = BackgroundSolver::spawn(config.solver.clone());
+        let shared = Arc::new(Shared {
+            counters: Counters {
+                served: AtomicU64::new(0),
+                overloaded: AtomicU64::new(0),
+                timed_out: AtomicU64::new(0),
+            },
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            solver: Mutex::new(solver),
+            addr,
+            config,
+        });
+
+        let (tx, rx) = mpsc::sync_channel::<Job>(shared.config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::new();
+        for _ in 0..shared.config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            workers.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+        }
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
+        };
+
+        Ok(Daemon {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Blocks until an admin drain/shutdown stops the daemon, then joins
+    /// every thread.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Initiates a drain as if an admin request had arrived.
+    pub fn drain(&self) {
+        initiate_drain(&self.shared);
+    }
+}
+
+/// Flips the daemon into draining, flushes the solve (final checkpoint +
+/// trace close), and wakes the accept loop so it can exit. Idempotent.
+fn initiate_drain(shared: &Arc<Shared>) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.solver.lock().expect("solver handle lock").drain();
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // Self-connect to unblock the blocking accept.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().expect("worker queue lock");
+            guard.recv_timeout(Duration::from_millis(50))
+        };
+        match job {
+            Ok(job) => {
+                let deadline = Duration::from_millis(u64::from(job.env.deadline_ms));
+                // Expired while queued: answer the typed timeout rather
+                // than serving a result the client stopped waiting for.
+                if job.admitted.elapsed() >= deadline {
+                    let _ = job.reply.try_send(Response::Timeout {
+                        deadline_ms: job.env.deadline_ms,
+                    });
+                    continue;
+                }
+                if shared.config.work_delay_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(shared.config.work_delay_ms));
+                }
+                let response = shared.answer(&job.env.request);
+                if matches!(response, Response::Value { .. } | Response::Ranking { .. }) {
+                    shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = job.reply.try_send(response);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, tx: &SyncSender<Job>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let _ = handle_connection(&shared, stream, &tx);
+        });
+    }
+}
+
+/// Serves one client connection: a loop of request frames answered in
+/// order. Returns on socket close or a fatal protocol error.
+fn handle_connection(
+    shared: &Arc<Shared>,
+    mut stream: TcpStream,
+    tx: &SyncSender<Job>,
+) -> Result<(), ProtocolError> {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(payload) => payload,
+            // Clean close or half-open teardown: just drop the
+            // connection. Anything else is answered typed below.
+            Err(ProtocolError::Io(_)) => return Ok(()),
+            Err(e) => {
+                let reason = e.to_string();
+                let _ = write_frame(&mut stream, &encode_response(&Response::Error { reason }));
+                return Err(e);
+            }
+        };
+        let env = match decode_request(&payload) {
+            Ok(env) => env,
+            Err(e) => {
+                let reason = e.to_string();
+                write_frame(&mut stream, &encode_response(&Response::Error { reason }))?;
+                continue;
+            }
+        };
+        let response = dispatch(shared, env, tx);
+        let exit = matches!(response, Response::AdminOk);
+        write_frame(&mut stream, &encode_response(&response))?;
+        if exit && shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+/// Routes one request: admin and health inline, queries through the
+/// bounded queue with deadline enforcement.
+fn dispatch(shared: &Arc<Shared>, mut env: RequestEnvelope, tx: &SyncSender<Job>) -> Response {
+    match env.request {
+        Request::Health => return Response::Health(shared.health()),
+        Request::Drain | Request::Shutdown => {
+            initiate_drain(shared);
+            return Response::AdminOk;
+        }
+        _ => {}
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::Draining;
+    }
+    if env.deadline_ms == 0 {
+        env.deadline_ms = shared.config.default_deadline_ms;
+    }
+    let deadline = Duration::from_millis(u64::from(env.deadline_ms));
+    let deadline_ms = env.deadline_ms;
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
+    let job = Job {
+        env,
+        admitted: Instant::now(),
+        reply: reply_tx,
+    };
+    if let Err(e) = tx.try_send(job) {
+        return match e {
+            // Queue full: shed, never buffer.
+            TrySendError::Full(_) => {
+                shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                Response::Overloaded {
+                    retry_after_ms: shared.config.retry_after_ms,
+                }
+            }
+            TrySendError::Disconnected(_) => Response::Draining,
+        };
+    }
+    match reply_rx.recv_timeout(deadline) {
+        Ok(response) => {
+            if matches!(response, Response::Timeout { .. }) {
+                shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+            }
+            response
+        }
+        Err(_) => {
+            // Worker still busy past the deadline (or gone): typed
+            // timeout; the worker's late reply lands in a dead channel.
+            shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+            Response::Timeout { deadline_ms }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The crash-tolerance contract, end to end against the real binary:
+//! `kill -9` the daemon mid-solve, restart it on the same checkpoint,
+//! and the resumed solve must converge to the **bit-identical** result
+//! (centrality vector and message/bit fingerprint) an uninterrupted run
+//! produces.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use rwbc::distributed::{SolvePhase, StepSolver};
+use rwbc_serve::{Client, Response, SolverConfig};
+
+const N: usize = 64;
+const SEED: u64 = 13;
+
+fn workload() -> SolverConfig {
+    SolverConfig::new(N, SEED)
+}
+
+fn spawn_daemon(ckpt: &Path, trace: &Path, slow_ms: u64) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rwbc-serve"))
+        .args([
+            "run",
+            "--addr",
+            "127.0.0.1:0",
+            "--n",
+            &N.to_string(),
+            "--seed",
+            &SEED.to_string(),
+            "--checkpoint",
+            &ckpt.display().to_string(),
+            "--checkpoint-every",
+            "2",
+            "--trace",
+            &trace.display().to_string(),
+            "--slow-ms",
+            &slow_ms.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn rwbc-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("daemon prints its address")
+        .expect("readable stdout");
+    let addr = banner
+        .strip_prefix("rwbc-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+    (child, addr)
+}
+
+fn wait_until_ready(addr: &str) -> rwbc_serve::HealthReport {
+    let client = Client::new(addr);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(Response::Health(h)) = client.health() {
+            if h.ready {
+                return h;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon did not become ready in time"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rwbc-crash-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn kill_nine_mid_solve_resumes_bit_identical() {
+    let dir = temp_dir("resume");
+    let ckpt = dir.join("solve.ckpt");
+    let trace = dir.join("solve-trace.jsonl");
+
+    // Ground truth: the uninterrupted solve, computed in-process.
+    let config = workload();
+    let graph = config.graph.build();
+    let mut reference =
+        StepSolver::new(&graph, config.distributed_config()).expect("reference solver");
+    reference.run_to_completion().expect("reference solve");
+    let expected_fingerprint = reference.fingerprint().expect("finished fingerprint");
+    let expected = reference.into_result().expect("finished run");
+
+    // Run 1: slow rounds so the kill lands mid-solve; checkpoint every
+    // 2 rounds.
+    let (mut child, _addr) = spawn_daemon(&ckpt, &trace, 25);
+    std::thread::sleep(Duration::from_millis(900));
+    child.kill().expect("SIGKILL the daemon");
+    let status = child.wait().expect("reap");
+    assert!(!status.success(), "the daemon must have died by signal");
+
+    // The crash left a valid mid-solve image behind (rename is atomic).
+    let image = std::fs::read(&ckpt).expect("checkpoint survives the crash");
+    let restored =
+        StepSolver::restore(&graph, config.distributed_config(), &image).expect("valid image");
+    assert!(
+        !matches!(restored.phase(), SolvePhase::Done),
+        "kill must land mid-solve, not after completion (rounds={})",
+        restored.rounds_completed()
+    );
+    let resume_round = restored.rounds_completed();
+    assert!(resume_round > 0, "at least one periodic checkpoint landed");
+
+    // Run 2: restart on the same image at full speed.
+    let (mut child, addr) = spawn_daemon(&ckpt, &trace, 0);
+    let health = wait_until_ready(&addr);
+    assert!(
+        health.slo.resumed,
+        "the restarted daemon must report it resumed from a checkpoint"
+    );
+
+    // Every served value is bit-identical to the uninterrupted run.
+    let client = Client::new(&addr).with_jitter_seed(17);
+    for node in [0usize, 1, N / 2, N - 1] {
+        match client.centrality(node, 5000).expect("served") {
+            Response::Value { value, slo, .. } => {
+                assert_eq!(
+                    value.to_bits(),
+                    expected.centrality.get(node).unwrap().to_bits(),
+                    "node {node} centrality diverged after resume"
+                );
+                assert!(slo.resumed);
+                assert!(!slo.degraded);
+            }
+            other => panic!("expected Value, got {other:?}"),
+        }
+    }
+
+    // Drain: final checkpoint flushed, clean exit.
+    match client.drain().expect("drain ack") {
+        Response::AdminOk => {}
+        other => panic!("expected AdminOk, got {other:?}"),
+    }
+    let status = child.wait().expect("reap");
+    assert!(status.success(), "drained daemon must exit cleanly");
+
+    // The final image carries the finished run; full equality covers the
+    // centrality vector, both phase stats, and the degradation report —
+    // and the message/bit fingerprint must match exactly.
+    let image = std::fs::read(&ckpt).expect("final checkpoint");
+    let finished =
+        StepSolver::restore(&graph, config.distributed_config(), &image).expect("final image");
+    assert!(finished.is_done());
+    assert_eq!(
+        finished.fingerprint().expect("finished fingerprint"),
+        expected_fingerprint,
+        "rounds/messages/bits fingerprint diverged after resume"
+    );
+    assert_eq!(*finished.result().expect("finished run"), expected);
+
+    // The trace the resumed run wrote is intact (closed on drain) and
+    // records the resume round.
+    let trace_text = std::fs::read_to_string(&trace).expect("trace file");
+    assert!(trace_text.contains("resumed-from-checkpoint"));
+    assert!(trace_text.contains("serve-solve"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_free_daemon_still_serves_and_drains() {
+    // Without --checkpoint the daemon must still solve, serve, and exit
+    // cleanly on drain — crash tolerance is opt-in, not load-bearing.
+    let dir = temp_dir("nockpt");
+    let trace = dir.join("trace.jsonl");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rwbc-serve"))
+        .args([
+            "run",
+            "--addr",
+            "127.0.0.1:0",
+            "--n",
+            &N.to_string(),
+            "--seed",
+            &SEED.to_string(),
+            "--trace",
+            &trace.display().to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn rwbc-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let banner = BufReader::new(stdout)
+        .lines()
+        .next()
+        .expect("banner")
+        .expect("readable");
+    let addr = banner
+        .strip_prefix("rwbc-serve listening on ")
+        .expect("banner format")
+        .to_string();
+
+    let health = wait_until_ready(&addr);
+    assert!(!health.slo.resumed);
+    let client = Client::new(&addr);
+    match client.centrality(0, 5000).expect("served") {
+        Response::Value { node: 0, .. } => {}
+        other => panic!("expected Value, got {other:?}"),
+    }
+    match client.drain().expect("drain ack") {
+        Response::AdminOk => {}
+        other => panic!("expected AdminOk, got {other:?}"),
+    }
+    assert!(child.wait().expect("reap").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
