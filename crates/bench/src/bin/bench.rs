@@ -14,7 +14,7 @@
 //! `--compare` prints the median-wall-clock speedup of the second file
 //! relative to the first.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use congest_sim::trace::json::Json;
@@ -97,12 +97,12 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-fn load_json(path: &PathBuf) -> Result<Json, String> {
+fn load_json(path: &Path) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-fn median_of(doc: &Json, path: &PathBuf) -> Result<f64, String> {
+fn median_of(doc: &Json, path: &Path) -> Result<f64, String> {
     match doc.get("wall_clock_ms").and_then(|w| w.get("median")) {
         Some(Json::Float(f)) => Ok(*f),
         Some(Json::Int(i)) => Ok(*i as f64),
@@ -110,7 +110,7 @@ fn median_of(doc: &Json, path: &PathBuf) -> Result<f64, String> {
     }
 }
 
-fn run_compare(baseline: &PathBuf, current: &PathBuf) -> Result<(), String> {
+fn run_compare(baseline: &Path, current: &Path) -> Result<(), String> {
     let (base_doc, cur_doc) = (load_json(baseline)?, load_json(current)?);
     validate_bench_json(&base_doc).map_err(|e| format!("{}: {e}", baseline.display()))?;
     validate_bench_json(&cur_doc).map_err(|e| format!("{}: {e}", current.display()))?;

@@ -39,6 +39,7 @@ struct Options {
     rate_hz: f64,
     duration_s: f64,
     deadline_ms: u32,
+    metrics_every_ms: u64,
     out_dir: PathBuf,
     tag: String,
     validate: Vec<PathBuf>,
@@ -47,7 +48,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: rwbc-replay --spawn [--n N] [--seed S] [--threads T] [--checkpoint FILE]\n       \
      \t[--mode closed|open] [--clients C] [--rate-hz R] [--duration-s SEC]\n       \
-     \t[--deadline-ms MS] [--out-dir DIR] [--tag TAG]\n       \
+     \t[--deadline-ms MS] [--metrics-every-ms MS] [--out-dir DIR] [--tag TAG]\n       \
      rwbc-replay --addr A --n N [load flags] [--out-dir DIR] [--tag TAG]\n       \
      rwbc-replay --validate FILE..."
 }
@@ -65,6 +66,7 @@ fn parse_args() -> Result<Options, String> {
         rate_hz: 200.0,
         duration_s: 3.0,
         deadline_ms: 1000,
+        metrics_every_ms: 250,
         out_dir: PathBuf::from("."),
         tag: String::new(),
         validate: Vec::new(),
@@ -88,6 +90,9 @@ fn parse_args() -> Result<Options, String> {
             "--rate-hz" => opts.rate_hz = num("--rate-hz", &value("--rate-hz")?)?,
             "--duration-s" => opts.duration_s = num("--duration-s", &value("--duration-s")?)?,
             "--deadline-ms" => opts.deadline_ms = num("--deadline-ms", &value("--deadline-ms")?)?,
+            "--metrics-every-ms" => {
+                opts.metrics_every_ms = num("--metrics-every-ms", &value("--metrics-every-ms")?)?;
+            }
             "--out-dir" => opts.out_dir = PathBuf::from(value("--out-dir")?),
             "--tag" => opts.tag = value("--tag")?,
             "--validate" => {
@@ -204,6 +209,7 @@ fn run(opts: &Options) -> Result<(), String> {
         deadline_ms: opts.deadline_ms,
         seed: opts.seed,
         n: opts.n,
+        metrics_every: Some(Duration::from_millis(opts.metrics_every_ms.max(1))),
     };
     let report = run_replay(&config);
 

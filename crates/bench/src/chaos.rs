@@ -33,7 +33,8 @@ use congest_sim::algorithms::Flood;
 use congest_sim::trace::json::Json;
 use congest_sim::trace::jsonl::{decode_event, decode_trace, encode_event};
 use congest_sim::{
-    FaultPlan, LinkCorruption, LinkOutage, MemoryTracer, NodeCrash, Reliable, SimConfig, Simulator,
+    FaultPlan, LinkCorruption, LinkOutage, MemoryTracer, NodeCrash, Registry, Reliable, SimConfig,
+    Simulator,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,8 +45,8 @@ use rwbc_graph::generators::connected_gnp;
 use rwbc_graph::Graph;
 use rwbc_serve::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    DaemonState, HealthReport, Request as ServeRequest, RequestEnvelope, Response as ServeResponse,
-    SloFlags,
+    DaemonState, HealthReport, MetricsReport, Request as ServeRequest, RequestEnvelope,
+    Response as ServeResponse, SloFlags,
 };
 
 use crate::perf::validate_bench_json;
@@ -350,6 +351,10 @@ pub fn fuzz_all_codecs(seed: u64, budget: usize) -> FuzzReport {
             deadline_ms: 0,
             request: ServeRequest::Drain,
         },
+        RequestEnvelope {
+            deadline_ms: 0,
+            request: ServeRequest::Metrics,
+        },
     ]
     .iter()
     .map(encode_request)
@@ -361,6 +366,24 @@ pub fn fuzz_all_codecs(seed: u64, budget: usize) -> FuzzReport {
         &mut rng,
         |b| decode_request(b).is_ok(),
     ));
+
+    // A populated telemetry report: one instrument of each kind, so
+    // the nested `MetricsSnapshot` codec (names, counters, gauges,
+    // histogram bucket arrays, f64 burn rates) is in the mutation
+    // corpus, not just empty-registry frames.
+    fn metrics_report_corpus() -> MetricsReport {
+        let registry = Registry::default();
+        registry.counter("serve_requests_total").add(17);
+        registry.gauge("serve_queue_depth").set(3);
+        registry.histogram("serve_request_latency_us").record(800);
+        MetricsReport {
+            snapshot: registry.snapshot(),
+            uptime_ms: 98_765,
+            last_checkpoint_age_ms: None,
+            burn_fast: 2.5,
+            burn_slow: 0.125,
+        }
+    }
 
     let response_corpus: Vec<Vec<u8>> = [
         ServeResponse::Value {
@@ -383,7 +406,12 @@ pub fn fuzz_all_codecs(seed: u64, budget: usize) -> FuzzReport {
             phase: 2,
             rounds_completed: 321,
             slo: SloFlags::default(),
+            uptime_ms: 12_345,
+            last_checkpoint_age_ms: Some(678),
+            burn_fast: 0.25,
+            burn_slow: 0.03125,
         }),
+        ServeResponse::Metrics(Box::new(metrics_report_corpus())),
         ServeResponse::Overloaded { retry_after_ms: 10 },
         ServeResponse::Error {
             reason: "node 999 out of range (n=64)".to_string(),

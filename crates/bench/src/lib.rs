@@ -19,6 +19,7 @@
 //! | E12 | extension: permanent kills (detector + partition tolerance) | [`suite::e12`] |
 //! | E13 | extension: corruption sweep (checksummed frames + quarantine) | [`suite::e13`] |
 //! | E14 | extension: serving centrality under load (rwbc-serve) | [`suite::e14`] |
+//! | E15 | extension: telemetry overhead (metrics registry) | [`suite::e15`] |
 //!
 //! Run them with `cargo run --release -p rwbc-bench --bin experiments --
 //! all` (add `--quick` for a fast smoke pass). Each module exposes a

@@ -77,10 +77,14 @@ pub struct ReplayConfig {
     pub seed: u64,
     /// Nodes in the served graph (centrality queries cycle over them).
     pub n: usize,
+    /// Scrape `Request::Metrics` at this cadence during the replay and
+    /// embed the samples in the artifact; `None` disables scraping.
+    pub metrics_every: Option<Duration>,
 }
 
 impl ReplayConfig {
-    /// A closed-loop replay with 4 clients and a 1-second deadline.
+    /// A closed-loop replay with 4 clients, a 1-second deadline, and a
+    /// 250 ms metrics scrape.
     pub fn closed(addr: impl Into<String>, n: usize, duration: Duration) -> ReplayConfig {
         ReplayConfig {
             addr: addr.into(),
@@ -90,8 +94,37 @@ impl ReplayConfig {
             deadline_ms: 1000,
             seed: 42,
             n,
+            metrics_every: Some(Duration::from_millis(250)),
         }
     }
+}
+
+/// One mid-replay `Request::Metrics` scrape, reduced to the counters
+/// the time-series is about. Counters are cumulative since daemon
+/// start, so consecutive samples must be non-decreasing — the
+/// validator enforces that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSample {
+    /// Milliseconds since the replay started (client clock).
+    pub at_ms: u64,
+    /// Daemon uptime at the scrape (daemon clock).
+    pub uptime_ms: u64,
+    /// `serve_requests_total`.
+    pub requests_total: u64,
+    /// `serve_requests_answered_total`.
+    pub answered_total: u64,
+    /// `serve_requests_timed_out_total`.
+    pub timed_out_total: u64,
+    /// `serve_requests_shed_total`.
+    pub shed_total: u64,
+    /// `serve_queue_depth` gauge.
+    pub queue_depth: u64,
+    /// `engine_rounds_total` (0 when the engine is not instrumented).
+    pub engine_rounds: u64,
+    /// Fast-window SLO burn rate.
+    pub burn_fast: f64,
+    /// Slow-window SLO burn rate.
+    pub burn_slow: f64,
 }
 
 /// Typed outcome tallies across all replayed requests.
@@ -142,6 +175,9 @@ pub struct ReplayReport {
     pub elapsed: Duration,
     /// Daemon-side counters at the end of the replay, when readable.
     pub server_stats: Option<ServeStats>,
+    /// Mid-replay metrics scrapes, oldest first (empty when scraping
+    /// was disabled or every scrape failed).
+    pub metrics_timeseries: Vec<MetricsSample>,
 }
 
 /// SplitMix64, for the deterministic workload mix.
@@ -264,18 +300,27 @@ pub fn run_replay(config: &ReplayConfig) -> ReplayReport {
     let started = Instant::now();
     let stop_at = started + config.duration;
     let seq = Arc::new(AtomicU64::new(0));
-    let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..config.clients.max(1))
-            .map(|worker_id| {
-                let seq = Arc::clone(&seq);
-                scope.spawn(move || worker(config, worker_id, stop_at, &seq))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replay worker"))
-            .collect()
-    });
+    let (tallies, metrics_timeseries): (Vec<WorkerTally>, Vec<MetricsSample>) =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.clients.max(1))
+                .map(|worker_id| {
+                    let seq = Arc::clone(&seq);
+                    scope.spawn(move || worker(config, worker_id, stop_at, &seq))
+                })
+                .collect();
+            let scraper = config
+                .metrics_every
+                .map(|every| scope.spawn(move || scrape_loop(config, started, stop_at, every)));
+            let tallies = handles
+                .into_iter()
+                .map(|h| h.join().expect("replay worker"))
+                .collect();
+            let samples = match scraper {
+                Some(handle) => handle.join().expect("metrics scraper"),
+                None => Vec::new(),
+            };
+            (tallies, samples)
+        });
     let elapsed = started.elapsed();
 
     let mut outcomes = OutcomeCounts::default();
@@ -312,7 +357,48 @@ pub fn run_replay(config: &ReplayConfig) -> ReplayReport {
         histogram,
         elapsed,
         server_stats,
+        metrics_timeseries,
     }
+}
+
+/// Scrapes `Request::Metrics` at a fixed cadence until `stop_at`. A
+/// failed scrape (daemon momentarily saturating its accept loop) is
+/// skipped, not retried — the time-series records what a monitoring
+/// agent would actually see.
+fn scrape_loop(
+    config: &ReplayConfig,
+    started: Instant,
+    stop_at: Instant,
+    every: Duration,
+) -> Vec<MetricsSample> {
+    let client = Client::new(config.addr.clone());
+    let mut samples = Vec::new();
+    let mut next = started + every;
+    while Instant::now() < stop_at {
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep((next - now).min(Duration::from_millis(20)));
+            continue;
+        }
+        next += every;
+        if let Ok(Response::Metrics(report)) = client.metrics() {
+            let snap = &report.snapshot;
+            let counter = |name: &str| snap.counter(name).unwrap_or(0);
+            samples.push(MetricsSample {
+                at_ms: started.elapsed().as_millis() as u64,
+                uptime_ms: report.uptime_ms,
+                requests_total: counter("serve_requests_total"),
+                answered_total: counter("serve_requests_answered_total"),
+                timed_out_total: counter("serve_requests_timed_out_total"),
+                shed_total: counter("serve_requests_shed_total"),
+                queue_depth: snap.gauge("serve_queue_depth").unwrap_or(0),
+                engine_rounds: counter("engine_rounds_total"),
+                burn_fast: report.burn_fast,
+                burn_slow: report.burn_slow,
+            });
+        }
+    }
+    samples
 }
 
 /// Nearest-rank percentile over an ascending slice (0 when empty).
@@ -397,6 +483,29 @@ impl ServeBenchResult {
             ]),
             None => Json::Null,
         };
+        let timeseries = Json::Arr(
+            report
+                .metrics_timeseries
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("at_ms".into(), Json::Int(s.at_ms as i64)),
+                        ("uptime_ms".into(), Json::Int(s.uptime_ms as i64)),
+                        ("requests_total".into(), Json::Int(s.requests_total as i64)),
+                        ("answered_total".into(), Json::Int(s.answered_total as i64)),
+                        (
+                            "timed_out_total".into(),
+                            Json::Int(s.timed_out_total as i64),
+                        ),
+                        ("shed_total".into(), Json::Int(s.shed_total as i64)),
+                        ("queue_depth".into(), Json::Int(s.queue_depth as i64)),
+                        ("engine_rounds".into(), Json::Int(s.engine_rounds as i64)),
+                        ("burn_fast".into(), Json::Float(s.burn_fast)),
+                        ("burn_slow".into(), Json::Float(s.burn_slow)),
+                    ])
+                })
+                .collect(),
+        );
         let o = &report.outcomes;
         Json::Obj(vec![
             ("schema_version".into(), Json::Int(SCHEMA_VERSION)),
@@ -456,6 +565,7 @@ impl ServeBenchResult {
                 ]),
             ),
             ("solve".into(), solve),
+            ("metrics_timeseries".into(), timeseries),
         ])
     }
 }
@@ -598,6 +708,65 @@ pub fn validate_serve_bench_json(doc: &Json) -> Result<(), String> {
         }
         _ => return Err("`solve` is not an object or null".into()),
     }
+    // Optional (absent in pre-telemetry artifacts). When present, the
+    // cumulative counters must be monotone non-decreasing across the
+    // series, and at any instant the finished-request counters cannot
+    // exceed admissions (mid-flight requests make `<`, never `>`).
+    if let Some(series) = doc.get("metrics_timeseries") {
+        let Json::Arr(samples) = series else {
+            return Err("`metrics_timeseries` is not an array".into());
+        };
+        let counters = [
+            "at_ms",
+            "uptime_ms",
+            "requests_total",
+            "answered_total",
+            "timed_out_total",
+            "shed_total",
+        ];
+        let mut prev = [0u64; 6];
+        for (i, sample) in samples.iter().enumerate() {
+            for (slot, key) in counters.iter().enumerate() {
+                let v = sample.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                    format!("`metrics_timeseries[{i}].{key}` is not a non-negative integer")
+                })?;
+                if v < prev[slot] {
+                    return Err(format!(
+                        "`metrics_timeseries[{i}].{key}` regressed: {v} < {}",
+                        prev[slot]
+                    ));
+                }
+                prev[slot] = v;
+            }
+            for key in ["queue_depth", "engine_rounds"] {
+                sample.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                    format!("`metrics_timeseries[{i}].{key}` is not a non-negative integer")
+                })?;
+            }
+            for key in ["burn_fast", "burn_slow"] {
+                match sample.get(key) {
+                    Some(Json::Float(b)) if b.is_finite() && *b >= 0.0 => {}
+                    Some(Json::Int(b)) if *b >= 0 => {}
+                    _ => {
+                        return Err(format!(
+                            "`metrics_timeseries[{i}].{key}` is not a finite non-negative number"
+                        ))
+                    }
+                }
+            }
+            let total = sample.get("requests_total").and_then(Json::as_u64).unwrap();
+            let finished = ["answered_total", "timed_out_total", "shed_total"]
+                .iter()
+                .map(|k| sample.get(k).and_then(Json::as_u64).unwrap())
+                .sum::<u64>();
+            if finished > total {
+                return Err(format!(
+                    "`metrics_timeseries[{i}]`: {finished} finished requests exceed \
+                     {total} admitted"
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -624,8 +793,18 @@ mod tests {
             Duration::from_millis(300),
         );
         config.clients = 2;
+        config.metrics_every = Some(Duration::from_millis(50));
         let report = run_replay(&config);
         assert!(report.outcomes.served > 0, "nothing served: {report:?}");
+        assert!(
+            !report.metrics_timeseries.is_empty(),
+            "a 300 ms replay scraping every 50 ms must land samples"
+        );
+        let first = &report.metrics_timeseries[0];
+        assert!(
+            first.requests_total >= first.answered_total,
+            "finished requests cannot exceed admissions: {first:?}"
+        );
         assert_eq!(
             report.outcomes.served as usize,
             report.latencies_us.len(),
@@ -660,6 +839,7 @@ mod tests {
             deadline_ms: 1000,
             seed: 9,
             n: 32,
+            metrics_every: None,
         };
         let report = run_replay(&config);
         // 50 req/s for 0.4 s ≈ 20 arrivals; pacing means we sent roughly

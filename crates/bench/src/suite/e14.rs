@@ -62,6 +62,7 @@ fn replay_row(
         deadline_ms,
         seed: 42,
         n,
+        metrics_every: None,
     });
     ServeRow {
         scenario: scenario.to_string(),

@@ -6,6 +6,7 @@ use rwbc_graph::{Graph, NodeId};
 
 use crate::config::ViolationPolicy;
 use crate::fault::CorruptionKind;
+use crate::metrics::EngineMetrics;
 use crate::node::{Context, Incoming};
 use crate::rng::node_rng;
 use crate::stats::ordered;
@@ -89,6 +90,11 @@ pub struct Simulator<'g, P: NodeProgram> {
     /// hook behind a single branch, so untraced runs construct no
     /// events at all and stay bit-identical to pre-tracing builds.
     tracer: Option<&'g mut dyn Tracer>,
+    /// Optional live-metrics handles, updated once per committed round
+    /// on the single-threaded commit spine — so metric *content* is
+    /// thread-count-invariant exactly like the trace stream. `None`
+    /// keeps the hot path branch-free apart from a single check.
+    metrics: Option<EngineMetrics>,
     /// Per-node buffers for program-emitted events; drained in node
     /// order each round so traces are thread-count independent. Empty
     /// unless a tracer is attached.
@@ -135,6 +141,7 @@ where
             cut_set,
             fault_rng,
             tracer: None,
+            metrics: None,
             node_trace: Vec::new(),
             crashed_prev: Vec::new(),
         }
@@ -162,6 +169,24 @@ where
         self.node_trace = (0..self.graph.node_count()).map(|_| Vec::new()).collect();
         self.tracer = Some(tracer);
         self
+    }
+
+    /// Attaches live-metrics handles (see [`EngineMetrics`]). Updates
+    /// happen once per committed round on the commit spine: the rounds
+    /// counter advances per round, message/bit counters by that round's
+    /// committed totals, and the inbox-depth gauge is set to the number
+    /// of messages in flight into the next round. Like tracing, metrics
+    /// never alter the simulation.
+    pub fn with_metrics(mut self, metrics: EngineMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches (or replaces) live-metrics handles in place — the
+    /// post-[`restore`](Simulator::restore) form of
+    /// [`Simulator::with_metrics`].
+    pub fn set_metrics(&mut self, metrics: EngineMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// The simulated graph.
@@ -715,6 +740,7 @@ where
             cut_set,
             fault_rng,
             tracer: None,
+            metrics: None,
             node_trace: Vec::new(),
             crashed_prev: Vec::new(),
         })
@@ -1110,8 +1136,20 @@ where
         }
     }
 
-    /// Emits the per-round summary trace event.
+    /// Emits the per-round summary trace event and applies the round's
+    /// live-metrics updates. Runs on the single-threaded commit spine,
+    /// once per commit, so metric content cannot depend on the worker
+    /// layout. The `on_start` wave commits as round 0 and advances no
+    /// round counter; its traffic still counts.
     fn emit_round_event(&mut self, send_round: usize, counters: &RoundCounters) {
+        if let Some(m) = &self.metrics {
+            if send_round > 0 {
+                m.rounds.inc();
+            }
+            m.messages.add(counters.messages);
+            m.bits.add(counters.bits);
+            m.inbox_depth.set(self.in_flight as u64);
+        }
         if let Some(tr) = self.tracer.as_deref_mut() {
             tr.record(&TraceEvent::Round {
                 round: send_round,

@@ -55,6 +55,7 @@ mod rng;
 mod stats;
 
 pub mod algorithms;
+pub mod metrics;
 pub mod trace;
 pub mod wire;
 
@@ -63,8 +64,15 @@ pub use engine::Simulator;
 pub use error::SimError;
 pub use fault::{CorruptionKind, FaultPlan, LinkCorruption, LinkOutage, NodeCrash};
 pub use message::{bits_for_count, bits_for_node_id, Message};
+pub use metrics::{
+    Counter, EngineMetrics, Gauge, Histogram, LogHistogram, MetricsSnapshot, Registry,
+    ReliableMetrics, METRICS_SCHEMA_VERSION,
+};
 pub use node::{Context, Incoming, NodeProgram};
 pub use reliable::{Reliable, ReliableMsg, DEFAULT_DEATH_THRESHOLD, FRAME_CHECKSUM_BITS};
 pub use rng::node_rng;
 pub use stats::{CutMeter, ReliabilityStats, RunStats};
-pub use trace::{JsonlTracer, MemoryTracer, NoopTracer, TraceEvent, Tracer};
+pub use trace::{
+    FlightRecorder, JsonlTracer, MemoryTracer, NoopTracer, TraceEvent, Tracer,
+    FLIGHT_DEFAULT_CAPACITY,
+};

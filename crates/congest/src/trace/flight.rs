@@ -1,0 +1,233 @@
+//! Crash-safe flight recorder: a bounded ring of recent trace events
+//! per subsystem, dumpable atomically as a valid JSONL trace.
+//!
+//! The JSONL tracer records *everything*; the flight recorder records
+//! the *last N* events per subsystem into memory so a long-running
+//! process can leave a useful post-mortem without unbounded storage.
+//! [`FlightRecorder::dump_to`] writes the rings as an ordinary JSONL
+//! trace document — schema header first, each subsystem bracketed by
+//! `PhaseStart`/`PhaseEnd` — via a temp file + rename, so a reader
+//! never observes a torn dump and the CLI `validate` subcommand
+//! accepts it unchanged. Callers dump periodically *and* at exit:
+//! `SIGKILL` cannot be intercepted, so crash coverage comes from the
+//! periodic cadence, not the exit hook.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use super::jsonl::encode_event;
+use super::{TraceEvent, TRACE_SCHEMA_VERSION};
+
+/// Default per-subsystem ring capacity.
+pub const FLIGHT_DEFAULT_CAPACITY: usize = 256;
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    /// Events evicted from the ring since the recorder was created.
+    evicted: u64,
+}
+
+#[derive(Debug)]
+struct FlightInner {
+    capacity: usize,
+    rings: BTreeMap<String, Ring>,
+}
+
+/// A thread-safe, bounded, per-subsystem event ring. Cloning shares the
+/// recorder; any clone may record or dump.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<FlightInner>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(FLIGHT_DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events per
+    /// subsystem (clamped to at least 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(FlightInner {
+                capacity: capacity.max(1),
+                rings: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Appends `event` to `subsystem`'s ring, evicting the oldest entry
+    /// when full.
+    pub fn record(&self, subsystem: &str, event: TraceEvent) {
+        let mut inner = self.inner.lock().expect("flight recorder poisoned");
+        let capacity = inner.capacity;
+        let ring = inner.rings.entry(subsystem.to_string()).or_default();
+        if ring.events.len() == capacity {
+            ring.events.pop_front();
+            ring.evicted += 1;
+        }
+        ring.events.push_back(event);
+    }
+
+    /// Total events currently held across all rings.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().expect("flight recorder poisoned");
+        inner.rings.values().map(|r| r.events.len()).sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the rings as a self-contained trace-event sequence:
+    /// a `Meta` schema header, then each subsystem (ascending by name)
+    /// bracketed by `PhaseStart`/`PhaseEnd`, its retained events in
+    /// arrival order. A ring that evicted events reports the loss as an
+    /// `App { key: "flight_evicted" }` event so a post-mortem reader
+    /// knows the window was exceeded.
+    pub fn dump_events(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock().expect("flight recorder poisoned");
+        let mut out = Vec::with_capacity(2 + 3 * inner.rings.len() + self.len_locked(&inner));
+        out.push(TraceEvent::Meta {
+            schema: TRACE_SCHEMA_VERSION,
+        });
+        for (name, ring) in &inner.rings {
+            out.push(TraceEvent::PhaseStart { name: name.clone() });
+            if ring.evicted > 0 {
+                out.push(TraceEvent::App {
+                    round: 0,
+                    node: 0,
+                    key: "flight_evicted".to_string(),
+                    value: ring.evicted,
+                });
+            }
+            out.extend(ring.events.iter().cloned());
+            out.push(TraceEvent::PhaseEnd {
+                name: name.clone(),
+                rounds: ring.events.len(),
+                elapsed_us: 0,
+            });
+        }
+        out
+    }
+
+    fn len_locked(&self, inner: &FlightInner) -> usize {
+        inner.rings.values().map(|r| r.events.len()).sum()
+    }
+
+    /// Writes [`FlightRecorder::dump_events`] as JSONL to `path`
+    /// atomically: the document lands in `<path>.tmp` first and is
+    /// renamed over `path`, so a concurrent reader (or a post-crash
+    /// one) sees either the previous complete dump or this one — never
+    /// a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating, writing, flushing, or renaming.
+    pub fn dump_to(&self, path: &Path) -> io::Result<()> {
+        let events = self.dump_events();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = io::BufWriter::new(std::fs::File::create(&tmp)?);
+            for event in &events {
+                writeln!(f, "{}", encode_event(event))?;
+            }
+            f.flush()?;
+            f.into_inner()?.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::jsonl::decode_trace;
+    use super::*;
+
+    fn app(key: &str, value: u64) -> TraceEvent {
+        TraceEvent::App {
+            round: 0,
+            node: 0,
+            key: key.to_string(),
+            value,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_reports_eviction() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5 {
+            fr.record("serve", app("req", i));
+        }
+        fr.record("solver", app("ckpt", 1));
+        assert_eq!(fr.len(), 4);
+        let events = fr.dump_events();
+        assert_eq!(
+            events[0],
+            TraceEvent::Meta {
+                schema: TRACE_SCHEMA_VERSION
+            }
+        );
+        // Subsystems come out in name order: serve, then solver.
+        assert_eq!(
+            events[1],
+            TraceEvent::PhaseStart {
+                name: "serve".to_string()
+            }
+        );
+        assert_eq!(events[2], app("flight_evicted", 2));
+        assert_eq!(
+            &events[3..6],
+            &[app("req", 2), app("req", 3), app("req", 4)]
+        );
+        assert!(
+            matches!(&events[6], TraceEvent::PhaseEnd { name, rounds: 3, .. } if name == "serve")
+        );
+        assert!(matches!(&events[7], TraceEvent::PhaseStart { name } if name == "solver"));
+    }
+
+    #[test]
+    fn dump_round_trips_through_jsonl() {
+        let dir = std::env::temp_dir().join(format!("rwbc-flight-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight.jsonl");
+        let fr = FlightRecorder::new(8);
+        fr.record("serve", app("timeout", 250));
+        fr.record(
+            "solver",
+            TraceEvent::Round {
+                round: 7,
+                messages: 10,
+                bits: 240,
+                cut_messages: 0,
+                cut_bits: 0,
+            },
+        );
+        fr.dump_to(&path).unwrap();
+        // Overwrite with more data: the rename replaces the old dump.
+        fr.record("serve", app("shed", 1));
+        fr.dump_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let decoded = decode_trace(&text).unwrap();
+        assert_eq!(decoded, fr.dump_events());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_recorder_dumps_header_only() {
+        let fr = FlightRecorder::default();
+        assert!(fr.is_empty());
+        assert_eq!(
+            fr.dump_events(),
+            vec![TraceEvent::Meta {
+                schema: TRACE_SCHEMA_VERSION
+            }]
+        );
+    }
+}

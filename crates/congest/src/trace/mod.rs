@@ -34,6 +34,7 @@
 //! rows, log-bucketed histograms, hottest edges, and a phase timing
 //! breakdown.
 
+pub mod flight;
 pub mod json;
 pub mod jsonl;
 pub mod profile;
@@ -42,6 +43,7 @@ use std::fmt;
 
 use rwbc_graph::NodeId;
 
+pub use flight::{FlightRecorder, FLIGHT_DEFAULT_CAPACITY};
 pub use jsonl::JsonlTracer;
 pub use profile::{LogHistogram, TraceProfile};
 

@@ -13,106 +13,9 @@ use rwbc_graph::NodeId;
 
 use super::TraceEvent;
 
-/// A log-bucketed histogram over non-negative integer samples.
-///
-/// Bucket 0 holds the value `0`; bucket `i >= 1` holds values in
-/// `[2^(i-1), 2^i)`. Sixty-five buckets cover the full `u64` range,
-/// which keeps the structure O(1)-sized no matter how long a run is.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct LogHistogram {
-    counts: Vec<u64>,
-    samples: u64,
-    sum: u128,
-    max: u64,
-}
-
-impl LogHistogram {
-    /// An empty histogram.
-    pub fn new() -> LogHistogram {
-        LogHistogram::default()
-    }
-
-    /// Bucket index for `value`.
-    fn bucket(value: u64) -> usize {
-        if value == 0 {
-            0
-        } else {
-            64 - value.leading_zeros() as usize
-        }
-    }
-
-    /// Records one sample.
-    pub fn add(&mut self, value: u64) {
-        let b = Self::bucket(value);
-        if self.counts.len() <= b {
-            self.counts.resize(b + 1, 0);
-        }
-        self.counts[b] += 1;
-        self.samples += 1;
-        self.sum += u128::from(value);
-        self.max = self.max.max(value);
-    }
-
-    /// Number of samples recorded.
-    pub fn samples(&self) -> u64 {
-        self.samples
-    }
-
-    /// Largest sample recorded (0 when empty).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Mean of the samples (0.0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.samples == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.samples as f64
-        }
-    }
-
-    /// Non-empty buckets as `(lo, hi_inclusive, count)` ranges, in
-    /// ascending value order.
-    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| {
-                if i == 0 {
-                    (0, 0, c)
-                } else {
-                    (1u64 << (i - 1), (1u64 << i) - 1, c)
-                }
-            })
-            .collect()
-    }
-
-    /// Renders the histogram as `lo..=hi: count` lines with a
-    /// proportional bar, for CLI output.
-    pub fn render(&self, width: usize) -> String {
-        let mut out = String::new();
-        let peak = self.counts.iter().copied().max().unwrap_or(0);
-        for (lo, hi, count) in self.buckets() {
-            let bar_len = if peak == 0 {
-                0
-            } else {
-                ((count as f64 / peak as f64) * width as f64).ceil() as usize
-            };
-            let range = if lo == hi {
-                format!("{lo}")
-            } else {
-                format!("{lo}..{hi}")
-            };
-            out.push_str(&format!(
-                "  {range:>14}  {count:>8}  {}\n",
-                "#".repeat(bar_len)
-            ));
-        }
-        out
-    }
-}
+// The shared log-bucketed histogram now lives with the live-metrics
+// types; re-exported here so trace-oriented callers keep their path.
+pub use crate::metrics::LogHistogram;
 
 /// One phase occurrence (between a `PhaseStart` and its `PhaseEnd`),
 /// or the implicit `run` phase for events outside any span.

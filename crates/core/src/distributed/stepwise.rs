@@ -19,7 +19,7 @@
 //! [`StepSolver::new`] rejects anything else with a typed error.
 
 use congest_sim::wire::{crc32, BitReader, BitWriter, WireState};
-use congest_sim::{RunStats, SimError, Simulator};
+use congest_sim::{EngineMetrics, RunStats, SimError, Simulator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -92,6 +92,9 @@ pub struct StepSolver<'g> {
     fixed_point_bits: u8,
     value_bits: u8,
     state: PhaseState<'g>,
+    /// Live-metrics handles carried across phase transitions so the
+    /// walk and count simulators feed one cumulative set of counters.
+    metrics: Option<EngineMetrics>,
 }
 
 fn corrupt(reason: &str) -> RwbcError {
@@ -208,7 +211,26 @@ impl<'g> StepSolver<'g> {
             fixed_point_bits: f,
             value_bits,
             state: PhaseState::Walk(sim),
+            metrics: None,
         })
+    }
+
+    /// Attaches live-metrics handles to the solver. The active phase's
+    /// simulator starts feeding them immediately, and the handles are
+    /// re-attached across the walk → count hand-off, so the engine
+    /// counters accumulate over the whole pipeline: attached at round 0,
+    /// `engine_rounds_total` equals [`StepSolver::rounds_completed`] at
+    /// any quiescent point (attached later — e.g. after
+    /// [`StepSolver::restore`] — they count the rounds run since).
+    /// Metrics never perturb the simulation; attaching them is safe at
+    /// any round boundary.
+    pub fn set_metrics(&mut self, metrics: EngineMetrics) {
+        match &mut self.state {
+            PhaseState::Walk(sim) => sim.set_metrics(metrics.clone()),
+            PhaseState::Count { sim, .. } => sim.set_metrics(metrics.clone()),
+            PhaseState::Done(_) | PhaseState::Poisoned => {}
+        }
+        self.metrics = Some(metrics);
     }
 
     /// Advances the pipeline by one CONGEST round (handling the
@@ -281,9 +303,12 @@ impl<'g> StepSolver<'g> {
             .sim
             .clone()
             .with_seed(self.config.seed ^ PHASE2_XOR);
-        let sim = Simulator::new(graph, cfg2, |v| {
+        let mut sim = Simulator::new(graph, cfg2, |v| {
             CountProgram::new(v, n, graph.degree(v), counts[v].clone(), k, value_bits, f)
         });
+        if let Some(m) = &self.metrics {
+            sim.set_metrics(m.clone());
+        }
         PhaseState::Count {
             sim,
             walk_stats,
@@ -590,6 +615,7 @@ impl<'g> StepSolver<'g> {
             fixed_point_bits: f,
             value_bits,
             state,
+            metrics: None,
         })
     }
 }
@@ -670,6 +696,31 @@ mod tests {
             let run = resumed.run_to_completion().unwrap();
             assert_eq!(*run, oneshot, "resume must be bit-identical");
         }
+    }
+
+    #[test]
+    fn engine_metrics_track_rounds_across_phases() {
+        use congest_sim::Registry;
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = connected_gnp(16, 0.3, 100, &mut rng).unwrap();
+        let c = cfg(5);
+        let run = |threads: usize| {
+            let mut c = c.clone();
+            c.sim = c.sim.with_threads(threads);
+            let registry = Registry::new();
+            let mut solver = StepSolver::new(&g, c).unwrap();
+            solver.set_metrics(EngineMetrics::register(&registry));
+            let result = solver.run_to_completion().unwrap().clone();
+            let rounds = solver.rounds_completed();
+            (result, rounds, registry.snapshot())
+        };
+        let (r1, rounds, snap1) = run(1);
+        // Attached at round 0, the live counter matches the solver's own
+        // cross-phase tally, and the content is thread-count-invariant.
+        assert_eq!(snap1.counter("engine_rounds_total"), Some(rounds as u64));
+        let (r4, _, snap4) = run(4);
+        assert_eq!(r1, r4);
+        assert_eq!(snap1, snap4);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use congest_sim::SimConfig;
+use congest_sim::{EngineMetrics, Registry, SimConfig};
 use rwbc::accuracy::{kendall_tau, spearman_rho};
 use rwbc::brandes::betweenness;
 use rwbc::distributed::{DistributedConfig, StepSolver};
@@ -195,6 +195,37 @@ proptest! {
             prop_assert_eq!(&run, &expected, "threads {}", restore_threads);
             prop_assert_eq!(resumed.fingerprint(), expected_fp);
         }
+    }
+
+    #[test]
+    fn metrics_snapshot_is_bit_identical_across_thread_counts(
+        g in arb_connected_graph(),
+        seed in 0u64..40,
+    ) {
+        // The telemetry analogue of the determinism contract: the metric
+        // *content* a full solve deposits in the registry — every counter
+        // and every histogram bucket — must not depend on the worker pool
+        // size, only timing may. Otherwise dashboards on a 16-core box
+        // and a laptop replay would disagree about the same solve.
+        let run = |threads: usize| {
+            let cfg = DistributedConfig::builder()
+                .walks(6)
+                .length(2 * g.node_count())
+                .seed(seed)
+                .target(TargetStrategy::Fixed(0))
+                .sim(SimConfig::default().with_threads(threads))
+                .build()
+                .unwrap();
+            let registry = Registry::new();
+            let mut solver = StepSolver::new(&g, cfg).unwrap();
+            solver.set_metrics(EngineMetrics::register(&registry));
+            let result = solver.run_to_completion().unwrap().clone();
+            (result, registry.snapshot())
+        };
+        let (r1, snap1) = run(1);
+        let (r4, snap4) = run(4);
+        prop_assert_eq!(r1, r4);
+        prop_assert_eq!(snap1, snap4);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! rwbc-serve query  --addr A (--node V | --topk K | --stats)
 //!                   [--deadline-ms MS] [--attempts N]
 //! rwbc-serve health --addr A
+//! rwbc-serve metrics --addr A [--format json|prometheus]
+//! rwbc-serve top    --addr A [--interval-ms MS] [--iterations N] [--no-clear]
 //! rwbc-serve drain  --addr A
 //! rwbc-serve check  --checkpoint FILE --n N --seed S [--walks K] [--length L]
 //! ```
@@ -22,10 +24,12 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use rwbc::distributed::StepSolver;
 use rwbc_serve::protocol::Request;
-use rwbc_serve::{Client, Daemon, RequestEnvelope, Response, ServeConfig, SolverConfig};
+use rwbc_serve::top::{self, TopOptions};
+use rwbc_serve::{Client, Daemon, RequestEnvelope, Response, ServeConfig, SloConfig, SolverConfig};
 
 struct Options {
     command: String,
@@ -38,25 +42,36 @@ struct Options {
     checkpoint: Option<PathBuf>,
     checkpoint_every: usize,
     trace: Option<PathBuf>,
+    flight: Option<PathBuf>,
+    flight_every_ms: u64,
     queue_depth: usize,
     workers: usize,
     deadline_ms: u32,
     retry_after_ms: u32,
     slow_ms: u64,
     work_delay_ms: u64,
+    slo_latency_ms: u64,
+    slo_availability: f64,
     node: Option<usize>,
     topk: Option<usize>,
     stats: bool,
     attempts: u32,
+    format: String,
+    interval_ms: u64,
+    iterations: u64,
+    no_clear: bool,
 }
 
 fn usage() -> &'static str {
     "usage: rwbc-serve run    [--addr A] [--n N] [--seed S] [--walks K] [--length L]\n       \
      \t[--threads T] [--checkpoint FILE] [--checkpoint-every R] [--trace FILE]\n       \
-     \t[--queue-depth D] [--workers W] [--deadline-ms MS] [--retry-after-ms MS]\n       \
-     \t[--slow-ms MS] [--work-delay-ms MS]\n       \
+     \t[--flight FILE] [--flight-every-ms MS] [--queue-depth D] [--workers W]\n       \
+     \t[--deadline-ms MS] [--retry-after-ms MS] [--slow-ms MS] [--work-delay-ms MS]\n       \
+     \t[--slo-latency-ms MS] [--slo-availability F]\n       \
      rwbc-serve query  --addr A (--node V | --topk K | --stats) [--deadline-ms MS] [--attempts N]\n       \
      rwbc-serve health --addr A\n       \
+     rwbc-serve metrics --addr A [--format json|prometheus]\n       \
+     rwbc-serve top    --addr A [--interval-ms MS] [--iterations N] [--no-clear]\n       \
      rwbc-serve drain  --addr A\n       \
      rwbc-serve check  --checkpoint FILE --n N --seed S [--walks K] [--length L]"
 }
@@ -75,16 +90,24 @@ fn parse_args() -> Result<Options, String> {
         checkpoint: None,
         checkpoint_every: 64,
         trace: None,
+        flight: None,
+        flight_every_ms: 500,
         queue_depth: 64,
         workers: 2,
         deadline_ms: 1000,
         retry_after_ms: 10,
         slow_ms: 0,
         work_delay_ms: 0,
+        slo_latency_ms: SloConfig::default().latency_objective_ms,
+        slo_availability: SloConfig::default().availability_target,
         node: None,
         topk: None,
         stats: false,
         attempts: 6,
+        format: "json".to_string(),
+        interval_ms: 1000,
+        iterations: 0,
+        no_clear: false,
     };
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
@@ -104,6 +127,20 @@ fn parse_args() -> Result<Options, String> {
                 opts.checkpoint_every = num("--checkpoint-every", &value("--checkpoint-every")?)?;
             }
             "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
+            "--flight" => opts.flight = Some(PathBuf::from(value("--flight")?)),
+            "--flight-every-ms" => {
+                opts.flight_every_ms = num("--flight-every-ms", &value("--flight-every-ms")?)?;
+            }
+            "--slo-latency-ms" => {
+                opts.slo_latency_ms = num("--slo-latency-ms", &value("--slo-latency-ms")?)?;
+            }
+            "--slo-availability" => {
+                opts.slo_availability = num("--slo-availability", &value("--slo-availability")?)?;
+            }
+            "--format" => opts.format = value("--format")?,
+            "--interval-ms" => opts.interval_ms = num("--interval-ms", &value("--interval-ms")?)?,
+            "--iterations" => opts.iterations = num("--iterations", &value("--iterations")?)?,
+            "--no-clear" => opts.no_clear = true,
             "--queue-depth" => opts.queue_depth = num("--queue-depth", &value("--queue-depth")?)?,
             "--workers" => opts.workers = num("--workers", &value("--workers")?)?,
             "--deadline-ms" => opts.deadline_ms = num("--deadline-ms", &value("--deadline-ms")?)?,
@@ -136,6 +173,31 @@ fn solver_config(opts: &Options) -> SolverConfig {
     config
 }
 
+/// Set by the raw SIGTERM handler; a watcher thread turns it into a
+/// clean drain. The handler itself only flips the flag — the only thing
+/// that is async-signal-safe to do.
+static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: std::os::raw::c_int) {
+    SIGTERM_SEEN.store(true, Ordering::SeqCst);
+}
+
+/// Registers the SIGTERM handler via the raw libc binding (the
+/// workspace vendors no signal crate). SIGTERM is 15 on every platform
+/// we build for.
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: std::os::raw::c_int, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(15, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
 fn cmd_run(opts: &Options) -> Result<(), String> {
     let mut config = ServeConfig::new(solver_config(opts));
     if let Some(addr) = &opts.addr {
@@ -146,11 +208,47 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     config.default_deadline_ms = opts.deadline_ms;
     config.retry_after_ms = opts.retry_after_ms;
     config.work_delay_ms = opts.work_delay_ms;
+    config.slo = SloConfig {
+        latency_objective_ms: opts.slo_latency_ms,
+        availability_target: opts.slo_availability,
+    };
+    // Flight dumps land next to the checkpoint unless pointed elsewhere.
+    config.flight_path = opts.flight.clone().or_else(|| {
+        opts.checkpoint
+            .as_ref()
+            .map(|p| p.with_extension("flight.jsonl"))
+    });
+    config.flight_dump_every_ms = opts.flight_every_ms;
+    let flight_path = config.flight_path.clone();
     let daemon = Daemon::start(config).map_err(|e| format!("bind failed: {e}"))?;
+
+    // A panicking thread leaves a final flight dump before the default
+    // hook aborts/unwinds — the post-mortem the recorder exists for.
+    if let Some(path) = flight_path {
+        let flight = daemon.flight().clone();
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = flight.dump_to(&path);
+            previous(info);
+        }));
+    }
+
+    // SIGTERM → clean drain (final checkpoint + flight dump), same as an
+    // admin Drain request. SIGKILL is covered by the periodic dumps.
+    install_sigterm_handler();
+    let addr = daemon.local_addr();
+    std::thread::spawn(move || loop {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        if SIGTERM_SEEN.load(Ordering::SeqCst) {
+            let _ = Client::new(addr.to_string()).drain();
+            return;
+        }
+    });
+
     // A supervisor may close our stdout after reading the banner; a
     // daemon must not die over it, so ignore write failures here.
     let mut stdout = std::io::stdout();
-    let _ = writeln!(stdout, "rwbc-serve listening on {}", daemon.local_addr());
+    let _ = writeln!(stdout, "rwbc-serve listening on {addr}");
     let _ = stdout.flush();
     daemon.wait();
     let _ = writeln!(stdout, "rwbc-serve drained cleanly");
@@ -184,23 +282,31 @@ fn describe(response: &Response) -> String {
         }
         Response::Stats(s) => format!(
             "served={} overloaded={} timed_out={} rounds={} checkpoints={} \
-             checkpoint_overhead_us={} uptime_ms={}",
+             checkpoint_overhead_us={} uptime_ms={} checkpoint_age_ms={}",
             s.requests_served,
             s.requests_overloaded,
             s.requests_timed_out,
             s.solve_rounds,
             s.checkpoints_written,
             s.checkpoint_overhead_us,
-            s.uptime_ms
+            s.uptime_ms,
+            s.last_checkpoint_age_ms
+                .map_or_else(|| "none".to_string(), |v| v.to_string())
         ),
         Response::Health(h) => format!(
-            "state={} ready={} phase={} rounds={} resumed={} degraded={}",
+            "state={} ready={} phase={} rounds={} resumed={} degraded={} uptime_ms={} \
+             checkpoint_age_ms={} burn_fast={:.3} burn_slow={:.3}",
             h.state.as_str(),
             h.ready,
             h.phase,
             h.rounds_completed,
             h.slo.resumed,
-            h.slo.degraded
+            h.slo.degraded,
+            h.uptime_ms,
+            h.last_checkpoint_age_ms
+                .map_or_else(|| "none".to_string(), |v| v.to_string()),
+            h.burn_fast,
+            h.burn_slow
         ),
         other => format!("{other:?}"),
     }
@@ -240,6 +346,44 @@ fn cmd_health(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_metrics(opts: &Options) -> Result<(), String> {
+    let addr = opts.addr.as_ref().ok_or("metrics needs --addr")?;
+    let response = Client::new(addr.clone())
+        .metrics()
+        .map_err(|e| e.to_string())?;
+    let Response::Metrics(report) = response else {
+        return Err(format!("unexpected metrics response: {response:?}"));
+    };
+    match opts.format.as_str() {
+        "json" => println!("{}", report.to_json().to_json()),
+        "prometheus" | "prom" => {
+            let text = report.to_prometheus();
+            // Lint before printing: a scrape that would poison a real
+            // Prometheus ingester exits non-zero instead.
+            congest_sim::metrics::lint_prometheus(&text)
+                .map_err(|e| format!("invalid Prometheus exposition: {e}"))?;
+            print!("{text}");
+        }
+        other => {
+            return Err(format!(
+                "--format must be json or prometheus, got `{other}`"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn cmd_top(opts: &Options) -> Result<(), String> {
+    let addr = opts.addr.as_ref().ok_or("top needs --addr")?;
+    let top_opts = TopOptions {
+        addr: addr.clone(),
+        interval_ms: opts.interval_ms,
+        iterations: opts.iterations,
+        clear_screen: !opts.no_clear,
+    };
+    top::run(&top_opts, &mut std::io::stdout())
+}
+
 fn cmd_drain(opts: &Options) -> Result<(), String> {
     let addr = opts.addr.as_ref().ok_or("drain needs --addr")?;
     let response = Client::new(addr.clone())
@@ -257,15 +401,23 @@ fn cmd_drain(opts: &Options) -> Result<(), String> {
 fn cmd_check(opts: &Options) -> Result<(), String> {
     let path = opts.checkpoint.as_ref().ok_or("check needs --checkpoint")?;
     let image = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    // Offline age: how stale the image on disk is (the live counterpart
+    // is `last_checkpoint_age_ms` in Health/Stats/Metrics replies).
+    let age_ms = std::fs::metadata(path)
+        .ok()
+        .and_then(|m| m.modified().ok())
+        .and_then(|t| t.elapsed().ok())
+        .map(|d| d.as_millis() as u64);
     let config = solver_config(opts);
     let graph = config.graph.build();
     let solver = StepSolver::restore(&graph, config.distributed_config(), &image)
         .map_err(|e| format!("invalid checkpoint: {e}"))?;
     println!(
-        "checkpoint ok: phase={:?} rounds={} bytes={}",
+        "checkpoint ok: phase={:?} rounds={} bytes={} age_ms={}",
         solver.phase(),
         solver.rounds_completed(),
-        image.len()
+        image.len(),
+        age_ms.map_or_else(|| "unknown".to_string(), |v| v.to_string())
     );
     Ok(())
 }
@@ -282,6 +434,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "query" => cmd_query(&opts),
         "health" => cmd_health(&opts),
+        "metrics" => cmd_metrics(&opts),
+        "top" => cmd_top(&opts),
         "drain" => cmd_drain(&opts),
         "check" => cmd_check(&opts),
         other => Err(format!("unknown command `{other}`\n{}", usage())),

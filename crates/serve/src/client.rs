@@ -219,6 +219,20 @@ impl Client {
             request: Request::Drain,
         })
     }
+
+    /// Convenience: live-metrics scrape (no retries, like
+    /// [`Client::health`] — a scraper reports what is, and must see an
+    /// overloaded daemon rather than back off around it).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::once`] failures, surfaced directly.
+    pub fn metrics(&self) -> Result<Response, ClientError> {
+        self.once(&RequestEnvelope {
+            deadline_ms: 0,
+            request: Request::Metrics,
+        })
+    }
 }
 
 #[cfg(test)]

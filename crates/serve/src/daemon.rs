@@ -20,17 +20,22 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use congest_sim::{FlightRecorder, TraceEvent};
+
+use crate::metrics::DaemonMetrics;
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, DaemonState, HealthReport,
-    ProtocolError, Request, RequestEnvelope, Response, ServeStats, SloFlags,
+    MetricsReport, ProtocolError, Request, RequestEnvelope, Response, ServeStats, SloFlags,
 };
-use crate::solver::{BackgroundSolver, SolveSnapshot, SolverConfig};
+use crate::slo::{SloConfig, SloTracker};
+use crate::solver::{BackgroundSolver, SolveSnapshot, SolverConfig, SolverHooks};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -48,6 +53,17 @@ pub struct ServeConfig {
     /// Test hook: each worker sleeps this long per request, so overload
     /// and deadline paths can be exercised deterministically.
     pub work_delay_ms: u64,
+    /// Latency / availability objectives the burn-rate tracker scores
+    /// admitted queries against.
+    pub slo: SloConfig,
+    /// Flight-recorder dump path (conventionally next to the
+    /// checkpoint); `None` disables periodic dumps, the in-memory ring
+    /// still records.
+    pub flight_path: Option<PathBuf>,
+    /// Milliseconds between periodic flight dumps. The periodic cadence
+    /// is what makes dumps crash-safe: `kill -9` cannot be hooked, so
+    /// the newest dump is at most this stale.
+    pub flight_dump_every_ms: u64,
     /// The background solve.
     pub solver: SolverConfig,
 }
@@ -62,6 +78,9 @@ impl ServeConfig {
             default_deadline_ms: 1000,
             retry_after_ms: 10,
             work_delay_ms: 0,
+            slo: SloConfig::default(),
+            flight_path: None,
+            flight_dump_every_ms: 500,
             solver,
         }
     }
@@ -81,11 +100,62 @@ struct Shared {
     started: Instant,
     solver: Mutex<BackgroundSolver>,
     addr: SocketAddr,
+    metrics: DaemonMetrics,
+    slo: SloTracker,
+    flight: FlightRecorder,
 }
 
 impl Shared {
     fn snapshot(&self) -> SolveSnapshot {
         self.solver.lock().expect("solver handle lock").snapshot()
+    }
+
+    /// Milliseconds since the daemon started — the uptime clock, which
+    /// is also what deadlines, SLO buckets, and checkpoint ages use.
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Age of the newest checkpoint on the uptime clock.
+    fn checkpoint_age_ms(&self, snapshot: &SolveSnapshot) -> Option<u64> {
+        snapshot
+            .last_checkpoint_at_ms
+            .map(|at| self.now_ms().saturating_sub(at))
+    }
+
+    /// One event into the serve-subsystem flight ring.
+    fn flight_serve(&self, key: &str, value: u64) {
+        self.flight.record(
+            "serve",
+            TraceEvent::App {
+                round: 0,
+                node: 0,
+                key: key.to_string(),
+                value,
+            },
+        );
+    }
+
+    /// Dumps the flight ring if a dump path is configured.
+    fn dump_flight(&self) {
+        if let Some(path) = &self.config.flight_path {
+            if self.flight.dump_to(path).is_ok() {
+                self.metrics.serve.flight_dumps_total.inc();
+            }
+        }
+    }
+
+    fn metrics_report(&self) -> MetricsReport {
+        let snapshot = self.snapshot();
+        let now_ms = self.now_ms();
+        let (burn_fast, burn_slow) = self.slo.burn_rates(now_ms);
+        MetricsReport {
+            snapshot: self.metrics.registry.snapshot(),
+            uptime_ms: now_ms,
+            last_checkpoint_age_ms: self.checkpoint_age_ms(&snapshot),
+            burn_fast,
+            burn_slow,
+        }
     }
 
     fn slo_flags(snapshot: &SolveSnapshot) -> SloFlags {
@@ -112,12 +182,18 @@ impl Shared {
         } else {
             DaemonState::Solving
         };
+        let now_ms = self.now_ms();
+        let (burn_fast, burn_slow) = self.slo.burn_rates(now_ms);
         HealthReport {
             state,
             ready: snapshot.result.is_some() && !self.draining.load(Ordering::SeqCst),
             phase: snapshot.phase,
             rounds_completed: snapshot.rounds_completed,
             slo: Shared::slo_flags(&snapshot),
+            uptime_ms: now_ms,
+            last_checkpoint_age_ms: self.checkpoint_age_ms(&snapshot),
+            burn_fast,
+            burn_slow,
         }
     }
 
@@ -130,7 +206,8 @@ impl Shared {
             solve_rounds: snapshot.rounds_completed,
             checkpoints_written: snapshot.checkpoints_written,
             checkpoint_overhead_us: snapshot.checkpoint_overhead_us,
-            uptime_ms: self.started.elapsed().as_millis() as u64,
+            uptime_ms: self.now_ms(),
+            last_checkpoint_age_ms: self.checkpoint_age_ms(&snapshot),
         }
     }
 
@@ -192,11 +269,13 @@ pub struct Daemon {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    flight_watcher: Option<JoinHandle<()>>,
 }
 
 impl Daemon {
-    /// Binds the listener, spawns the solver, the workers, and the
-    /// accept loop.
+    /// Binds the listener, spawns the solver, the workers, the accept
+    /// loop, and (when a flight path is configured) the periodic
+    /// flight-dump watcher.
     ///
     /// # Errors
     ///
@@ -204,7 +283,20 @@ impl Daemon {
     pub fn start(config: ServeConfig) -> io::Result<Daemon> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let solver = BackgroundSolver::spawn(config.solver.clone());
+        // One clock for everything time-shaped: deadlines, uptime, SLO
+        // buckets, and checkpoint ages all subtract from this instant.
+        let started = Instant::now();
+        let metrics = DaemonMetrics::new();
+        let flight = FlightRecorder::default();
+        let solver = BackgroundSolver::spawn_with(
+            config.solver.clone(),
+            SolverHooks {
+                epoch: started,
+                metrics: Some(metrics.clone()),
+                flight: Some(flight.clone()),
+            },
+        );
+        let slo = SloTracker::new(config.slo);
         let shared = Arc::new(Shared {
             counters: Counters {
                 served: AtomicU64::new(0),
@@ -213,9 +305,12 @@ impl Daemon {
             },
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
-            started: Instant::now(),
+            started,
             solver: Mutex::new(solver),
             addr,
+            metrics,
+            slo,
+            flight,
             config,
         });
 
@@ -233,11 +328,29 @@ impl Daemon {
             std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
         };
 
+        let flight_watcher = shared.config.flight_path.as_ref().map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || flight_watch_loop(&shared))
+        });
+
         Ok(Daemon {
             shared,
             acceptor: Some(acceptor),
             workers,
+            flight_watcher,
         })
+    }
+
+    /// The live-metrics bundle (the same registry `Request::Metrics`
+    /// snapshots) — for embedding hosts and tests.
+    pub fn metrics(&self) -> &DaemonMetrics {
+        &self.shared.metrics
+    }
+
+    /// The flight recorder — for embedding hosts that want to dump on
+    /// their own triggers (e.g. a panic hook).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.shared.flight
     }
 
     /// The bound address (useful with port 0).
@@ -254,6 +367,9 @@ impl Daemon {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        if let Some(handle) = self.flight_watcher.take() {
+            let _ = handle.join();
+        }
     }
 
     /// Initiates a drain as if an admin request had arrived.
@@ -268,10 +384,24 @@ fn initiate_drain(shared: &Arc<Shared>) {
     if shared.draining.swap(true, Ordering::SeqCst) {
         return;
     }
+    shared.flight_serve("drain", shared.now_ms());
     shared.solver.lock().expect("solver handle lock").drain();
     shared.shutdown.store(true, Ordering::SeqCst);
+    // Final flight dump with the drain event and the solver's terminal
+    // events in the rings.
+    shared.dump_flight();
     // Self-connect to unblock the blocking accept.
     let _ = TcpStream::connect(shared.addr);
+}
+
+/// Periodic flight dumps until shutdown. This cadence — not the drain
+/// hook — is what survives `kill -9`.
+fn flight_watch_loop(shared: &Arc<Shared>) {
+    let every = Duration::from_millis(shared.config.flight_dump_every_ms.max(50));
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(every);
+        shared.dump_flight();
+    }
 }
 
 fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
@@ -282,6 +412,7 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
         };
         match job {
             Ok(job) => {
+                shared.metrics.serve.queue_depth.dec();
                 let deadline = Duration::from_millis(u64::from(job.env.deadline_ms));
                 // Expired while queued: answer the typed timeout rather
                 // than serving a result the client stopped waiting for.
@@ -360,11 +491,17 @@ fn handle_connection(
     }
 }
 
-/// Routes one request: admin and health inline, queries through the
-/// bounded queue with deadline enforcement.
+/// Routes one request: admin, health, and metrics inline, queries
+/// through the bounded queue with deadline enforcement.
+///
+/// The four `serve_requests_*` counters partition exactly: every query
+/// that reaches the queueing path below increments `requests_total` and
+/// exactly one of `answered` / `timed_out` / `shed` — the invariant the
+/// CI smoke test asserts on a live daemon.
 fn dispatch(shared: &Arc<Shared>, mut env: RequestEnvelope, tx: &SyncSender<Job>) -> Response {
     match env.request {
         Request::Health => return Response::Health(shared.health()),
+        Request::Metrics => return Response::Metrics(Box::new(shared.metrics_report())),
         Request::Drain | Request::Shutdown => {
             initiate_drain(shared);
             return Response::AdminOk;
@@ -377,24 +514,61 @@ fn dispatch(shared: &Arc<Shared>, mut env: RequestEnvelope, tx: &SyncSender<Job>
     if env.deadline_ms == 0 {
         env.deadline_ms = shared.config.default_deadline_ms;
     }
-    let deadline = Duration::from_millis(u64::from(env.deadline_ms));
+    let m = &shared.metrics.serve;
+    m.requests_total.inc();
     let deadline_ms = env.deadline_ms;
+    let t0 = Instant::now();
+    let finish = |response: Response| {
+        let latency_us = t0.elapsed().as_micros() as u64;
+        m.latency_us.record(latency_us);
+        let timed_out = matches!(response, Response::Timeout { .. });
+        let shed = matches!(response, Response::Overloaded { .. } | Response::Draining);
+        if timed_out {
+            m.timed_out_total.inc();
+        } else if shed {
+            m.shed_total.inc();
+        } else {
+            m.answered_total.inc();
+        }
+        match &response {
+            Response::Value { slo, .. } | Response::Ranking { slo, .. } if slo.degraded => {
+                m.degraded_served_total.inc();
+            }
+            _ => {}
+        }
+        // An SLO error: the client did not get an answer, or got it
+        // slower than the latency objective.
+        let error = timed_out || shed || latency_us / 1000 > shared.config.slo.latency_objective_ms;
+        shared.slo.record(shared.now_ms(), error);
+        if timed_out {
+            shared.flight_serve("timeout", u64::from(deadline_ms));
+        } else if shed {
+            shared.flight_serve("shed", 1);
+        }
+        response
+    };
+    let deadline = Duration::from_millis(u64::from(env.deadline_ms));
     let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
     let job = Job {
         env,
         admitted: Instant::now(),
         reply: reply_tx,
     };
+    // Inc before try_send: a worker may pop the job (and dec) the
+    // instant it lands, and the gauge saturates at zero, so inc-after
+    // would leak one permanently per race.
+    shared.metrics.serve.queue_depth.inc();
     if let Err(e) = tx.try_send(job) {
+        shared.metrics.serve.queue_depth.dec();
         return match e {
             // Queue full: shed, never buffer.
             TrySendError::Full(_) => {
                 shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
-                Response::Overloaded {
+                finish(Response::Overloaded {
                     retry_after_ms: shared.config.retry_after_ms,
-                }
+                })
             }
-            TrySendError::Disconnected(_) => Response::Draining,
+            TrySendError::Disconnected(_) => finish(Response::Draining),
         };
     }
     match reply_rx.recv_timeout(deadline) {
@@ -402,13 +576,13 @@ fn dispatch(shared: &Arc<Shared>, mut env: RequestEnvelope, tx: &SyncSender<Job>
             if matches!(response, Response::Timeout { .. }) {
                 shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
             }
-            response
+            finish(response)
         }
         Err(_) => {
             // Worker still busy past the deadline (or gone): typed
             // timeout; the worker's late reply lands in a dead channel.
             shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
-            Response::Timeout { deadline_ms }
+            finish(Response::Timeout { deadline_ms })
         }
     }
 }

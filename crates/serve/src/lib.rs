@@ -20,7 +20,13 @@
 //!   closes the JSONL trace cleanly;
 //! * health/readiness wired to the solve's `DegradationReport` — a
 //!   degraded result is served with explicit
-//!   [`SloFlags`](protocol::SloFlags), never silently.
+//!   [`SloFlags`](protocol::SloFlags), never silently;
+//! * **live telemetry**: a zero-dependency metrics registry spanning the
+//!   request path, the background solve, and the CONGEST engine, scraped
+//!   via [`Request::Metrics`](protocol::Request::Metrics) (rendered as
+//!   versioned JSON or Prometheus text), multi-window **SLO burn rates**
+//!   ([`slo`]), a crash-safe **flight recorder** dumped next to the
+//!   checkpoint, and a plain-terminal dashboard ([`top`]).
 //!
 //! [`Response::Timeout`]: protocol::Response::Timeout
 //! [`Response::Overloaded`]: protocol::Response::Overloaded
@@ -29,13 +35,18 @@
 
 pub mod client;
 pub mod daemon;
+pub mod metrics;
 pub mod protocol;
+pub mod slo;
 pub mod solver;
+pub mod top;
 
 pub use client::{Client, ClientError, BASE_BACKOFF_MS, MAX_BACKOFF_MS};
 pub use daemon::{Daemon, ServeConfig};
+pub use metrics::{DaemonMetrics, ServeMetrics};
 pub use protocol::{
-    DaemonState, HealthReport, ProtocolError, Request, RequestEnvelope, Response, ServeStats,
-    SloFlags,
+    DaemonState, HealthReport, MetricsReport, ProtocolError, Request, RequestEnvelope, Response,
+    ServeStats, SloFlags,
 };
-pub use solver::{BackgroundSolver, GraphSpec, SolveSnapshot, SolverConfig};
+pub use slo::{SloConfig, SloTracker, FAST_WINDOW_S, SLOW_WINDOW_S};
+pub use solver::{BackgroundSolver, GraphSpec, SolveSnapshot, SolverConfig, SolverHooks};

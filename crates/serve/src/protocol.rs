@@ -12,10 +12,14 @@ use std::fmt;
 use std::io::{Read, Write};
 
 use congest_sim::wire::{crc32, BitReader, BitWriter, WireState};
+use congest_sim::MetricsSnapshot;
 
 /// Protocol version, carried in every request envelope so mismatched
-/// peers fail typed instead of mis-decoding.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// peers fail typed instead of mis-decoding. Version 2 added the
+/// [`Request::Metrics`] / [`Response::Metrics`] pair and the uptime /
+/// checkpoint-age / burn-rate fields on [`HealthReport`] and
+/// [`ServeStats`].
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload. Anything larger is rejected before a
 /// single byte of it is buffered — the admission-control guarantee that a
@@ -97,6 +101,9 @@ pub enum Request {
     Drain,
     /// Admin: like drain, without waiting for queued work.
     Shutdown,
+    /// Full live-metrics snapshot (never shed, never queued — like
+    /// [`Request::Health`], scrapers must see an overloaded daemon).
+    Metrics,
 }
 
 impl Request {
@@ -108,6 +115,7 @@ impl Request {
             Request::Health => 3,
             Request::Drain => 4,
             Request::Shutdown => 5,
+            Request::Metrics => 6,
         }
     }
 }
@@ -144,6 +152,10 @@ pub struct ServeStats {
     pub checkpoint_overhead_us: u64,
     /// Milliseconds since the daemon started.
     pub uptime_ms: u64,
+    /// Milliseconds since the last checkpoint landed, on the daemon's
+    /// uptime clock (the same one deadlines use); `None` before the
+    /// first checkpoint or with checkpointing disabled.
+    pub last_checkpoint_age_ms: Option<u64>,
 }
 
 /// Daemon lifecycle state, served in [`HealthReport`].
@@ -192,7 +204,7 @@ impl DaemonState {
 }
 
 /// Health / readiness report, served on [`Request::Health`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HealthReport {
     /// Lifecycle state.
     pub state: DaemonState,
@@ -204,6 +216,76 @@ pub struct HealthReport {
     pub rounds_completed: u64,
     /// Degradation-derived flags (meaningful once `ready`).
     pub slo: SloFlags,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Milliseconds since the last checkpoint landed; `None` before the
+    /// first one or with checkpointing disabled.
+    pub last_checkpoint_age_ms: Option<u64>,
+    /// Fast-window (1 min) SLO burn rate — 1.0 burns the error budget
+    /// exactly at the availability target, > 1.0 burns it faster.
+    pub burn_fast: f64,
+    /// Slow-window (10 min) SLO burn rate.
+    pub burn_slow: f64,
+}
+
+/// Full live-metrics report, served on [`Request::Metrics`].
+///
+/// The structured [`MetricsSnapshot`] is the single source of truth; the
+/// client renders it as versioned JSON
+/// ([`MetricsSnapshot::to_json`]) or Prometheus text exposition
+/// ([`MetricsSnapshot::to_prometheus`]) locally, so the wire carries one
+/// canonical form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Every counter, gauge, and histogram in the daemon's registry.
+    pub snapshot: MetricsSnapshot,
+    /// Milliseconds since the daemon started (its deadline clock).
+    pub uptime_ms: u64,
+    /// Milliseconds since the last checkpoint landed, on that same
+    /// clock; `None` before the first one or with checkpointing off.
+    pub last_checkpoint_age_ms: Option<u64>,
+    /// Fast-window (1 min) SLO burn rate.
+    pub burn_fast: f64,
+    /// Slow-window (10 min) SLO burn rate.
+    pub burn_slow: f64,
+}
+
+impl MetricsReport {
+    /// Versioned JSON rendering: the report-level fields plus the
+    /// registry snapshot (with its own `schema_version`) under
+    /// `"metrics"`.
+    pub fn to_json(&self) -> congest_sim::trace::json::Json {
+        use congest_sim::trace::json::Json;
+        Json::Obj(vec![
+            ("uptime_ms".to_string(), Json::Int(self.uptime_ms as i64)),
+            (
+                "last_checkpoint_age_ms".to_string(),
+                self.last_checkpoint_age_ms
+                    .map_or(Json::Null, |v| Json::Int(v as i64)),
+            ),
+            ("burn_fast".to_string(), Json::Float(self.burn_fast)),
+            ("burn_slow".to_string(), Json::Float(self.burn_slow)),
+            ("metrics".to_string(), self.snapshot.to_json()),
+        ])
+    }
+
+    /// Prometheus text exposition: the snapshot's rendering plus the
+    /// report-level values as gauges, all under the `rwbc_` prefix.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.snapshot.to_prometheus();
+        let mut gauge = |name: &str, value: String| {
+            let _ = writeln!(out, "# TYPE rwbc_{name} gauge");
+            let _ = writeln!(out, "rwbc_{name} {value}");
+        };
+        gauge("uptime_ms", self.uptime_ms.to_string());
+        if let Some(age) = self.last_checkpoint_age_ms {
+            gauge("checkpoint_age_ms", age.to_string());
+        }
+        gauge("slo_burn_rate_fast", format!("{}", self.burn_fast));
+        gauge("slo_burn_rate_slow", format!("{}", self.burn_slow));
+        out
+    }
 }
 
 /// What the daemon answers.
@@ -229,6 +311,8 @@ pub enum Response {
     Stats(ServeStats),
     /// Health / readiness.
     Health(HealthReport),
+    /// Full live-metrics snapshot (boxed: much larger than the others).
+    Metrics(Box<MetricsReport>),
     /// Admin command acknowledged.
     AdminOk,
     /// The solve has not finished yet; retry after the hint.
@@ -268,6 +352,7 @@ impl Response {
             Response::Timeout { .. } => 7,
             Response::Draining => 8,
             Response::Error { .. } => 9,
+            Response::Metrics(_) => 10,
         }
     }
 }
@@ -307,6 +392,7 @@ impl WireState for ServeStats {
         self.checkpoints_written.encode_state(w);
         self.checkpoint_overhead_us.encode_state(w);
         self.uptime_ms.encode_state(w);
+        self.last_checkpoint_age_ms.encode_state(w);
     }
 
     fn decode_state(r: &mut BitReader<'_>) -> Option<ServeStats> {
@@ -318,6 +404,7 @@ impl WireState for ServeStats {
             checkpoints_written: u64::decode_state(r)?,
             checkpoint_overhead_us: u64::decode_state(r)?,
             uptime_ms: u64::decode_state(r)?,
+            last_checkpoint_age_ms: Option::decode_state(r)?,
         })
     }
 }
@@ -329,6 +416,10 @@ impl WireState for HealthReport {
         self.phase.encode_state(w);
         self.rounds_completed.encode_state(w);
         self.slo.encode_state(w);
+        self.uptime_ms.encode_state(w);
+        self.last_checkpoint_age_ms.encode_state(w);
+        self.burn_fast.encode_state(w);
+        self.burn_slow.encode_state(w);
     }
 
     fn decode_state(r: &mut BitReader<'_>) -> Option<HealthReport> {
@@ -338,6 +429,30 @@ impl WireState for HealthReport {
             phase: u8::decode_state(r)?,
             rounds_completed: u64::decode_state(r)?,
             slo: SloFlags::decode_state(r)?,
+            uptime_ms: u64::decode_state(r)?,
+            last_checkpoint_age_ms: Option::decode_state(r)?,
+            burn_fast: f64::decode_state(r)?,
+            burn_slow: f64::decode_state(r)?,
+        })
+    }
+}
+
+impl WireState for MetricsReport {
+    fn encode_state(&self, w: &mut BitWriter) {
+        self.snapshot.encode_state(w);
+        self.uptime_ms.encode_state(w);
+        self.last_checkpoint_age_ms.encode_state(w);
+        self.burn_fast.encode_state(w);
+        self.burn_slow.encode_state(w);
+    }
+
+    fn decode_state(r: &mut BitReader<'_>) -> Option<MetricsReport> {
+        Some(MetricsReport {
+            snapshot: MetricsSnapshot::decode_state(r)?,
+            uptime_ms: u64::decode_state(r)?,
+            last_checkpoint_age_ms: Option::decode_state(r)?,
+            burn_fast: f64::decode_state(r)?,
+            burn_slow: f64::decode_state(r)?,
         })
     }
 }
@@ -366,7 +481,11 @@ impl WireState for Request {
         match self {
             Request::Centrality { node } => node.encode_state(w),
             Request::TopK { k } => k.encode_state(w),
-            Request::Stats | Request::Health | Request::Drain | Request::Shutdown => {}
+            Request::Stats
+            | Request::Health
+            | Request::Drain
+            | Request::Shutdown
+            | Request::Metrics => {}
         }
     }
 
@@ -382,6 +501,7 @@ impl WireState for Request {
             3 => Request::Health,
             4 => Request::Drain,
             5 => Request::Shutdown,
+            6 => Request::Metrics,
             _ => return None,
         })
     }
@@ -402,6 +522,7 @@ impl WireState for Response {
             }
             Response::Stats(stats) => stats.encode_state(w),
             Response::Health(report) => report.encode_state(w),
+            Response::Metrics(report) => report.encode_state(w),
             Response::AdminOk | Response::Draining => {}
             Response::NotReady { retry_after_ms } | Response::Overloaded { retry_after_ms } => {
                 retry_after_ms.encode_state(w);
@@ -438,6 +559,7 @@ impl WireState for Response {
             9 => Response::Error {
                 reason: decode_str(r)?,
             },
+            10 => Response::Metrics(Box::new(MetricsReport::decode_state(r)?)),
             _ => return None,
         })
     }
@@ -542,6 +664,7 @@ mod tests {
             Request::Health,
             Request::Drain,
             Request::Shutdown,
+            Request::Metrics,
         ] {
             roundtrip_request(RequestEnvelope {
                 deadline_ms: 250,
@@ -576,6 +699,7 @@ mod tests {
                 checkpoints_written: 10,
                 checkpoint_overhead_us: 1234,
                 uptime_ms: 9000,
+                last_checkpoint_age_ms: Some(125),
             }),
             Response::Health(HealthReport {
                 state: DaemonState::Serving,
@@ -583,7 +707,24 @@ mod tests {
                 phase: 2,
                 rounds_completed: 640,
                 slo,
+                uptime_ms: 9000,
+                last_checkpoint_age_ms: None,
+                burn_fast: 1.5,
+                burn_slow: 0.25,
             }),
+            Response::Metrics(Box::new(MetricsReport {
+                snapshot: {
+                    let registry = congest_sim::Registry::new();
+                    registry.counter("serve_requests_total").add(17);
+                    registry.gauge("serve_queue_depth").set(3);
+                    registry.histogram("serve_request_latency_us").record(800);
+                    registry.snapshot()
+                },
+                uptime_ms: 1234,
+                last_checkpoint_age_ms: Some(77),
+                burn_fast: 2.0,
+                burn_slow: 0.125,
+            })),
             Response::AdminOk,
             Response::NotReady { retry_after_ms: 8 },
             Response::Overloaded { retry_after_ms: 16 },

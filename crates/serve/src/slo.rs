@@ -1,0 +1,194 @@
+//! SLO burn-rate tracking: per-second outcome buckets folded into a
+//! fast (1 min) and a slow (10 min) window, Google-SRE style.
+//!
+//! Every admitted query is recorded as ok or as an error (shed, timed
+//! out, or answered slower than the latency objective). The burn rate
+//! over a window is `error_rate / error_budget` where the budget is
+//! `1 - availability_target`: a burn of 1.0 spends the budget exactly
+//! at the target pace, 2.0 spends it twice as fast. Alerting on *both*
+//! windows (fast catches a cliff, slow catches a slow leak) is the
+//! standard multi-window pattern; the daemon surfaces both in
+//! [`HealthReport`](crate::protocol::HealthReport) and
+//! [`MetricsReport`](crate::protocol::MetricsReport).
+//!
+//! All timestamps are milliseconds on the daemon's uptime clock (the
+//! `Instant` it also uses for request deadlines), passed in by the
+//! caller — the tracker never reads a clock itself, which keeps it
+//! deterministic under test.
+
+use std::sync::Mutex;
+
+/// Fast burn-rate window, seconds.
+pub const FAST_WINDOW_S: u64 = 60;
+/// Slow burn-rate window, seconds.
+pub const SLOW_WINDOW_S: u64 = 600;
+
+/// The service-level objectives a daemon tracks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// A query answered slower than this counts against the budget.
+    pub latency_objective_ms: u64,
+    /// Target fraction of queries answered in time (e.g. `0.999`);
+    /// the error budget is `1 -` this.
+    pub availability_target: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            latency_objective_ms: 250,
+            availability_target: 0.999,
+        }
+    }
+}
+
+impl SloConfig {
+    /// The error budget, clamped away from zero so a target of 1.0
+    /// yields huge-but-finite burn rates instead of dividing by zero.
+    pub fn error_budget(&self) -> f64 {
+        (1.0 - self.availability_target.clamp(0.0, 1.0)).max(1e-9)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    /// Which second this bucket currently holds (buckets are reused
+    /// ring-style; a stale stamp means the bucket is from a lap ago).
+    stamp: u64,
+    total: u64,
+    errors: u64,
+}
+
+/// Per-second outcome ring covering the slow window.
+#[derive(Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    buckets: Mutex<Vec<Bucket>>,
+}
+
+impl SloTracker {
+    /// An empty tracker for the given objectives.
+    pub fn new(config: SloConfig) -> SloTracker {
+        SloTracker {
+            config,
+            buckets: Mutex::new(vec![Bucket::default(); SLOW_WINDOW_S as usize]),
+        }
+    }
+
+    /// The objectives this tracker enforces.
+    pub fn config(&self) -> SloConfig {
+        self.config
+    }
+
+    /// Records one query outcome at `now_ms` on the daemon clock.
+    /// `error` means shed, timed out, or answered past the latency
+    /// objective — the caller classifies, the tracker just counts.
+    pub fn record(&self, now_ms: u64, error: bool) {
+        let second = now_ms / 1000;
+        let mut buckets = self.buckets.lock().expect("slo tracker poisoned");
+        let slot = (second % SLOW_WINDOW_S) as usize;
+        let bucket = &mut buckets[slot];
+        if bucket.stamp != second {
+            *bucket = Bucket {
+                stamp: second,
+                ..Bucket::default()
+            };
+        }
+        bucket.total += 1;
+        bucket.errors += u64::from(error);
+    }
+
+    /// The burn rate over the trailing `window_s` seconds ending at
+    /// `now_ms`. No traffic in the window burns nothing (0.0).
+    pub fn burn_rate(&self, now_ms: u64, window_s: u64) -> f64 {
+        let now_s = now_ms / 1000;
+        let oldest = now_s.saturating_sub(window_s.min(SLOW_WINDOW_S).saturating_sub(1));
+        let buckets = self.buckets.lock().expect("slo tracker poisoned");
+        let (mut total, mut errors) = (0u64, 0u64);
+        for bucket in buckets.iter() {
+            if bucket.stamp >= oldest && bucket.stamp <= now_s {
+                total += bucket.total;
+                errors += bucket.errors;
+            }
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        (errors as f64 / total as f64) / self.config.error_budget()
+    }
+
+    /// `(fast, slow)` burn rates at `now_ms`.
+    pub fn burn_rates(&self, now_ms: u64) -> (f64, f64) {
+        (
+            self.burn_rate(now_ms, FAST_WINDOW_S),
+            self.burn_rate(now_ms, SLOW_WINDOW_S),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(target: f64) -> SloTracker {
+        SloTracker::new(SloConfig {
+            latency_objective_ms: 100,
+            availability_target: target,
+        })
+    }
+
+    #[test]
+    fn no_traffic_burns_nothing() {
+        let t = tracker(0.999);
+        assert_eq!(t.burn_rates(5_000_000), (0.0, 0.0));
+    }
+
+    #[test]
+    fn burn_of_one_matches_the_budget_exactly() {
+        // Target 0.9 → budget 0.1; 1 error in 10 queries burns at 1.0.
+        let t = tracker(0.9);
+        for i in 0..10 {
+            t.record(1000 * i, i == 0);
+        }
+        let (fast, slow) = t.burn_rates(9_999);
+        assert!((fast - 1.0).abs() < 1e-9, "fast={fast}");
+        assert!((slow - 1.0).abs() < 1e-9, "slow={slow}");
+    }
+
+    #[test]
+    fn fast_window_reacts_and_slow_window_smooths() {
+        let t = tracker(0.9);
+        // 9 minutes of clean traffic, then a minute of pure errors.
+        for s in 0..540 {
+            t.record(1000 * s, false);
+        }
+        for s in 540..600 {
+            t.record(1000 * s, true);
+        }
+        let now = 599_999;
+        let fast = t.burn_rate(now, FAST_WINDOW_S);
+        let slow = t.burn_rate(now, SLOW_WINDOW_S);
+        // Fast window is all errors (burn 10 at a 0.1 budget); slow
+        // window dilutes the same minute across ten.
+        assert!((fast - 10.0).abs() < 1e-9, "fast={fast}");
+        assert!((slow - 1.0).abs() < 1e-9, "slow={slow}");
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn ring_reuse_forgets_old_laps() {
+        let t = tracker(0.9);
+        t.record(0, true);
+        // A full lap later the slot is reused; the old error is gone.
+        let lap = SLOW_WINDOW_S * 1000;
+        t.record(lap, false);
+        assert_eq!(t.burn_rate(lap, SLOW_WINDOW_S), 0.0);
+    }
+
+    #[test]
+    fn perfect_availability_target_stays_finite() {
+        let t = tracker(1.0);
+        t.record(0, true);
+        assert!(t.burn_rate(500, FAST_WINDOW_S).is_finite());
+    }
+}

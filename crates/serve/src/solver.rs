@@ -17,7 +17,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use congest_sim::{JsonlTracer, SimConfig, TraceEvent, Tracer};
+use congest_sim::{FlightRecorder, JsonlTracer, SimConfig, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rwbc::distributed::DistributedRun;
@@ -25,6 +25,8 @@ use rwbc::distributed::{DistributedConfig, SolvePhase, StepSolver};
 use rwbc::monte_carlo::TargetStrategy;
 use rwbc_graph::generators::connected_gnp;
 use rwbc_graph::Graph;
+
+use crate::metrics::DaemonMetrics;
 
 /// Deterministic graph recipe, mirroring the bench harness's ER builder
 /// (same seed derivation and expected degree) so serve artifacts are
@@ -122,10 +124,39 @@ pub struct SolveSnapshot {
     pub checkpoint_overhead_us: u64,
     /// Wall-clock microseconds the solve loop has run.
     pub solve_elapsed_us: u64,
+    /// When the newest checkpoint landed, milliseconds on the host's
+    /// epoch clock (see [`SolverHooks::epoch`]); `None` until one does.
+    pub last_checkpoint_at_ms: Option<u64>,
     /// The finished run, once the pipeline drained.
     pub result: Option<Arc<DistributedRun>>,
     /// Terminal failure, if the solve died.
     pub error: Option<String>,
+}
+
+/// Host-provided observability hooks for the solver thread. All are
+/// optional; [`BackgroundSolver::spawn`] uses the defaults.
+#[derive(Debug, Clone)]
+pub struct SolverHooks {
+    /// The clock origin checkpoint timestamps are measured against —
+    /// the daemon passes the same `Instant` its deadlines and uptime
+    /// use, so `last_checkpoint_at_ms` subtracts cleanly from it.
+    pub epoch: Instant,
+    /// Live-metrics handles: the engine bundle is attached to each
+    /// phase's simulator, the `solver_*` instruments are fed directly.
+    pub metrics: Option<DaemonMetrics>,
+    /// Flight recorder fed `solver`-subsystem events (phase
+    /// transitions, checkpoints, terminal outcome).
+    pub flight: Option<FlightRecorder>,
+}
+
+impl Default for SolverHooks {
+    fn default() -> SolverHooks {
+        SolverHooks {
+            epoch: Instant::now(),
+            metrics: None,
+            flight: None,
+        }
+    }
 }
 
 /// Handle to the solver thread.
@@ -156,11 +187,16 @@ impl BackgroundSolver {
     /// Builds the graph, restores from the checkpoint if a valid image
     /// exists, and starts stepping on a background thread.
     pub fn spawn(config: SolverConfig) -> BackgroundSolver {
+        BackgroundSolver::spawn_with(config, SolverHooks::default())
+    }
+
+    /// [`BackgroundSolver::spawn`] with host observability hooks.
+    pub fn spawn_with(config: SolverConfig, hooks: SolverHooks) -> BackgroundSolver {
         let snapshot = Arc::new(Mutex::new(SolveSnapshot::default()));
         let stop = Arc::new(AtomicBool::new(false));
         let shared = Arc::clone(&snapshot);
         let stop_flag = Arc::clone(&stop);
-        let handle = std::thread::spawn(move || run_solver(&config, &shared, &stop_flag));
+        let handle = std::thread::spawn(move || run_solver(&config, &shared, &stop_flag, &hooks));
         BackgroundSolver {
             snapshot,
             stop,
@@ -198,8 +234,26 @@ fn publish<F: FnOnce(&mut SolveSnapshot)>(shared: &Mutex<SolveSnapshot>, update:
     update(&mut shared.lock().expect("solver snapshot lock"));
 }
 
-fn run_solver(config: &SolverConfig, shared: &Mutex<SolveSnapshot>, stop: &AtomicBool) {
+fn run_solver(
+    config: &SolverConfig,
+    shared: &Mutex<SolveSnapshot>,
+    stop: &AtomicBool,
+    hooks: &SolverHooks,
+) {
     let started = Instant::now();
+    let flight_solver = |round: usize, key: &str, value: u64| {
+        if let Some(fr) = &hooks.flight {
+            fr.record(
+                "solver",
+                TraceEvent::App {
+                    round,
+                    node: 0,
+                    key: key.to_string(),
+                    value,
+                },
+            );
+        }
+    };
     let graph = config.graph.build();
     let dcfg = config.distributed_config();
 
@@ -230,11 +284,23 @@ fn run_solver(config: &SolverConfig, shared: &Mutex<SolveSnapshot>, stop: &Atomi
         None => match StepSolver::new(&graph, dcfg) {
             Ok(solver) => solver,
             Err(e) => {
+                flight_solver(0, "solve_failed", 0);
                 publish(shared, |s| s.error = Some(e.to_string()));
                 return;
             }
         },
     };
+    if let Some(m) = &hooks.metrics {
+        solver.set_metrics(m.engine.clone());
+        m.serve
+            .solver_phase
+            .set(u64::from(phase_tag(solver.phase())));
+    }
+    flight_solver(
+        solver.rounds_completed(),
+        if resumed { "resumed" } else { "started" },
+        solver.rounds_completed() as u64,
+    );
 
     if let Some(tr) = tracer.as_mut() {
         tr.record(&TraceEvent::PhaseStart {
@@ -257,10 +323,12 @@ fn run_solver(config: &SolverConfig, shared: &Mutex<SolveSnapshot>, stop: &Atomi
 
     let mut checkpoints_written = 0u64;
     let mut overhead_us = 0u64;
+    let mut last_checkpoint_at_ms: Option<u64> = None;
     let write_checkpoint = |solver: &StepSolver<'_>,
                             tracer: &mut Option<JsonlTracer<BufWriter<fs::File>>>,
                             checkpoints_written: &mut u64,
-                            overhead_us: &mut u64| {
+                            overhead_us: &mut u64,
+                            last_checkpoint_at_ms: &mut Option<u64>| {
         let Some(path) = config.checkpoint_path.as_ref() else {
             return;
         };
@@ -269,8 +337,15 @@ fn run_solver(config: &SolverConfig, shared: &Mutex<SolveSnapshot>, stop: &Atomi
             return;
         };
         if persist_checkpoint(path, &image).is_ok() {
-            *overhead_us += t0.elapsed().as_micros() as u64;
+            let took_us = t0.elapsed().as_micros() as u64;
+            *overhead_us += took_us;
             *checkpoints_written += 1;
+            *last_checkpoint_at_ms = Some(hooks.epoch.elapsed().as_millis() as u64);
+            if let Some(m) = &hooks.metrics {
+                m.serve.checkpoints_total.inc();
+                m.serve.checkpoint_duration_us.record(took_us);
+            }
+            flight_solver(solver.rounds_completed(), "checkpoint", image.len() as u64);
             if let Some(tr) = tracer.as_mut() {
                 tr.record(&TraceEvent::App {
                     round: solver.rounds_completed(),
@@ -282,6 +357,7 @@ fn run_solver(config: &SolverConfig, shared: &Mutex<SolveSnapshot>, stop: &Atomi
         }
     };
 
+    let mut last_phase = phase_tag(solver.phase());
     let outcome = loop {
         if stop.load(Ordering::SeqCst) {
             break Ok(false);
@@ -289,6 +365,14 @@ fn run_solver(config: &SolverConfig, shared: &Mutex<SolveSnapshot>, stop: &Atomi
         match solver.step() {
             Ok(done) => {
                 let rounds = solver.rounds_completed();
+                let phase = phase_tag(solver.phase());
+                if phase != last_phase {
+                    last_phase = phase;
+                    flight_solver(rounds, "phase", u64::from(phase));
+                    if let Some(m) = &hooks.metrics {
+                        m.serve.solver_phase.set(u64::from(phase));
+                    }
+                }
                 if config.slow_ms > 0 {
                     std::thread::sleep(Duration::from_millis(config.slow_ms));
                 }
@@ -301,14 +385,16 @@ fn run_solver(config: &SolverConfig, shared: &Mutex<SolveSnapshot>, stop: &Atomi
                         &mut tracer,
                         &mut checkpoints_written,
                         &mut overhead_us,
+                        &mut last_checkpoint_at_ms,
                     );
                 }
                 publish(shared, |s| {
-                    s.phase = phase_tag(solver.phase());
+                    s.phase = phase;
                     s.rounds_completed = rounds as u64;
                     s.checkpoints_written = checkpoints_written;
                     s.checkpoint_overhead_us = overhead_us;
                     s.solve_elapsed_us = started.elapsed().as_micros() as u64;
+                    s.last_checkpoint_at_ms = last_checkpoint_at_ms;
                 });
                 if done {
                     break Ok(true);
@@ -327,6 +413,7 @@ fn run_solver(config: &SolverConfig, shared: &Mutex<SolveSnapshot>, stop: &Atomi
             &mut tracer,
             &mut checkpoints_written,
             &mut overhead_us,
+            &mut last_checkpoint_at_ms,
         );
     }
 
@@ -343,12 +430,26 @@ fn run_solver(config: &SolverConfig, shared: &Mutex<SolveSnapshot>, stop: &Atomi
         }
     }
 
+    let final_phase = phase_tag(solver.phase());
+    if let Some(m) = &hooks.metrics {
+        m.serve.solver_phase.set(u64::from(final_phase));
+    }
+    flight_solver(
+        solver.rounds_completed(),
+        match &outcome {
+            Ok(true) => "done",
+            Ok(false) => "drained",
+            Err(_) => "solve_failed",
+        },
+        solver.rounds_completed() as u64,
+    );
     publish(shared, |s| {
-        s.phase = phase_tag(solver.phase());
+        s.phase = final_phase;
         s.rounds_completed = solver.rounds_completed() as u64;
         s.checkpoints_written = checkpoints_written;
         s.checkpoint_overhead_us = overhead_us;
         s.solve_elapsed_us = started.elapsed().as_micros() as u64;
+        s.last_checkpoint_at_ms = last_checkpoint_at_ms;
         match outcome {
             Ok(true) => s.result = solver.result().map(|run| Arc::new(run.clone())),
             Ok(false) => {}
