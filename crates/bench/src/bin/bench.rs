@@ -1,7 +1,8 @@
 //! `rwbc-bench` — end-to-end perf scenarios with JSON output.
 //!
 //! ```text
-//! rwbc-bench [--list] [--smoke] [--scenario NAME]... [--trials T]
+//! rwbc-bench [--list] [--smoke] [--sweep] [--large] [--threads LIST]
+//!            [--allow-oversubscribe] [--scenario NAME]... [--trials T]
 //!            [--warmup W] [--out-dir DIR] [--tag TAG]
 //! rwbc-bench --validate FILE...
 //! rwbc-bench --compare BASELINE.json CURRENT.json
@@ -13,18 +14,32 @@
 //! files against the schema and exits non-zero on the first failure;
 //! `--compare` prints the median-wall-clock speedup of the second file
 //! relative to the first.
+//!
+//! `--sweep` runs the threads-sweep matrix (`clean-er` at n = 4096, or
+//! n = 128 combined with `--smoke`) once per thread count in `--threads`
+//! (default `1,2,4,8`) and then checks that every workload's
+//! deterministic fingerprint is bit-identical across thread counts.
+//! `--large` adds the n = 65536 scale point to a full sweep. Requesting
+//! more threads than the host exposes is an error unless
+//! `--allow-oversubscribe` is passed, in which case the artifact records
+//! `oversubscribed: true`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use congest_sim::trace::json::Json;
 use rwbc_bench::perf::{
-    bench_filename, default_matrix, run_scenario, smoke_matrix, validate_bench_json, Scenario,
+    bench_filename, check_sweep_fingerprints, default_matrix, host_parallelism, run_scenario,
+    smoke_matrix, smoke_sweep_matrix, sweep_matrix, validate_bench_json, Mode, Scenario, Topology,
 };
 
 struct Options {
     list: bool,
     smoke: bool,
+    sweep: bool,
+    large: bool,
+    allow_oversubscribe: bool,
+    threads: Option<Vec<usize>>,
     scenarios: Vec<String>,
     trials: Option<usize>,
     warmup: usize,
@@ -35,15 +50,32 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: rwbc-bench [--list] [--smoke] [--scenario NAME]... [--trials T] \
+    "usage: rwbc-bench [--list] [--smoke] [--sweep] [--large] [--threads LIST] \
+     [--allow-oversubscribe] [--scenario NAME]... [--trials T] \
      [--warmup W] [--out-dir DIR] [--tag TAG]\n       rwbc-bench --validate FILE...\n       \
      rwbc-bench --compare BASELINE.json CURRENT.json"
+}
+
+fn parse_threads_list(raw: &str) -> Result<Vec<usize>, String> {
+    let list: Vec<usize> = raw
+        .split(',')
+        .map(|part| part.trim().parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| "--threads expects a comma-separated list of positive integers".to_string())?;
+    if list.is_empty() || list.contains(&0) {
+        return Err("--threads expects a comma-separated list of positive integers".into());
+    }
+    Ok(list)
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         list: false,
         smoke: false,
+        sweep: false,
+        large: false,
+        allow_oversubscribe: false,
+        threads: None,
         scenarios: Vec::new(),
         trials: None,
         warmup: 1,
@@ -58,6 +90,10 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--list" => opts.list = true,
             "--smoke" => opts.smoke = true,
+            "--sweep" => opts.sweep = true,
+            "--large" => opts.large = true,
+            "--allow-oversubscribe" => opts.allow_oversubscribe = true,
+            "--threads" => opts.threads = Some(parse_threads_list(&value("--threads")?)?),
             "--scenario" => opts.scenarios.push(value("--scenario")?),
             "--trials" => {
                 opts.trials = Some(
@@ -127,10 +163,30 @@ fn run_compare(baseline: &Path, current: &Path) -> Result<(), String> {
 }
 
 fn select(opts: &Options) -> Result<Vec<Scenario>, String> {
-    let threads_n = std::thread::available_parallelism().map_or(1, |p| p.get().min(8));
-    let matrix = if opts.smoke {
+    let matrix = if opts.sweep {
+        let threads = opts.threads.clone().unwrap_or_else(|| vec![1, 2, 4, 8]);
+        if opts.smoke {
+            smoke_sweep_matrix(&threads)
+        } else {
+            sweep_matrix(&threads, opts.large)
+        }
+    } else if opts.smoke {
         smoke_matrix()
+    } else if let Some(threads) = &opts.threads {
+        // An explicit --threads list is honored verbatim: the base
+        // matrix plus one n = 4096 parallel scenario per t > 1 (never
+        // silently clamped to the host's core count).
+        let mut m = default_matrix(1);
+        m.extend(
+            threads
+                .iter()
+                .filter(|&&t| t > 1)
+                .map(|&t| Scenario::new(Mode::Clean, Topology::Er, 4096, t)),
+        );
+        m
     } else {
+        // No explicit list: size the one parallel scenario to the host.
+        let threads_n = std::thread::available_parallelism().map_or(1, |p| p.get().min(8));
         default_matrix(threads_n)
     };
     if opts.scenarios.is_empty() {
@@ -145,6 +201,28 @@ fn select(opts: &Options) -> Result<Vec<Scenario>, String> {
         picked.push(found.clone());
     }
     Ok(picked)
+}
+
+/// Rejects scenarios whose requested thread count exceeds the host's —
+/// loudly, instead of silently measuring time-slicing — unless the user
+/// opted in with `--allow-oversubscribe`.
+fn check_oversubscription(scenarios: &[Scenario], opts: &Options) -> Result<(), String> {
+    if opts.allow_oversubscribe {
+        return Ok(());
+    }
+    let Some(host) = host_parallelism() else {
+        return Ok(());
+    };
+    if let Some(s) = scenarios.iter().find(|s| s.threads as u64 > host) {
+        return Err(format!(
+            "scenario `{}` requests {} threads but this machine exposes {host}; \
+             pass --allow-oversubscribe to run it anyway (the artifact will \
+             record oversubscribed=true)",
+            s.name(),
+            s.threads
+        ));
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -196,6 +274,11 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Err(e) = check_oversubscription(&scenarios, &opts) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
     if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
         eprintln!("error: creating {}: {e}", opts.out_dir.display());
         return ExitCode::FAILURE;
@@ -206,6 +289,7 @@ fn main() -> ExitCode {
     } else {
         (opts.warmup, false)
     };
+    let mut results = Vec::with_capacity(scenarios.len());
     for scenario in &scenarios {
         let trials = opts
             .trials
@@ -234,6 +318,17 @@ fn main() -> ExitCode {
             result.total_messages,
             path.display()
         );
+        results.push(result);
+    }
+    // Every run doubles as a determinism gate: workloads that appear at
+    // more than one thread count must fingerprint identically. Outside
+    // a sweep the groups are singletons and this is a no-op.
+    if let Err(e) = check_sweep_fingerprints(&results) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if opts.sweep {
+        println!("sweep fingerprints bit-identical across thread counts");
     }
     ExitCode::SUCCESS
 }

@@ -42,7 +42,16 @@ use rwbc_graph::Graph;
 
 /// Version stamp written into every emitted JSON file; bump on any
 /// field change so downstream tooling can reject files it cannot read.
-pub const SCHEMA_VERSION: i64 = 1;
+/// Version 2 added the execution-environment fields
+/// (`host_parallelism`, `effective_threads`, `granularity`,
+/// `oversubscribed`) so a `t4` artifact produced by a run that silently
+/// executed single-threaded can no longer masquerade as parallel data.
+pub const SCHEMA_VERSION: i64 = 2;
+
+/// Oldest schema version [`validate_bench_json`] still accepts —
+/// committed version-1 artifacts (which predate the execution-
+/// environment fields) remain valid.
+pub const MIN_SCHEMA_VERSION: i64 = 1;
 
 /// Fault regime of a scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -255,6 +264,80 @@ pub fn smoke_matrix() -> Vec<Scenario> {
     vec![Scenario::new(Mode::Clean, Topology::Er, 128, 1)]
 }
 
+/// The threads-sweep matrix: `clean-er` at n = 4096 once per requested
+/// thread count, plus (behind `large`) the n = 65536 scale point. The
+/// large scenario is opt-in because a single trial runs for minutes
+/// single-threaded and peaks well above the n = 4096 ~2 GB RSS.
+pub fn sweep_matrix(threads: &[usize], large: bool) -> Vec<Scenario> {
+    let mut m: Vec<Scenario> = threads
+        .iter()
+        .map(|&t| Scenario::new(Mode::Clean, Topology::Er, 4096, t))
+        .collect();
+    if large {
+        m.extend(
+            threads
+                .iter()
+                .map(|&t| Scenario::new(Mode::Clean, Topology::Er, 65536, t)),
+        );
+    }
+    m
+}
+
+/// The CI smoke sweep: `clean-er` at n = 128 once per requested thread
+/// count — small enough to run on every push, still large enough (with
+/// the default granularity of 16) that up to 8 workers genuinely run.
+pub fn smoke_sweep_matrix(threads: &[usize]) -> Vec<Scenario> {
+    threads
+        .iter()
+        .map(|&t| Scenario::new(Mode::Clean, Topology::Er, 128, t))
+        .collect()
+}
+
+/// Groups results by workload identity — everything except the thread
+/// count — and verifies the deterministic fingerprint `(rounds,
+/// messages, bits)` is bit-identical within each group. This is the
+/// sweep's determinism gate: a `t4` run that diverges from the `t1` run
+/// of the same workload fails here, with both scenario names in the
+/// message.
+///
+/// # Errors
+///
+/// A human-readable description of the first diverging pair.
+pub fn check_sweep_fingerprints(results: &[BenchResult]) -> Result<(), String> {
+    use std::collections::hash_map::Entry;
+    use std::collections::HashMap;
+    type Key = (&'static str, &'static str, usize, usize, usize, u64);
+    let mut seen: HashMap<Key, (String, (usize, u64, u64))> = HashMap::new();
+    for r in results {
+        let sc = &r.scenario;
+        let key = (
+            sc.mode.as_str(),
+            sc.topology.as_str(),
+            sc.n,
+            sc.walks,
+            sc.length,
+            sc.seed,
+        );
+        let fp = (r.rounds, r.total_messages, r.total_bits);
+        match seen.entry(key) {
+            Entry::Occupied(e) => {
+                let (first_name, expected) = e.get();
+                if *expected != fp {
+                    return Err(format!(
+                        "fingerprint diverges across thread counts: {first_name} has \
+                         (rounds, messages, bits) = {expected:?} but {} has {fp:?}",
+                        sc.name()
+                    ));
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert((sc.name(), fp));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Measured result of one scenario.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
@@ -274,6 +357,18 @@ pub struct BenchResult {
     /// platform exposes it. This is a process-wide high-water mark, so
     /// in a multi-scenario run it reflects the largest scenario so far.
     pub peak_rss_bytes: Option<u64>,
+    /// Hardware threads the host exposed at run time, when knowable.
+    pub host_parallelism: Option<u64>,
+    /// Worker count the engine *actually* used (after the granularity
+    /// clamp), echoed from `RunStats` — distinct from the requested
+    /// `scenario.threads`.
+    pub effective_threads: usize,
+    /// Minimum nodes per worker chunk the run executed with.
+    pub granularity: usize,
+    /// True when the scenario requested more threads than the host
+    /// exposes; wall-clock samples from such a run measure scheduler
+    /// time-slicing, not parallel speedup.
+    pub oversubscribed: bool,
 }
 
 /// Runs one scenario: `warmup` untimed trials, then `trials` timed
@@ -289,6 +384,7 @@ pub fn run_scenario(scenario: &Scenario, warmup: usize, trials: usize) -> BenchR
     let config = scenario.build_config();
     let mut samples_ms = Vec::with_capacity(trials);
     let mut fingerprint: Option<(usize, u64, u64)> = None;
+    let mut exec_echo = (0usize, 0usize);
     for trial in 0..warmup + trials {
         let start = Instant::now();
         let run = approximate(&graph, &config).expect("scenario run");
@@ -302,6 +398,7 @@ pub fn run_scenario(scenario: &Scenario, warmup: usize, trials: usize) -> BenchR
             + run.count_stats.total_bits
             + election.map_or(0, |s| s.total_bits);
         let fp = (rounds, messages, bits);
+        exec_echo = (run.walk_stats.effective_threads, run.walk_stats.granularity);
         match fingerprint {
             None => fingerprint = Some(fp),
             Some(expected) => assert_eq!(
@@ -316,6 +413,7 @@ pub fn run_scenario(scenario: &Scenario, warmup: usize, trials: usize) -> BenchR
         }
     }
     let (rounds, total_messages, total_bits) = fingerprint.expect("at least one trial ran");
+    let host_parallelism = host_parallelism();
     BenchResult {
         scenario: scenario.clone(),
         warmup,
@@ -324,7 +422,18 @@ pub fn run_scenario(scenario: &Scenario, warmup: usize, trials: usize) -> BenchR
         total_messages,
         total_bits,
         peak_rss_bytes: peak_rss_bytes(),
+        host_parallelism,
+        effective_threads: exec_echo.0,
+        granularity: exec_echo.1,
+        oversubscribed: host_parallelism.is_some_and(|h| scenario.threads as u64 > h),
     }
+}
+
+/// Hardware threads the host exposes, when the platform reports them.
+pub fn host_parallelism() -> Option<u64> {
+    std::thread::available_parallelism()
+        .ok()
+        .map(|p| p.get() as u64)
 }
 
 impl BenchResult {
@@ -388,6 +497,19 @@ impl BenchResult {
                     ),
                 ]),
             ),
+            (
+                "host_parallelism".into(),
+                match self.host_parallelism {
+                    Some(p) => Json::Int(p as i64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "effective_threads".into(),
+                Json::Int(self.effective_threads as i64),
+            ),
+            ("granularity".into(), Json::Int(self.granularity as i64)),
+            ("oversubscribed".into(), Json::Bool(self.oversubscribed)),
             ("rounds".into(), Json::Int(self.rounds as i64)),
             (
                 "total_messages".into(),
@@ -435,7 +557,7 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
     let version = req(doc, "schema_version")?
         .as_u64()
         .ok_or("`schema_version` is not an integer")?;
-    if version != SCHEMA_VERSION as u64 {
+    if !(MIN_SCHEMA_VERSION as u64..=SCHEMA_VERSION as u64).contains(&version) {
         return Err(format!("unsupported schema_version {version}"));
     }
     req(doc, "scenario")?
@@ -506,6 +628,23 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
     match req(doc, "peak_rss_bytes")? {
         Json::Null | Json::Int(_) => {}
         _ => return Err("`peak_rss_bytes` is not an integer or null".into()),
+    }
+    if version >= 2 {
+        for key in ["effective_threads", "granularity"] {
+            let v = req(doc, key)?
+                .as_u64()
+                .ok_or_else(|| format!("`{key}` is not a non-negative integer"))?;
+            if v == 0 {
+                return Err(format!("`{key}` must be positive"));
+            }
+        }
+        match req(doc, "host_parallelism")? {
+            Json::Null | Json::Int(_) => {}
+            _ => return Err("`host_parallelism` is not an integer or null".into()),
+        }
+        req(doc, "oversubscribed")?
+            .as_bool()
+            .ok_or("`oversubscribed` is not a boolean")?;
     }
     Ok(())
 }
@@ -594,6 +733,105 @@ mod tests {
             }
         }
         assert!(validate_bench_json(&Json::Obj(fields)).is_err());
+    }
+
+    #[test]
+    fn v2_artifacts_record_the_execution_environment() {
+        let scenario = Scenario::new(Mode::Clean, Topology::Er, 128, 4);
+        let result = run_scenario(&scenario, 0, 1);
+        // Default granularity 16 on 128 nodes leaves room for 4 workers.
+        assert_eq!(result.effective_threads, 4);
+        assert_eq!(result.granularity, 16);
+        assert_eq!(result.host_parallelism, host_parallelism());
+        let doc = result.to_json();
+        validate_bench_json(&doc).expect("v2 schema self-consistency");
+        assert_eq!(doc.get("effective_threads").and_then(Json::as_u64), Some(4));
+        assert_eq!(doc.get("granularity").and_then(Json::as_u64), Some(16));
+        assert_eq!(
+            doc.get("oversubscribed").and_then(Json::as_bool),
+            Some(result.oversubscribed)
+        );
+    }
+
+    #[test]
+    fn validator_accepts_committed_v1_artifacts() {
+        // A v2 document with the execution-environment fields stripped
+        // and the version stamp rewound is exactly the shape of the
+        // artifacts committed before the sweep existed.
+        let scenario = Scenario::new(Mode::Clean, Topology::Torus, 9, 1);
+        let result = run_scenario(&scenario, 0, 1);
+        let v2_only = [
+            "host_parallelism",
+            "effective_threads",
+            "granularity",
+            "oversubscribed",
+        ];
+        let mut fields = match result.to_json() {
+            Json::Obj(f) => f,
+            _ => unreachable!(),
+        };
+        fields.retain(|(k, _)| !v2_only.contains(&k.as_str()));
+        for (k, v) in &mut fields {
+            if k == "schema_version" {
+                *v = Json::Int(1);
+            }
+        }
+        validate_bench_json(&Json::Obj(fields.clone())).expect("v1 stays valid");
+        // But the same shape stamped as v2 is incomplete.
+        for (k, v) in &mut fields {
+            if k == "schema_version" {
+                *v = Json::Int(2);
+            }
+        }
+        assert!(validate_bench_json(&Json::Obj(fields)).is_err());
+        // And versions outside [MIN, CURRENT] are rejected outright.
+        let future =
+            Json::parse(&format!(r#"{{"schema_version":{}}}"#, SCHEMA_VERSION + 1)).unwrap();
+        assert!(validate_bench_json(&future).is_err());
+    }
+
+    #[test]
+    fn sweep_matrices_cover_each_thread_count_once() {
+        let m = sweep_matrix(&[1, 2, 4, 8], false);
+        assert_eq!(m.len(), 4);
+        assert!(m.iter().all(|s| s.n == 4096));
+        assert_eq!(
+            m.iter().map(|s| s.threads).collect::<Vec<_>>(),
+            vec![1, 2, 4, 8]
+        );
+        let large = sweep_matrix(&[1, 8], true);
+        assert_eq!(large.len(), 4);
+        assert_eq!(large.iter().filter(|s| s.n == 65536).count(), 2);
+        let smoke = smoke_sweep_matrix(&[1, 4]);
+        assert_eq!(smoke.len(), 2);
+        assert!(smoke.iter().all(|s| s.n == 128));
+    }
+
+    #[test]
+    fn sweep_fingerprint_check_flags_divergence_across_thread_counts() {
+        let make = |threads: usize, rounds: usize| BenchResult {
+            scenario: Scenario::new(Mode::Clean, Topology::Er, 128, threads),
+            warmup: 0,
+            samples_ms: vec![1.0],
+            rounds,
+            total_messages: 10,
+            total_bits: 100,
+            peak_rss_bytes: None,
+            host_parallelism: Some(1),
+            effective_threads: threads,
+            granularity: 16,
+            oversubscribed: threads > 1,
+        };
+        // Identical fingerprints across thread counts pass.
+        check_sweep_fingerprints(&[make(1, 7), make(4, 7)]).expect("identical fingerprints");
+        // Different workloads never compare against each other.
+        let mut other = make(1, 99);
+        other.scenario.n = 256;
+        check_sweep_fingerprints(&[make(1, 7), other]).expect("different workloads");
+        // A diverging thread count is an error naming both scenarios.
+        let err = check_sweep_fingerprints(&[make(1, 7), make(4, 8)]).unwrap_err();
+        assert!(err.contains("clean-er-n128-t1"), "{err}");
+        assert!(err.contains("clean-er-n128-t4"), "{err}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ use rwbc_serve::protocol::{
 };
 use rwbc_serve::{Client, ServeStats};
 
-use crate::perf::SCHEMA_VERSION;
+use crate::perf::{MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 
 /// Traffic shape of a replay.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -583,7 +583,7 @@ pub fn validate_serve_bench_json(doc: &Json) -> Result<(), String> {
     let version = req(doc, "schema_version")?
         .as_u64()
         .ok_or("`schema_version` is not an integer")?;
-    if version != SCHEMA_VERSION as u64 {
+    if !(MIN_SCHEMA_VERSION as u64..=SCHEMA_VERSION as u64).contains(&version) {
         return Err(format!("unsupported schema_version {version}"));
     }
     let kind = req(doc, "kind")?.as_str().ok_or("`kind` is not a string")?;

@@ -63,6 +63,18 @@ pub struct SimConfig {
     /// Number of worker threads for the round loop (1 = sequential).
     /// Results are identical for any value; this only affects wall-time.
     pub threads: usize,
+    /// Minimum nodes per worker chunk. The engine clamps the worker
+    /// count so every chunk holds at least this many nodes (see
+    /// [`SimConfig::effective_threads`]), replacing the old hardcoded
+    /// "sequential below 64 nodes" fallback with a tunable knob. Like
+    /// `threads`, this only affects wall-time, never results.
+    pub granularity: usize,
+}
+
+/// Default for [`SimConfig::granularity`]: chunks of at least 16 nodes.
+/// Below that, per-round worker coordination costs more than the work.
+fn default_granularity() -> usize {
+    16
 }
 
 impl Default for SimConfig {
@@ -76,6 +88,7 @@ impl Default for SimConfig {
             cut: Vec::new(),
             faults: FaultPlan::default(),
             threads: 1,
+            granularity: default_granularity(),
         }
     }
 }
@@ -149,6 +162,28 @@ impl SimConfig {
         self
     }
 
+    /// Sets the minimum nodes per worker chunk (builder style). Clamped
+    /// to at least 1.
+    #[must_use]
+    pub fn with_granularity(mut self, granularity: usize) -> SimConfig {
+        self.granularity = granularity.max(1);
+        self
+    }
+
+    /// The worker count the engine will actually use for an `n`-node
+    /// network: `threads` clamped so every worker chunk holds at least
+    /// [`granularity`](SimConfig::granularity) nodes. A result of 1
+    /// means the round loop runs sequentially. This is the value the
+    /// engine records in [`RunStats::effective_threads`], so a run
+    /// configured with 8 threads on a graph too small to split can
+    /// never masquerade as a parallel data point.
+    ///
+    /// [`RunStats::effective_threads`]: crate::RunStats::effective_threads
+    pub fn effective_threads(&self, n: usize) -> usize {
+        let workers = self.threads.max(1);
+        workers.min((n / self.granularity.max(1)).max(1))
+    }
+
     /// The per-edge bit budget `B(n) = bandwidth_coeff * ceil(log2 n)` for a
     /// network of `n` nodes (minimum 1 bit for degenerate `n`).
     pub fn budget_bits(&self, n: usize) -> usize {
@@ -198,6 +233,28 @@ mod tests {
         let cfg = SimConfig::default().with_drop_probability(f64::NAN);
         assert_eq!(cfg.faults.drop_probability, 0.0);
         assert!(cfg.faults.is_empty());
+    }
+
+    #[test]
+    fn effective_threads_respects_granularity() {
+        let cfg = SimConfig::default().with_threads(8).with_granularity(16);
+        // Chunks of at least 16 nodes: small graphs run sequentially,
+        // and the worker count grows with n until `threads` caps it.
+        assert_eq!(cfg.effective_threads(8), 1);
+        assert_eq!(cfg.effective_threads(16), 1);
+        assert_eq!(cfg.effective_threads(32), 2);
+        assert_eq!(cfg.effective_threads(64), 4);
+        assert_eq!(cfg.effective_threads(128), 8);
+        assert_eq!(cfg.effective_threads(1 << 20), 8);
+        // Degenerate knobs are clamped, never divide by zero.
+        let cfg = SimConfig::default().with_threads(0).with_granularity(0);
+        assert_eq!(cfg.granularity, 1);
+        assert_eq!(cfg.effective_threads(100), 1);
+        let single = SimConfig {
+            granularity: 0,
+            ..SimConfig::default()
+        };
+        assert_eq!(single.effective_threads(100), 1);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rwbc_graph::{Graph, NodeId};
 
 use crate::config::ViolationPolicy;
-use crate::fault::CorruptionKind;
+use crate::fault::{CorruptionKind, FaultPlan};
 use crate::metrics::EngineMetrics;
 use crate::node::{Context, Incoming};
 use crate::rng::node_rng;
@@ -73,6 +73,25 @@ pub struct Simulator<'g, P: NodeProgram> {
     /// Commit scratch: one `(destination, count, bits)` entry per
     /// per-edge-direction message group of the sender being committed.
     group_scratch: Vec<(NodeId, usize, usize)>,
+    /// The worker count the round loop actually uses:
+    /// [`SimConfig::effective_threads`] evaluated once for this graph.
+    /// 1 means every round runs sequentially.
+    effective_threads: usize,
+    /// Per-sender `(destination, count, bits)` groups computed by wave 1
+    /// of the parallel commit fan-out and read by the accounting spine.
+    /// Persistent scratch — refilled each parallel round, empty (or
+    /// stale-but-about-to-be-cleared) between rounds, never
+    /// checkpointed.
+    sender_groups: Vec<Vec<(NodeId, usize, usize)>>,
+    /// Per-worker scatter arenas (`workers × n` destination columns):
+    /// wave 1 moves each worker's outgoing messages into its own arena,
+    /// and the merge wave splices column `to` of every arena into
+    /// `pending[to]` in worker order — ascending worker index is
+    /// ascending sender range, so delivery order is bit-identical to a
+    /// sequential commit. Only used when the fault plan consumes no
+    /// per-message randomness; persistent scratch, empty between
+    /// rounds.
+    worker_inboxes: Vec<Vec<Vec<Incoming<P::Msg>>>>,
     /// Route delivery through the pre-optimization reference
     /// implementation (testing only; see
     /// [`Simulator::with_reference_delivery`]).
@@ -118,8 +137,11 @@ where
         let rngs: Vec<StdRng> = (0..n).map(|v| node_rng(config.seed, v)).collect();
         let cut_set: HashSet<(NodeId, NodeId)> =
             config.cut.iter().map(|&(u, v)| ordered(u, v)).collect();
+        let effective_threads = config.effective_threads(n);
         let stats = RunStats {
             budget_bits: config.budget_bits(n),
+            effective_threads,
+            granularity: config.granularity.max(1),
             ..RunStats::default()
         };
         let fault_rng = node_rng(config.seed ^ 0xFA_17, usize::MAX / 2);
@@ -133,6 +155,9 @@ where
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             outboxes: (0..n).map(|_| Vec::new()).collect(),
             group_scratch: Vec::new(),
+            effective_threads,
+            sender_groups: Vec::new(),
+            worker_inboxes: Vec::new(),
             reference_delivery: false,
             in_flight: 0,
             stats,
@@ -322,16 +347,21 @@ where
         // their capacity — before returning, so every round reuses them.
         let inboxes = std::mem::take(&mut self.inboxes);
         let mut outboxes = std::mem::take(&mut self.outboxes);
-        let ran = if self.config.threads <= 1 || n < 64 {
+        let committed = if self.effective_threads <= 1 {
             self.run_round_sequential(&inboxes, &mut outboxes);
-            Ok(())
+            self.drain_node_trace();
+            self.commit(&mut outboxes)
+        } else if self.reference_delivery {
+            // A/B testing path: compute the round in parallel, then
+            // deliver through the reference implementation on the spine.
+            self.run_round_parallel_compute(&inboxes, &mut outboxes)
+                .and_then(|()| {
+                    self.drain_node_trace();
+                    self.commit(&mut outboxes)
+                })
         } else {
             self.run_round_parallel(&inboxes, &mut outboxes)
         };
-        let committed = ran.and_then(|()| {
-            self.drain_node_trace();
-            self.commit(&mut outboxes)
-        });
         self.inboxes = inboxes;
         for inbox in &mut self.inboxes {
             let used = inbox.len();
@@ -452,13 +482,18 @@ where
         }
     }
 
-    fn run_round_parallel(
+    /// Runs one round's node programs across worker threads *without*
+    /// touching delivery — the compute half of the old parallel path,
+    /// kept for the reference-delivery A/B harness: after it returns,
+    /// the spine commits through [`Simulator::commit_reference`]
+    /// exactly as a sequential run would.
+    fn run_round_parallel_compute(
         &mut self,
         inboxes: &[Vec<Incoming<P::Msg>>],
         outboxes: &mut Outboxes<P::Msg>,
     ) -> Result<(), SimError> {
         let n = self.graph.node_count();
-        let threads = self.config.threads;
+        let threads = self.effective_threads;
         let chunk = n.div_ceil(threads);
         let graph = self.graph;
         let round = self.round;
@@ -532,6 +567,343 @@ where
                 payload: panic_payload_string(&*payload),
             }),
         }
+    }
+
+    /// The parallel commit fan-out: one round computed, validated, and
+    /// delivered with per-worker scratch and no per-round allocation in
+    /// the steady state.
+    ///
+    /// **Wave 1** (workers, chunked by sender): run `on_round`, then
+    /// sort/group/validate the node's outbox ([`prepare_outbox`]) into
+    /// its persistent group scratch; when the fault plan consumes no
+    /// per-message randomness, also scatter the messages into the
+    /// worker's own arena ([`scatter_outbox`]).
+    ///
+    /// **Spine** (single-threaded, [`Simulator::commit_prepared`]):
+    /// books every group in ascending-sender order — budgets, stats,
+    /// cut meter, trace events, metrics, and (when per-message fault
+    /// randomness is in play) the actual routing with its RNG draws —
+    /// exactly the order the sequential fast path uses, which is what
+    /// keeps all observable output bit-identical at any thread count.
+    ///
+    /// **Wave 2** (workers, chunked by destination; scatter mode only):
+    /// splices arena columns into `pending` in worker order (ascending
+    /// sender), overlapped with the spine — the merge touches only
+    /// `pending`/arenas, the spine only stats/trace/metrics.
+    ///
+    /// Error paths abort the run: the first failure in ascending sender
+    /// order is reported (workers stop at their first failure and are
+    /// joined in chunk order), and all scratch is cleared so a caller
+    /// that keeps the simulator alive can never re-commit stale sends.
+    /// Side effects already applied by an aborted round (partial stats,
+    /// partially merged inboxes) may differ from the sequential path's
+    /// partial state; completed rounds never differ.
+    fn run_round_parallel(
+        &mut self,
+        inboxes: &[Vec<Incoming<P::Msg>>],
+        outboxes: &mut Outboxes<P::Msg>,
+    ) -> Result<(), SimError> {
+        let n = self.graph.node_count();
+        let workers = self.effective_threads;
+        let chunk = n.div_ceil(workers);
+        let graph = self.graph;
+        let round = self.round;
+        let faults = &self.config.faults;
+        // Per-message fault randomness (drops, duplicates, delays,
+        // corruption) must be drawn on the spine in deterministic
+        // order. Without it, delivery is a pure function of the outage
+        // schedule, and wave 1 can scatter messages straight into
+        // per-worker arenas.
+        let scatter = !faults.uses_rng();
+
+        if self.sender_groups.len() != n {
+            self.sender_groups.resize_with(n, Vec::new);
+        }
+        if scatter {
+            if self.worker_inboxes.len() != workers {
+                self.worker_inboxes.resize_with(workers, Vec::new);
+            }
+            for arena in &mut self.worker_inboxes {
+                if arena.len() != n {
+                    arena.resize_with(n, Vec::new);
+                }
+            }
+        }
+
+        let wave1: Result<(), SimError> = {
+            let programs = &mut self.programs;
+            let rngs = &mut self.rngs;
+            let traced = !self.node_trace.is_empty();
+            let node_trace = &mut self.node_trace;
+            let sender_groups = &mut self.sender_groups;
+            let arenas = &mut self.worker_inboxes;
+            let scoped = crossbeam::thread::scope(|scope| {
+                let prog_chunks = programs.chunks_mut(chunk);
+                let rng_chunks = rngs.chunks_mut(chunk);
+                let out_chunks = outboxes.chunks_mut(chunk);
+                let in_chunks = inboxes.chunks(chunk);
+                let group_chunks = sender_groups.chunks_mut(chunk);
+                let mut trace_chunks = node_trace.chunks_mut(chunk);
+                let mut arena_iter = arenas.iter_mut();
+                let mut handles = Vec::new();
+                for (idx, ((((progs, rngs), outs), ins), grps)) in prog_chunks
+                    .zip(rng_chunks)
+                    .zip(out_chunks)
+                    .zip(in_chunks)
+                    .zip(group_chunks)
+                    .enumerate()
+                {
+                    let base = idx * chunk;
+                    // Workers buffer events per node; the engine drains
+                    // the buffers in node order afterwards, so the trace
+                    // never observes the thread layout. (`&mut []` is
+                    // promoted to 'static, covering the untraced case
+                    // where `node_trace` has no chunks to hand out.)
+                    let traces: &mut [Vec<TraceEvent>] = if traced {
+                        trace_chunks
+                            .next()
+                            .expect("trace chunks align with program chunks")
+                    } else {
+                        &mut []
+                    };
+                    let arena: &mut [Vec<Incoming<P::Msg>>] = if scatter {
+                        arena_iter.next().expect("one arena per worker")
+                    } else {
+                        &mut []
+                    };
+                    handles.push(scope.spawn(move |_| -> Result<(), SimError> {
+                        for (offset, prog) in progs.iter_mut().enumerate() {
+                            let v = base + offset;
+                            if !faults.node_crashed(v, round) {
+                                let mut ctx = Context::new(
+                                    v,
+                                    graph,
+                                    &mut rngs[offset],
+                                    round,
+                                    &mut outs[offset],
+                                )
+                                .with_trace(traces.get_mut(offset));
+                                prog.on_round(&mut ctx, &ins[offset]);
+                            }
+                            // Even a crashed node's (empty) outbox goes
+                            // through prepare: it clears the group
+                            // scratch left by an earlier round.
+                            prepare_outbox(graph, v, &mut outs[offset], &mut grps[offset])?;
+                            if scatter {
+                                scatter_outbox(
+                                    faults,
+                                    round,
+                                    v,
+                                    &mut outs[offset],
+                                    &grps[offset],
+                                    arena,
+                                );
+                            }
+                        }
+                        Ok(())
+                    }));
+                }
+                // Join in chunk order: chunks cover ascending sender
+                // ranges and each worker stops at its first failure, so
+                // the failure reported is the ascending-sender-order
+                // first — the same sender the sequential path would
+                // blame.
+                let mut first: Option<SimError> = None;
+                for handle in handles {
+                    match handle.join() {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => {
+                            first.get_or_insert(e);
+                        }
+                        Err(payload) => {
+                            first.get_or_insert(SimError::WorkerPanic {
+                                round,
+                                payload: panic_payload_string(&*payload),
+                            });
+                        }
+                    }
+                }
+                match first {
+                    None => Ok(()),
+                    Some(e) => Err(e),
+                }
+            });
+            match scoped {
+                Ok(result) => result,
+                Err(payload) => Err(SimError::WorkerPanic {
+                    round,
+                    payload: panic_payload_string(&*payload),
+                }),
+            }
+        };
+        if let Err(e) = wave1 {
+            self.clear_parallel_scratch(outboxes);
+            return Err(e);
+        }
+        self.drain_node_trace();
+
+        let groups = std::mem::take(&mut self.sender_groups);
+        let result = if scatter {
+            let mut pending = std::mem::take(&mut self.pending);
+            let mut arenas = std::mem::take(&mut self.worker_inboxes);
+            let scoped = crossbeam::thread::scope(|scope| {
+                // Transpose the arenas: merge worker `i` owns
+                // destination slice `i` of *every* arena, so each
+                // `pending[to]` column is appended from arena 0, 1, …
+                // in order — ascending sender, the delivery order the
+                // next round's inbox sort expects to already hold.
+                let mut slices: Vec<ArenaSlices<'_, P::Msg>> = (0..workers)
+                    .map(|_| Vec::with_capacity(arenas.len()))
+                    .collect();
+                for arena in arenas.iter_mut() {
+                    for (i, cols) in arena.chunks_mut(chunk).enumerate() {
+                        slices[i].push(cols);
+                    }
+                }
+                let mut handles = Vec::new();
+                for (pend, mut cols) in pending.chunks_mut(chunk).zip(slices) {
+                    handles.push(scope.spawn(move |_| {
+                        for (rel, dst) in pend.iter_mut().enumerate() {
+                            for arena_cols in cols.iter_mut() {
+                                let col = &mut arena_cols[rel];
+                                let used = col.len();
+                                dst.append(col);
+                                shrink_after_burst(col, used);
+                            }
+                        }
+                    }));
+                }
+                // The spine runs concurrently with the merge: it
+                // touches stats/trace/metrics only, the merge touches
+                // `pending`/arenas only.
+                let spine = self.commit_prepared(outboxes, &groups, false);
+                let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+                for handle in handles {
+                    if let Err(payload) = handle.join() {
+                        panic.get_or_insert(payload);
+                    }
+                }
+                (spine, panic)
+            });
+            self.pending = pending;
+            self.worker_inboxes = arenas;
+            match scoped {
+                Ok((spine, None)) => spine,
+                Ok((spine, Some(payload))) => spine.and(Err(SimError::WorkerPanic {
+                    round,
+                    payload: panic_payload_string(&*payload),
+                })),
+                Err(payload) => Err(SimError::WorkerPanic {
+                    round,
+                    payload: panic_payload_string(&*payload),
+                }),
+            }
+        } else {
+            // Per-message fault randomness in play: the spine routes
+            // every message itself, drawing from the fault RNG in the
+            // sequential order.
+            self.commit_prepared(outboxes, &groups, true)
+        };
+        self.sender_groups = groups;
+        if result.is_err() {
+            self.clear_parallel_scratch(outboxes);
+        }
+        result
+    }
+
+    /// Discards everything a failed parallel round left behind —
+    /// undrained outboxes, destination groups, scattered arena columns —
+    /// so a caller that keeps the simulator alive can never re-commit
+    /// stale sends (the same guarantee [`Simulator::commit`] gives the
+    /// sequential path).
+    fn clear_parallel_scratch(&mut self, outboxes: &mut Outboxes<P::Msg>) {
+        for outbox in outboxes.iter_mut() {
+            outbox.clear();
+        }
+        for groups in &mut self.sender_groups {
+            groups.clear();
+        }
+        for arena in &mut self.worker_inboxes {
+            for col in arena.iter_mut() {
+                col.clear();
+            }
+        }
+    }
+
+    /// The accounting spine of the parallel commit fan-out: books every
+    /// sender's pre-computed destination groups in ascending-sender
+    /// order — message-count and bit-budget checks, statistics, cut
+    /// metering, `EdgeTraffic`/link-down events, the `Round` event and
+    /// metrics — exactly the order [`Simulator::commit_fast`] uses, so
+    /// all observable output is bit-identical to a sequential run.
+    ///
+    /// With `route` set (the fault plan consumes per-message
+    /// randomness), the spine also drains each outbox and routes every
+    /// message through [`Simulator::route_one`], preserving the fault
+    /// RNG draw order; otherwise wave 1 has already scattered the
+    /// messages into worker arenas and only `in_flight` advances here.
+    fn commit_prepared(
+        &mut self,
+        outboxes: &mut Outboxes<P::Msg>,
+        groups: &[Vec<(NodeId, usize, usize)>],
+        route: bool,
+    ) -> Result<(), SimError> {
+        let send_round = self.round;
+        let edge_detail = self
+            .tracer
+            .as_deref()
+            .is_some_and(|t| t.wants_edge_traffic());
+        let mut counters = RoundCounters::default();
+        for (from, sender) in groups.iter().enumerate() {
+            if sender.is_empty() {
+                continue;
+            }
+            if route {
+                let outbox = &mut outboxes[from];
+                let used = outbox.len();
+                let mut queue = outbox.drain(..);
+                for &(to, count, bits) in sender {
+                    let deliver = self.account_group(
+                        from,
+                        to,
+                        count,
+                        bits,
+                        send_round,
+                        edge_detail,
+                        &mut counters,
+                    )?;
+                    if deliver {
+                        for _ in 0..count {
+                            let (_, msg) = queue.next().expect("group sizes cover the outbox");
+                            self.route_one(from, to, send_round, msg);
+                        }
+                    } else {
+                        for _ in 0..count {
+                            queue.next();
+                        }
+                    }
+                }
+                drop(queue);
+                shrink_after_burst(outbox, used);
+            } else {
+                for &(to, count, bits) in sender {
+                    let deliver = self.account_group(
+                        from,
+                        to,
+                        count,
+                        bits,
+                        send_round,
+                        edge_detail,
+                        &mut counters,
+                    )?;
+                    if deliver {
+                        self.in_flight += count;
+                    }
+                }
+            }
+        }
+        self.emit_round_event(send_round, &counters);
+        Ok(())
     }
 
     /// Serializes the complete simulation state at the current round
@@ -722,6 +1094,14 @@ where
             + delayed.iter().map(Vec::len).sum::<usize>();
         let cut_set: HashSet<(NodeId, NodeId)> =
             config.cut.iter().map(|&(u, v)| ordered(u, v)).collect();
+        // The execution-environment echoes are never checkpointed (the
+        // image is thread-count-invariant); re-derive them from the
+        // *restoring* config, which may legitimately differ from the
+        // one that wrote the image.
+        let effective_threads = config.effective_threads(n);
+        let mut stats = stats;
+        stats.effective_threads = effective_threads;
+        stats.granularity = config.granularity.max(1);
         Ok(Simulator {
             graph,
             config,
@@ -732,6 +1112,9 @@ where
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             outboxes: (0..n).map(|_| Vec::new()).collect(),
             group_scratch: Vec::new(),
+            effective_threads,
+            sender_groups: Vec::new(),
+            worker_inboxes: Vec::new(),
             reference_delivery: false,
             in_flight,
             stats,
@@ -1172,6 +1555,89 @@ fn write_section(w: &mut BitWriter, body: impl FnOnce(&mut BitWriter)) {
     w.write_bits(bytes.len() as u64, 64);
     w.write_bits(u64::from(crc32(&bytes)), 32);
     w.write_bytes(&bytes);
+}
+
+/// One merge worker's view of every wave-1 scatter arena: for each
+/// arena (ascending sender chunk), the slice of destination columns
+/// this worker owns.
+type ArenaSlices<'a, M> = Vec<&'a mut [Vec<Incoming<M>>]>;
+
+/// Wave 1 of the parallel commit fan-out, per sender: sorts the outbox
+/// by destination when needed (stable — each destination's send order
+/// is preserved), records per-destination `(to, count, bits)` groups
+/// into the sender's persistent scratch, and merge-walks the sorted
+/// neighbor slice against the (sorted) groups to reject sends to
+/// non-neighbors — the same sort/group/validate work
+/// [`Simulator::commit_fast`] does inline, hoisted off the spine so
+/// workers do it concurrently.
+fn prepare_outbox<M: Message>(
+    graph: &Graph,
+    from: NodeId,
+    outbox: &mut [(NodeId, M)],
+    groups: &mut Vec<(NodeId, usize, usize)>,
+) -> Result<(), SimError> {
+    groups.clear();
+    if outbox.is_empty() {
+        return Ok(());
+    }
+    let n = graph.node_count();
+    if !outbox.windows(2).all(|w| w[0].0 <= w[1].0) {
+        outbox.sort_by_key(|(to, _)| *to);
+    }
+    let mut i = 0;
+    while i < outbox.len() {
+        let to = outbox[i].0;
+        let start = i;
+        let mut bits = 0usize;
+        while i < outbox.len() && outbox[i].0 == to {
+            bits += outbox[i].1.bit_size(n);
+            i += 1;
+        }
+        groups.push((to, i - start, bits));
+    }
+    let neigh: &[NodeId] = graph.neighbor_slice(from);
+    let mut ni = 0usize;
+    for &(to, _, _) in groups.iter() {
+        while ni < neigh.len() && neigh[ni] < to {
+            ni += 1;
+        }
+        if ni >= neigh.len() || neigh[ni] != to {
+            return Err(SimError::NotNeighbor { from, to });
+        }
+    }
+    Ok(())
+}
+
+/// Drains one prepared outbox into a worker's scratch arena (wave 1,
+/// fault-transparent mode only): messages land in `arena[to]` in send
+/// order, and groups addressed to a downed link are consumed and
+/// skipped — a pure schedule lookup, so no fault randomness is
+/// involved; the spine books that drop (and all other accounting)
+/// from the groups afterwards.
+fn scatter_outbox<M: Message>(
+    faults: &FaultPlan,
+    round: usize,
+    from: NodeId,
+    outbox: &mut Vec<(NodeId, M)>,
+    groups: &[(NodeId, usize, usize)],
+    arena: &mut [Vec<Incoming<M>>],
+) {
+    let used = outbox.len();
+    let mut queue = outbox.drain(..);
+    for &(to, count, _) in groups {
+        if faults.link_down(from, to, round) {
+            for _ in 0..count {
+                queue.next();
+            }
+        } else {
+            for _ in 0..count {
+                let (_, msg) = queue.next().expect("group sizes cover the outbox");
+                arena[to].push(Incoming { from, msg });
+            }
+        }
+    }
+    drop(queue);
+    shrink_after_burst(outbox, used);
 }
 
 /// Whole-round traffic totals for the `Round` trace event.

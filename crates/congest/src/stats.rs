@@ -16,7 +16,18 @@ pub struct CutMeter {
 }
 
 /// Statistics of a completed (or aborted) simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// # Equality
+///
+/// `PartialEq` compares the *protocol-observable* content only: the
+/// execution-environment echoes ([`RunStats::effective_threads`] and
+/// [`RunStats::granularity`]) are excluded, so a t1 run and a t8 run of
+/// the same protocol compare equal — exactly the determinism contract
+/// the engine's thread-count-invariance tests assert. The echoes are
+/// likewise excluded from checkpoint images (checkpoint bytes are
+/// bit-identical at any thread count) and are re-derived from the
+/// config on restore.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunStats {
     /// Rounds executed until global termination.
     pub rounds: usize,
@@ -84,6 +95,50 @@ pub struct RunStats {
     pub delivery_overhead_rounds: u64,
     /// Traffic across the configured cut.
     pub cut: CutMeter,
+    /// The worker count the engine *actually* used for the round loop
+    /// (see [`SimConfig::effective_threads`]): the configured thread
+    /// count clamped by the granularity knob. A run configured `t=4`
+    /// on a graph too small to split records 1 here — it can no longer
+    /// masquerade as a parallel data point. Excluded from equality and
+    /// from checkpoint images (see the struct docs); 0 only in
+    /// hand-built or legacy-decoded values that never saw an engine.
+    ///
+    /// [`SimConfig::effective_threads`]: crate::SimConfig::effective_threads
+    pub effective_threads: usize,
+    /// The granularity knob ([`SimConfig::granularity`]) the run was
+    /// configured with. Excluded from equality and checkpoints like
+    /// [`RunStats::effective_threads`].
+    ///
+    /// [`SimConfig::granularity`]: crate::SimConfig::granularity
+    pub granularity: usize,
+}
+
+/// Protocol-observable equality: every counter and meter, but not the
+/// execution-environment echoes (`effective_threads`, `granularity`) —
+/// see the struct docs.
+impl PartialEq for RunStats {
+    fn eq(&self, other: &RunStats) -> bool {
+        self.rounds == other.rounds
+            && self.total_messages == other.total_messages
+            && self.total_bits == other.total_bits
+            && self.max_bits_edge_round == other.max_bits_edge_round
+            && self.peak_edge == other.peak_edge
+            && self.max_messages_edge_round == other.max_messages_edge_round
+            && self.budget_bits == other.budget_bits
+            && self.violations == other.violations
+            && self.dropped == other.dropped
+            && self.duplicated == other.duplicated
+            && self.delayed == other.delayed
+            && self.corrupted == other.corrupted
+            && self.corrupt_frames_detected == other.corrupt_frames_detected
+            && self.retransmissions == other.retransmissions
+            && self.duplicates_suppressed == other.duplicates_suppressed
+            && self.dead_links_declared == other.dead_links_declared
+            && self.undeliverable_messages == other.undeliverable_messages
+            && self.crashed_node_rounds == other.crashed_node_rounds
+            && self.delivery_overhead_rounds == other.delivery_overhead_rounds
+            && self.cut == other.cut
+    }
 }
 
 impl RunStats {
@@ -123,6 +178,10 @@ impl RunStats {
         self.delivery_overhead_rounds += s.delivery_overhead_rounds;
         self.cut.messages += s.cut.messages;
         self.cut.bits += s.cut.bits;
+        // Sub-phases share one config; the max covers an accumulator
+        // that started from `RunStats::default()` (echoes of 0).
+        self.effective_threads = self.effective_threads.max(s.effective_threads);
+        self.granularity = self.granularity.max(s.granularity);
     }
 
     /// Average bits per delivered message, or 0 when nothing was sent.
@@ -252,6 +311,17 @@ impl RunStats {
             "cut traffic",
             format!("{} msgs / {} bits", self.cut.messages, self.cut.bits),
         );
+        // Only engine-produced stats carry the execution echo;
+        // hand-built values (echoes of 0) skip the line.
+        if self.effective_threads > 0 {
+            line(
+                "worker threads (effective)",
+                format!(
+                    "{} (granularity {})",
+                    self.effective_threads, self.granularity
+                ),
+            );
+        }
         out
     }
 }
@@ -314,6 +384,8 @@ impl crate::wire::WireState for RunStats {
             crashed_node_rounds: u64::decode_state(r)?,
             delivery_overhead_rounds: u64::decode_state(r)?,
             cut: CutMeter::decode_state(r)?,
+            effective_threads: 0,
+            granularity: 0,
         })
     }
 }
@@ -345,6 +417,8 @@ impl RunStats {
             crashed_node_rounds: u64::decode_state(r)?,
             delivery_overhead_rounds: u64::decode_state(r)?,
             cut: CutMeter::decode_state(r)?,
+            effective_threads: 0,
+            granularity: 0,
         })
     }
 
@@ -374,6 +448,8 @@ impl RunStats {
             crashed_node_rounds: u64::decode_state(r)?,
             delivery_overhead_rounds: u64::decode_state(r)?,
             cut: CutMeter::decode_state(r)?,
+            effective_threads: 0,
+            granularity: 0,
         })
     }
 }
@@ -470,6 +546,39 @@ mod tests {
         // No peak location line when nothing was sent.
         let empty = RunStats::default().summary();
         assert!(!empty.contains("edge "), "{empty}");
+    }
+
+    #[test]
+    fn equality_ignores_execution_environment_echoes() {
+        let a = RunStats {
+            rounds: 5,
+            total_messages: 10,
+            effective_threads: 1,
+            granularity: 16,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            effective_threads: 8,
+            granularity: 4,
+            ..a.clone()
+        };
+        // Same protocol content at different worker layouts: equal.
+        assert_eq!(a, b);
+        let c = RunStats {
+            total_messages: 11,
+            ..a.clone()
+        };
+        assert_ne!(a, c);
+        // The echoes survive a summary render but never a checkpoint.
+        assert!(a.summary().contains("1 (granularity 16)"));
+        use crate::wire::{BitReader, BitWriter, WireState};
+        let mut w = BitWriter::new();
+        a.encode_state(&mut w);
+        let bytes = w.finish();
+        let decoded = RunStats::decode_state(&mut BitReader::new(&bytes)).unwrap();
+        assert_eq!(decoded.effective_threads, 0);
+        assert_eq!(decoded.granularity, 0);
+        assert_eq!(decoded, a);
     }
 
     #[test]

@@ -72,8 +72,9 @@ proptest! {
 
     /// The fast path must be byte-identical to the reference delivery
     /// implementation: aggregate stats, the full trace event sequence,
-    /// and the end-of-run checkpoint image, under faults and at 1 and 4
-    /// threads.
+    /// and the end-of-run checkpoint image, under faults and at 1, 4,
+    /// and 8 threads (the latter two through the parallel commit
+    /// fan-out).
     #[test]
     fn fast_path_matches_reference_delivery(
         g in arb_large_graph(),
@@ -90,10 +91,13 @@ proptest! {
             SimConfig::default()
                 .with_seed(seed)
                 .with_threads(threads)
+                // Chunks of 4 nodes: even at 8 threads on a 64-node
+                // graph every worker really runs.
+                .with_granularity(4)
                 .with_faults(faults.clone())
         };
         let (ref_stats, ref_events, ref_image) = full_run(&g, cfg(1), true);
-        for threads in [1usize, 4] {
+        for threads in [1usize, 4, 8] {
             let (stats, events, image) = full_run(&g, cfg(threads), false);
             prop_assert_eq!(&ref_stats, &stats, "stats diverge at {} threads", threads);
             prop_assert_eq!(ref_events.len(), events.len());
@@ -137,6 +141,14 @@ proptest! {
         let (fast_stats, fast_final) = finish(resumed);
         prop_assert_eq!(&ref_stats, &fast_stats);
         prop_assert_eq!(&ref_final, &fast_final);
+        // ...finishes the same when the t1 image resumes under the
+        // 8-thread parallel fan-out (thread count is a policy knob a
+        // restore may change freely)...
+        let wide = cfg.clone().with_threads(8).with_granularity(4);
+        let resumed = Simulator::<Flood>::restore(&g, wide, &image).unwrap();
+        let (wide_stats, wide_final) = finish(resumed);
+        prop_assert_eq!(&ref_stats, &wide_stats);
+        prop_assert_eq!(&ref_final, &wide_final);
         // ...and the fast path emits the very same mid-run image.
         let mut fast = Simulator::new(&g, cfg.clone(), |v| Flood::new(v, 0));
         interrupt(&mut fast);

@@ -59,6 +59,9 @@ proptest! {
             let cfg = SimConfig::default()
                 .with_seed(seed)
                 .with_threads(threads)
+                // Chunks of 4 nodes, so t=8 gets all 8 workers even on
+                // the smallest (64-node) generated graphs.
+                .with_granularity(4)
                 .with_faults(faults.clone());
             let mut sim = Simulator::new(&g, cfg, |v| {
                 Reliable::new(Flood::new(v, 0)).with_metrics(reliable.clone())

@@ -1370,6 +1370,7 @@ mod tests {
             cfg.sim = SimConfig::default()
                 .with_bandwidth_coeff(16)
                 .with_threads(threads)
+                .with_granularity(1)
                 .with_faults(plan);
             cfg
         };
@@ -1386,7 +1387,7 @@ mod tests {
                 from_round: 5,
                 until_round: 15,
             });
-        for threads in [1, 4] {
+        for threads in [1, 4, 8] {
             let run = approximate(&g, &build(plan.clone(), threads)).unwrap();
             assert!(
                 run.walk_stats.corrupted + run.count_stats.corrupted > 0,

@@ -57,6 +57,10 @@ pub enum SolvePhase {
     Failed,
 }
 
+// One instance per solver, never moved after construction: boxing the
+// simulator variants would buy nothing but an extra indirection on the
+// per-round hot path.
+#[allow(clippy::large_enum_variant)]
 enum PhaseState<'g> {
     Walk(Simulator<'g, WalkProgram>),
     Count {
@@ -706,7 +710,9 @@ mod tests {
         let c = cfg(5);
         let run = |threads: usize| {
             let mut c = c.clone();
-            c.sim = c.sim.with_threads(threads);
+            // Granularity 1: even this 16-node graph splits across all
+            // requested workers, so t>1 really runs the parallel fan-out.
+            c.sim = c.sim.with_threads(threads).with_granularity(1);
             let registry = Registry::new();
             let mut solver = StepSolver::new(&g, c).unwrap();
             solver.set_metrics(EngineMetrics::register(&registry));
@@ -719,8 +725,11 @@ mod tests {
         // cross-phase tally, and the content is thread-count-invariant.
         assert_eq!(snap1.counter("engine_rounds_total"), Some(rounds as u64));
         let (r4, _, snap4) = run(4);
-        assert_eq!(r1, r4);
-        assert_eq!(snap1, snap4);
+        assert_eq!(&r1, &r4);
+        assert_eq!(&snap1, &snap4);
+        let (r8, _, snap8) = run(8);
+        assert_eq!(&r1, &r8);
+        assert_eq!(&snap1, &snap8);
     }
 
     #[test]

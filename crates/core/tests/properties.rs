@@ -161,16 +161,18 @@ proptest! {
     ) {
         // The daemon's crash story, as a property: a checkpoint written at
         // an *arbitrary* round boundary, handed to a fresh StepSolver in a
-        // fresh process (here: a fresh solver, worker pools of 1 and 4),
-        // must finish with a result and message fingerprint bit-identical
-        // to the run that was never interrupted.
+        // fresh process (here: a fresh solver, worker pools of 1, 4, and
+        // 8), must finish with a result and message fingerprint
+        // bit-identical to the run that was never interrupted.
+        // Granularity 1 forces the parallel fan-out even on these tiny
+        // generated graphs.
         let make_cfg = |threads: usize| {
             DistributedConfig::builder()
                 .walks(6)
                 .length(2 * g.node_count())
                 .seed(seed)
                 .target(TargetStrategy::Fixed(0))
-                .sim(SimConfig::default().with_threads(threads))
+                .sim(SimConfig::default().with_threads(threads).with_granularity(1))
                 .build()
                 .unwrap()
         };
@@ -188,7 +190,7 @@ proptest! {
         let image = first.checkpoint().unwrap();
         drop(first);
 
-        for restore_threads in [1usize, 4] {
+        for restore_threads in [1usize, 4, 8] {
             let mut resumed =
                 StepSolver::restore(&g, make_cfg(restore_threads), &image).unwrap();
             let run = resumed.run_to_completion().unwrap().clone();
@@ -213,7 +215,7 @@ proptest! {
                 .length(2 * g.node_count())
                 .seed(seed)
                 .target(TargetStrategy::Fixed(0))
-                .sim(SimConfig::default().with_threads(threads))
+                .sim(SimConfig::default().with_threads(threads).with_granularity(1))
                 .build()
                 .unwrap();
             let registry = Registry::new();
@@ -224,8 +226,11 @@ proptest! {
         };
         let (r1, snap1) = run(1);
         let (r4, snap4) = run(4);
-        prop_assert_eq!(r1, r4);
-        prop_assert_eq!(snap1, snap4);
+        let (r8, snap8) = run(8);
+        prop_assert_eq!(&r1, &r4);
+        prop_assert_eq!(&snap1, &snap4);
+        prop_assert_eq!(&r1, &r8);
+        prop_assert_eq!(&snap1, &snap8);
     }
 
     #[test]

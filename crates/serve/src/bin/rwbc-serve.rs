@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! rwbc-serve run    [--addr A] [--n N] [--seed S] [--walks K] [--length L]
-//!                   [--threads T] [--checkpoint FILE] [--checkpoint-every R]
+//!                   [--threads T] [--granularity G] [--checkpoint FILE]
+//!                   [--checkpoint-every R]
 //!                   [--trace FILE] [--queue-depth D] [--workers W]
 //!                   [--deadline-ms MS] [--retry-after-ms MS]
 //!                   [--slow-ms MS] [--work-delay-ms MS]
@@ -39,6 +40,7 @@ struct Options {
     walks: usize,
     length: usize,
     threads: usize,
+    granularity: usize,
     checkpoint: Option<PathBuf>,
     checkpoint_every: usize,
     trace: Option<PathBuf>,
@@ -87,6 +89,7 @@ fn parse_args() -> Result<Options, String> {
         walks: 4,
         length: 64,
         threads: 1,
+        granularity: 0,
         checkpoint: None,
         checkpoint_every: 64,
         trace: None,
@@ -122,6 +125,7 @@ fn parse_args() -> Result<Options, String> {
             "--walks" => opts.walks = num("--walks", &value("--walks")?)?,
             "--length" => opts.length = num("--length", &value("--length")?)?,
             "--threads" => opts.threads = num("--threads", &value("--threads")?)?,
+            "--granularity" => opts.granularity = num("--granularity", &value("--granularity")?)?,
             "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
             "--checkpoint-every" => {
                 opts.checkpoint_every = num("--checkpoint-every", &value("--checkpoint-every")?)?;
@@ -166,6 +170,7 @@ fn solver_config(opts: &Options) -> SolverConfig {
     config.walks = opts.walks;
     config.length = opts.length;
     config.threads = opts.threads;
+    config.granularity = opts.granularity;
     config.checkpoint_path = opts.checkpoint.clone();
     config.checkpoint_every_rounds = opts.checkpoint_every;
     config.trace_path = opts.trace.clone();

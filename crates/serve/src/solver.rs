@@ -67,6 +67,9 @@ pub struct SolverConfig {
     pub seed: u64,
     /// Engine worker threads.
     pub threads: usize,
+    /// Minimum nodes per engine worker chunk (the parallel fan-out's
+    /// granularity knob); 0 keeps the engine default.
+    pub granularity: usize,
     /// Checkpoint image path; `None` disables checkpointing.
     pub checkpoint_path: Option<PathBuf>,
     /// Rounds between periodic checkpoints.
@@ -87,6 +90,7 @@ impl SolverConfig {
             length: 64,
             seed,
             threads: 1,
+            granularity: 0,
             checkpoint_path: None,
             checkpoint_every_rounds: 64,
             trace_path: None,
@@ -105,6 +109,9 @@ impl SolverConfig {
             .build()
             .expect("solver workload params");
         cfg.sim = SimConfig::default().with_threads(self.threads);
+        if self.granularity > 0 {
+            cfg.sim = cfg.sim.with_granularity(self.granularity);
+        }
         cfg
     }
 }
