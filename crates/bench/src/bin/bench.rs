@@ -146,10 +146,40 @@ fn median_of(doc: &Json, path: &Path) -> Result<f64, String> {
     }
 }
 
+/// Warns — loudly, on stderr — when two artifacts were produced in
+/// different execution environments: a wall-clock ratio between a run
+/// on a 4-core box and one on a 64-core box (or between an honest run
+/// and an oversubscribed one) measures the machines, not the code.
+fn warn_environment_mismatch(base_doc: &Json, cur_doc: &Json, baseline: &Path, current: &Path) {
+    let host = |doc: &Json| doc.get("host_parallelism").and_then(Json::as_u64);
+    let oversub = |doc: &Json| doc.get("oversubscribed").and_then(Json::as_bool);
+    if let (Some(b), Some(c)) = (host(base_doc), host(cur_doc)) {
+        if b != c {
+            eprintln!(
+                "WARNING: host_parallelism differs: {} ran on {b} hardware threads, \
+                 {} on {c}; the speedup below compares machines, not code",
+                baseline.display(),
+                current.display()
+            );
+        }
+    }
+    if let (Some(b), Some(c)) = (oversub(base_doc), oversub(cur_doc)) {
+        if b != c {
+            eprintln!(
+                "WARNING: oversubscription differs: {}={b}, {}={c}; the oversubscribed \
+                 side measured scheduler time-slicing, not parallel speedup",
+                baseline.display(),
+                current.display()
+            );
+        }
+    }
+}
+
 fn run_compare(baseline: &Path, current: &Path) -> Result<(), String> {
     let (base_doc, cur_doc) = (load_json(baseline)?, load_json(current)?);
     validate_bench_json(&base_doc).map_err(|e| format!("{}: {e}", baseline.display()))?;
     validate_bench_json(&cur_doc).map_err(|e| format!("{}: {e}", current.display()))?;
+    warn_environment_mismatch(&base_doc, &cur_doc, baseline, current);
     let (base, cur) = (
         median_of(&base_doc, baseline)?,
         median_of(&cur_doc, current)?,

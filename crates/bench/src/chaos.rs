@@ -39,7 +39,7 @@ use congest_sim::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rwbc::distributed::messages::{CountMsg, WalkBatch, WalkToken};
-use rwbc::distributed::{approximate, DistributedConfig};
+use rwbc::distributed::{approximate, CountMode, DistributedConfig, SketchCountMsg};
 use rwbc::monte_carlo::TargetStrategy;
 use rwbc_graph::generators::connected_gnp;
 use rwbc_graph::Graph;
@@ -471,6 +471,57 @@ pub fn fuzz_all_codecs(seed: u64, budget: usize) -> FuzzReport {
         budget,
         &mut rng,
         |b| rwbc::distributed::StepSolver::restore(&corpus_graph, step_cfg.clone(), b).is_ok(),
+    ));
+
+    // --- sketch count-phase surfaces --------------------------------
+
+    // The per-round sketch frame (bucket index + scaled magnitude).
+    // Its fields are fixed-width, so every mutation still parses — the
+    // bar here is purely "never panic, never over-read".
+    let sketch_msg_corpus: Vec<Vec<u8>> = [(0u32, 1u64), (7, 255), (255, 40_961)]
+        .iter()
+        .map(|&(bucket, scaled)| {
+            SketchCountMsg {
+                bucket,
+                scaled,
+                precision: 8,
+                value_bits: 17,
+            }
+            .encode()
+            .to_vec()
+        })
+        .collect();
+    codecs.push(fuzz_codec(
+        "sketch-count-msg",
+        &sketch_msg_corpus,
+        budget,
+        &mut rng,
+        |b| SketchCountMsg::decode(b, 8, 17).is_some(),
+    ));
+
+    // A mid-count sketch-mode StepSolver image: the v2 checkpoint
+    // layout with phase tag 3 and a SketchCountProgram engine image.
+    let sketch_cfg = DistributedConfig::builder()
+        .walks(2)
+        .length(16)
+        .seed(seed ^ 0x5CE7)
+        .target(TargetStrategy::Fixed(0))
+        .count_mode(CountMode::Sketch { precision: 3 })
+        .build()
+        .expect("sketch corpus params");
+    let mut sketch_solver = rwbc::distributed::StepSolver::new(&corpus_graph, sketch_cfg.clone())
+        .expect("sketch solver");
+    while sketch_solver.phase() != rwbc::distributed::SolvePhase::Count {
+        sketch_solver.step().expect("sketch corpus run");
+    }
+    sketch_solver.step().expect("sketch corpus run");
+    let sketch_step_corpus = vec![sketch_solver.checkpoint().expect("sketch corpus image")];
+    codecs.push(fuzz_codec(
+        "sketch-step-checkpoint",
+        &sketch_step_corpus,
+        budget,
+        &mut rng,
+        |b| rwbc::distributed::StepSolver::restore(&corpus_graph, sketch_cfg.clone(), b).is_ok(),
     ));
 
     std::panic::set_hook(hook);
@@ -921,7 +972,7 @@ mod tests {
     #[test]
     fn fuzzing_every_codec_panics_nowhere() {
         let report = fuzz_all_codecs(0xF422, 60);
-        assert_eq!(report.codecs.len(), 11);
+        assert_eq!(report.codecs.len(), 13);
         for codec in &report.codecs {
             assert!(
                 codec.panics.is_empty(),
@@ -934,7 +985,7 @@ mod tests {
             assert!(codec.rejected > 0, "codec {} rejected nothing", codec.name);
         }
         assert!(report.is_clean());
-        assert_eq!(report.total_cases(), 11 * 60);
+        assert_eq!(report.total_cases(), 13 * 60);
     }
 
     #[test]

@@ -35,7 +35,7 @@ use congest_sim::trace::json::Json;
 use congest_sim::{FaultPlan, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rwbc::distributed::{approximate, DistributedConfig};
+use rwbc::distributed::{approximate, CountMode, DistributedConfig, PhaseBreakdown};
 use rwbc::monte_carlo::TargetStrategy;
 use rwbc_graph::generators::{barabasi_albert, connected_gnp, torus_2d};
 use rwbc_graph::Graph;
@@ -46,7 +46,16 @@ use rwbc_graph::Graph;
 /// (`host_parallelism`, `effective_threads`, `granularity`,
 /// `oversubscribed`) so a `t4` artifact produced by a run that silently
 /// executed single-threaded can no longer masquerade as parallel data.
-pub const SCHEMA_VERSION: i64 = 2;
+/// Version 3 added `count_mode`, `sketch_suppressed`, and the
+/// `phase_breakdown` object (walk vs count vs collect traffic), so the
+/// sketch-compression claim is auditable per phase rather than only in
+/// the pipeline totals.
+pub const SCHEMA_VERSION: i64 = 3;
+
+/// Sketch precision the `sketch` bench mode runs with: 2⁸ = 256 buckets
+/// keeps the count phase at 256 rounds at every matrix size while the
+/// frame (8 index bits + value bits) stays far inside the budget.
+pub const SKETCH_BENCH_PRECISION: u8 = 8;
 
 /// Oldest schema version [`validate_bench_json`] still accepts —
 /// committed version-1 artifacts (which predate the execution-
@@ -65,17 +74,22 @@ pub enum Mode {
     /// Payload corruption (plus light drops) repaired by the
     /// checksummed reliable adapter — what the integrity layer costs.
     Corrupt,
+    /// Fault-free CONGEST with the sketch-compressed count phase
+    /// ([`SKETCH_BENCH_PRECISION`] index bits) — the traffic/memory
+    /// trade against `clean` at the same workload.
+    Sketch,
 }
 
 impl Mode {
     /// The scenario-name fragment (`clean` / `reliable` / `chaos` /
-    /// `corrupt`).
+    /// `corrupt` / `sketch`).
     pub fn as_str(self) -> &'static str {
         match self {
             Mode::Clean => "clean",
             Mode::Reliable => "reliable",
             Mode::Chaos => "chaos",
             Mode::Corrupt => "corrupt",
+            Mode::Sketch => "sketch",
         }
     }
 }
@@ -180,18 +194,22 @@ impl Scenario {
     /// Panics if the walk parameters are rejected (they never are for
     /// the default matrix).
     pub fn build_config(&self) -> DistributedConfig {
-        let mut cfg = DistributedConfig::builder()
+        let mut builder = DistributedConfig::builder()
             .walks(self.walks)
             .length(self.length)
             .seed(self.seed)
             .target(TargetStrategy::Fixed(0))
             .reliable(matches!(self.mode, Mode::Reliable | Mode::Corrupt))
-            .checksums(self.mode == Mode::Corrupt)
-            .build()
-            .expect("scenario params");
+            .checksums(self.mode == Mode::Corrupt);
+        if self.mode == Mode::Sketch {
+            builder = builder.count_mode(CountMode::Sketch {
+                precision: SKETCH_BENCH_PRECISION,
+            });
+        }
+        let mut cfg = builder.build().expect("scenario params");
         let sim = SimConfig::default().with_threads(self.threads);
         cfg.sim = match self.mode {
-            Mode::Clean => sim,
+            Mode::Clean | Mode::Sketch => sim,
             // The constant-size reliable header needs budget headroom;
             // chaos uses the same coefficient so the two faulty modes
             // are comparable against each other.
@@ -256,7 +274,19 @@ pub fn default_matrix(threads_n: usize) -> Vec<Scenario> {
     m.push(Scenario::new(Mode::Reliable, Topology::Er, 256, 1));
     m.push(Scenario::new(Mode::Chaos, Topology::Er, 256, 1));
     m.push(Scenario::new(Mode::Corrupt, Topology::Er, 256, 1));
+    m.extend(sketch_matrix());
     m
+}
+
+/// The sketch-mode matrix: `sketch-er` at the two sizes where the
+/// count-phase compression is the story — same workload (graph, seed,
+/// K, l) as the matching `clean-er` scenarios, so the per-phase traffic
+/// in the two artifacts is directly comparable.
+pub fn sketch_matrix() -> Vec<Scenario> {
+    vec![
+        Scenario::new(Mode::Sketch, Topology::Er, 1024, 1),
+        Scenario::new(Mode::Sketch, Topology::Er, 4096, 1),
+    ]
 }
 
 /// The CI smoke matrix: one tiny clean scenario (n = 128).
@@ -369,6 +399,13 @@ pub struct BenchResult {
     /// exposes; wall-clock samples from such a run measure scheduler
     /// time-slicing, not parallel speedup.
     pub oversubscribed: bool,
+    /// Per-phase traffic attribution (identical for every trial).
+    pub phase_breakdown: PhaseBreakdown,
+    /// Count-phase representation the run used.
+    pub count_mode: CountMode,
+    /// Broadcasts elided by the systolic only-modified-nodes rule
+    /// (0 under exact mode).
+    pub sketch_suppressed: u64,
 }
 
 /// Runs one scenario: `warmup` untimed trials, then `trials` timed
@@ -385,6 +422,9 @@ pub fn run_scenario(scenario: &Scenario, warmup: usize, trials: usize) -> BenchR
     let mut samples_ms = Vec::with_capacity(trials);
     let mut fingerprint: Option<(usize, u64, u64)> = None;
     let mut exec_echo = (0usize, 0usize);
+    let mut breakdown = PhaseBreakdown::default();
+    let mut count_mode = CountMode::Exact;
+    let mut sketch_suppressed = 0u64;
     for trial in 0..warmup + trials {
         let start = Instant::now();
         let run = approximate(&graph, &config).expect("scenario run");
@@ -399,6 +439,9 @@ pub fn run_scenario(scenario: &Scenario, warmup: usize, trials: usize) -> BenchR
             + election.map_or(0, |s| s.total_bits);
         let fp = (rounds, messages, bits);
         exec_echo = (run.walk_stats.effective_threads, run.walk_stats.granularity);
+        breakdown = run.phase_breakdown();
+        count_mode = run.count_mode;
+        sketch_suppressed = run.sketch_suppressed;
         match fingerprint {
             None => fingerprint = Some(fp),
             Some(expected) => assert_eq!(
@@ -426,6 +469,9 @@ pub fn run_scenario(scenario: &Scenario, warmup: usize, trials: usize) -> BenchR
         effective_threads: exec_echo.0,
         granularity: exec_echo.1,
         oversubscribed: host_parallelism.is_some_and(|h| scenario.threads as u64 > h),
+        phase_breakdown: breakdown,
+        count_mode,
+        sketch_suppressed,
     }
 }
 
@@ -523,8 +569,42 @@ impl BenchResult {
                     None => Json::Null,
                 },
             ),
+            (
+                "count_mode".into(),
+                match self.count_mode {
+                    CountMode::Exact => Json::Str("exact".into()),
+                    CountMode::Sketch { precision } => Json::Str(format!("sketch-p{precision}")),
+                },
+            ),
+            (
+                "sketch_suppressed".into(),
+                Json::Int(self.sketch_suppressed as i64),
+            ),
+            (
+                "phase_breakdown".into(),
+                Json::Obj(vec![
+                    (
+                        "collect".into(),
+                        match &self.phase_breakdown.collect {
+                            Some(t) => traffic_json(t),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("walk".into(), traffic_json(&self.phase_breakdown.walk)),
+                    ("count".into(), traffic_json(&self.phase_breakdown.count)),
+                ]),
+            ),
         ])
     }
+}
+
+/// Serializes one phase's traffic triple.
+fn traffic_json(t: &congest_sim::PhaseTraffic) -> Json {
+    Json::Obj(vec![
+        ("rounds".into(), Json::Int(t.rounds as i64)),
+        ("messages".into(), Json::Int(t.messages as i64)),
+        ("bits".into(), Json::Int(t.bits as i64)),
+    ])
 }
 
 /// The `BENCH_*.json` file name for a scenario, with an optional tag
@@ -564,7 +644,7 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
         .as_str()
         .ok_or("`scenario` is not a string")?;
     let mode = req(doc, "mode")?.as_str().ok_or("`mode` is not a string")?;
-    if !matches!(mode, "clean" | "reliable" | "chaos" | "corrupt") {
+    if !matches!(mode, "clean" | "reliable" | "chaos" | "corrupt" | "sketch") {
         return Err(format!("unknown mode `{mode}`"));
     }
     let topo = req(doc, "topology")?
@@ -645,6 +725,37 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
         req(doc, "oversubscribed")?
             .as_bool()
             .ok_or("`oversubscribed` is not a boolean")?;
+    }
+    if version >= 3 {
+        let cm = req(doc, "count_mode")?
+            .as_str()
+            .ok_or("`count_mode` is not a string")?;
+        if cm != "exact" && !cm.starts_with("sketch-p") {
+            return Err(format!("unknown count_mode `{cm}`"));
+        }
+        req(doc, "sketch_suppressed")?
+            .as_u64()
+            .ok_or("`sketch_suppressed` is not a non-negative integer")?;
+        let breakdown = req(doc, "phase_breakdown")?;
+        let check_traffic = |v: &Json, phase: &str| -> Result<(), String> {
+            for key in ["rounds", "messages", "bits"] {
+                v.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                    format!("`phase_breakdown.{phase}.{key}` is not a non-negative integer")
+                })?;
+            }
+            Ok(())
+        };
+        for phase in ["walk", "count"] {
+            let v = breakdown
+                .get(phase)
+                .ok_or_else(|| format!("missing field `phase_breakdown.{phase}`"))?;
+            check_traffic(v, phase)?;
+        }
+        match breakdown.get("collect") {
+            Some(Json::Null) => {}
+            Some(v) => check_traffic(v, "collect")?,
+            None => return Err("missing field `phase_breakdown.collect`".into()),
+        }
     }
     Ok(())
 }
@@ -821,6 +932,9 @@ mod tests {
             effective_threads: threads,
             granularity: 16,
             oversubscribed: threads > 1,
+            phase_breakdown: PhaseBreakdown::default(),
+            count_mode: CountMode::Exact,
+            sketch_suppressed: 0,
         };
         // Identical fingerprints across thread counts pass.
         check_sweep_fingerprints(&[make(1, 7), make(4, 7)]).expect("identical fingerprints");

@@ -7,6 +7,7 @@ pub mod e12;
 pub mod e13;
 pub mod e14;
 pub mod e15;
+pub mod e16;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -37,11 +38,13 @@ pub fn run_by_id(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e13" => Some(e13::run(quick)),
         "e14" => Some(e14::run(quick)),
         "e15" => Some(e15::run(quick)),
+        "e16" => Some(e16::run(quick)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 15] = [
+pub const ALL_IDS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];

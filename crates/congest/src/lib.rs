@@ -71,7 +71,7 @@ pub use metrics::{
 pub use node::{Context, Incoming, NodeProgram};
 pub use reliable::{Reliable, ReliableMsg, DEFAULT_DEATH_THRESHOLD, FRAME_CHECKSUM_BITS};
 pub use rng::node_rng;
-pub use stats::{CutMeter, ReliabilityStats, RunStats};
+pub use stats::{CutMeter, PhaseTraffic, ReliabilityStats, RunStats};
 pub use trace::{
     FlightRecorder, JsonlTracer, MemoryTracer, NoopTracer, TraceEvent, Tracer,
     FLIGHT_DEFAULT_CAPACITY,

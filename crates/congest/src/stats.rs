@@ -15,6 +15,19 @@ pub struct CutMeter {
     pub bits: u64,
 }
 
+/// The traffic summary of one pipeline phase — the unit of the
+/// per-phase (walk vs count vs collect) breakdown the bench artifacts
+/// attribute compression wins with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTraffic {
+    /// Rounds the phase executed.
+    pub rounds: usize,
+    /// Messages the phase delivered.
+    pub messages: u64,
+    /// Bits the phase delivered.
+    pub bits: u64,
+}
+
 /// Statistics of a completed (or aborted) simulation run.
 ///
 /// # Equality
@@ -146,6 +159,16 @@ impl RunStats {
     /// (the mechanical check of the paper's Theorem 4).
     pub fn congest_compliant(&self) -> bool {
         self.violations == 0 && self.max_bits_edge_round <= self.budget_bits
+    }
+
+    /// The phase-breakdown projection of this run: rounds, messages,
+    /// and bits, the three axes the bench artifacts attribute per phase.
+    pub fn traffic(&self) -> PhaseTraffic {
+        PhaseTraffic {
+            rounds: self.rounds,
+            messages: self.total_messages,
+            bits: self.total_bits,
+        }
     }
 
     /// Accumulates another run's statistics into this one: additive

@@ -42,13 +42,23 @@ mod collect;
 mod count_phase;
 mod election;
 pub mod messages;
+pub mod sketch;
+mod sketch_count;
 mod stepwise;
 mod walk_phase;
 
 pub use collect::{collect_and_solve, collect_and_solve_traced, CollectRun};
 pub use count_phase::CountProgram;
 pub use election::{ElectMsg, ElectTargetProgram};
-pub use stepwise::{SolvePhase, StepSolver, STEP_CHECKPOINT_MAGIC, STEP_CHECKPOINT_VERSION};
+pub use sketch::{
+    sketch_error_bound, stacked_error_bound, SketchCountMsg, VisitSketch, MAX_SKETCH_PRECISION,
+    MIN_SKETCH_PRECISION,
+};
+pub use sketch_count::SketchCountProgram;
+pub use stepwise::{
+    SolvePhase, StepSolver, STEP_CHECKPOINT_MAGIC, STEP_CHECKPOINT_MIN_VERSION,
+    STEP_CHECKPOINT_VERSION,
+};
 pub use walk_phase::WalkProgram;
 
 use rand::rngs::StdRng;
@@ -65,6 +75,7 @@ use rwbc_graph::traversal::{connected_components, is_connected};
 use rwbc_graph::{Graph, NodeId};
 
 use crate::distributed::messages::{count_field_bits, len_field_bits};
+use crate::distributed::sketch::sketch_field_bits;
 use crate::monte_carlo::TargetStrategy;
 use crate::params::ApproxParams;
 use crate::{Centrality, RwbcError};
@@ -79,6 +90,25 @@ pub enum CongestionDiscipline {
     /// Ablation: pack as many tokens per message as the `O(log n)`-bit
     /// budget admits. Same estimator, fewer rounds.
     Batched,
+}
+
+/// How phase 2 represents and ships the visit counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CountMode {
+    /// The paper's Algorithm 2: one fixed-point count per source,
+    /// `n` rounds, exact combine. The bit-identical reference path.
+    #[default]
+    Exact,
+    /// Sketch-compressed counting: sources hash into `2^precision`
+    /// buckets and nodes exchange bucket aggregates — `2^precision`
+    /// rounds and a `B × degree` receive store instead of `n × degree`,
+    /// at the accuracy cost bounded by
+    /// [`stacked_error_bound`](sketch::stacked_error_bound).
+    Sketch {
+        /// Bucket-count exponent, in
+        /// [`MIN_SKETCH_PRECISION`]`..=`[`MAX_SKETCH_PRECISION`].
+        precision: u8,
+    },
 }
 
 /// Configuration for [`approximate`].
@@ -136,6 +166,11 @@ pub struct DistributedConfig {
     ///
     /// [`Reliable::with_failure_detection`]: congest_sim::Reliable::with_failure_detection
     pub partition_tolerant: bool,
+    /// Phase-2 count representation ([`CountMode::Exact`] by default;
+    /// [`CountMode::Sketch`] compresses traffic and memory at a bounded
+    /// accuracy cost). Sketch mode composes with `reliable`/`checksums`
+    /// but not with `partition_tolerant`.
+    pub count_mode: CountMode,
     /// Simulator settings (bandwidth coefficient, thread count, cut, ...).
     pub sim: SimConfig,
 }
@@ -159,6 +194,7 @@ impl DistributedConfig {
             checksums: false,
             walk_retries: 0,
             partition_tolerant: false,
+            count_mode: CountMode::default(),
             sim: SimConfig::default(),
         })
     }
@@ -183,6 +219,7 @@ pub struct DistributedConfigBuilder {
     checksums: bool,
     walk_retries: usize,
     partition_tolerant: bool,
+    count_mode: CountMode,
     sim: Option<SimConfig>,
 }
 
@@ -267,6 +304,13 @@ impl DistributedConfigBuilder {
         self
     }
 
+    /// Sets the phase-2 count representation (see [`CountMode`]).
+    #[must_use]
+    pub fn count_mode(mut self, mode: CountMode) -> Self {
+        self.count_mode = mode;
+        self
+    }
+
     /// Sets the simulator configuration.
     #[must_use]
     pub fn sim(mut self, sim: SimConfig) -> Self {
@@ -286,6 +330,23 @@ impl DistributedConfigBuilder {
                 reason: "builder requires both walks(K) and length(l)".to_string(),
             });
         };
+        if let CountMode::Sketch { precision } = self.count_mode {
+            if !(MIN_SKETCH_PRECISION..=MAX_SKETCH_PRECISION).contains(&precision) {
+                return Err(RwbcError::InvalidParameter {
+                    reason: format!(
+                        "sketch precision {precision} outside \
+                         {MIN_SKETCH_PRECISION}..={MAX_SKETCH_PRECISION}"
+                    ),
+                });
+            }
+            if self.partition_tolerant {
+                return Err(RwbcError::InvalidParameter {
+                    reason: "sketch count mode does not compose with partition tolerance \
+                             (the survivor-graph combine needs exact per-source columns)"
+                        .to_string(),
+                });
+            }
+        }
         Ok(DistributedConfig {
             params: ApproxParams::new(k, l)?,
             target: self.target,
@@ -297,6 +358,7 @@ impl DistributedConfigBuilder {
             checksums: self.checksums,
             walk_retries: self.walk_retries,
             partition_tolerant: self.partition_tolerant,
+            count_mode: self.count_mode,
             sim: self.sim.unwrap_or_default(),
         })
     }
@@ -396,9 +458,27 @@ pub struct DistributedRun {
     /// Fractional bits actually used for the fixed-point counts (may be
     /// clamped below the configured value to fit the budget).
     pub fixed_point_bits: u8,
+    /// The phase-2 representation this run used (echoed from the config).
+    pub count_mode: CountMode,
+    /// Broadcasts the systolic optimization suppressed in phase 2
+    /// (sketch lockstep mode only; 0 elsewhere).
+    pub sketch_suppressed: u64,
     /// What fault injection cost this run (all-zero when faults were off
     /// or fully repaired).
     pub degradation: DegradationReport,
+}
+
+/// Per-phase traffic attribution of a [`DistributedRun`]: which phase
+/// shipped how much. `collect` covers the optional phase-0 target
+/// election (the only collect-style phase in the pipeline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Phase 0 (target election), when it ran.
+    pub collect: Option<congest_sim::PhaseTraffic>,
+    /// Phase 1 (Algorithm 1, walk tokens), all sub-phases combined.
+    pub walk: congest_sim::PhaseTraffic,
+    /// Phase 2 (Algorithm 2, count/sketch exchange), all passes combined.
+    pub count: congest_sim::PhaseTraffic,
 }
 
 impl DistributedRun {
@@ -408,6 +488,15 @@ impl DistributedRun {
         self.election_stats.as_ref().map_or(0, |s| s.rounds)
             + self.walk_stats.rounds
             + self.count_stats.rounds
+    }
+
+    /// The per-phase traffic attribution (walk vs count vs collect).
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        PhaseBreakdown {
+            collect: self.election_stats.as_ref().map(RunStats::traffic),
+            walk: self.walk_stats.traffic(),
+            count: self.count_stats.traffic(),
+        }
     }
 
     /// Whether every phase stayed within the CONGEST budget (Theorem 4).
@@ -533,6 +622,13 @@ fn approximate_inner(
         }
     };
     if config.partition_tolerant {
+        if let CountMode::Sketch { .. } = config.count_mode {
+            return Err(RwbcError::InvalidParameter {
+                reason: "sketch count mode does not compose with partition tolerance \
+                         (the survivor-graph combine needs exact per-source columns)"
+                    .to_string(),
+            });
+        }
         return approximate_partition_tolerant(
             graph,
             config,
@@ -661,7 +757,9 @@ fn approximate_inner(
 
     // Fit the fixed-point width under the phase-2 budget (reserving the
     // delivery-layer header — and the frame seal, when checksummed — when
-    // the transport is reliable).
+    // the transport is reliable). In sketch mode the frame additionally
+    // carries the explicit bucket index and the value field widens to the
+    // worst-case bucket aggregate.
     let header = if config.reliable {
         Reliable::<CountProgram>::HEADER_BITS
             + if config.checksums {
@@ -673,11 +771,19 @@ fn approximate_inner(
         0
     };
     let budget = config.sim.budget_bits(n).saturating_sub(header);
+    let frame_bits = |f: u8| -> usize {
+        match config.count_mode {
+            CountMode::Exact => count_field_bits(k, l, f) as usize,
+            CountMode::Sketch { precision } => {
+                precision as usize + sketch_field_bits(k, l, n, f) as usize
+            }
+        }
+    };
     let mut f = config.fixed_point_bits;
-    while f > 1 && count_field_bits(k, l, f) as usize > budget {
+    while f > 1 && frame_bits(f) > budget {
         f -= 1;
     }
-    if count_field_bits(k, l, f) as usize > budget {
+    if frame_bits(f) > budget {
         return Err(RwbcError::InvalidParameter {
             reason: format!(
                 "phase-2 counts cannot fit the {budget}-bit budget even with 1 fractional bit; \
@@ -685,54 +791,134 @@ fn approximate_inner(
             ),
         });
     }
-    let value_bits = count_field_bits(k, l, f);
 
-    // Phase 2: computing (Algorithm 2).
+    // Phase 2: computing (Algorithm 2, exact or sketch-compressed).
     let t2 = span_start(tracer.as_deref_mut(), "count");
     let phase2_cfg = config.sim.clone().with_seed(config.seed ^ 0x7F4A_7C15);
-    let (values, count_stats) = if config.reliable {
-        let mut sim2 = Simulator::new(graph, phase2_cfg, |v| {
-            let r = Reliable::new(
-                CountProgram::new(v, n, graph.degree(v), counts[v].clone(), k, value_bits, f)
-                    .with_strict_delivery(true),
-            );
-            if config.checksums {
-                r.with_checksums()
-                    .with_failure_detection(DEFAULT_DEATH_THRESHOLD)
+    let mut sketch_suppressed = 0u64;
+    let (values, count_stats) = match config.count_mode {
+        CountMode::Exact => {
+            let value_bits = count_field_bits(k, l, f);
+            if config.reliable {
+                let mut sim2 = Simulator::new(graph, phase2_cfg, |v| {
+                    let r = Reliable::new(
+                        CountProgram::new(
+                            v,
+                            n,
+                            graph.degree(v),
+                            counts[v].clone(),
+                            k,
+                            value_bits,
+                            f,
+                        )
+                        .with_strict_delivery(true),
+                    );
+                    if config.checksums {
+                        r.with_checksums()
+                            .with_failure_detection(DEFAULT_DEATH_THRESHOLD)
+                    } else {
+                        r
+                    }
+                });
+                if let Some(tr) = tracer.as_deref_mut() {
+                    sim2 = sim2.with_tracer(tr);
+                }
+                let stats = sim2.run()?;
+                let values: Vec<f64> = (0..n)
+                    .map(|v| {
+                        sim2.program(v)
+                            .inner()
+                            .betweenness()
+                            .expect("phase 2 finished, every node holds its value")
+                    })
+                    .collect();
+                (values, stats)
             } else {
-                r
+                let mut sim2 = Simulator::new(graph, phase2_cfg, |v| {
+                    CountProgram::new(v, n, graph.degree(v), counts[v].clone(), k, value_bits, f)
+                });
+                if let Some(tr) = tracer.as_deref_mut() {
+                    sim2 = sim2.with_tracer(tr);
+                }
+                let stats = sim2.run()?;
+                degradation.count_cells_missing = (0..n).map(|v| sim2.program(v).missing()).sum();
+                let values: Vec<f64> = (0..n)
+                    .map(|v| {
+                        sim2.program(v)
+                            .betweenness()
+                            .expect("phase 2 finished, every node holds its value")
+                    })
+                    .collect();
+                (values, stats)
             }
-        });
-        if let Some(tr) = tracer.as_deref_mut() {
-            sim2 = sim2.with_tracer(tr);
         }
-        let stats = sim2.run()?;
-        let values: Vec<f64> = (0..n)
-            .map(|v| {
-                sim2.program(v)
-                    .inner()
-                    .betweenness()
-                    .expect("phase 2 finished, every node holds its value")
-            })
-            .collect();
-        (values, stats)
-    } else {
-        let mut sim2 = Simulator::new(graph, phase2_cfg, |v| {
-            CountProgram::new(v, n, graph.degree(v), counts[v].clone(), k, value_bits, f)
-        });
-        if let Some(tr) = tracer.as_deref_mut() {
-            sim2 = sim2.with_tracer(tr);
+        CountMode::Sketch { precision } => {
+            let value_bits = sketch_field_bits(k, l, n, f);
+            if config.reliable {
+                // Strict delivery: every bucket travels (systolic silence
+                // is ambiguous with a pending retransmission there).
+                let mut sim2 = Simulator::new(graph, phase2_cfg, |v| {
+                    let r = Reliable::new(
+                        SketchCountProgram::new(
+                            v,
+                            n,
+                            graph.degree(v),
+                            &counts[v],
+                            k,
+                            precision,
+                            value_bits,
+                            f,
+                        )
+                        .with_strict_delivery(true),
+                    );
+                    if config.checksums {
+                        r.with_checksums()
+                            .with_failure_detection(DEFAULT_DEATH_THRESHOLD)
+                    } else {
+                        r
+                    }
+                });
+                if let Some(tr) = tracer.as_deref_mut() {
+                    sim2 = sim2.with_tracer(tr);
+                }
+                let stats = sim2.run()?;
+                let values: Vec<f64> = (0..n)
+                    .map(|v| {
+                        sim2.program(v)
+                            .inner()
+                            .betweenness()
+                            .expect("phase 2 finished, every node holds its value")
+                    })
+                    .collect();
+                (values, stats)
+            } else {
+                let mut sim2 = Simulator::new(graph, phase2_cfg, |v| {
+                    SketchCountProgram::new(
+                        v,
+                        n,
+                        graph.degree(v),
+                        &counts[v],
+                        k,
+                        precision,
+                        value_bits,
+                        f,
+                    )
+                });
+                if let Some(tr) = tracer.as_deref_mut() {
+                    sim2 = sim2.with_tracer(tr);
+                }
+                let stats = sim2.run()?;
+                sketch_suppressed = (0..n).map(|v| sim2.program(v).suppressed()).sum();
+                let values: Vec<f64> = (0..n)
+                    .map(|v| {
+                        sim2.program(v)
+                            .betweenness()
+                            .expect("phase 2 finished, every node holds its value")
+                    })
+                    .collect();
+                (values, stats)
+            }
         }
-        let stats = sim2.run()?;
-        degradation.count_cells_missing = (0..n).map(|v| sim2.program(v).missing()).sum();
-        let values: Vec<f64> = (0..n)
-            .map(|v| {
-                sim2.program(v)
-                    .betweenness()
-                    .expect("phase 2 finished, every node holds its value")
-            })
-            .collect();
-        (values, stats)
     };
     span_end(tracer, "count", count_stats.rounds, t2);
     degradation.corrupt_frames_detected =
@@ -746,6 +932,8 @@ fn approximate_inner(
         walk_stats,
         count_stats,
         fixed_point_bits: f,
+        count_mode: config.count_mode,
+        sketch_suppressed,
         degradation,
     })
 }
@@ -1039,6 +1227,8 @@ fn approximate_partition_tolerant(
         walk_stats,
         count_stats,
         fixed_point_bits: f,
+        count_mode: CountMode::Exact,
+        sketch_suppressed: 0,
         degradation,
     })
 }
@@ -1404,6 +1594,124 @@ mod tests {
             );
             assert_eq!(run.target, clean.target);
         }
+    }
+
+    #[test]
+    fn sketch_mode_compresses_the_count_phase() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let g = connected_gnp(48, 0.15, 100, &mut rng).unwrap();
+        let build = |mode: CountMode| {
+            DistributedConfig::builder()
+                .walks(400)
+                .length(100)
+                .seed(6)
+                .target(TargetStrategy::Fixed(0))
+                .count_mode(mode)
+                .build()
+                .unwrap()
+        };
+        let exact = approximate(&g, &build(CountMode::Exact)).unwrap();
+        let precision = 5;
+        let sketch = approximate(&g, &build(CountMode::Sketch { precision })).unwrap();
+        assert!(sketch.congest_compliant());
+        // Identical walk phase (the compression is purely in phase 2).
+        assert_eq!(sketch.walk_stats, exact.walk_stats);
+        assert_eq!(sketch.target, exact.target);
+        // B rounds instead of n, and strictly fewer count-phase bits.
+        assert_eq!(sketch.count_stats.rounds, 1 << precision);
+        assert!(sketch.count_stats.total_bits < exact.count_stats.total_bits);
+        // Accuracy inside the stacked envelope against the exact path
+        // (the walk sampling is shared, so the gap is pure sketch error).
+        let err = mean_relative_error(&sketch.centrality, &exact.centrality);
+        assert!(
+            err <= sketch_error_bound(precision),
+            "sketch error {err} above the bound {}",
+            sketch_error_bound(precision)
+        );
+        assert_eq!(sketch.count_mode, CountMode::Sketch { precision });
+    }
+
+    #[test]
+    fn sketch_mode_composes_with_reliable_delivery() {
+        use congest_sim::{FaultPlan, SimConfig};
+        let g = star(8).unwrap();
+        let build = |plan: FaultPlan| {
+            let mut cfg = DistributedConfig::builder()
+                .walks(200)
+                .length(40)
+                .seed(17)
+                .target(TargetStrategy::Fixed(0))
+                .reliable(true)
+                .count_mode(CountMode::Sketch { precision: 4 })
+                .build()
+                .unwrap();
+            cfg.sim = SimConfig::default()
+                .with_bandwidth_coeff(16)
+                .with_faults(plan);
+            cfg
+        };
+        let clean = approximate(&g, &build(FaultPlan::default())).unwrap();
+        assert!(clean.degradation.is_clean());
+        // Strict delivery sends every bucket: nothing is suppressed.
+        assert_eq!(clean.sketch_suppressed, 0);
+        // Drops are repaired: the faulty run reproduces the clean values.
+        let faulty =
+            approximate(&g, &build(FaultPlan::default().with_drop_probability(0.1))).unwrap();
+        assert!(faulty.walk_stats.retransmissions + faulty.count_stats.retransmissions > 0);
+        assert_eq!(faulty.centrality, clean.centrality);
+    }
+
+    #[test]
+    fn sketch_mode_is_deterministic_and_systolic() {
+        let g = star(12).unwrap();
+        let cfg = DistributedConfig::builder()
+            .walks(50)
+            .length(30)
+            .seed(23)
+            .target(TargetStrategy::Fixed(0))
+            .count_mode(CountMode::Sketch { precision: 6 })
+            .build()
+            .unwrap();
+        let a = approximate(&g, &cfg).unwrap();
+        let b = approximate(&g, &cfg).unwrap();
+        assert_eq!(a, b);
+        // On a star the leaves see few distinct sources: with 64 buckets
+        // and only 12 source columns, most outgoing buckets are empty and
+        // the systolic rule must fire.
+        assert!(a.sketch_suppressed > 0, "systolic silence never fired");
+    }
+
+    #[test]
+    fn sketch_mode_rejects_partition_tolerance() {
+        assert!(matches!(
+            DistributedConfig::builder()
+                .walks(4)
+                .length(4)
+                .partition_tolerant(true)
+                .count_mode(CountMode::Sketch { precision: 8 })
+                .build(),
+            Err(RwbcError::InvalidParameter { .. })
+        ));
+        // Also guarded at run time for hand-assembled configs.
+        let mut cfg = DistributedConfig::builder()
+            .walks(4)
+            .length(4)
+            .build()
+            .unwrap();
+        cfg.partition_tolerant = true;
+        cfg.count_mode = CountMode::Sketch { precision: 8 };
+        let g = star(4).unwrap();
+        assert!(matches!(
+            approximate(&g, &cfg),
+            Err(RwbcError::InvalidParameter { .. })
+        ));
+        // Precision is range-checked.
+        assert!(DistributedConfig::builder()
+            .walks(4)
+            .length(4)
+            .count_mode(CountMode::Sketch { precision: 40 })
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -27,8 +27,10 @@ use rwbc_graph::traversal::is_connected;
 use rwbc_graph::{Graph, NodeId};
 
 use crate::distributed::messages::{count_field_bits, len_field_bits};
+use crate::distributed::sketch::sketch_field_bits;
 use crate::distributed::{
-    CountProgram, DegradationReport, DistributedConfig, DistributedRun, WalkProgram,
+    CountMode, CountProgram, DegradationReport, DistributedConfig, DistributedRun,
+    SketchCountProgram, WalkProgram,
 };
 use crate::monte_carlo::TargetStrategy;
 use crate::{Centrality, RwbcError};
@@ -36,8 +38,13 @@ use crate::{Centrality, RwbcError};
 /// Magic word opening a [`StepSolver::checkpoint`] image (distinct from
 /// the engine's, so the two image kinds can never be confused).
 pub const STEP_CHECKPOINT_MAGIC: u64 = 0x5E12_C4EC;
-/// Current step-checkpoint format version.
-pub const STEP_CHECKPOINT_VERSION: u64 = 1;
+/// Current step-checkpoint format version. Version 2 added the sketch
+/// count phase (tag 3) and the `count_mode` / `sketch_suppressed` fields
+/// in done images; version-1 images still restore (they predate sketch
+/// mode, so those fields default to exact / zero).
+pub const STEP_CHECKPOINT_VERSION: u64 = 2;
+/// Oldest step-checkpoint format version [`StepSolver::restore`] accepts.
+pub const STEP_CHECKPOINT_MIN_VERSION: u64 = 1;
 
 /// Seed derivation for phase 1, mirroring `approximate_inner`.
 const PHASE1_XOR: u64 = 0x9E37_79B9;
@@ -65,6 +72,11 @@ enum PhaseState<'g> {
     Walk(Simulator<'g, WalkProgram>),
     Count {
         sim: Simulator<'g, CountProgram>,
+        walk_stats: RunStats,
+        walks_lost: u64,
+    },
+    SketchCount {
+        sim: Simulator<'g, SketchCountProgram>,
         walk_stats: RunStats,
         walks_lost: u64,
     },
@@ -172,11 +184,21 @@ fn derive_plan(graph: &Graph, config: &DistributedConfig) -> Result<(NodeId, u8,
     let k = config.params.walks_per_node;
     let l = config.params.walk_length;
     let budget = config.sim.budget_bits(n);
+    // Mirrors `approximate_inner`'s fit exactly (no reliable header: the
+    // checkpointable subset never wraps programs in the adapter).
+    let frame_bits = |f: u8| -> usize {
+        match config.count_mode {
+            CountMode::Exact => count_field_bits(k, l, f) as usize,
+            CountMode::Sketch { precision } => {
+                precision as usize + sketch_field_bits(k, l, n, f) as usize
+            }
+        }
+    };
     let mut f = config.fixed_point_bits;
-    while f > 1 && count_field_bits(k, l, f) as usize > budget {
+    while f > 1 && frame_bits(f) > budget {
         f -= 1;
     }
-    if count_field_bits(k, l, f) as usize > budget {
+    if frame_bits(f) > budget {
         return Err(RwbcError::InvalidParameter {
             reason: format!(
                 "phase-2 counts cannot fit the {budget}-bit budget even with 1 fractional bit; \
@@ -184,7 +206,11 @@ fn derive_plan(graph: &Graph, config: &DistributedConfig) -> Result<(NodeId, u8,
             ),
         });
     }
-    Ok((target, f, count_field_bits(k, l, f)))
+    let value_bits = match config.count_mode {
+        CountMode::Exact => count_field_bits(k, l, f),
+        CountMode::Sketch { .. } => sketch_field_bits(k, l, n, f),
+    };
+    Ok((target, f, value_bits))
 }
 
 impl<'g> StepSolver<'g> {
@@ -232,6 +258,7 @@ impl<'g> StepSolver<'g> {
         match &mut self.state {
             PhaseState::Walk(sim) => sim.set_metrics(metrics.clone()),
             PhaseState::Count { sim, .. } => sim.set_metrics(metrics.clone()),
+            PhaseState::SketchCount { sim, .. } => sim.set_metrics(metrics.clone()),
             PhaseState::Done(_) | PhaseState::Poisoned => {}
         }
         self.metrics = Some(metrics);
@@ -257,6 +284,11 @@ impl<'g> StepSolver<'g> {
                     return Ok(false);
                 }
             }
+            PhaseState::SketchCount { sim, .. } => {
+                if !sim.step().map_err(RwbcError::Sim)? {
+                    return Ok(false);
+                }
+            }
             PhaseState::Done(_) => return Ok(true),
             PhaseState::Poisoned => {
                 return Err(RwbcError::InvalidParameter {
@@ -276,6 +308,14 @@ impl<'g> StepSolver<'g> {
                 walk_stats,
                 walks_lost,
             } => match self.finish(sim, walk_stats, walks_lost) {
+                Ok(done) => self.state = done,
+                Err(e) => return Err(e),
+            },
+            PhaseState::SketchCount {
+                sim,
+                walk_stats,
+                walks_lost,
+            } => match self.finish_sketch(sim, walk_stats, walks_lost) {
                 Ok(done) => self.state = done,
                 Err(e) => return Err(e),
             },
@@ -307,16 +347,42 @@ impl<'g> StepSolver<'g> {
             .sim
             .clone()
             .with_seed(self.config.seed ^ PHASE2_XOR);
-        let mut sim = Simulator::new(graph, cfg2, |v| {
-            CountProgram::new(v, n, graph.degree(v), counts[v].clone(), k, value_bits, f)
-        });
-        if let Some(m) = &self.metrics {
-            sim.set_metrics(m.clone());
-        }
-        PhaseState::Count {
-            sim,
-            walk_stats,
-            walks_lost,
+        match self.config.count_mode {
+            CountMode::Exact => {
+                let mut sim = Simulator::new(graph, cfg2, |v| {
+                    CountProgram::new(v, n, graph.degree(v), counts[v].clone(), k, value_bits, f)
+                });
+                if let Some(m) = &self.metrics {
+                    sim.set_metrics(m.clone());
+                }
+                PhaseState::Count {
+                    sim,
+                    walk_stats,
+                    walks_lost,
+                }
+            }
+            CountMode::Sketch { precision } => {
+                let mut sim = Simulator::new(graph, cfg2, |v| {
+                    SketchCountProgram::new(
+                        v,
+                        n,
+                        graph.degree(v),
+                        &counts[v],
+                        k,
+                        precision,
+                        value_bits,
+                        f,
+                    )
+                });
+                if let Some(m) = &self.metrics {
+                    sim.set_metrics(m.clone());
+                }
+                PhaseState::SketchCount {
+                    sim,
+                    walk_stats,
+                    walks_lost,
+                }
+            }
         }
     }
 
@@ -355,6 +421,50 @@ impl<'g> StepSolver<'g> {
             walk_stats,
             count_stats,
             fixed_point_bits: self.fixed_point_bits,
+            count_mode: CountMode::Exact,
+            sketch_suppressed: 0,
+            degradation,
+        })))
+    }
+
+    /// Harvests the drained sketch count phase — the sketch-mode twin of
+    /// [`StepSolver::finish`], mirroring `approximate_inner`'s lockstep
+    /// sketch branch (including the systolic-silence tally).
+    fn finish_sketch(
+        &self,
+        sim2: Simulator<'g, SketchCountProgram>,
+        walk_stats: RunStats,
+        walks_lost: u64,
+    ) -> Result<PhaseState<'g>, RwbcError> {
+        let n = self.graph.node_count();
+        let count_stats = sim2.stats().clone();
+        let mut degradation = DegradationReport {
+            walks_lost,
+            walk_subphases: 1,
+            ..DegradationReport::default()
+        };
+        degradation.corrupt_frames_detected =
+            walk_stats.corrupt_frames_detected + count_stats.corrupt_frames_detected;
+        degradation.links_quarantined =
+            walk_stats.dead_links_declared + count_stats.dead_links_declared;
+        let sketch_suppressed = (0..n).map(|v| sim2.program(v).suppressed()).sum();
+        let mut values = Vec::with_capacity(n);
+        for v in 0..n {
+            values.push(sim2.program(v).betweenness().ok_or_else(|| {
+                RwbcError::InvalidParameter {
+                    reason: format!("node {v} finished phase 2 without a betweenness value"),
+                }
+            })?);
+        }
+        Ok(PhaseState::Done(Box::new(DistributedRun {
+            centrality: Centrality::from_values(values),
+            target: self.target,
+            election_stats: None,
+            walk_stats,
+            count_stats,
+            fixed_point_bits: self.fixed_point_bits,
+            count_mode: self.config.count_mode,
+            sketch_suppressed,
             degradation,
         })))
     }
@@ -373,7 +483,7 @@ impl<'g> StepSolver<'g> {
     pub fn phase(&self) -> SolvePhase {
         match &self.state {
             PhaseState::Walk(_) => SolvePhase::Walk,
-            PhaseState::Count { .. } => SolvePhase::Count,
+            PhaseState::Count { .. } | PhaseState::SketchCount { .. } => SolvePhase::Count,
             PhaseState::Done(_) => SolvePhase::Done,
             PhaseState::Poisoned => SolvePhase::Failed,
         }
@@ -384,6 +494,9 @@ impl<'g> StepSolver<'g> {
         match &self.state {
             PhaseState::Walk(sim) => sim.round(),
             PhaseState::Count {
+                sim, walk_stats, ..
+            } => walk_stats.rounds + sim.round(),
+            PhaseState::SketchCount {
                 sim, walk_stats, ..
             } => walk_stats.rounds + sim.round(),
             PhaseState::Done(run) => run.total_rounds(),
@@ -447,6 +560,7 @@ impl<'g> StepSolver<'g> {
             PhaseState::Walk(_) => 0,
             PhaseState::Count { .. } => 1,
             PhaseState::Done(_) => 2,
+            PhaseState::SketchCount { .. } => 3,
             PhaseState::Poisoned => {
                 return Err(RwbcError::InvalidParameter {
                     reason: "cannot checkpoint a poisoned StepSolver".to_string(),
@@ -472,6 +586,11 @@ impl<'g> StepSolver<'g> {
                 walk_stats,
                 walks_lost,
                 ..
+            }
+            | PhaseState::SketchCount {
+                walk_stats,
+                walks_lost,
+                ..
             } => {
                 walk_stats.encode_state(&mut mw);
                 walks_lost.encode_state(&mut mw);
@@ -487,6 +606,14 @@ impl<'g> StepSolver<'g> {
                     .corrupt_frames_detected
                     .encode_state(&mut mw);
                 run.degradation.links_quarantined.encode_state(&mut mw);
+                // Version-2 additions (absent from v1 images, which are
+                // always exact-mode runs).
+                let mode_precision: u8 = match run.count_mode {
+                    CountMode::Exact => 0,
+                    CountMode::Sketch { precision } => precision,
+                };
+                mode_precision.encode_state(&mut mw);
+                run.sketch_suppressed.encode_state(&mut mw);
             }
             PhaseState::Poisoned => unreachable!("tagged above"),
         }
@@ -495,6 +622,7 @@ impl<'g> StepSolver<'g> {
         let engine: Vec<u8> = match &self.state {
             PhaseState::Walk(sim) => sim.checkpoint().to_vec(),
             PhaseState::Count { sim, .. } => sim.checkpoint().to_vec(),
+            PhaseState::SketchCount { sim, .. } => sim.checkpoint().to_vec(),
             _ => Vec::new(),
         };
         write_section(&mut w, &engine);
@@ -524,7 +652,7 @@ impl<'g> StepSolver<'g> {
             return Err(corrupt("bad magic word"));
         }
         let version = r.read_bits(64).ok_or_else(|| corrupt("truncated header"))?;
-        if version != STEP_CHECKPOINT_VERSION {
+        if !(STEP_CHECKPOINT_MIN_VERSION..=STEP_CHECKPOINT_VERSION).contains(&version) {
             return Err(corrupt("unsupported step-checkpoint version"));
         }
         let header = read_section(&mut r, "header")?;
@@ -547,6 +675,17 @@ impl<'g> StepSolver<'g> {
                 "solve plan (target / fixed-point fit) disagrees with the provided config",
             ));
         }
+        // Each count-phase tag is owned by exactly one count mode: the
+        // engine image decodes as that mode's program type, so a config
+        // naming the other mode must be rejected, not misinterpreted.
+        let tag_mode_ok = match phase_tag {
+            1 => config.count_mode == CountMode::Exact,
+            3 => matches!(config.count_mode, CountMode::Sketch { .. }),
+            _ => true,
+        };
+        if !tag_mode_ok {
+            return Err(corrupt("count mode disagrees with the image's count phase"));
+        }
         let meta = read_section(&mut r, "phase metadata")?;
         let mut mr = BitReader::new(&meta);
         let engine = read_section(&mut r, "engine image")?;
@@ -567,6 +706,20 @@ impl<'g> StepSolver<'g> {
                 let sim = Simulator::<CountProgram>::restore(graph, cfg2, &engine)
                     .map_err(RwbcError::Sim)?;
                 PhaseState::Count {
+                    sim,
+                    walk_stats,
+                    walks_lost,
+                }
+            }
+            3 => {
+                let walk_stats = RunStats::decode_state(&mut mr)
+                    .ok_or_else(|| corrupt("truncated walk stats"))?;
+                let walks_lost =
+                    u64::decode_state(&mut mr).ok_or_else(|| corrupt("truncated walk tally"))?;
+                let cfg2 = config.sim.clone().with_seed(config.seed ^ PHASE2_XOR);
+                let sim = Simulator::<SketchCountProgram>::restore(graph, cfg2, &engine)
+                    .map_err(RwbcError::Sim)?;
+                PhaseState::SketchCount {
                     sim,
                     walk_stats,
                     walks_lost,
@@ -600,6 +753,24 @@ impl<'g> StepSolver<'g> {
                     links_quarantined,
                     ..DegradationReport::default()
                 };
+                // Version-1 images predate sketch mode: exact, no
+                // suppression tally.
+                let (count_mode, sketch_suppressed) = if version >= 2 {
+                    let mode_precision =
+                        u8::decode_state(&mut mr).ok_or_else(|| corrupt("truncated count mode"))?;
+                    let mode = match mode_precision {
+                        0 => CountMode::Exact,
+                        p => CountMode::Sketch { precision: p },
+                    };
+                    let suppressed = u64::decode_state(&mut mr)
+                        .ok_or_else(|| corrupt("truncated suppression tally"))?;
+                    (mode, suppressed)
+                } else {
+                    (CountMode::Exact, 0)
+                };
+                if count_mode != config.count_mode {
+                    return Err(corrupt("count mode disagrees with the provided config"));
+                }
                 PhaseState::Done(Box::new(DistributedRun {
                     centrality: Centrality::from_values(values),
                     target,
@@ -607,6 +778,8 @@ impl<'g> StepSolver<'g> {
                     walk_stats,
                     count_stats,
                     fixed_point_bits: f,
+                    count_mode,
+                    sketch_suppressed,
                     degradation,
                 }))
             }
@@ -700,6 +873,98 @@ mod tests {
             let run = resumed.run_to_completion().unwrap();
             assert_eq!(*run, oneshot, "resume must be bit-identical");
         }
+    }
+
+    fn sketch_cfg(seed: u64) -> DistributedConfig {
+        DistributedConfig::builder()
+            .walks(40)
+            .length(30)
+            .seed(seed)
+            .count_mode(CountMode::Sketch { precision: 4 })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sketch_stepwise_matches_one_shot_driver_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let g = connected_gnp(18, 0.3, 100, &mut rng).unwrap();
+        let c = sketch_cfg(9);
+        let oneshot = approximate(&g, &c).unwrap();
+        let mut solver = StepSolver::new(&g, c).unwrap();
+        let run = solver.run_to_completion().unwrap();
+        assert_eq!(*run, oneshot);
+        assert_eq!(run.count_mode, CountMode::Sketch { precision: 4 });
+        assert_eq!(run.count_stats.rounds, 16);
+    }
+
+    #[test]
+    fn sketch_checkpoint_roundtrips_at_every_boundary() {
+        let g = star(6).unwrap();
+        let c = sketch_cfg(4);
+        let oneshot = approximate(&g, &c).unwrap();
+        let mut solver = StepSolver::new(&g, c.clone()).unwrap();
+        let mut images = vec![solver.checkpoint().unwrap()];
+        while !solver.step().unwrap() {
+            images.push(solver.checkpoint().unwrap());
+        }
+        assert_eq!(*solver.result().unwrap(), oneshot);
+        // The image set spans both phases, so mid-count (tag 3) resume and
+        // the walk → sketch-count hand-off are both exercised.
+        for image in images {
+            let mut resumed = StepSolver::restore(&g, c.clone(), &image).unwrap();
+            let run = resumed.run_to_completion().unwrap();
+            assert_eq!(*run, oneshot, "sketch resume must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_count_mode_mismatch() {
+        let g = star(6).unwrap();
+        let exact = cfg(4);
+        let sketch = sketch_cfg(4);
+        // A mid-count exact image must not restore under a sketch config,
+        // and vice versa: the engine images hold different program types.
+        let image_in_count = |c: &DistributedConfig| {
+            let mut solver = StepSolver::new(&g, c.clone()).unwrap();
+            while solver.phase() != SolvePhase::Count {
+                solver.step().unwrap();
+            }
+            solver.checkpoint().unwrap()
+        };
+        let exact_img = image_in_count(&exact);
+        let sketch_img = image_in_count(&sketch);
+        assert!(StepSolver::restore(&g, sketch.clone(), &exact_img).is_err());
+        assert!(StepSolver::restore(&g, exact.clone(), &sketch_img).is_err());
+        // A done sketch image also refuses an exact config (and the other
+        // way round), via the v2 metadata.
+        let done_img = |c: &DistributedConfig| {
+            let mut solver = StepSolver::new(&g, c.clone()).unwrap();
+            solver.run_to_completion().unwrap();
+            solver.checkpoint().unwrap()
+        };
+        assert!(StepSolver::restore(&g, exact.clone(), &done_img(&sketch)).is_err());
+        assert!(StepSolver::restore(&g, sketch, &done_img(&exact)).is_err());
+    }
+
+    #[test]
+    fn version_one_walk_images_still_restore() {
+        // Walk-phase layout is unchanged since v1, so an aged version field
+        // must still be accepted (the range check, not strict equality).
+        let g = star(6).unwrap();
+        let c = cfg(4);
+        let oneshot = approximate(&g, &c).unwrap();
+        let mut solver = StepSolver::new(&g, c.clone()).unwrap();
+        solver.step().unwrap();
+        let mut image = solver.checkpoint().unwrap();
+        // The version is a big-endian u64 at bytes 8..16.
+        assert_eq!(image[8..16], STEP_CHECKPOINT_VERSION.to_be_bytes());
+        image[8..16].copy_from_slice(&STEP_CHECKPOINT_MIN_VERSION.to_be_bytes());
+        let mut resumed = StepSolver::restore(&g, c.clone(), &image).unwrap();
+        assert_eq!(*resumed.run_to_completion().unwrap(), oneshot);
+        // Future versions stay rejected.
+        image[8..16].copy_from_slice(&(STEP_CHECKPOINT_VERSION + 1).to_be_bytes());
+        assert!(StepSolver::restore(&g, c, &image).is_err());
     }
 
     #[test]

@@ -556,6 +556,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // column-indexed scans of the count matrix
     fn walk_conservation_on_cycle() {
         // Each walk makes visits: birth + one per completed hop. Total
         // visits across all nodes from source s equals K (birth) + hops
@@ -583,8 +584,8 @@ mod tests {
         let (counts, _) = run_phase(&g, 3, 7, 1, CongestionDiscipline::HoldAndResend, 2);
         // With l = 1 every walk makes exactly one hop; the birth visit must
         // still be there.
-        for s in 0..3 {
-            assert!(counts[s][s] >= 7, "node {s} birth visits {}", counts[s][s]);
+        for (s, row) in counts.iter().enumerate().take(3) {
+            assert!(row[s] >= 7, "node {s} birth visits {}", row[s]);
         }
     }
 

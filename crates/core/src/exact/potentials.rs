@@ -191,6 +191,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // v indexes both a row and a column
     fn ground_row_and_column_are_zero() {
         let g = cycle(5).unwrap();
         let x = potential_columns(&g, 2, Solver::DenseLu).unwrap();

@@ -116,6 +116,96 @@ pub(crate) fn node_net_flow_sorted_strided(
     acc / 2.0
 }
 
+/// A weighted sorted column: entry `k` stands for `weight[k]` identical
+/// copies of `value[k]`. This is the sketch-mode combine primitive — a
+/// bucket of `c_b` sources collapses to one entry of weight `c_b`, and
+/// the pair sum over the expanded multiset is recovered exactly from the
+/// weighted prefix sums, in `O(B log B)` instead of `O(n log n)`.
+#[derive(Debug)]
+pub(crate) struct WeightedColumn {
+    /// `(value, weight)` sorted by value; zero-weight entries dropped.
+    sorted: Vec<(f64, f64)>,
+    /// `prefix_w[k] = Σ_{j<k} weight_j`.
+    prefix_w: Vec<f64>,
+    /// `prefix_wv[k] = Σ_{j<k} weight_j · value_j`.
+    prefix_wv: Vec<f64>,
+}
+
+impl WeightedColumn {
+    pub(crate) fn new(z: &[f64], weights: &[f64]) -> WeightedColumn {
+        debug_assert_eq!(z.len(), weights.len());
+        let mut sorted: Vec<(f64, f64)> = z
+            .iter()
+            .zip(weights)
+            .filter(|(_, &w)| w > 0.0)
+            .map(|(&v, &w)| (v, w))
+            .collect();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("potentials must not be NaN"));
+        let mut prefix_w = Vec::with_capacity(sorted.len() + 1);
+        let mut prefix_wv = Vec::with_capacity(sorted.len() + 1);
+        prefix_w.push(0.0);
+        prefix_wv.push(0.0);
+        for &(v, w) in &sorted {
+            prefix_w.push(prefix_w.last().unwrap() + w);
+            prefix_wv.push(prefix_wv.last().unwrap() + w * v);
+        }
+        WeightedColumn {
+            sorted,
+            prefix_w,
+            prefix_wv,
+        }
+    }
+
+    /// `Σ_{s<t} |z_s − z_t|` over all unordered pairs of the *expanded*
+    /// multiset. An entry of weight `w` at cumulative position `P`
+    /// occupies expanded ranks `P..P+w`, and summing the sorted-rank
+    /// identity `(2k − W + 1)·v` over that run gives `v·w·(2P + w − W)`.
+    pub(crate) fn pair_sum(&self) -> f64 {
+        let total = *self.prefix_w.last().unwrap();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(k, &(v, w))| v * w * (2.0 * self.prefix_w[k] + w - total))
+            .sum()
+    }
+
+    /// `Σ_t weight_t · |c − z_t|` over all entries.
+    pub(crate) fn abs_sum_around(&self, c: f64) -> f64 {
+        let k = self.sorted.partition_point(|&(v, _)| v <= c);
+        let below = c * self.prefix_w[k] - self.prefix_wv[k];
+        let total_w = *self.prefix_w.last().unwrap();
+        let total_wv = *self.prefix_wv.last().unwrap();
+        let above = (total_wv - self.prefix_wv[k]) - c * (total_w - self.prefix_w[k]);
+        below + above
+    }
+}
+
+/// Sketch-mode analogue of [`node_net_flow_sorted_strided`]: columns are
+/// bucket averages (`B` entries, row-major `flat[b * deg + slot]`) and
+/// each bucket carries its preimage weight. `me_bucket` is the bucket
+/// node `me` hashes into; its average stands in for `z_me` in the
+/// excluded-pair correction.
+pub(crate) fn node_net_flow_weighted_strided(
+    me_bucket: usize,
+    own: &[f64],
+    flat: &[f64],
+    deg: usize,
+    weights: &[f64],
+) -> f64 {
+    debug_assert_eq!(flat.len(), own.len() * deg);
+    debug_assert_eq!(weights.len(), own.len());
+    let mut acc = 0.0;
+    let mut z = vec![0.0; own.len()];
+    for slot in 0..deg {
+        for (b, (zb, o)) in z.iter_mut().zip(own).enumerate() {
+            *zb = o - flat[b * deg + slot];
+        }
+        let col = WeightedColumn::new(&z, weights);
+        acc += col.pair_sum() - col.abs_sum_around(z[me_bucket]);
+    }
+    acc / 2.0
+}
+
 /// Net-flow sum of node `me` over pairs excluding `me` — the literal Eq. 6
 /// double loop. `Θ(n²)` per neighbor.
 pub(crate) fn node_net_flow_direct<'a>(
@@ -211,6 +301,53 @@ mod tests {
                 assert!((l - r).abs() < 1e-9, "{l} vs {r}");
             }
         }
+    }
+
+    #[test]
+    fn weighted_pair_sum_matches_expanded_multiset() {
+        let z = [3.0, -1.0, 2.0, 0.5];
+        let w = [2.0, 1.0, 3.0, 2.0];
+        let col = WeightedColumn::new(&z, &w);
+        // Expand each entry into `w` copies and brute-force the pairs.
+        let mut expanded = Vec::new();
+        for (v, c) in z.iter().zip(&w) {
+            for _ in 0..*c as usize {
+                expanded.push(*v);
+            }
+        }
+        let mut brute = 0.0;
+        for s in 0..expanded.len() {
+            for t in (s + 1)..expanded.len() {
+                brute += (expanded[s] - expanded[t]).abs();
+            }
+        }
+        assert!((col.pair_sum() - brute).abs() < 1e-12);
+        for &c in &[-2.0, 0.5, 1.7, 4.0] {
+            let brute_abs: f64 = expanded.iter().map(|v| (c - v).abs()).sum();
+            assert!((col.abs_sum_around(c) - brute_abs).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_sorted_column() {
+        let z = [3.0, -1.0, 2.0, 2.0, 0.5];
+        let w = [1.0; 5];
+        let plain = SortedColumn::new(&z);
+        let weighted = WeightedColumn::new(&z, &w);
+        assert!((plain.pair_sum() - weighted.pair_sum()).abs() < 1e-12);
+        for &c in &[-5.0, 0.0, 2.0, 10.0] {
+            assert!((plain.abs_sum_around(c) - weighted.abs_sum_around(c)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_weight_entries_are_inert() {
+        let z = [3.0, 99.0, 2.0];
+        let w = [2.0, 0.0, 1.0];
+        let col = WeightedColumn::new(&z, &w);
+        let dense = WeightedColumn::new(&[3.0, 2.0], &[2.0, 1.0]);
+        assert!((col.pair_sum() - dense.pair_sum()).abs() < 1e-12);
+        assert!((col.abs_sum_around(1.0) - dense.abs_sum_around(1.0)).abs() < 1e-12);
     }
 
     #[test]

@@ -595,7 +595,7 @@ mod tests {
         let g = path(5).unwrap();
         let l = 6;
         let samples = 400u64;
-        let mut naive_counts = vec![0u32; 5];
+        let mut naive_counts = [0u32; 5];
         let mut stitch_counts = vec![0u32; 5];
         let params = StitchParams { lambda: 2, eta: 4 };
         for seed in 0..samples {

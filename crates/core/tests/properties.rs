@@ -7,11 +7,13 @@ use rand::SeedableRng;
 use congest_sim::{EngineMetrics, Registry, SimConfig};
 use rwbc::accuracy::{kendall_tau, spearman_rho};
 use rwbc::brandes::betweenness;
-use rwbc::distributed::{DistributedConfig, StepSolver};
+use rwbc::distributed::{
+    approximate, sketch_error_bound, CountMode, DistributedConfig, StepSolver, VisitSketch,
+};
 use rwbc::exact::{newman, newman_with, ExactOptions, PairSum, Solver};
 use rwbc::monte_carlo::{estimate, McConfig, TargetStrategy};
 use rwbc::Centrality;
-use rwbc_graph::generators::{connected_gnp, random_tree};
+use rwbc_graph::generators::{barabasi_albert, connected_gnp, random_tree, torus_2d};
 use rwbc_graph::Graph;
 
 /// Strategy: a small random *connected* graph (random tree plus extra
@@ -140,10 +142,10 @@ proptest! {
         let mut expect = 0.0;
         for s in 0..n {
             let dist = rwbc_graph::traversal::bfs_distances(&g, s);
-            for t in (s + 1)..n {
+            for d in dist.iter().skip(s + 1) {
                 // On unweighted graphs every shortest path from s to t has
                 // d - 1 interior nodes regardless of which path is taken.
-                expect += (dist[t].unwrap() - 1) as f64;
+                expect += (d.unwrap() - 1) as f64;
             }
         }
         prop_assert!((total - expect).abs() < 1e-6, "{total} vs {expect}");
@@ -255,6 +257,154 @@ proptest! {
         }
         prop_assert!((flow - min_cut as f64).abs() < 1e-9,
             "flow {flow} vs min cut {min_cut}");
+    }
+}
+
+/// Strategy: a small multiset of sketch observations `(source, scaled)`.
+fn arb_observations() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((0usize..64, 1u64..10_000), 0..40)
+}
+
+/// Builds a sketch from an observation multiset (summing per-source
+/// contributions exactly, as the count program does).
+fn sketch_of(precision: u8, obs: &[(usize, u64)]) -> VisitSketch {
+    let mut s = VisitSketch::new(precision);
+    for &(source, scaled) in obs {
+        s.observe(source, scaled);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sketch_merge_is_commutative_associative_idempotent(
+        a in arb_observations(),
+        b in arb_observations(),
+        c in arb_observations(),
+        precision in 2u8..9,
+    ) {
+        // Merge is the element-wise lattice join, so the three semilattice
+        // laws must hold exactly — they are what makes the sketch safe to
+        // combine in any aggregation order (and to re-deliver duplicates
+        // to, under at-least-once transports).
+        let (sa, sb, sc) = (
+            sketch_of(precision, &a),
+            sketch_of(precision, &b),
+            sketch_of(precision, &c),
+        );
+        // Commutativity.
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        // Associativity.
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // Idempotence.
+        let mut aa = sa.clone();
+        aa.merge(&sa);
+        prop_assert_eq!(&aa, &sa);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sketch_error_stays_inside_the_stacked_bound(
+        topology in 0usize..3,
+        seed in 0u64..50,
+        precision in 5u8..8,
+    ) {
+        // Exact and sketch runs share the walk phase bit-for-bit, so the
+        // gap between them is purely the sketch's bucketing error — the
+        // term `stacked_error_bound` adds on top of the paper's (1-ε)
+        // guarantee. Checked on all three bench families.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = match topology {
+            0 => connected_gnp(20, 0.25, 100, &mut rng).unwrap(),
+            1 => barabasi_albert(20, 3, &mut rng).unwrap(),
+            _ => torus_2d(4, 5).unwrap(),
+        };
+        let build = |mode: CountMode| {
+            DistributedConfig::builder()
+                .walks(200)
+                .length(80)
+                .seed(seed)
+                .target(TargetStrategy::Fixed(0))
+                .count_mode(mode)
+                .build()
+                .unwrap()
+        };
+        let exact = approximate(&g, &build(CountMode::Exact)).unwrap();
+        let sketch = approximate(&g, &build(CountMode::Sketch { precision })).unwrap();
+        prop_assert_eq!(&sketch.walk_stats, &exact.walk_stats);
+        let mut err_sum = 0.0;
+        let mut count = 0usize;
+        for v in g.nodes() {
+            let e = exact.centrality[v];
+            if e > 1e-12 {
+                err_sum += (sketch.centrality[v] - e).abs() / e;
+                count += 1;
+            }
+        }
+        let mean_err = err_sum / count.max(1) as f64;
+        prop_assert!(
+            mean_err <= sketch_error_bound(precision),
+            "mean relative error {} above sketch bound {} (topology {}, p {})",
+            mean_err, sketch_error_bound(precision), topology, precision
+        );
+    }
+
+    #[test]
+    fn sketch_path_is_thread_count_invariant_across_checkpoints(
+        g in arb_connected_graph(),
+        seed in 0u64..40,
+        cut_after in 0usize..12,
+    ) {
+        // The sketch twin of the mid-solve crash property: a sketch-mode
+        // checkpoint written at an arbitrary boundary (often inside the
+        // count phase, crossing the walk → count hand-off) must resume
+        // bit-identically at 1, 2, 4, and 8 workers.
+        let make_cfg = |threads: usize| {
+            DistributedConfig::builder()
+                .walks(6)
+                .length(2 * g.node_count())
+                .seed(seed)
+                .target(TargetStrategy::Fixed(0))
+                .count_mode(CountMode::Sketch { precision: 3 })
+                .sim(SimConfig::default().with_threads(threads).with_granularity(1))
+                .build()
+                .unwrap()
+        };
+        let mut reference = StepSolver::new(&g, make_cfg(1)).unwrap();
+        let expected = reference.run_to_completion().unwrap().clone();
+        let expected_fp = reference.fingerprint();
+
+        let mut first = StepSolver::new(&g, make_cfg(1)).unwrap();
+        for _ in 0..cut_after {
+            if first.step().unwrap() {
+                break;
+            }
+        }
+        let image = first.checkpoint().unwrap();
+        drop(first);
+
+        for restore_threads in [1usize, 2, 4, 8] {
+            let mut resumed =
+                StepSolver::restore(&g, make_cfg(restore_threads), &image).unwrap();
+            let run = resumed.run_to_completion().unwrap().clone();
+            prop_assert_eq!(&run, &expected, "threads {}", restore_threads);
+            prop_assert_eq!(resumed.fingerprint(), expected_fp);
+        }
     }
 }
 

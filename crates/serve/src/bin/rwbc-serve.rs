@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! rwbc-serve run    [--addr A] [--n N] [--seed S] [--walks K] [--length L]
-//!                   [--threads T] [--granularity G] [--checkpoint FILE]
-//!                   [--checkpoint-every R]
+//!                   [--threads T] [--granularity G] [--sketch-precision P]
+//!                   [--checkpoint FILE] [--checkpoint-every R]
 //!                   [--trace FILE] [--queue-depth D] [--workers W]
 //!                   [--deadline-ms MS] [--retry-after-ms MS]
 //!                   [--slow-ms MS] [--work-delay-ms MS]
@@ -41,6 +41,7 @@ struct Options {
     length: usize,
     threads: usize,
     granularity: usize,
+    sketch_precision: u8,
     checkpoint: Option<PathBuf>,
     checkpoint_every: usize,
     trace: Option<PathBuf>,
@@ -66,7 +67,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: rwbc-serve run    [--addr A] [--n N] [--seed S] [--walks K] [--length L]\n       \
-     \t[--threads T] [--checkpoint FILE] [--checkpoint-every R] [--trace FILE]\n       \
+     \t[--threads T] [--sketch-precision P] [--checkpoint FILE] [--checkpoint-every R]\n       \
+     \t[--trace FILE]\n       \
      \t[--flight FILE] [--flight-every-ms MS] [--queue-depth D] [--workers W]\n       \
      \t[--deadline-ms MS] [--retry-after-ms MS] [--slow-ms MS] [--work-delay-ms MS]\n       \
      \t[--slo-latency-ms MS] [--slo-availability F]\n       \
@@ -90,6 +92,7 @@ fn parse_args() -> Result<Options, String> {
         length: 64,
         threads: 1,
         granularity: 0,
+        sketch_precision: 0,
         checkpoint: None,
         checkpoint_every: 64,
         trace: None,
@@ -126,6 +129,9 @@ fn parse_args() -> Result<Options, String> {
             "--length" => opts.length = num("--length", &value("--length")?)?,
             "--threads" => opts.threads = num("--threads", &value("--threads")?)?,
             "--granularity" => opts.granularity = num("--granularity", &value("--granularity")?)?,
+            "--sketch-precision" => {
+                opts.sketch_precision = num("--sketch-precision", &value("--sketch-precision")?)?;
+            }
             "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
             "--checkpoint-every" => {
                 opts.checkpoint_every = num("--checkpoint-every", &value("--checkpoint-every")?)?;
@@ -171,6 +177,7 @@ fn solver_config(opts: &Options) -> SolverConfig {
     config.length = opts.length;
     config.threads = opts.threads;
     config.granularity = opts.granularity;
+    config.sketch_precision = opts.sketch_precision;
     config.checkpoint_path = opts.checkpoint.clone();
     config.checkpoint_every_rounds = opts.checkpoint_every;
     config.trace_path = opts.trace.clone();

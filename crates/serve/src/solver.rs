@@ -21,7 +21,7 @@ use congest_sim::{FlightRecorder, JsonlTracer, SimConfig, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rwbc::distributed::DistributedRun;
-use rwbc::distributed::{DistributedConfig, SolvePhase, StepSolver};
+use rwbc::distributed::{CountMode, DistributedConfig, SolvePhase, StepSolver};
 use rwbc::monte_carlo::TargetStrategy;
 use rwbc_graph::generators::connected_gnp;
 use rwbc_graph::Graph;
@@ -79,6 +79,11 @@ pub struct SolverConfig {
     /// Test hook: sleep this long after every round, so integration
     /// tests can reliably catch (and kill) the daemon mid-solve.
     pub slow_ms: u64,
+    /// Sketch precision for the count phase; 0 keeps exact counting.
+    /// Sketch mode trades bounded accuracy for a far shorter, lighter
+    /// count phase — the solve (and its periodic checkpoints) shrink
+    /// accordingly.
+    pub sketch_precision: u8,
 }
 
 impl SolverConfig {
@@ -95,19 +100,24 @@ impl SolverConfig {
             checkpoint_every_rounds: 64,
             trace_path: None,
             slow_ms: 0,
+            sketch_precision: 0,
         }
     }
 
     /// The pipeline config this solver runs (fixed target 0, like the
     /// bench scenarios, so runs are reproducible from the spec alone).
     pub fn distributed_config(&self) -> DistributedConfig {
-        let mut cfg = DistributedConfig::builder()
+        let mut builder = DistributedConfig::builder()
             .walks(self.walks)
             .length(self.length)
             .seed(self.seed)
-            .target(TargetStrategy::Fixed(0))
-            .build()
-            .expect("solver workload params");
+            .target(TargetStrategy::Fixed(0));
+        if self.sketch_precision > 0 {
+            builder = builder.count_mode(CountMode::Sketch {
+                precision: self.sketch_precision,
+            });
+        }
+        let mut cfg = builder.build().expect("solver workload params");
         cfg.sim = SimConfig::default().with_threads(self.threads);
         if self.granularity > 0 {
             cfg.sim = cfg.sim.with_granularity(self.granularity);

@@ -46,7 +46,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scoped_threads_join_and_borrow() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let mut outputs = vec![0u64; 4];
         super::thread::scope(|s| {
             for (out, x) in outputs.chunks_mut(1).zip(data.chunks(1)) {
